@@ -1,0 +1,54 @@
+"""Experiment E1/E10/E11 helpers: classification cost and the trivial-NFA contrast.
+
+Two cheap-but-informative series:
+
+* classification of random processes into the Fig. 1a hierarchy scales
+  linearly (it is a structural scan);
+* the closing-remark contrast of Section 4: deciding ``approx_1 q*``
+  (universality, exponential via determinisation) versus the linear-time
+  structural characterisation of ``approx_2 q*`` on the same inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import classify
+from repro.generators.families import nondeterministic_counter, restricted_counter
+from repro.generators.random_fsp import random_fsp
+from repro.reductions.theorem41c import make_restricted
+from repro.reductions.universality import (
+    approx1_equals_trivial,
+    approx2_equals_trivial_characterisation,
+)
+
+SIZES = [50, 200]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_classification_cost(benchmark, size):
+    process = random_fsp(size, tau_probability=0.2, transition_density=2.0, seed=size)
+    classes = benchmark(lambda: classify(process))
+    benchmark.extra_info["experiment"] = "E1"
+    benchmark.extra_info["states"] = size
+    benchmark.extra_info["classes"] = len(classes)
+
+
+@pytest.mark.parametrize("bits", [4, 6, 8])
+def test_approx1_vs_trivial_nfa(benchmark, bits):
+    """E11, expensive side: approx_1 against q* is universality (exponential)."""
+    process = make_restricted(nondeterministic_counter(bits))
+    result = benchmark(lambda: approx1_equals_trivial(process))
+    benchmark.extra_info["experiment"] = "E11"
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["universal"] = result
+
+
+@pytest.mark.parametrize("bits", [4, 6, 8])
+def test_approx2_vs_trivial_nfa(benchmark, bits):
+    """E11, cheap side: the approx_2 characterisation is a linear structural scan."""
+    process = restricted_counter(bits)
+    result = benchmark(lambda: approx2_equals_trivial_characterisation(process))
+    benchmark.extra_info["experiment"] = "E11"
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["matches_trivial"] = result

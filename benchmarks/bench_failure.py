@@ -1,0 +1,65 @@
+"""Experiment E12 (Theorem 5.1): failure equivalence -- exponential worst case, easy special cases.
+
+Measured series:
+
+* failure equivalence on the restricted-counter family: macro-state pairs grow
+  exponentially with the bit count (the empirical face of PSPACE-hardness);
+* failure equivalence on finite trees via the general checker versus the
+  polynomial tree fast path (the Smolka 1984 tractable case);
+* the Theorem 5.1 transformation cost (polynomial).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.equivalence.failure import (
+    failure_equivalent_processes,
+    tree_failure_equivalent,
+)
+from repro.generators.families import binary_tree, restricted_counter
+from repro.generators.random_fsp import random_restricted_observable_fsp
+from repro.reductions.theorem51 import theorem51_transform
+
+COUNTER_BITS = [3, 5, 7]
+TREE_DEPTHS = [3, 5, 7]
+
+
+@pytest.mark.parametrize("bits", COUNTER_BITS)
+def test_failure_equivalence_on_counters(benchmark, bits):
+    first = restricted_counter(bits)
+    second = restricted_counter(bits).rename_states(prefix="o")
+    result = benchmark(lambda: failure_equivalent_processes(first, second))
+    benchmark.extra_info["experiment"] = "E12"
+    benchmark.extra_info["bits"] = bits
+    assert result is True
+
+
+@pytest.mark.parametrize("depth", TREE_DEPTHS)
+def test_failure_equivalence_on_trees_general_checker(benchmark, depth):
+    first = binary_tree(depth)
+    second = binary_tree(depth).rename_states(prefix="o")
+    result = benchmark(lambda: failure_equivalent_processes(first, second))
+    benchmark.extra_info["experiment"] = "E12"
+    benchmark.extra_info["depth"] = depth
+    assert result is True
+
+
+@pytest.mark.parametrize("depth", TREE_DEPTHS)
+def test_failure_equivalence_on_trees_fast_path(benchmark, depth):
+    first = binary_tree(depth)
+    second = binary_tree(depth).rename_states(prefix="o")
+    result = benchmark(lambda: tree_failure_equivalent(first, second))
+    benchmark.extra_info["experiment"] = "E12"
+    benchmark.extra_info["depth"] = depth
+    assert result is True
+
+
+@pytest.mark.parametrize("size", [20, 60])
+def test_theorem51_transformation_cost(benchmark, size):
+    process = random_restricted_observable_fsp(size, transition_density=2.0, seed=size)
+    transformed = benchmark(lambda: theorem51_transform(process))
+    benchmark.extra_info["experiment"] = "E12"
+    benchmark.extra_info["input_states"] = process.num_states
+    benchmark.extra_info["output_transitions"] = transformed.num_transitions
+    assert transformed.num_states == process.num_states + 1

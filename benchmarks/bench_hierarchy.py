@@ -1,0 +1,81 @@
+"""Experiment E14 (Propositions 2.2.3/2.2.4): the inclusion chain measured on random processes.
+
+For restricted observable processes the chain approx  =>  failure-equivalence
+=>  approx_1 must hold pairwise; on deterministic processes all notions
+collapse.  The benchmark runs the three checkers over all state pairs of
+random processes, records how often each inclusion is strict, and times the
+three checkers side by side on identical inputs -- the practical reading of
+the complexity gap (polynomial partition refinement versus subset-construction
+based checks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.equivalence.failure import failure_equivalent
+from repro.equivalence.language import language_equivalent
+from repro.equivalence.observational import observational_partition, observationally_equivalent
+from repro.generators.random_fsp import (
+    random_deterministic_fsp,
+    random_restricted_observable_fsp,
+)
+
+SIZES = [6, 10]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_inclusion_chain_census(benchmark, size):
+    process = random_restricted_observable_fsp(size, transition_density=1.6, seed=size)
+    states = sorted(process.states)
+    pairs = [(p, q) for i, p in enumerate(states) for q in states[i + 1 :]]
+
+    def census():
+        counts = {"observational": 0, "failure": 0, "language": 0, "violations": 0}
+        for first, second in pairs:
+            obs = observationally_equivalent(process, first, second)
+            fail = failure_equivalent(process, first, second)
+            lang = language_equivalent(process, first, second)
+            counts["observational"] += obs
+            counts["failure"] += fail
+            counts["language"] += lang
+            if (obs and not fail) or (fail and not lang):
+                counts["violations"] += 1
+        return counts
+
+    counts = benchmark(census)
+    benchmark.extra_info["experiment"] = "E14"
+    benchmark.extra_info.update(counts)
+    assert counts["violations"] == 0
+    assert counts["observational"] <= counts["failure"] <= counts["language"]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_deterministic_collapse(benchmark, size):
+    process = random_deterministic_fsp(size, seed=size)
+    states = sorted(process.states)
+    pairs = [(p, q) for i, p in enumerate(states) for q in states[i + 1 :]]
+
+    def census():
+        mismatches = 0
+        for first, second in pairs:
+            if language_equivalent(process, first, second) != observationally_equivalent(
+                process, first, second
+            ):
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark(census)
+    benchmark.extra_info["experiment"] = "E14"
+    benchmark.extra_info["mismatches"] = mismatches
+    assert mismatches == 0
+
+
+@pytest.mark.parametrize("size", [20, 50])
+def test_partition_once_answers_all_pairs(benchmark, size):
+    """The ablation behind Theorem 4.1(a): one partition answers every pairwise query."""
+    process = random_restricted_observable_fsp(size, transition_density=2.0, seed=size)
+    partition = benchmark(lambda: observational_partition(process))
+    benchmark.extra_info["experiment"] = "E14"
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["blocks"] = len(partition)

@@ -1,0 +1,69 @@
+"""Experiment E8 (Theorem 4.1(b) + Fig. 5a): fixed-level approx_k versus the polynomial limit.
+
+The paradox the paper highlights: each fixed approximation level approx_k is
+PSPACE-complete, yet the limit approx is polynomial.  The benchmark makes that
+empirical: deciding approx_1/approx_2 on the nondeterministic-counter family
+(whose determinisation doubles with every extra bit) blows up exponentially,
+while the observational-equivalence decision on the same inputs stays cheap.
+The Theorem 4.1(b) reduction itself is also timed (it is polynomial -- the
+hardness comes from the base problem, not the gadget).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.paper_figures import fig2_language_pair
+from repro.equivalence.kobs import k_observational_equivalent_processes
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.generators.families import restricted_counter
+from repro.reductions.theorem41b import separating_pair, theorem41b_iterate
+
+COUNTER_BITS = [4, 6, 8]
+
+
+@pytest.mark.parametrize("bits", COUNTER_BITS)
+def test_approx1_on_counter_family(benchmark, bits):
+    """approx_1 = language equivalence: the subset construction doubles per bit."""
+    first = restricted_counter(bits)
+    second = restricted_counter(bits).rename_states(prefix="o")
+    result = benchmark(
+        lambda: k_observational_equivalent_processes(first, second, 1)
+    )
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["answer"] = result
+    assert result is True
+
+
+@pytest.mark.parametrize("bits", COUNTER_BITS)
+def test_observational_on_counter_family(benchmark, bits):
+    """The polynomial limit on the same inputs (the contrast the paper emphasises)."""
+    first = restricted_counter(bits)
+    second = restricted_counter(bits).rename_states(prefix="o")
+    result = benchmark(lambda: observationally_equivalent_processes(first, second))
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["answer"] = result
+    assert result is True
+
+
+@pytest.mark.parametrize("level", [1, 2, 3])
+def test_theorem41b_reduction_cost(benchmark, level):
+    """Building the level-k separating pair is polynomial in k (the gadget is cheap)."""
+    first, second = fig2_language_pair()
+    pair = benchmark(lambda: theorem41b_iterate(first, second, level))
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["level"] = level
+    benchmark.extra_info["states"] = pair[0].num_states + pair[1].num_states
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_deciding_approx_k_on_separating_pairs(benchmark, level):
+    first, second = separating_pair(level)
+    result = benchmark(
+        lambda: k_observational_equivalent_processes(first, second, level + 1)
+    )
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["level"] = level
+    assert result is False

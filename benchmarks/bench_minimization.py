@@ -1,0 +1,51 @@
+"""Ablation benchmark: quotient minimisation on compiled CCS systems.
+
+DESIGN.md calls out minimisation as the practical payoff of the partition-
+refinement approach.  This benchmark compiles the CCS standard-library systems
+(buffers, mutual exclusion, the alternating-bit protocol), minimises them
+under strong and observational equivalence, and records the achieved state
+reductions; it also measures the cost of compiling the CCS terms themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccs.stdlib import (
+    alternating_bit_protocol,
+    compile_system,
+    mutual_exclusion,
+    two_place_buffer_impl,
+)
+from repro.equivalence.minimize import minimize_observational, minimize_strong, reduction_ratio
+
+SYSTEMS = {
+    "two-place-buffer": lambda: compile_system(two_place_buffer_impl()),
+    "mutex-2": lambda: compile_system(mutual_exclusion(2)),
+    "mutex-3": lambda: compile_system(mutual_exclusion(3)),
+    "abp-lossy": lambda: compile_system(alternating_bit_protocol(lossy=True), max_states=20_000),
+}
+
+
+@pytest.mark.parametrize("system", list(SYSTEMS))
+def test_ccs_compilation_cost(benchmark, system):
+    process = benchmark(SYSTEMS[system])
+    benchmark.extra_info["experiment"] = "ablation-minimisation"
+    benchmark.extra_info["system"] = system
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["transitions"] = process.num_transitions
+
+
+@pytest.mark.parametrize("system", list(SYSTEMS))
+@pytest.mark.parametrize("notion", ["strong", "observational"])
+def test_minimisation_reduction(benchmark, system, notion):
+    process = SYSTEMS[system]()
+    minimiser = minimize_strong if notion == "strong" else minimize_observational
+    minimal = benchmark(lambda: minimiser(process))
+    benchmark.extra_info["experiment"] = "ablation-minimisation"
+    benchmark.extra_info["system"] = system
+    benchmark.extra_info["notion"] = notion
+    benchmark.extra_info["original_states"] = process.num_states
+    benchmark.extra_info["minimal_states"] = minimal.num_states
+    benchmark.extra_info["reduction"] = round(reduction_ratio(process, minimal), 3)
+    assert minimal.num_states <= process.num_states

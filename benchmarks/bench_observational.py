@@ -1,0 +1,71 @@
+"""Experiment E7 (Theorem 4.1(a)): observational equivalence in polynomial time.
+
+The benchmark measures the two phases of the algorithm -- tau-saturation and
+partition refinement of the saturated process -- on tau-rich ladder processes
+whose saturation density grows quadratically, plus the end-to-end equivalence
+decision on pairs of equivalent (duplicated) and inequivalent (perturbed)
+processes.  The expected shape is smooth polynomial growth, in contrast with
+the exponential blow-ups of E8/E12.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derivatives import saturate
+from repro.equivalence.observational import (
+    observational_partition,
+    observationally_equivalent_processes,
+)
+from repro.generators.families import tau_ladder
+from repro.generators.random_fsp import random_equivalent_copy, random_fsp
+from repro.utils.matrices import weak_transition_matrices
+
+SIZES = [10, 30, 60]
+
+
+@pytest.mark.parametrize("rungs", SIZES)
+def test_saturation_cost(benchmark, rungs):
+    process = tau_ladder(rungs)
+    saturated = benchmark(lambda: saturate(process))
+    benchmark.extra_info["experiment"] = "E7"
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["transitions"] = process.num_transitions
+    benchmark.extra_info["saturated_transitions"] = saturated.num_transitions
+
+
+@pytest.mark.parametrize("rungs", SIZES)
+def test_matrix_saturation_cost(benchmark, rungs):
+    """The paper's matrix-product formulation of the same closure (cross-check implementation)."""
+    process = tau_ladder(rungs)
+    benchmark(lambda: weak_transition_matrices(process))
+    benchmark.extra_info["experiment"] = "E7"
+    benchmark.extra_info["states"] = process.num_states
+
+
+@pytest.mark.parametrize("rungs", SIZES)
+def test_observational_partition_cost(benchmark, rungs):
+    process = tau_ladder(rungs)
+    partition = benchmark(lambda: observational_partition(process))
+    benchmark.extra_info["experiment"] = "E7"
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["blocks"] = len(partition)
+
+
+@pytest.mark.parametrize("size", [15, 40])
+@pytest.mark.parametrize("relation", ["equivalent", "inequivalent"])
+def test_end_to_end_equivalence_decision(benchmark, size, relation):
+    base = random_fsp(size, tau_probability=0.25, transition_density=2.0, seed=size, all_accepting=True)
+    if relation == "equivalent":
+        other = random_equivalent_copy(base, duplicates=size // 3, seed=size)
+        expected = True
+    else:
+        other = random_fsp(
+            size, tau_probability=0.25, transition_density=2.0, seed=size + 999, all_accepting=True
+        )
+        expected = observationally_equivalent_processes(base, other)
+    result = benchmark(lambda: observationally_equivalent_processes(base, other))
+    benchmark.extra_info["experiment"] = "E7"
+    benchmark.extra_info["relation"] = relation
+    benchmark.extra_info["answer"] = result
+    assert result == expected

@@ -1,0 +1,55 @@
+"""Experiment E6 (Lemma 3.1 / 3.2): the reduction to generalized partitioning and the naive method.
+
+Measures (a) the cost of building the Lemma 3.1 instance from a process,
+(b) the number of global passes the naive method needs (its O(n) worst case),
+and (c) solver behaviour on a genuinely relational instance (unbounded fanout)
+where the Paige-Tarjan three-way split is exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.families import duplicated_chain
+from repro.generators.random_fsp import random_observable_fsp
+from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
+from repro.partition.naive import naive_refinement_passes
+
+SIZES = [30, 90]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_lemma31_instance_construction(benchmark, size):
+    process = random_observable_fsp(size, transition_density=3.0, seed=size)
+    benchmark(lambda: GeneralizedPartitioningInstance.from_fsp(process))
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["transitions"] = process.num_transitions
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_naive_method_pass_count(benchmark, size):
+    """The naive method needs a number of passes that grows with the chain length."""
+    process = duplicated_chain(size, 2)
+    instance = GeneralizedPartitioningInstance.from_fsp(process)
+    passes = benchmark(lambda: naive_refinement_passes(instance))
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["passes"] = passes
+    benchmark.extra_info["states"] = process.num_states
+    assert passes >= size // 2  # refinement information travels one chain link per pass
+
+
+@pytest.mark.parametrize(
+    "fanout,size", [(2, 40), (6, 40), (12, 40)], ids=["fanout2", "fanout6", "fanout12"]
+)
+def test_unbounded_fanout_instances(benchmark, fanout, size):
+    """Fanout is the parameter separating the Kanellakis-Smolka bound from Paige-Tarjan."""
+    process = random_observable_fsp(
+        size, transition_density=float(fanout), seed=fanout * size
+    )
+    instance = GeneralizedPartitioningInstance.from_fsp(process)
+    result = benchmark(lambda: solve(instance, Solver.PAIGE_TARJAN))
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["fanout"] = instance.fanout
+    benchmark.extra_info["blocks"] = len(result)
+    assert result == solve(instance, Solver.NAIVE)

@@ -1,0 +1,65 @@
+"""Experiments E1-E3 (Fig. 1, Fig. 2, Appendix A): model hierarchy and the equivalence spectrum.
+
+These benchmarks regenerate the descriptive content of the paper: Table I
+(model classes) via classification of the Fig. 1b examples, and the Fig. 2
+separation matrix via the full battery of equivalence checks on the separating
+pairs.  Timings are incidental; the recorded ``extra_info`` carries the
+regenerated table rows that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import classify, hierarchy_table
+from repro.core.paper_figures import fig1b_examples, fig2_failure_pair, fig2_language_pair
+from repro.equivalence.failure import failure_equivalent_processes
+from repro.equivalence.kobs import k_observational_equivalent_processes
+from repro.equivalence.language import language_equivalent_processes
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strongly_equivalent_processes
+
+
+def test_hierarchy_table_regeneration(benchmark):
+    """E1: Appendix A Table I -- the model-class hierarchy."""
+    table = benchmark(hierarchy_table)
+    benchmark.extra_info["experiment"] = "E1"
+    benchmark.extra_info["rows"] = len(table.splitlines()) - 2
+
+
+def test_fig1b_classification(benchmark):
+    """E2: every Fig. 1b example lands in its advertised class."""
+    examples = fig1b_examples()
+
+    def classify_all():
+        return {label: classify(process) for label, process in examples.items()}
+
+    classes = benchmark(classify_all)
+    benchmark.extra_info["experiment"] = "E2"
+    benchmark.extra_info["examples"] = len(classes)
+
+
+@pytest.mark.parametrize(
+    "pair_name,factory",
+    [("language-not-failure", fig2_language_pair), ("failure-not-bisimilar", fig2_failure_pair)],
+)
+def test_fig2_equivalence_matrix(benchmark, pair_name, factory):
+    """E3: the full equivalence matrix for the Fig. 2 separating pairs."""
+    first, second = factory()
+
+    def matrix():
+        return {
+            "approx_1": k_observational_equivalent_processes(first, second, 1),
+            "approx_2": k_observational_equivalent_processes(first, second, 2),
+            "language": language_equivalent_processes(first, second),
+            "failure": failure_equivalent_processes(first, second),
+            "observational": observationally_equivalent_processes(first, second),
+            "strong": strongly_equivalent_processes(first, second),
+        }
+
+    row = benchmark(matrix)
+    benchmark.extra_info["experiment"] = "E3"
+    benchmark.extra_info["pair"] = pair_name
+    benchmark.extra_info.update({key: str(value) for key, value in row.items()})
+    assert row["language"] is True
+    assert row["observational"] is False

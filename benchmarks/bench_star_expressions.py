@@ -1,0 +1,68 @@
+"""Experiment E4 (Definition 2.3.1 / Lemma 2.3.1 / Fig. 3): representative-FSP construction.
+
+Lemma 2.3.1: the representative FSP of a star expression of length ``n`` has
+O(n) states, O(n^2) transitions, and can be built in O(n^2) time.  The
+benchmark measures construction time and records the realised state and
+transition counts against ``n`` for three expression families (random, nested
+alternations, dense starred unions), plus the cost of the CCS equivalence
+decision end to end (Lemma 2.3.1 + Theorem 3.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expressions.ccs_equivalence import ccs_equivalent
+from repro.expressions.semantics import representative_fsp
+from repro.expressions.syntax import length_of
+from repro.generators.expressions import (
+    alternating_expression,
+    random_star_expression,
+    starred_unions,
+)
+
+SIZES = [8, 16, 32, 64]
+
+
+def _families(size: int):
+    return {
+        "random": random_star_expression(size, seed=size),
+        "alternating": alternating_expression(size // 2),
+        "starred-unions": starred_unions(size),
+    }
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("family", ["random", "alternating", "starred-unions"])
+def test_representative_construction(benchmark, size, family):
+    expression = _families(size)[family]
+    process = benchmark(lambda: representative_fsp(expression))
+    n = length_of(expression)
+    benchmark.extra_info["experiment"] = "E4"
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["expression_length"] = n
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["transitions"] = process.num_transitions
+    # Lemma 2.3.1 shape: linear states, at most quadratic transitions
+    assert process.num_states <= 2 * n + 1
+    assert process.num_transitions <= 4 * n * n
+
+
+@pytest.mark.parametrize("size", [8, 16, 32])
+def test_ccs_equivalence_problem(benchmark, size):
+    """Deciding the CCS equivalence problem on a pair of size-n expressions."""
+    left = random_star_expression(size, seed=size)
+    right = random_star_expression(size, seed=size + 1)
+    result = benchmark(lambda: ccs_equivalent(left, right))
+    benchmark.extra_info["experiment"] = "E4"
+    benchmark.extra_info["expression_length"] = length_of(left) + length_of(right)
+    benchmark.extra_info["equivalent"] = result
+
+
+@pytest.mark.parametrize("size", [8, 16, 32])
+def test_ccs_equivalence_reflexive(benchmark, size):
+    """Equivalent pairs (an expression against a renamed copy of itself) as the positive series."""
+    left = random_star_expression(size, seed=size)
+    result = benchmark(lambda: ccs_equivalent(left, left))
+    benchmark.extra_info["experiment"] = "E4"
+    assert result is True

@@ -1,0 +1,51 @@
+"""Experiment E9 (Lemma 4.2 / Fig. 4): universality and its reduction to restricted approx_1.
+
+Measures the exponential cost of the universality check on the
+nondeterministic-counter family, the (polynomial) cost of the Lemma 4.2
+transformation itself, and the end-to-end reduction pipeline
+(normalise -> transform -> compare against the trivial process).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.equivalence.language import is_universal
+from repro.generators.families import nondeterministic_counter
+from repro.reductions.lemma42 import (
+    decide_universality_via_lemma42,
+    lemma42_transform,
+    normalize_for_lemma42,
+)
+
+COUNTER_BITS = [4, 6, 8]
+
+
+@pytest.mark.parametrize("bits", COUNTER_BITS)
+def test_direct_universality_check(benchmark, bits):
+    process = nondeterministic_counter(bits)
+    result = benchmark(lambda: is_universal(process))
+    benchmark.extra_info["experiment"] = "E9"
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["universal"] = result
+
+
+@pytest.mark.parametrize("bits", COUNTER_BITS)
+def test_lemma42_transformation_cost(benchmark, bits):
+    """The reduction itself is polynomial: linear states, one gadget per transition."""
+    normalized = normalize_for_lemma42(nondeterministic_counter(bits))
+    transformed = benchmark(lambda: lemma42_transform(normalized))
+    benchmark.extra_info["experiment"] = "E9"
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["output_states"] = transformed.num_states
+    assert transformed.num_states <= normalized.num_states + normalized.num_transitions + 1
+
+
+@pytest.mark.parametrize("bits", [3, 5])
+def test_end_to_end_reduction(benchmark, bits):
+    process = nondeterministic_counter(bits)
+    expected = is_universal(process)
+    result = benchmark(lambda: decide_universality_via_lemma42(process))
+    benchmark.extra_info["experiment"] = "E9"
+    benchmark.extra_info["bits"] = bits
+    assert result == expected

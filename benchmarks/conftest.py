@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one experiment row of DESIGN.md /
+EXPERIMENTS.md.  The measured quantities (sizes, block counts, reduction
+factors) are attached to the pytest-benchmark records via ``extra_info`` so
+that a single ``pytest benchmarks/ --benchmark-only`` run produces everything
+EXPERIMENTS.md reports.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - depends on the environment
+    sys.path.insert(0, str(_SRC))

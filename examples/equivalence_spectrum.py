@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The equivalence spectrum of the paper on the Fig. 2 separating examples.
+
+The paper's Fig. 2 presents small restricted-observable-unary processes that
+separate the equivalence notions from one another:
+
+* language equivalent (approx_1) but not failure equivalent,
+* failure equivalent but not observationally equivalent,
+* and, via the Theorem 4.1(b) reduction, pairs that agree up to approx_k and
+  disagree at approx_{k+1} for any chosen k.
+
+This example reconstructs those pairs, prints the full equivalence matrix and
+shows how the separation level climbs as the reduction is applied.
+
+Run with:  python examples/equivalence_spectrum.py
+"""
+
+from __future__ import annotations
+
+from repro.core.paper_figures import fig2_failure_pair, fig2_language_pair
+from repro.equivalence.failure import failure_equivalent_processes
+from repro.equivalence.kobs import k_observational_equivalent_processes
+from repro.equivalence.language import language_equivalent_processes
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strongly_equivalent_processes
+from repro.reductions.theorem41b import separating_pair
+
+
+def report(label: str, first, second) -> None:
+    print(f"{label}")
+    print(f"  language (approx_1) : {language_equivalent_processes(first, second)}")
+    print(f"  failure             : {failure_equivalent_processes(first, second)}")
+    print(f"  observational       : {observationally_equivalent_processes(first, second)}")
+    print(f"  strong              : {strongly_equivalent_processes(first, second)}")
+    print()
+
+
+def main() -> None:
+    print("Fig. 2: separating the equivalence notions (r.o.u. processes)")
+    print("=" * 62)
+    report("pair A: same language, different failures", *fig2_language_pair())
+    report("pair B: same failures, not bisimilar", *fig2_failure_pair())
+
+    print("Climbing the approx_k chain with the Theorem 4.1(b) reduction")
+    print("=" * 62)
+    for level in (1, 2, 3):
+        first, second = separating_pair(level)
+        at_level = k_observational_equivalent_processes(first, second, level)
+        above = k_observational_equivalent_processes(first, second, level + 1)
+        print(
+            f"separating_pair({level}):  approx_{level}: {at_level}   "
+            f"approx_{level + 1}: {above}   "
+            f"(sizes: {first.num_states} / {second.num_states} states)"
+        )
+    print()
+    print(
+        "Each application of the reduction p' = a.(p u q), q' = (a.p) u (a.q) pushes the\n"
+        "disagreement one level up the chain -- the executable core of the PSPACE-hardness\n"
+        "proof of Theorem 4.1(b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

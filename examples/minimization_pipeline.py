@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""A state-minimisation pipeline built on partition refinement.
+
+Partition refinement does more than answer yes/no equivalence queries: the
+coarsest stable partition is exactly the state-space quotient, i.e. the
+smallest process with the same behaviour.  This example takes a deliberately
+bloated process (every state duplicated several times, plus unobservable
+chatter), minimises it under strong and under observational equivalence,
+verifies the results, and compares the running time of the three
+generalized-partitioning solvers of Section 3 on the same instance.
+
+Run with:  python examples/minimization_pipeline.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.fsp import TAU, FSPBuilder
+from repro.equivalence.minimize import minimize_observational, minimize_strong, reduction_ratio
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strongly_equivalent_processes
+from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
+from repro.utils import serialization
+
+
+def build_bloated_workflow(copies: int = 4, chatter: int = 3) -> "FSPBuilder":
+    """A request/work/reply cycle where every stage is duplicated and tau-padded."""
+    builder = FSPBuilder(alphabet={"request", "work", "reply"})
+    stages = ["idle", "busy", "done"]
+    actions = {"idle": "request", "busy": "work", "done": "reply"}
+    for index, stage in enumerate(stages):
+        next_stage = stages[(index + 1) % len(stages)]
+        for copy_src in range(copies):
+            # tau chatter inside a stage
+            for step in range(chatter):
+                builder.add_transition(
+                    f"{stage}{copy_src}_t{step}", TAU, f"{stage}{copy_src}_t{step + 1}"
+                )
+                builder.add_transition(f"{stage}{copy_src}_t{step + 1}", TAU, f"{stage}{copy_src}_t0")
+            for copy_dst in range(copies):
+                builder.add_transition(
+                    f"{stage}{copy_src}_t0", actions[stage], f"{next_stage}{copy_dst}_t0"
+                )
+    builder.mark_all_accepting()
+    return builder.build(start="idle0_t0")
+
+
+def main() -> None:
+    bloated = build_bloated_workflow()
+    print(f"bloated process: {bloated.num_states} states, {bloated.num_transitions} transitions")
+
+    strong_min = minimize_strong(bloated)
+    weak_min = minimize_observational(bloated)
+    print(
+        f"strong quotient:        {strong_min.num_states} states "
+        f"({reduction_ratio(bloated, strong_min):.0%} reduction)"
+    )
+    print(
+        f"observational quotient: {weak_min.num_states} states "
+        f"({reduction_ratio(bloated, weak_min):.0%} reduction)"
+    )
+    print(f"strong quotient equivalent to original:        "
+          f"{strongly_equivalent_processes(bloated, strong_min)}")
+    print(f"observational quotient equivalent to original: "
+          f"{observationally_equivalent_processes(bloated, weak_min)}")
+    print()
+
+    print("Solver comparison on the same generalized-partitioning instance")
+    print("----------------------------------------------------------------")
+    instance = GeneralizedPartitioningInstance.from_fsp(bloated, include_tau=True)
+    for method in (Solver.NAIVE, Solver.KANELLAKIS_SMOLKA, Solver.PAIGE_TARJAN):
+        started = time.perf_counter()
+        partition = solve(instance, method)
+        elapsed = (time.perf_counter() - started) * 1000
+        print(f"  {method.value:<18} {len(partition):>4} blocks   {elapsed:8.2f} ms")
+    print()
+
+    document = serialization.dumps(weak_min)
+    print(f"observational quotient serialised to JSON ({len(document)} characters); first lines:")
+    print("\n".join(document.splitlines()[:8]))
+
+
+if __name__ == "__main__":
+    main()

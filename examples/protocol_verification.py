@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Protocol verification with CCS and observational equivalence.
+
+This is the workload the paper's introduction motivates: take a concurrent
+implementation (parallel composition, hidden synchronisation channels), take a
+sequential specification, and check observational equivalence -- tau-moves
+produced by internal hand-shakes must be invisible.
+
+Three systems are verified:
+
+1. a two-place buffer built from two one-place cells chained on a hidden
+   channel, against its sequential specification;
+2. a simplified alternating-bit protocol over lossy channels, against the
+   one-place ``send``/``deliver`` buffer;
+3. a two-worker mutual-exclusion system, for which we check a safety property
+   (never two workers in the critical section) on the compiled state space.
+
+Run with:  python examples/protocol_verification.py
+"""
+
+from __future__ import annotations
+
+from repro.ccs.parser import parse_definitions, parse_process
+from repro.ccs.semantics import compile_to_fsp
+from repro.ccs.stdlib import (
+    alternating_bit_protocol,
+    buffer_implementation_fsp,
+    buffer_specification_fsp,
+    compile_system,
+    mutual_exclusion,
+)
+from repro.equivalence.language import accepted_strings_upto
+from repro.equivalence.minimize import minimize_observational
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strongly_equivalent_processes
+
+
+def _align(first, second):
+    alphabet = first.alphabet | second.alphabet
+    return first.with_alphabet(alphabet), second.with_alphabet(alphabet)
+
+
+def verify_buffer() -> None:
+    print("1. Two-place buffer")
+    print("-------------------")
+    spec, impl = _align(buffer_specification_fsp(), buffer_implementation_fsp())
+    print(f"   specification: {spec.num_states} states, implementation: {impl.num_states} states")
+    print(f"   observationally equivalent: {observationally_equivalent_processes(spec, impl)}")
+    print(f"   strongly equivalent:        {strongly_equivalent_processes(spec, impl)}")
+    print("   (the hidden hand-off shows up as a tau, so only the weak notion accepts)")
+    print()
+
+
+def verify_alternating_bit() -> None:
+    print("2. Alternating-bit protocol over lossy channels")
+    print("-----------------------------------------------")
+    protocol = compile_system(alternating_bit_protocol(lossy=True), max_states=20_000)
+    spec = compile_to_fsp(parse_process("B"), parse_definitions("B := send.deliver!.B"))
+    protocol_aligned, spec_aligned = _align(protocol, spec)
+    minimal = minimize_observational(protocol_aligned)
+    print(f"   protocol state space: {protocol.num_states} states")
+    print(f"   observational quotient: {minimal.num_states} states")
+    print(
+        "   equivalent to send.deliver!.B: "
+        f"{observationally_equivalent_processes(protocol_aligned, spec_aligned)}"
+    )
+    print()
+
+
+def verify_mutual_exclusion() -> None:
+    print("3. Semaphore-based mutual exclusion (2 workers)")
+    print("-----------------------------------------------")
+    system = compile_system(mutual_exclusion(2))
+    print(f"   compiled state space: {system.num_states} states")
+    violations = 0
+    for trace in accepted_strings_upto(system, 8):
+        inside: set[str] = set()
+        for action in trace:
+            if action.startswith("enter"):
+                inside.add(action[-1])
+                if len(inside) > 1:
+                    violations += 1
+            elif action.startswith("exit"):
+                inside.discard(action[-1])
+    print(f"   traces examined up to length 8; mutual-exclusion violations found: {violations}")
+    print()
+
+
+def main() -> None:
+    verify_buffer()
+    verify_alternating_bit()
+    verify_mutual_exclusion()
+
+
+if __name__ == "__main__":
+    main()

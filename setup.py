@@ -1,0 +1,35 @@
+"""Packaging entry point.
+
+The project is a plain setuptools package with a ``src`` layout.  A classic
+``setup.py`` (rather than a PEP 517 build-system declaration) is used so that
+``pip install -e .`` works in fully offline environments that lack the
+``wheel`` package: pip then falls back to the legacy ``setup.py develop``
+code path, which needs nothing beyond the locally installed setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Kanellakis & Smolka: CCS Expressions, Finite State "
+        "Processes, and Three Problems of Equivalence"
+    ),
+    long_description=open("README.md", encoding="utf-8").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    author="Reproduction Authors",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "numpy", "scipy", "networkx"],
+    },
+    classifiers=[
+        "Development Status :: 5 - Production/Stable",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+    ],
+)

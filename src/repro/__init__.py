@@ -1,0 +1,92 @@
+"""repro -- a reproduction of Kanellakis & Smolka's three problems of equivalence.
+
+The library implements, end to end, the theory of *CCS Expressions, Finite
+State Processes, and Three Problems of Equivalence* (Kanellakis & Smolka,
+PODC 1983 / Information and Computation 1990):
+
+* finite state processes and the full model hierarchy of the paper
+  (:mod:`repro.core`);
+* the generalized partitioning problem with the naive, Kanellakis-Smolka and
+  Paige-Tarjan solvers (:mod:`repro.partition`);
+* strong, observational, ``k``-observational, limited, language and failure
+  equivalence, plus Hennessy-Milner distinguishing formulas and quotient
+  minimisation (:mod:`repro.equivalence`);
+* star expressions with their representative-FSP semantics and the CCS
+  equivalence problem (:mod:`repro.expressions`);
+* the hardness reductions of Sections 4 and 5 as executable constructions
+  (:mod:`repro.reductions`);
+* a CCS term calculus compiled to processes, classical automata algorithms,
+  workload generators and serialisation utilities
+  (:mod:`repro.ccs`, :mod:`repro.automata`, :mod:`repro.generators`,
+  :mod:`repro.utils`).
+
+The most common entry points are re-exported here so that::
+
+    from repro import FSP, strongly_equivalent_processes, observationally_equivalent_processes
+
+works without knowing the internal module layout.
+"""
+
+from repro.core.classify import ModelClass, classify
+from repro.core.fsp import ACCEPT, EPSILON, FSP, TAU, FSPBuilder, from_transitions
+from repro.equivalence.failure import failure_equivalent, failure_equivalent_processes, failures_upto
+from repro.equivalence.hml import distinguishing_formula, satisfies
+from repro.equivalence.kobs import (
+    k_limited_equivalent,
+    k_observational_equivalent,
+    k_observational_equivalent_processes,
+)
+from repro.equivalence.language import language_equivalent, language_equivalent_processes
+from repro.equivalence.minimize import minimize_observational, minimize_strong
+from repro.equivalence.observational import (
+    observational_partition,
+    observationally_equivalent,
+    observationally_equivalent_processes,
+)
+from repro.equivalence.strong import (
+    strong_bisimulation_partition,
+    strongly_equivalent,
+    strongly_equivalent_processes,
+)
+from repro.expressions.ccs_equivalence import ccs_equivalent
+from repro.expressions.parser import parse as parse_star_expression
+from repro.expressions.semantics import representative_fsp
+from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACCEPT",
+    "EPSILON",
+    "FSP",
+    "FSPBuilder",
+    "GeneralizedPartitioningInstance",
+    "ModelClass",
+    "Solver",
+    "TAU",
+    "ccs_equivalent",
+    "classify",
+    "distinguishing_formula",
+    "failure_equivalent",
+    "failure_equivalent_processes",
+    "failures_upto",
+    "from_transitions",
+    "k_limited_equivalent",
+    "k_observational_equivalent",
+    "k_observational_equivalent_processes",
+    "language_equivalent",
+    "language_equivalent_processes",
+    "minimize_observational",
+    "minimize_strong",
+    "observational_partition",
+    "observationally_equivalent",
+    "observationally_equivalent_processes",
+    "parse_star_expression",
+    "representative_fsp",
+    "satisfies",
+    "solve",
+    "strong_bisimulation_partition",
+    "strongly_equivalent",
+    "strongly_equivalent_processes",
+    "__version__",
+]

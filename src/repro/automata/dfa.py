@@ -1,0 +1,252 @@
+"""Deterministic finite automata and the subset construction.
+
+The classical counterpart of the paper's equivalences lives here: ``approx_1``
+for standard FSPs is NFA language equivalence (Proposition 2.2.3(b)), which we
+decide by determinisation; and Proposition 2.2.4 reduces every equivalence of
+the paper to DFA equivalence on the deterministic model.
+
+A :class:`DFA` here is always *complete*: a (possibly implicit) dead state
+guarantees that every state has exactly one transition per symbol.  States of
+determinised automata are canonical frozensets of NFA states rendered as
+sorted, comma-joined strings so that they stay hashable and readable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.automata.nfa import NFA
+from repro.core.errors import InvalidProcessError, StateSpaceLimitError
+
+#: Name of the implicit dead (sink) state added when completing a DFA.
+DEAD_STATE = "__dead__"
+
+
+class DFA:
+    """A complete deterministic finite automaton."""
+
+    __slots__ = ("_states", "_start", "_alphabet", "_delta", "_accepting")
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        start: str,
+        alphabet: Iterable[str],
+        delta: Mapping[tuple[str, str], str],
+        accepting: Iterable[str],
+    ) -> None:
+        self._states = frozenset(states)
+        self._start = start
+        self._alphabet = frozenset(alphabet)
+        self._delta = dict(delta)
+        self._accepting = frozenset(accepting)
+        if self._start not in self._states:
+            raise InvalidProcessError(f"start state {start!r} is not a state")
+        if not self._accepting <= self._states:
+            raise InvalidProcessError("accepting states must be states")
+        for state in self._states:
+            for symbol in self._alphabet:
+                target = self._delta.get((state, symbol))
+                if target is None:
+                    raise InvalidProcessError(
+                        f"DFA is not complete: no transition from {state!r} on {symbol!r}"
+                    )
+                if target not in self._states:
+                    raise InvalidProcessError(
+                        f"transition from {state!r} on {symbol!r} leads to unknown state {target!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> frozenset[str]:
+        return self._states
+
+    @property
+    def start(self) -> str:
+        return self._start
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return self._alphabet
+
+    @property
+    def accepting(self) -> frozenset[str]:
+        return self._accepting
+
+    def transition(self, state: str, symbol: str) -> str:
+        """The unique successor of ``state`` on ``symbol``."""
+        return self._delta[(state, symbol)]
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Whether the DFA accepts ``word``."""
+        state = self._start
+        for symbol in word:
+            if symbol not in self._alphabet:
+                return False
+            state = self._delta[(state, symbol)]
+        return state in self._accepting
+
+    def reachable_states(self) -> frozenset[str]:
+        seen = {self._start}
+        frontier = [self._start]
+        while frontier:
+            state = frontier.pop()
+            for symbol in self._alphabet:
+                nxt = self._delta[(state, symbol)]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def restrict_to_reachable(self) -> "DFA":
+        keep = self.reachable_states()
+        return DFA(
+            states=keep,
+            start=self._start,
+            alphabet=self._alphabet,
+            delta={key: value for key, value in self._delta.items() if key[0] in keep},
+            accepting=self._accepting & keep,
+        )
+
+    # ------------------------------------------------------------------
+    # boolean operations
+    # ------------------------------------------------------------------
+    def complement(self) -> "DFA":
+        """The DFA accepting the complement language (same alphabet)."""
+        return DFA(
+            states=self._states,
+            start=self._start,
+            alphabet=self._alphabet,
+            delta=self._delta,
+            accepting=self._states - self._accepting,
+        )
+
+    def product(self, other: "DFA", accept_mode: str = "both") -> "DFA":
+        """The synchronous product of two DFAs over the same alphabet.
+
+        ``accept_mode`` selects the acceptance condition: ``"both"`` for
+        intersection, ``"either"`` for union, ``"difference"`` for
+        ``L(self) \\ L(other)``.
+        """
+        if self._alphabet != other._alphabet:
+            raise InvalidProcessError("product requires identical alphabets")
+        start = f"{self._start}|{other._start}"
+        states: set[str] = set()
+        delta: dict[tuple[str, str], str] = {}
+        accepting: set[str] = set()
+        frontier = [(self._start, other._start)]
+        seen = {(self._start, other._start)}
+        while frontier:
+            left, right = frontier.pop()
+            name = f"{left}|{right}"
+            states.add(name)
+            left_accepts = left in self._accepting
+            right_accepts = right in other._accepting
+            if accept_mode == "both" and left_accepts and right_accepts:
+                accepting.add(name)
+            elif accept_mode == "either" and (left_accepts or right_accepts):
+                accepting.add(name)
+            elif accept_mode == "difference" and left_accepts and not right_accepts:
+                accepting.add(name)
+            for symbol in self._alphabet:
+                next_pair = (self._delta[(left, symbol)], other._delta[(right, symbol)])
+                delta[(name, symbol)] = f"{next_pair[0]}|{next_pair[1]}"
+                if next_pair not in seen:
+                    seen.add(next_pair)
+                    frontier.append(next_pair)
+        return DFA(states=states, start=start, alphabet=self._alphabet, delta=delta, accepting=accepting)
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty."""
+        return not (self.reachable_states() & self._accepting)
+
+    def shortest_accepted_word(self) -> tuple[str, ...] | None:
+        """A shortest accepted word, or None when the language is empty.
+
+        Used to extract concrete distinguishing strings as counterexamples for
+        failed language-equivalence checks.
+        """
+        from collections import deque
+
+        queue: deque[tuple[str, tuple[str, ...]]] = deque([(self._start, ())])
+        seen = {self._start}
+        while queue:
+            state, word = queue.popleft()
+            if state in self._accepting:
+                return word
+            for symbol in sorted(self._alphabet):
+                nxt = self._delta[(state, symbol)]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((nxt, word + (symbol,)))
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={len(self._states)}, alphabet={sorted(self._alphabet)}, "
+            f"accepting={len(self._accepting)})"
+        )
+
+
+def _macro_name(states: frozenset[str]) -> str:
+    return "{" + ",".join(sorted(states)) + "}" if states else DEAD_STATE
+
+
+def determinize(nfa: NFA, max_states: int | None = None) -> DFA:
+    """The subset construction.
+
+    Parameters
+    ----------
+    nfa:
+        The automaton to determinise.
+    max_states:
+        Optional guard on the number of macro-states; the construction is
+        exponential in the worst case (that worst case is exactly what the
+        PSPACE-hardness results of Sections 4 and 5 exploit), so callers that
+        cannot afford a blow-up should set a limit.
+
+    Raises
+    ------
+    StateSpaceLimitError
+        When the subset construction exceeds ``max_states`` macro-states.
+    """
+    start_macro = nfa.epsilon_closure({nfa.start})
+    alphabet = sorted(nfa.alphabet)
+    macro_states: dict[frozenset[str], str] = {start_macro: _macro_name(start_macro)}
+    delta: dict[tuple[str, str], str] = {}
+    accepting: set[str] = set()
+    frontier = [start_macro]
+    dead_needed = False
+    while frontier:
+        macro = frontier.pop()
+        name = macro_states[macro]
+        if macro & nfa.accepting:
+            accepting.add(name)
+        for symbol in alphabet:
+            target = nfa.step(macro, symbol)
+            if not target:
+                dead_needed = True
+                delta[(name, symbol)] = DEAD_STATE
+                continue
+            if target not in macro_states:
+                macro_states[target] = _macro_name(target)
+                frontier.append(target)
+                if max_states is not None and len(macro_states) > max_states:
+                    raise StateSpaceLimitError(
+                        f"subset construction exceeded {max_states} macro-states"
+                    )
+            delta[(name, symbol)] = macro_states[target]
+    states = set(macro_states.values())
+    if dead_needed:
+        states.add(DEAD_STATE)
+        for symbol in alphabet:
+            delta[(DEAD_STATE, symbol)] = DEAD_STATE
+    return DFA(
+        states=states,
+        start=_macro_name(start_macro),
+        alphabet=nfa.alphabet,
+        delta=delta,
+        accepting=accepting,
+    )

@@ -1,0 +1,129 @@
+"""Language equivalence, inclusion and universality for DFAs and NFAs.
+
+These are the classical problems the paper refines:
+
+* DFA equivalence has the almost-linear UNION-FIND algorithm the paper cites
+  from Aho, Hopcroft & Ullman (:func:`dfa_equivalent`, the Hopcroft-Karp
+  procedure);
+* NFA equivalence / universality is PSPACE-complete (Stockmeyer & Meyer 1973)
+  and is decided here by determinisation, which is the source of the
+  exponential worst cases that the paper's lower bounds inherit
+  (:func:`nfa_equivalent`, :func:`nfa_universal`).
+
+Each decision procedure can also report a concrete distinguishing word, which
+the higher-level equivalence checkers surface as counterexamples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.automata.dfa import DFA, determinize
+from repro.automata.nfa import NFA
+from repro.automata.union_find import UnionFind
+from repro.core.errors import InvalidProcessError
+
+
+def dfa_equivalent(first: DFA, second: DFA) -> bool:
+    """Language equivalence of two complete DFAs via the Hopcroft-Karp procedure.
+
+    Starting from the pair of start states, pairs of states reachable by the
+    same word are merged in a union-find structure; the automata are
+    equivalent iff no merged pair mixes an accepting with a non-accepting
+    state.  The running time is O(N alpha(N)) for N total states.
+    """
+    return distinguishing_word(first, second) is None
+
+
+def distinguishing_word(first: DFA, second: DFA) -> tuple[str, ...] | None:
+    """A shortest-ish word accepted by exactly one of the DFAs, or None.
+
+    The word returned is the one labelling the breadth-first path on which the
+    Hopcroft-Karp procedure first discovers a conflicting pair.
+    """
+    if first.alphabet != second.alphabet:
+        raise InvalidProcessError("language comparison requires identical alphabets")
+    alphabet = sorted(first.alphabet)
+    union = UnionFind()
+    left_key = ("L", first.start)
+    right_key = ("R", second.start)
+    union.union(left_key, right_key)
+    queue: deque[tuple[str, str, tuple[str, ...]]] = deque([(first.start, second.start, ())])
+    while queue:
+        left, right, word = queue.popleft()
+        if (left in first.accepting) != (right in second.accepting):
+            return word
+        for symbol in alphabet:
+            next_left = first.transition(left, symbol)
+            next_right = second.transition(right, symbol)
+            if union.union(("L", next_left), ("R", next_right)):
+                queue.append((next_left, next_right, word + (symbol,)))
+    return None
+
+
+def dfa_included(first: DFA, second: DFA) -> bool:
+    """Whether ``L(first)`` is a subset of ``L(second)``."""
+    return first.product(second, accept_mode="difference").is_empty()
+
+
+def nfa_equivalent(first: NFA, second: NFA, max_states: int | None = None) -> bool:
+    """Language equivalence of two NFAs by determinisation.
+
+    This is the PSPACE-complete problem the paper builds on; the subset
+    construction makes it exponential in the worst case, which callers can
+    bound with ``max_states``.
+    """
+    return nfa_distinguishing_word(first, second, max_states=max_states) is None
+
+
+def nfa_distinguishing_word(
+    first: NFA, second: NFA, max_states: int | None = None
+) -> tuple[str, ...] | None:
+    """A word accepted by exactly one of the two NFAs, or None when equivalent."""
+    alphabet = first.alphabet | second.alphabet
+    left = _with_alphabet(first, alphabet)
+    right = _with_alphabet(second, alphabet)
+    return distinguishing_word(
+        determinize(left, max_states=max_states), determinize(right, max_states=max_states)
+    )
+
+
+def nfa_included(first: NFA, second: NFA, max_states: int | None = None) -> bool:
+    """Whether ``L(first)`` is a subset of ``L(second)`` (by determinisation)."""
+    alphabet = first.alphabet | second.alphabet
+    left = determinize(_with_alphabet(first, alphabet), max_states=max_states)
+    right = determinize(_with_alphabet(second, alphabet), max_states=max_states)
+    return dfa_included(left, right)
+
+
+def nfa_universal(nfa: NFA, max_states: int | None = None) -> bool:
+    """Whether ``L(nfa) = Sigma*`` -- the PSPACE-complete universality problem.
+
+    This is the problem Lemma 4.2 and Theorem 5.1 reduce from; deciding it by
+    complementation of the determinised automaton exhibits exactly the
+    exponential behaviour those reductions transfer to ``approx_1`` and to
+    failure equivalence.
+    """
+    dfa = determinize(nfa, max_states=max_states)
+    return dfa.complement().is_empty()
+
+
+def nfa_universality_counterexample(
+    nfa: NFA, max_states: int | None = None
+) -> tuple[str, ...] | None:
+    """A shortest word *not* accepted by the NFA, or None when it is universal."""
+    dfa = determinize(nfa, max_states=max_states)
+    return dfa.complement().shortest_accepted_word()
+
+
+def _with_alphabet(nfa: NFA, alphabet: frozenset[str]) -> NFA:
+    """Extend an NFA's alphabet (without adding transitions)."""
+    if nfa.alphabet == alphabet:
+        return nfa
+    return NFA(
+        states=nfa.states,
+        start=nfa.start,
+        alphabet=alphabet,
+        transitions=nfa.transitions,
+        accepting=nfa.accepting,
+    )

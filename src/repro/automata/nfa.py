@@ -1,0 +1,196 @@
+"""Nondeterministic finite automata (with epsilon moves).
+
+The *standard* model of FSPs is exactly an NFA with empty moves where the
+unobservable action tau plays the role of the empty transition (Section 2.1).
+This module provides the classical automata view used by the language-level
+equivalences (``approx_1`` is NFA equivalence, Proposition 2.2.3(b)) and by
+the universality problems underlying the PSPACE-hardness results.
+
+States are strings; the automaton is immutable.  Conversions to and from
+:class:`~repro.core.fsp.FSP` treat tau as epsilon and the extension variable
+``x`` as acceptance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import ACCEPT, FSP, TAU, FSPBuilder
+
+
+class NFA:
+    """An NFA with optional epsilon transitions (labelled ``None``)."""
+
+    __slots__ = ("_states", "_start", "_alphabet", "_transitions", "_accepting", "_succ")
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        start: str,
+        alphabet: Iterable[str],
+        transitions: Iterable[tuple[str, str | None, str]],
+        accepting: Iterable[str],
+    ) -> None:
+        self._states = frozenset(states)
+        self._start = start
+        self._alphabet = frozenset(alphabet)
+        self._transitions = frozenset(transitions)
+        self._accepting = frozenset(accepting)
+        if self._start not in self._states:
+            raise InvalidProcessError(f"start state {start!r} is not a state")
+        if not self._accepting <= self._states:
+            raise InvalidProcessError("accepting states must be states")
+        succ: dict[tuple[str, str | None], set[str]] = {}
+        for src, symbol, dst in self._transitions:
+            if src not in self._states or dst not in self._states:
+                raise InvalidProcessError(f"transition {(src, symbol, dst)!r} uses unknown states")
+            if symbol is not None and symbol not in self._alphabet:
+                raise InvalidProcessError(f"transition symbol {symbol!r} is not in the alphabet")
+            succ.setdefault((src, symbol), set()).add(dst)
+        self._succ = {key: frozenset(value) for key, value in succ.items()}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> frozenset[str]:
+        return self._states
+
+    @property
+    def start(self) -> str:
+        return self._start
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return self._alphabet
+
+    @property
+    def transitions(self) -> frozenset[tuple[str, str | None, str]]:
+        return self._transitions
+
+    @property
+    def accepting(self) -> frozenset[str]:
+        return self._accepting
+
+    def successors(self, state: str, symbol: str | None) -> frozenset[str]:
+        """Destinations of ``state`` on ``symbol`` (``None`` for epsilon)."""
+        return self._succ.get((state, symbol), frozenset())
+
+    # ------------------------------------------------------------------
+    # language operations
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[str]) -> frozenset[str]:
+        """The epsilon closure of a set of states."""
+        seen = set(states)
+        frontier = list(seen)
+        while frontier:
+            state = frontier.pop()
+            for nxt in self.successors(state, None):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def step(self, states: Iterable[str], symbol: str) -> frozenset[str]:
+        """One macro-step of the subset construction (closure already applied to input)."""
+        moved: set[str] = set()
+        for state in states:
+            moved |= self.successors(state, symbol)
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Whether the automaton accepts ``word`` (a sequence of symbols)."""
+        current = self.epsilon_closure({self._start})
+        for symbol in word:
+            if symbol not in self._alphabet:
+                return False
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self._accepting)
+
+    def language_upto(self, max_length: int) -> frozenset[tuple[str, ...]]:
+        """All accepted words of length at most ``max_length``.
+
+        Useful for exhaustive cross-checks in the test suite; exponential in
+        ``max_length`` so only suitable for small bounds.
+        """
+        alphabet = sorted(self._alphabet)
+        accepted: set[tuple[str, ...]] = set()
+        frontier: list[tuple[tuple[str, ...], frozenset[str]]] = [
+            ((), self.epsilon_closure({self._start}))
+        ]
+        while frontier:
+            word, macro = frontier.pop()
+            if macro & self._accepting:
+                accepted.add(word)
+            if len(word) >= max_length:
+                continue
+            for symbol in alphabet:
+                nxt = self.step(macro, symbol)
+                if nxt:
+                    frontier.append((word + (symbol,), nxt))
+        return frozenset(accepted)
+
+    def reverse(self) -> "NFA":
+        """The reversal automaton (accepts the mirror image of the language)."""
+        new_start = "__rev_start__"
+        transitions: set[tuple[str, str | None, str]] = {
+            (dst, symbol, src) for src, symbol, dst in self._transitions
+        }
+        for accept in self._accepting:
+            transitions.add((new_start, None, accept))
+        return NFA(
+            states=self._states | {new_start},
+            start=new_start,
+            alphabet=self._alphabet,
+            transitions=transitions,
+            accepting={self._start},
+        )
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fsp(cls, fsp: FSP, accepting: Iterable[str] | None = None) -> "NFA":
+        """View a (standard) FSP as an NFA.
+
+        Tau-transitions become epsilon transitions.  By default acceptance
+        follows the standard-model convention (extension contains ``x``); an
+        explicit accepting set can be supplied, which is how the ``approx_k``
+        decision procedure builds the per-block languages ``L_i(p)`` of
+        Theorem 4.1(b).
+        """
+        accept = frozenset(accepting) if accepting is not None else fsp.accepting_states()
+        transitions = [
+            (src, None if action == TAU else action, dst) for src, action, dst in fsp.transitions
+        ]
+        return cls(
+            states=fsp.states,
+            start=fsp.start,
+            alphabet=fsp.alphabet,
+            transitions=transitions,
+            accepting=accept,
+        )
+
+    def to_fsp(self, all_accepting: bool = False) -> FSP:
+        """Convert back to a standard FSP (epsilon becomes tau)."""
+        builder = FSPBuilder(alphabet=self._alphabet)
+        builder.add_state(self._start)
+        for state in self._states:
+            builder.add_state(state)
+        for src, symbol, dst in self._transitions:
+            builder.add_transition(src, TAU if symbol is None else symbol, dst)
+        if all_accepting:
+            builder.mark_all_accepting()
+        else:
+            for state in self._accepting:
+                builder.add_extension(state, ACCEPT)
+        return builder.build(start=self._start)
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(states={len(self._states)}, transitions={len(self._transitions)}, "
+            f"alphabet={sorted(self._alphabet)})"
+        )

@@ -1,0 +1,70 @@
+"""A union-find (disjoint set union) structure.
+
+Section 3 of the paper recalls that language equivalence of deterministic
+finite automata has an ``O(N alpha(N))`` algorithm based on UNION-FIND
+(Aho, Hopcroft & Ullman 1974, Section 4.8) -- the Hopcroft-Karp equivalence
+procedure implemented in :mod:`repro.automata.equivalence` uses this
+structure.  Path compression and union by rank give the inverse-Ackermann
+amortised bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+
+class UnionFind:
+    """Disjoint-set union with path compression and union by rank."""
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Add a singleton set containing ``element`` (no-op when present)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def find(self, element: Hashable) -> Hashable:
+        """The canonical representative of ``element``'s set."""
+        if element not in self._parent:
+            self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, first: Hashable, second: Hashable) -> bool:
+        """Merge the sets of ``first`` and ``second``.
+
+        Returns True when the two were previously in different sets.
+        """
+        root_a, root_b = self.find(first), self.find(second)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        return True
+
+    def connected(self, first: Hashable, second: Hashable) -> bool:
+        """Whether the two elements currently belong to the same set."""
+        return self.find(first) == self.find(second)
+
+    def sets(self) -> list[frozenset[Hashable]]:
+        """All current sets as frozensets."""
+        groups: dict[Hashable, set[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), set()).add(element)
+        return [frozenset(group) for group in groups.values()]

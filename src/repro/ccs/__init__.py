@@ -1,0 +1,35 @@
+"""A small CCS term calculus compiled to finite state processes."""
+
+from repro.ccs.parser import parse_definitions, parse_process
+from repro.ccs.semantics import compile_to_fsp, derivatives
+from repro.ccs.syntax import (
+    Definitions,
+    Nil,
+    Parallel,
+    Prefix,
+    Process,
+    ProcessRef,
+    Relabeling,
+    Restriction,
+    Sum,
+    TAU_ACTION,
+    co,
+)
+
+__all__ = [
+    "Definitions",
+    "Nil",
+    "Parallel",
+    "Prefix",
+    "Process",
+    "ProcessRef",
+    "Relabeling",
+    "Restriction",
+    "Sum",
+    "TAU_ACTION",
+    "co",
+    "compile_to_fsp",
+    "derivatives",
+    "parse_definitions",
+    "parse_process",
+]

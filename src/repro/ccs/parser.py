@@ -1,0 +1,197 @@
+"""Concrete syntax and parser for CCS terms.
+
+Grammar (precedence from loosest to tightest: ``+``, ``|``, prefix, postfix)::
+
+    process    := choice
+    choice     := parallel ('+' parallel)*
+    parallel   := prefixed ('|' prefixed)*
+    prefixed   := action '.' prefixed | postfixed
+    postfixed  := atom (restriction | relabeling)*
+    restriction:= '\\' '{' channel (',' channel)* '}'
+    relabeling := '[' channel '/' channel (',' channel '/' channel)* ']'
+    atom       := '0' | PROCESSNAME | '(' process ')'
+    action     := 'tau' | channel | channel '!'
+    channel    := lower-case identifier
+    PROCESSNAME:= upper-case identifier
+
+Examples
+--------
+>>> from repro.ccs.parser import parse_process
+>>> str(parse_process("a.b!.0 + tau.0"))
+'(a.b!.0 + tau.0)'
+>>> str(parse_process("(a.0 | a!.0) \\\\ {a}"))
+'((a.0 | a!.0) \\\\ {a})'
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import ExpressionError
+from repro.ccs.syntax import (
+    Definitions,
+    Nil,
+    Parallel,
+    Prefix,
+    Process,
+    ProcessRef,
+    Relabeling,
+    Restriction,
+    Sum,
+    TAU_ACTION,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<nil>0)|(?P<tau>tau\b)|(?P<upper>[A-Z][A-Za-z0-9_]*)"
+    r"|(?P<lower>[a-z][A-Za-z0-9_]*!?)|(?P<op>[().+|\\\[\]{},/]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ExpressionError(f"unexpected character in CCS term at {position}: {remainder[0]!r}")
+        position = match.end()
+        for kind in ("nil", "tau", "upper", "lower", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind if kind != "op" else value, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(f"unexpected end of CCS term in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> str:
+        token = self._advance()
+        if token[0] != kind:
+            raise ExpressionError(f"expected {kind!r} but found {token[1]!r} in {self._source!r}")
+        return token[1]
+
+    def parse(self) -> Process:
+        process = self._choice()
+        if self._peek() is not None:
+            raise ExpressionError(f"unexpected token {self._peek()[1]!r} in {self._source!r}")  # type: ignore[index]
+        return process
+
+    def _choice(self) -> Process:
+        node = self._parallel()
+        while self._peek() is not None and self._peek()[0] == "+":  # type: ignore[index]
+            self._advance()
+            node = Sum(node, self._parallel())
+        return node
+
+    def _parallel(self) -> Process:
+        node = self._prefixed()
+        while self._peek() is not None and self._peek()[0] == "|":  # type: ignore[index]
+            self._advance()
+            node = Parallel(node, self._prefixed())
+        return node
+
+    def _prefixed(self) -> Process:
+        token = self._peek()
+        if token is not None and token[0] in ("lower", "tau"):
+            following = self._tokens[self._index + 1] if self._index + 1 < len(self._tokens) else None
+            if following is not None and following[0] == ".":
+                action_token = self._advance()
+                self._expect(".")
+                continuation = self._prefixed()
+                action = TAU_ACTION if action_token[0] == "tau" else action_token[1]
+                return Prefix(action, continuation)
+        return self._postfixed()
+
+    def _postfixed(self) -> Process:
+        node = self._atom()
+        while True:
+            token = self._peek()
+            if token is None:
+                return node
+            if token[0] == "\\":
+                self._advance()
+                self._expect("{")
+                channels = {self._expect("lower")}
+                while self._peek() is not None and self._peek()[0] == ",":  # type: ignore[index]
+                    self._advance()
+                    channels.add(self._expect("lower"))
+                self._expect("}")
+                node = Restriction(node, frozenset(channels))
+            elif token[0] == "[":
+                self._advance()
+                mapping: list[tuple[str, str]] = []
+                new = self._expect("lower")
+                self._expect("/")
+                old = self._expect("lower")
+                mapping.append((old, new))
+                while self._peek() is not None and self._peek()[0] == ",":  # type: ignore[index]
+                    self._advance()
+                    new = self._expect("lower")
+                    self._expect("/")
+                    old = self._expect("lower")
+                    mapping.append((old, new))
+                self._expect("]")
+                node = Relabeling(node, tuple(mapping))
+            else:
+                return node
+
+    def _atom(self) -> Process:
+        kind, value = self._advance()
+        if kind == "nil":
+            return Nil()
+        if kind == "upper":
+            return ProcessRef(value)
+        if kind == "tau":
+            # a bare `tau` (without '.') abbreviates tau.0
+            return Prefix(TAU_ACTION, Nil())
+        if kind == "lower":
+            # a bare action abbreviates action.0
+            return Prefix(value, Nil())
+        if kind == "(":
+            node = self._choice()
+            self._expect(")")
+            return node
+        raise ExpressionError(f"unexpected token {value!r} in {self._source!r}")
+
+
+def parse_process(text: str) -> Process:
+    """Parse the concrete CCS syntax into a :class:`~repro.ccs.syntax.Process`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExpressionError("empty CCS term")
+    return _Parser(tokens, text).parse()
+
+
+def parse_definitions(text: str) -> Definitions:
+    """Parse a block of definitions of the form ``Name := process`` (one per line).
+
+    Blank lines and lines starting with ``#`` are ignored.
+    """
+    definitions = Definitions()
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if ":=" not in line:
+            raise ExpressionError(f"definition line must contain ':=': {line!r}")
+        name, body = (part.strip() for part in line.split(":=", 1))
+        definitions.define(name, parse_process(body))
+    return definitions

@@ -1,0 +1,181 @@
+"""Operational semantics of CCS terms and compilation to finite state processes.
+
+The structural operational semantics (SOS) rules of CCS (Milner 1980):
+
+* ``a.P --a--> P``
+* ``P + Q --a--> P'``        whenever ``P --a--> P'`` (and symmetrically)
+* ``P | Q --a--> P' | Q``    whenever ``P --a--> P'`` (and symmetrically)
+* ``P | Q --tau--> P' | Q'`` whenever ``P --a--> P'`` and ``Q --a!--> Q'``
+* ``P \\ L --a--> P' \\ L``  whenever ``P --a--> P'`` and ``channel(a)`` not in ``L``
+* ``P[f]  --f(a)--> P'[f]``  whenever ``P --a--> P'``
+* ``X --a--> P'``            whenever ``X := P`` and ``P --a--> P'``
+
+:func:`derivatives` computes the one-step moves of a term;
+:func:`compile_to_fsp` explores the reachable terms exhaustively (with a
+configurable state bound, because recursion plus parallel composition can
+produce arbitrarily large -- though for guarded, finite-control terms always
+finite -- state spaces) and emits an :class:`~repro.core.fsp.FSP` whose states
+are the canonical strings of the reachable terms.  The resulting process is a
+*restricted* FSP (every state accepting), matching the convention that CCS
+processes carry no acceptance information.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.errors import ExpressionError, StateSpaceLimitError
+from repro.core.fsp import ACCEPT, FSP, TAU
+from repro.ccs.syntax import (
+    CO_SUFFIX,
+    Definitions,
+    Nil,
+    Parallel,
+    Prefix,
+    Process,
+    ProcessRef,
+    Relabeling,
+    Restriction,
+    Sum,
+    TAU_ACTION,
+    channel_of,
+    co,
+)
+
+
+def derivatives(
+    process: Process,
+    definitions: Definitions | None = None,
+    _unfolding: frozenset[str] = frozenset(),
+) -> frozenset[tuple[str, Process]]:
+    """The one-step moves ``{(action, successor)}`` of a CCS term.
+
+    ``action`` is a channel name, a co-action (``a!``) or :data:`TAU_ACTION`.
+    Unguarded recursion (a process name reachable from its own definition
+    without passing a prefix) is rejected because it has no finite-state
+    reading.
+    """
+    definitions = definitions if definitions is not None else Definitions()
+    if isinstance(process, Nil):
+        return frozenset()
+    if isinstance(process, Prefix):
+        return frozenset({(process.action, process.continuation)})
+    if isinstance(process, Sum):
+        return derivatives(process.left, definitions, _unfolding) | derivatives(
+            process.right, definitions, _unfolding
+        )
+    if isinstance(process, Parallel):
+        moves: set[tuple[str, Process]] = set()
+        left_moves = derivatives(process.left, definitions, _unfolding)
+        right_moves = derivatives(process.right, definitions, _unfolding)
+        for action, successor in left_moves:
+            moves.add((action, Parallel(successor, process.right)))
+        for action, successor in right_moves:
+            moves.add((action, Parallel(process.left, successor)))
+        for left_action, left_successor in left_moves:
+            if left_action == TAU_ACTION:
+                continue
+            partner = co(left_action)
+            for right_action, right_successor in right_moves:
+                if right_action == partner:
+                    moves.add((TAU_ACTION, Parallel(left_successor, right_successor)))
+        return frozenset(moves)
+    if isinstance(process, Restriction):
+        moves = set()
+        for action, successor in derivatives(process.process, definitions, _unfolding):
+            if action != TAU_ACTION and channel_of(action) in process.channels:
+                continue
+            moves.add((action, Restriction(successor, process.channels)))
+        return frozenset(moves)
+    if isinstance(process, Relabeling):
+        mapping = process.as_dict()
+
+        def rename(action: str) -> str:
+            if action == TAU_ACTION:
+                return action
+            base = channel_of(action)
+            renamed = mapping.get(base, base)
+            return renamed + CO_SUFFIX if action.endswith(CO_SUFFIX) else renamed
+
+        return frozenset(
+            (rename(action), Relabeling(successor, process.mapping))
+            for action, successor in derivatives(process.process, definitions, _unfolding)
+        )
+    if isinstance(process, ProcessRef):
+        if process.name in _unfolding:
+            raise ExpressionError(
+                f"unguarded recursion through process name {process.name!r}"
+            )
+        return derivatives(
+            definitions.lookup(process.name), definitions, _unfolding | {process.name}
+        )
+    raise ExpressionError(f"not a CCS process: {process!r}")
+
+
+def compile_to_fsp(
+    process: Process,
+    definitions: Definitions | None = None,
+    max_states: int = 10_000,
+    alphabet: frozenset[str] | set[str] | None = None,
+) -> FSP:
+    """Compile a CCS term into a finite state process.
+
+    Parameters
+    ----------
+    process:
+        The root term.
+    definitions:
+        Named process definitions used by :class:`~repro.ccs.syntax.ProcessRef`
+        nodes.
+    max_states:
+        Bound on the number of distinct reachable terms; exceeded bounds raise
+        :class:`~repro.core.errors.StateSpaceLimitError` rather than silently
+        truncating the semantics.
+    alphabet:
+        Optional ambient alphabet; defaults to the actions (and co-actions)
+        actually occurring on reachable transitions.
+
+    Returns
+    -------
+    FSP
+        A restricted FSP (every state accepting) whose transitions follow the
+        SOS rules; synchronisations appear as tau-transitions.
+    """
+    definitions = definitions if definitions is not None else Definitions()
+    start_name = str(process)
+    names: dict[Process, str] = {process: start_name}
+    transitions: set[tuple[str, str, str]] = set()
+    used_actions: set[str] = set()
+    queue: deque[Process] = deque([process])
+    while queue:
+        current = queue.popleft()
+        current_name = names[current]
+        for action, successor in sorted(
+            derivatives(current, definitions), key=lambda move: (move[0], str(move[1]))
+        ):
+            if successor not in names:
+                if len(names) >= max_states:
+                    raise StateSpaceLimitError(
+                        f"CCS state-space exploration exceeded {max_states} states"
+                    )
+                names[successor] = str(successor)
+                queue.append(successor)
+            label = TAU if action == TAU_ACTION else action
+            if label != TAU:
+                used_actions.add(label)
+            transitions.add((current_name, label, names[successor]))
+    sigma = set(alphabet) if alphabet is not None else used_actions
+    sigma |= used_actions
+    return FSP(
+        states=set(names.values()),
+        start=start_name,
+        alphabet=sigma,
+        transitions=transitions,
+        variables=[ACCEPT],
+        extensions=[(name, ACCEPT) for name in names.values()],
+    )
+
+
+def observable_alphabet(fsp: FSP) -> frozenset[str]:
+    """The observable actions actually used by a compiled CCS process."""
+    return frozenset(action for _src, action, _dst in fsp.transitions if action != TAU)

@@ -1,0 +1,178 @@
+"""A small standard library of CCS systems used by examples, tests and benchmarks.
+
+Each function returns a ``(process, definitions)`` pair (or directly a
+compiled FSP) modelling one of the classical finite-state systems that the
+process-algebra literature -- including the intro of the paper -- uses as
+motivation: vending machines, buffers built from cells, semaphore-based mutual
+exclusion, and a simplified alternating-bit protocol.  They are deliberately
+small (tens to a few hundred states when compiled) so that every equivalence
+in the library can be run on them interactively.
+"""
+
+from __future__ import annotations
+
+from repro.ccs.parser import parse_definitions, parse_process
+from repro.ccs.semantics import compile_to_fsp
+from repro.ccs.syntax import Definitions, Process
+from repro.core.fsp import FSP
+
+
+# ----------------------------------------------------------------------
+# vending machines (the canonical "observationally different" example)
+# ----------------------------------------------------------------------
+def vending_machine() -> tuple[Process, Definitions]:
+    """The deterministic vending machine: coin, then a choice of tea or coffee."""
+    definitions = parse_definitions(
+        """
+        VM := coin.(tea!.VM + coffee!.VM)
+        """
+    )
+    return parse_process("VM"), definitions
+
+
+def broken_vending_machine() -> tuple[Process, Definitions]:
+    """The nondeterministic machine that commits to tea or coffee when the coin drops.
+
+    Language equivalent to :func:`vending_machine` but not observationally
+    (nor failure) equivalent: after ``coin`` it may refuse ``tea``.
+    """
+    definitions = parse_definitions(
+        """
+        BVM := coin.tea!.BVM + coin.coffee!.BVM
+        """
+    )
+    return parse_process("BVM"), definitions
+
+
+# ----------------------------------------------------------------------
+# buffers
+# ----------------------------------------------------------------------
+def one_place_buffer(input_channel: str = "in", output_channel: str = "out") -> tuple[Process, Definitions]:
+    """A one-place buffer ``B := in.out!.B``."""
+    definitions = Definitions()
+    definitions.define("B", parse_process(f"{input_channel}.{output_channel}!.B"))
+    return parse_process("B"), definitions
+
+
+def two_place_buffer_spec() -> tuple[Process, Definitions]:
+    """The specification of a two-place buffer as a single sequential process."""
+    definitions = parse_definitions(
+        """
+        EMPTY := in.ONE
+        ONE := in.TWO + out!.EMPTY
+        TWO := out!.ONE
+        """
+    )
+    return parse_process("EMPTY"), definitions
+
+
+def two_place_buffer_impl() -> tuple[Process, Definitions]:
+    """A two-place buffer implemented as two one-place buffers chained on a hidden channel.
+
+    The internal hand-off channel ``mid`` is restricted, so the hand-off shows
+    up as a tau-move: the implementation is observationally equivalent -- but
+    not strongly equivalent -- to :func:`two_place_buffer_spec`.
+    """
+    definitions = parse_definitions(
+        """
+        LEFT := in.mid!.LEFT
+        RIGHT := mid.out!.RIGHT
+        """
+    )
+    return parse_process("(LEFT | RIGHT) \\ {mid}"), definitions
+
+
+# ----------------------------------------------------------------------
+# mutual exclusion with a semaphore
+# ----------------------------------------------------------------------
+def mutual_exclusion(workers: int = 2) -> tuple[Process, Definitions]:
+    """``workers`` processes competing for a binary semaphore.
+
+    Each worker performs ``enter_i`` / ``exit_i`` around its critical section,
+    acquiring and releasing the semaphore on hidden channels.  The compiled
+    system never allows two workers inside the critical section at once, which
+    the examples verify by checking observational equivalence against a
+    sequential specification for the two-worker case.
+    """
+    if workers < 1:
+        raise ValueError("at least one worker is required")
+    definitions = parse_definitions(
+        """
+        SEM := p.v.SEM
+        """
+    )
+    worker_terms = []
+    for index in range(1, workers + 1):
+        name = f"W{index}"
+        definitions.define(
+            name, parse_process(f"p!.enter{index}.exit{index}.v!.{name}")
+        )
+        worker_terms.append(name)
+    system = "(" + " | ".join(["SEM", *worker_terms]) + ") \\ {p, v}"
+    return parse_process(system), definitions
+
+
+# ----------------------------------------------------------------------
+# a simplified alternating-bit protocol
+# ----------------------------------------------------------------------
+def alternating_bit_protocol(lossy: bool = True) -> tuple[Process, Definitions]:
+    """A simplified alternating-bit protocol over (possibly lossy) channels.
+
+    The sender transmits ``msg0``/``msg1`` alternately, retransmitting while it
+    waits for the matching acknowledgement; the message and acknowledgement
+    channels may each lose a frame (a tau-move back to the ready state) when
+    ``lossy`` is true.  The receiver delivers each fresh message exactly once
+    (re-acknowledging duplicates without delivering), so the observable
+    behaviour is an alternation of ``send`` and ``deliver!``.  The
+    protocol-verification example checks the intended correctness statement --
+    observational equivalence with the one-place ``send``/``deliver!`` buffer
+    -- on the compiled system.
+    """
+    loss_msg = " + tau.CH" if lossy else ""
+    loss_ack = " + tau.ACH" if lossy else ""
+    # Retransmission is only needed (and only safe) when frames can be lost:
+    # with reliable rendezvous channels a proactive duplicate can fill the
+    # one-place channel and deadlock the ring of committed outputs.
+    retransmit0 = " + tau.msg0!.WAIT0" if lossy else ""
+    retransmit1 = " + tau.msg1!.WAIT1" if lossy else ""
+    definitions = parse_definitions(
+        f"""
+        SENDER0 := send.msg0!.WAIT0
+        WAIT0 := ack0.SENDER1 + ack1.WAIT0{retransmit0}
+        SENDER1 := send.msg1!.WAIT1
+        WAIT1 := ack1.SENDER0 + ack0.WAIT1{retransmit1}
+        CH := msg0.(deliver0!.CH{loss_msg}) + msg1.(deliver1!.CH{loss_msg})
+        ACH := rack0.(ack0!.ACH{loss_ack}) + rack1.(ack1!.ACH{loss_ack})
+        RECEIVER0 := deliver0.deliver!.rack0!.RECEIVER1 + deliver1.rack1!.RECEIVER0
+        RECEIVER1 := deliver1.deliver!.rack1!.RECEIVER0 + deliver0.rack0!.RECEIVER1
+        """
+    )
+    system = (
+        "(SENDER0 | CH | ACH | RECEIVER0)"
+        " \\ {msg0, msg1, ack0, ack1, rack0, rack1, deliver0, deliver1}"
+    )
+    return parse_process(system), definitions
+
+
+# ----------------------------------------------------------------------
+# compiled convenience wrappers
+# ----------------------------------------------------------------------
+def compile_system(pair: tuple[Process, Definitions], max_states: int = 10_000) -> FSP:
+    """Compile a ``(process, definitions)`` pair into an FSP."""
+    process, definitions = pair
+    return compile_to_fsp(process, definitions, max_states=max_states)
+
+
+def buffer_specification_fsp() -> FSP:
+    """The compiled two-place buffer specification."""
+    return compile_system(two_place_buffer_spec())
+
+
+def buffer_implementation_fsp() -> FSP:
+    """The compiled two-place buffer implementation (two chained cells)."""
+    return compile_system(two_place_buffer_impl())
+
+
+def vending_machines_fsp() -> tuple[FSP, FSP]:
+    """The compiled deterministic and committing vending machines."""
+    return compile_system(vending_machine()), compile_system(broken_vending_machine())

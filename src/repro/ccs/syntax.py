@@ -1,0 +1,213 @@
+"""Abstract syntax of a core CCS term language (Milner 1980).
+
+Section 6 of the paper points towards *extended star expressions*: star
+expressions enriched with the genuinely concurrent operators of CCS, above all
+parallel composition.  The companion paper (Kanellakis & Smolka 1988) studies
+networks of communicating processes built this way.  To make that layer of the
+theory executable -- and to give the examples realistic workloads -- the
+library includes a small CCS term calculus:
+
+``0``                      the inert process
+``a.P``                    action prefix (``a`` an action, a co-action ``a!``
+                           or the unobservable ``tau``)
+``P + Q``                  nondeterministic choice
+``P | Q``                  parallel composition (interleaving plus
+                           synchronisation of complementary actions into tau)
+``P \\ {a, ...}``          restriction (the listed channels and their
+                           co-actions become internal: they may only occur as
+                           synchronisations)
+``P [b/a, ...]``           relabelling
+``X``                      a reference to a named process, bound in a
+                           :class:`Definitions` environment (guarded recursion)
+
+Terms are immutable dataclasses; :mod:`repro.ccs.semantics` compiles a term
+(plus its environment) into a finite state process by exhaustive exploration
+of the SOS rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.errors import ExpressionError
+
+#: The unobservable action of CCS, shared with :mod:`repro.core.fsp`.
+TAU_ACTION = "tau"
+#: Suffix marking a co-action (the "bar" of CCS): the co-action of ``a`` is ``a!``.
+CO_SUFFIX = "!"
+
+
+def co(action: str) -> str:
+    """The complementary action: ``co("a") == "a!"`` and ``co("a!") == "a"``."""
+    if action == TAU_ACTION:
+        raise ExpressionError("tau has no complement")
+    return action[:-1] if action.endswith(CO_SUFFIX) else action + CO_SUFFIX
+
+
+def channel_of(action: str) -> str:
+    """The channel name of an action or co-action (``channel_of("a!") == "a"``)."""
+    return action[:-1] if action.endswith(CO_SUFFIX) else action
+
+
+def is_co_action(action: str) -> bool:
+    """Whether the action is a co-action (an output in the usual reading)."""
+    return action.endswith(CO_SUFFIX)
+
+
+def validate_action(action: str) -> str:
+    """Validate an action label (a channel, a co-action or ``tau``)."""
+    base = channel_of(action)
+    if not base or not all(ch.isalnum() or ch == "_" for ch in base):
+        raise ExpressionError(f"invalid CCS action {action!r}")
+    return action
+
+
+class _Base:
+    """Operator sugar shared by CCS term nodes."""
+
+    def __add__(self, other: "Process") -> "Sum":
+        return Sum(self, other)  # type: ignore[arg-type]
+
+    def __or__(self, other: "Process") -> "Parallel":
+        return Parallel(self, other)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Nil(_Base):
+    """The inert process ``0``."""
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True)
+class Prefix(_Base):
+    """Action prefix ``action . continuation``."""
+
+    action: str
+    continuation: "Process"
+
+    def __post_init__(self) -> None:
+        if self.action != TAU_ACTION:
+            validate_action(self.action)
+
+    def __str__(self) -> str:
+        return f"{self.action}.{self.continuation}"
+
+
+@dataclass(frozen=True)
+class Sum(_Base):
+    """Nondeterministic choice ``left + right``."""
+
+    left: "Process"
+    right: "Process"
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class Parallel(_Base):
+    """Parallel composition ``left | right``."""
+
+    left: "Process"
+    right: "Process"
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Restriction(_Base):
+    """Restriction ``process \\ channels``: the channels become internal."""
+
+    process: "Process"
+    channels: frozenset[str]
+
+    def __str__(self) -> str:
+        inner = ", ".join(sorted(self.channels))
+        return f"({self.process} \\ {{{inner}}})"
+
+
+@dataclass(frozen=True)
+class Relabeling(_Base):
+    """Relabelling ``process [new/old, ...]`` applied to channels (and their co-actions)."""
+
+    process: "Process"
+    mapping: tuple[tuple[str, str], ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{new}/{old}" for old, new in self.mapping)
+        return f"({self.process}[{inner}])"
+
+    def as_dict(self) -> dict[str, str]:
+        return dict(self.mapping)
+
+
+@dataclass(frozen=True)
+class ProcessRef(_Base):
+    """A reference to a named process bound in a :class:`Definitions` environment."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isupper():
+            raise ExpressionError(
+                f"process names must start with an upper-case letter: {self.name!r}"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Process = Union[Nil, Prefix, Sum, Parallel, Restriction, Relabeling, ProcessRef]
+
+
+@dataclass
+class Definitions:
+    """An environment of named process definitions (``X := P``)."""
+
+    bindings: dict[str, Process] = field(default_factory=dict)
+
+    def define(self, name: str, process: Process) -> "Definitions":
+        """Bind ``name`` to ``process`` (names must start with an upper-case letter)."""
+        ProcessRef(name)  # validation side effect
+        self.bindings[name] = process
+        return self
+
+    def lookup(self, name: str) -> Process:
+        if name not in self.bindings:
+            raise ExpressionError(f"undefined process name {name!r}")
+        return self.bindings[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.bindings
+
+
+def actions_of(process: Process, definitions: Definitions | None = None, _seen: frozenset[str] = frozenset()) -> frozenset[str]:
+    """All channel names syntactically occurring in the term (co-actions folded to channels)."""
+    if isinstance(process, Nil):
+        return frozenset()
+    if isinstance(process, Prefix):
+        rest = actions_of(process.continuation, definitions, _seen)
+        if process.action == TAU_ACTION:
+            return rest
+        return rest | {channel_of(process.action)}
+    if isinstance(process, (Sum, Parallel)):
+        return actions_of(process.left, definitions, _seen) | actions_of(
+            process.right, definitions, _seen
+        )
+    if isinstance(process, Restriction):
+        return actions_of(process.process, definitions, _seen) | process.channels
+    if isinstance(process, Relabeling):
+        inner = actions_of(process.process, definitions, _seen)
+        mapping = process.as_dict()
+        return frozenset(mapping.get(channel, channel) for channel in inner) | frozenset(
+            mapping.values()
+        )
+    if isinstance(process, ProcessRef):
+        if definitions is None or process.name in _seen or process.name not in definitions:
+            return frozenset()
+        return actions_of(definitions.lookup(process.name), definitions, _seen | {process.name})
+    raise ExpressionError(f"not a CCS process: {process!r}")

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI exposes the day-to-day operations of the library on serialised
+processes (JSON via :mod:`repro.utils.serialization` or Aldebaran ``.aut``
+via :mod:`repro.utils.aut_format`, selected by file extension):
+
+``classify``      print the model classes of a process (Fig. 1a hierarchy)
+``check``         decide an equivalence between two processes' start states
+``minimize``      write the strong or observational quotient of a process
+``convert``       convert between JSON, ``.aut`` and DOT
+``expr``          decide the CCS equivalence problem for two star expressions
+``ccs``           compile a CCS term (with optional definitions file) to a process
+
+Every command prints a human-readable verdict and uses the exit status to
+report boolean answers (0 = equivalent / success, 1 = not equivalent,
+2 = usage or input error), so the tool can be scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.ccs.parser import parse_definitions, parse_process
+from repro.ccs.semantics import compile_to_fsp
+from repro.core.classify import classify
+from repro.core.errors import ReproError
+from repro.core.fsp import FSP
+from repro.equivalence.failure import failure_equivalent_processes
+from repro.equivalence.kobs import k_observational_equivalent_processes
+from repro.equivalence.language import language_equivalent_processes
+from repro.equivalence.minimize import minimize_observational, minimize_strong
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strongly_equivalent_processes
+from repro.expressions.ccs_equivalence import (
+    ccs_equivalent,
+    failure_ccs_equivalent,
+    language_ccs_equivalent,
+    observationally_ccs_equivalent,
+)
+from repro.utils import aut_format, dot, serialization
+
+#: Exit code used for "the answer is: not equivalent".
+EXIT_INEQUIVALENT = 1
+#: Exit code used for malformed input or usage errors.
+EXIT_ERROR = 2
+
+
+def load_process(path: str | Path) -> FSP:
+    """Load a process from a ``.json`` or ``.aut`` file (by extension)."""
+    path = Path(path)
+    if path.suffix == ".aut":
+        return aut_format.load(path, all_accepting=True)
+    return serialization.load(path)
+
+
+def save_process(process: FSP, path: str | Path) -> None:
+    """Write a process to ``.json``, ``.aut`` or ``.dot`` (by extension)."""
+    path = Path(path)
+    if path.suffix == ".aut":
+        aut_format.dump(process, path, accepting_label="ACCEPTING")
+    elif path.suffix == ".dot":
+        dot.write_dot(process, path)
+    else:
+        serialization.dump(process, path)
+
+
+def _align(first: FSP, second: FSP) -> tuple[FSP, FSP]:
+    alphabet = first.alphabet | second.alphabet
+    return first.with_alphabet(alphabet), second.with_alphabet(alphabet)
+
+
+_PROCESS_CHECKS = {
+    "strong": strongly_equivalent_processes,
+    "observational": observationally_equivalent_processes,
+    "language": language_equivalent_processes,
+    "failure": failure_equivalent_processes,
+}
+
+_EXPRESSION_CHECKS = {
+    "strong": ccs_equivalent,
+    "observational": observationally_ccs_equivalent,
+    "language": language_ccs_equivalent,
+    "failure": failure_ccs_equivalent,
+}
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    process = load_process(args.process)
+    classes = sorted(str(model) for model in classify(process))
+    print(f"{args.process}: {process.num_states} states, {process.num_transitions} transitions")
+    for name in classes:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    first, second = _align(load_process(args.first), load_process(args.second))
+    if args.notion == "k-observational":
+        answer = k_observational_equivalent_processes(first, second, args.k)
+        label = f"approx_{args.k}"
+    else:
+        answer = _PROCESS_CHECKS[args.notion](first, second)
+        label = args.notion
+    verdict = "equivalent" if answer else "NOT equivalent"
+    print(f"{args.first} and {args.second} are {verdict} under {label} equivalence")
+    return 0 if answer else EXIT_INEQUIVALENT
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    process = load_process(args.process)
+    minimiser = minimize_strong if args.notion == "strong" else minimize_observational
+    minimal = minimiser(process)
+    save_process(minimal, args.output)
+    print(
+        f"minimised {args.process}: {process.num_states} -> {minimal.num_states} states "
+        f"({args.notion} equivalence); written to {args.output}"
+    )
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    process = load_process(args.process)
+    save_process(process, args.output)
+    print(f"converted {args.process} -> {args.output}")
+    return 0
+
+
+def _cmd_expr(args: argparse.Namespace) -> int:
+    answer = _EXPRESSION_CHECKS[args.notion](args.first, args.second)
+    verdict = "equivalent" if answer else "NOT equivalent"
+    print(f"{args.first!r} and {args.second!r} are {verdict} under {args.notion} semantics")
+    return 0 if answer else EXIT_INEQUIVALENT
+
+
+def _cmd_ccs(args: argparse.Namespace) -> int:
+    definitions = (
+        parse_definitions(Path(args.definitions).read_text(encoding="utf-8"))
+        if args.definitions
+        else None
+    )
+    process = compile_to_fsp(parse_process(args.term), definitions, max_states=args.max_states)
+    print(
+        f"compiled {args.term!r}: {process.num_states} states, "
+        f"{process.num_transitions} transitions"
+    )
+    if args.output:
+        save_process(process, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Equivalence checking for finite state processes (Kanellakis & Smolka).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify_cmd = commands.add_parser("classify", help="print the model classes of a process")
+    classify_cmd.add_argument("process", help="process file (.json or .aut)")
+    classify_cmd.set_defaults(handler=_cmd_classify)
+
+    check_cmd = commands.add_parser("check", help="decide an equivalence between two processes")
+    check_cmd.add_argument("first")
+    check_cmd.add_argument("second")
+    check_cmd.add_argument(
+        "--notion",
+        choices=[*sorted(_PROCESS_CHECKS), "k-observational"],
+        default="observational",
+    )
+    check_cmd.add_argument("--k", type=int, default=1, help="level for k-observational")
+    check_cmd.set_defaults(handler=_cmd_check)
+
+    minimize_cmd = commands.add_parser("minimize", help="write the quotient of a process")
+    minimize_cmd.add_argument("process")
+    minimize_cmd.add_argument("output")
+    minimize_cmd.add_argument(
+        "--notion", choices=["strong", "observational"], default="observational"
+    )
+    minimize_cmd.set_defaults(handler=_cmd_minimize)
+
+    convert_cmd = commands.add_parser("convert", help="convert between .json, .aut and .dot")
+    convert_cmd.add_argument("process")
+    convert_cmd.add_argument("output")
+    convert_cmd.set_defaults(handler=_cmd_convert)
+
+    expr_cmd = commands.add_parser("expr", help="decide the CCS equivalence problem for star expressions")
+    expr_cmd.add_argument("first")
+    expr_cmd.add_argument("second")
+    expr_cmd.add_argument(
+        "--notion", choices=sorted(_EXPRESSION_CHECKS), default="strong"
+    )
+    expr_cmd.set_defaults(handler=_cmd_expr)
+
+    ccs_cmd = commands.add_parser("ccs", help="compile a CCS term to a process")
+    ccs_cmd.add_argument("term")
+    ccs_cmd.add_argument("--definitions", help="file of `Name := term` definitions")
+    ccs_cmd.add_argument("--output", help="write the compiled process here")
+    ccs_cmd.add_argument("--max-states", type=int, default=10_000)
+    ccs_cmd.set_defaults(handler=_cmd_ccs)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, FileNotFoundError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core process model: FSPs, model classification, weak derivatives, paper figures."""
+
+from repro.core.classify import ModelClass, belongs_to, classify, require
+from repro.core.derivatives import WeakTransitionView, saturate, tau_closure, weak_successors
+from repro.core.errors import (
+    ExpressionError,
+    InvalidProcessError,
+    ModelClassError,
+    ReproError,
+    StateSpaceLimitError,
+)
+from repro.core.fsp import ACCEPT, EPSILON, FSP, TAU, FSPBuilder, from_transitions, single_state_process
+
+__all__ = [
+    "ACCEPT",
+    "EPSILON",
+    "ExpressionError",
+    "FSP",
+    "FSPBuilder",
+    "InvalidProcessError",
+    "ModelClass",
+    "ModelClassError",
+    "ReproError",
+    "StateSpaceLimitError",
+    "TAU",
+    "WeakTransitionView",
+    "belongs_to",
+    "classify",
+    "from_transitions",
+    "require",
+    "saturate",
+    "single_state_process",
+    "tau_closure",
+    "weak_successors",
+]

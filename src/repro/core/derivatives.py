@@ -1,0 +1,251 @@
+"""Weak derivatives and the tau-saturation of Theorem 4.1(a).
+
+Section 2.1 of the paper defines the *weak* transition relation ``p =>^s p'``
+for a string ``s`` of observable actions: the process may interleave any
+number of unobservable tau-moves before, between and after the observable
+actions of ``s``.  In particular ``p =>^epsilon p'`` holds when ``p'`` is
+reachable from ``p`` by tau-moves only (including the empty sequence, so the
+relation is reflexive).
+
+Theorem 4.1(a) decides observational equivalence by *saturating* a general FSP
+``P`` into an observable FSP ``P_hat`` over the alphabet ``Sigma u {epsilon}``
+whose transition relation is exactly the weak relation, and then checking
+strong equivalence on ``P_hat``.  :func:`saturate` implements that
+construction; the remaining helpers expose tau-closures, weak successor sets
+and weak string derivatives, which are also the substrate for failure
+semantics (Section 5) and for the language view of ``approx_1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import EPSILON, FSP, TAU, State
+
+
+def tau_closure(fsp: FSP) -> dict[State, frozenset[State]]:
+    """The reflexive-transitive closure of the tau-transition relation.
+
+    Returns a mapping from every state ``p`` to the set
+    ``{p' | p =>^epsilon p'}``.  Computed by one breadth-first search per
+    state, which is ``O(n * (n + m_tau))`` and entirely adequate for the
+    process sizes this library targets; the matrix-product formulation the
+    paper uses for its ``n^2.376`` bound is available in
+    :mod:`repro.utils.matrices` for the benchmark harness.
+    """
+    closure: dict[State, frozenset[State]] = {}
+    for origin in fsp.states:
+        seen = {origin}
+        frontier = [origin]
+        while frontier:
+            state = frontier.pop()
+            for nxt in fsp.successors(state, TAU):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        closure[origin] = frozenset(seen)
+    return closure
+
+
+def closure_of_set(fsp: FSP, states: Iterable[State], closure: dict[State, frozenset[State]] | None = None) -> frozenset[State]:
+    """The tau-closure of a *set* of states."""
+    closure = closure if closure is not None else tau_closure(fsp)
+    out: set[State] = set()
+    for state in states:
+        out |= closure[state]
+    return frozenset(out)
+
+
+def weak_successors(
+    fsp: FSP,
+    state: State,
+    action: State,
+    closure: dict[State, frozenset[State]] | None = None,
+) -> frozenset[State]:
+    """The set ``{p' | p =>^a p'}`` for a single observable action ``a``.
+
+    Following the paper's decomposition, ``p =>^a q`` iff there exist ``p'``
+    and ``p''`` with ``p =>^epsilon p' ->^a p'' =>^epsilon q``.  Passing
+    ``action == EPSILON`` returns the plain tau-closure of ``state``.
+    """
+    closure = closure if closure is not None else tau_closure(fsp)
+    if action == EPSILON:
+        return closure[state]
+    if action == TAU:
+        raise InvalidProcessError(
+            "weak successors are indexed by observable actions or EPSILON, not TAU"
+        )
+    result: set[State] = set()
+    for pre in closure[state]:
+        for mid in fsp.successors(pre, action):
+            result |= closure[mid]
+    return frozenset(result)
+
+
+def weak_successors_of_set(
+    fsp: FSP,
+    states: Iterable[State],
+    action: State,
+    closure: dict[State, frozenset[State]] | None = None,
+) -> frozenset[State]:
+    """Weak ``action``-successors of a set of states (used by subset constructions)."""
+    closure = closure if closure is not None else tau_closure(fsp)
+    out: set[State] = set()
+    for state in states:
+        out |= weak_successors(fsp, state, action, closure)
+    return frozenset(out)
+
+
+def string_derivatives(
+    fsp: FSP,
+    state: State,
+    string: Sequence[State],
+    closure: dict[State, frozenset[State]] | None = None,
+) -> frozenset[State]:
+    """The set of ``s``-derivatives ``{p' | p =>^s p'}`` for a string ``s``.
+
+    ``string`` is a sequence of observable actions; the empty sequence yields
+    the tau-closure of ``state``.
+    """
+    closure = closure if closure is not None else tau_closure(fsp)
+    current = closure[state]
+    for action in string:
+        current = weak_successors_of_set(fsp, current, action, closure)
+        if not current:
+            return frozenset()
+    return current
+
+
+def weak_initials(
+    fsp: FSP,
+    state: State,
+    closure: dict[State, frozenset[State]] | None = None,
+) -> frozenset[State]:
+    """The observable actions ``a`` for which ``state =>^a`` holds.
+
+    This is the complement-defining set for the failure semantics of
+    Section 5: a refusal set ``Z`` is valid at ``p'`` exactly when
+    ``Z`` is disjoint from ``weak_initials(p')``.
+    """
+    closure = closure if closure is not None else tau_closure(fsp)
+    initials: set[State] = set()
+    for action in fsp.alphabet:
+        if weak_successors(fsp, state, action, closure):
+            initials.add(action)
+    return frozenset(initials)
+
+
+def saturate(fsp: FSP, epsilon_action: str = EPSILON) -> FSP:
+    """The observable FSP ``P_hat`` of Theorem 4.1(a).
+
+    ``P_hat`` has the same states, variables and extensions as ``P`` but its
+    alphabet is ``Sigma u {epsilon_action}`` and its transitions are exactly
+    the weak transitions of ``P``:
+
+    * ``p --a--> q`` in ``P_hat`` iff ``p =>^a q`` in ``P``, for ``a`` in
+      ``Sigma``;
+    * ``p --epsilon--> q`` in ``P_hat`` iff ``p =>^epsilon q`` in ``P``
+      (note this includes a self-loop on every state because ``=>^epsilon``
+      is reflexive).
+
+    The key property (Proposition 2.2.1(c) + Theorem 4.1(a)) is that two
+    states are observationally equivalent in ``P`` iff they are strongly
+    equivalent in ``P_hat``.
+
+    Parameters
+    ----------
+    fsp:
+        Any general FSP.
+    epsilon_action:
+        The label used for the ``=>^epsilon`` relation.  It must not already
+        belong to the alphabet.
+
+    Raises
+    ------
+    InvalidProcessError
+        If ``epsilon_action`` collides with an existing action.
+    """
+    if epsilon_action in fsp.alphabet or epsilon_action == TAU:
+        raise InvalidProcessError(
+            f"epsilon marker {epsilon_action!r} collides with the process alphabet"
+        )
+    closure = tau_closure(fsp)
+    transitions: set[tuple[State, str, State]] = set()
+    for state in fsp.states:
+        for target in closure[state]:
+            transitions.add((state, epsilon_action, target))
+        for action in fsp.alphabet:
+            for target in weak_successors(fsp, state, action, closure):
+                transitions.add((state, action, target))
+    return FSP(
+        states=fsp.states,
+        start=fsp.start,
+        alphabet=fsp.alphabet | {epsilon_action},
+        transitions=transitions,
+        variables=fsp.variables,
+        extensions=fsp.extensions,
+    )
+
+
+def observable_quotient_transitions(fsp: FSP) -> int:
+    """Number of transitions of the saturated process (the ``|Delta_hat|`` of Theorem 4.1a).
+
+    Exposed separately so benchmarks can report the saturation blow-up without
+    materialising ``P_hat`` twice.
+    """
+    return saturate(fsp).num_transitions
+
+
+class WeakTransitionView:
+    """A cached view of the weak transition structure of one FSP.
+
+    Several algorithms (failure equivalence, ``approx_k`` refinement, the
+    language view) repeatedly need tau-closures and weak successor sets of the
+    same process.  This small helper computes the tau-closure once and
+    memoises weak successor queries.
+    """
+
+    def __init__(self, fsp: FSP) -> None:
+        self._fsp = fsp
+        self._closure = tau_closure(fsp)
+        self._weak_cache: dict[tuple[State, str], frozenset[State]] = {}
+        self._initials_cache: dict[State, frozenset[State]] = {}
+
+    @property
+    def fsp(self) -> FSP:
+        return self._fsp
+
+    @property
+    def closure(self) -> dict[State, frozenset[State]]:
+        return self._closure
+
+    def epsilon_closure(self, state: State) -> frozenset[State]:
+        return self._closure[state]
+
+    def weak_successors(self, state: State, action: str) -> frozenset[State]:
+        key = (state, action)
+        if key not in self._weak_cache:
+            self._weak_cache[key] = weak_successors(self._fsp, state, action, self._closure)
+        return self._weak_cache[key]
+
+    def weak_successors_of_set(self, states: Iterable[State], action: str) -> frozenset[State]:
+        out: set[State] = set()
+        for state in states:
+            out |= self.weak_successors(state, action)
+        return frozenset(out)
+
+    def weak_initials(self, state: State) -> frozenset[State]:
+        if state not in self._initials_cache:
+            self._initials_cache[state] = frozenset(
+                action for action in self._fsp.alphabet if self.weak_successors(state, action)
+            )
+        return self._initials_cache[state]
+
+    def string_derivatives(self, state: State, string: Sequence[str]) -> frozenset[State]:
+        current = self.epsilon_closure(state)
+        for action in string:
+            current = self.weak_successors_of_set(current, action)
+            if not current:
+                break
+        return frozenset(current)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single exception type at API boundaries.  More specific subclasses
+describe the three failure categories that appear throughout the code base:
+
+* :class:`InvalidProcessError` -- a finite state process (FSP) violates the
+  structural constraints of Definition 2.1.1 of the paper (unknown states in
+  transitions, start state missing, an action that collides with the
+  unobservable action, ...).
+* :class:`ModelClassError` -- an algorithm that is only defined for a
+  restricted model class (observable, restricted, r.o.u., ...) was handed a
+  process outside that class.
+* :class:`ExpressionError` -- a star expression or CCS term could not be
+  parsed or evaluated.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the library."""
+
+
+class InvalidProcessError(ReproError):
+    """An FSP violates the structural constraints of Definition 2.1.1."""
+
+
+class ModelClassError(ReproError):
+    """A process lies outside the model class required by an algorithm.
+
+    The paper defines several equivalences only on sub-models (strong
+    equivalence on observable FSPs, failure equivalence on restricted FSPs).
+    Algorithms that insist on the paper's preconditions raise this error when
+    the precondition is violated, naming both the required and the actual
+    model class in the message.
+    """
+
+
+class ExpressionError(ReproError):
+    """A star expression or CCS term is syntactically or semantically invalid."""
+
+
+class StateSpaceLimitError(ReproError):
+    """State-space exploration exceeded a caller-imposed bound.
+
+    Raised by the CCS term compiler and by the subset constructions used for
+    language and failure equivalence when the number of generated states
+    exceeds the ``max_states`` argument.  The partially explored object is not
+    returned because a truncated state space would silently give wrong
+    equivalence answers.
+    """

@@ -1,0 +1,248 @@
+"""Executable renderings of the example processes in the paper's figures.
+
+The paper uses a handful of small processes to illustrate the model hierarchy
+(Fig. 1b), to separate the equivalence notions from one another (Fig. 2), and
+as gadgets inside the hardness reductions (Fig. 5b *chaos*, Fig. 5d the
+*trivial NFA*).  This module reconstructs each of them as
+:class:`~repro.core.fsp.FSP` values so that tests and benchmarks can verify
+the properties the paper claims for them.
+
+Where the scanned figure is not legible enough to recover the exact graph
+(parts of Fig. 1b), we build a canonical representative of the advertised
+model class and document the intent; the properties exercised by the paper
+(class membership, the failure set of the finite-tree example, the
+equivalence/inequivalence pattern of Fig. 2) are preserved.
+"""
+
+from __future__ import annotations
+
+from repro.core.fsp import FSP, TAU, FSPBuilder, from_transitions
+
+
+# ----------------------------------------------------------------------
+# Figure 1b -- one example process per model class
+# ----------------------------------------------------------------------
+def fig1b_general() -> FSP:
+    """A general FSP: uses a tau-transition and a non-trivial extension set.
+
+    The figure's general example carries the extension ``{x, y}`` on one state
+    and mixes observable and unobservable moves.
+    """
+    builder = FSPBuilder(alphabet={"a", "b", "c"}, variables={"x", "y"})
+    builder.add_transition("p0", "a", "p1")
+    builder.add_transition("p0", TAU, "p2")
+    builder.add_transition("p1", "b", "p3")
+    builder.add_transition("p2", "c", "p3")
+    builder.add_transition("p3", TAU, "p0")
+    builder.add_extension("p1", "x")
+    builder.add_extension("p1", "y")
+    builder.add_extension("p3", "x")
+    return builder.build(start="p0")
+
+
+def fig1b_observable() -> FSP:
+    """An observable FSP: no tau-moves, arbitrary extensions."""
+    builder = FSPBuilder(alphabet={"a", "b"}, variables={"x", "y"})
+    builder.add_transition("q0", "a", "q1")
+    builder.add_transition("q0", "b", "q2")
+    builder.add_transition("q1", "a", "q2")
+    builder.add_transition("q2", "b", "q0")
+    builder.add_extension("q1", "y")
+    builder.add_extension("q2", "x")
+    return builder.build(start="q0")
+
+
+def fig1b_standard() -> FSP:
+    """A standard FSP: a classical NFA with empty moves (accepting = ``{x}``)."""
+    return from_transitions(
+        [
+            ("s0", "a", "s1"),
+            ("s0", TAU, "s2"),
+            ("s1", "b", "s2"),
+            ("s2", "a", "s0"),
+        ],
+        start="s0",
+        accepting=["s1"],
+    )
+
+
+def fig1b_deterministic() -> FSP:
+    """A deterministic FSP: exactly one transition per action from every state."""
+    return from_transitions(
+        [
+            ("d0", "a", "d1"),
+            ("d0", "b", "d0"),
+            ("d1", "a", "d0"),
+            ("d1", "b", "d1"),
+        ],
+        start="d0",
+        accepting=["d1"],
+    )
+
+
+def fig1b_restricted() -> FSP:
+    """A restricted FSP: every state accepting, some transitions missing."""
+    return from_transitions(
+        [
+            ("r0", "a", "r1"),
+            ("r1", "b", "r0"),
+            ("r1", "a", "r2"),
+        ],
+        start="r0",
+        all_accepting=True,
+    )
+
+
+def fig1b_rou() -> FSP:
+    """A restricted observable unary FSP over the single action ``a``."""
+    return from_transitions(
+        [
+            ("u0", "a", "u1"),
+            ("u1", "a", "u1"),
+        ],
+        start="u0",
+        all_accepting=True,
+    )
+
+
+def fig1b_finite_tree() -> FSP:
+    """The finite-tree example whose failures Section 2.1 computes.
+
+    Over ``Sigma = {a, b, c}`` the tree is::
+
+        t0 --a--> t1 --b--> t2
+                  t1 --c--> t3
+
+    with every state accepting.  Its failure set at the root is
+
+    ``{epsilon} x 2^{b,c}  u  {a} x 2^{a}  u  {ab} x 2^Sigma  u  {ac} x 2^Sigma``.
+    """
+    return from_transitions(
+        [
+            ("t0", "a", "t1"),
+            ("t1", "b", "t2"),
+            ("t1", "c", "t3"),
+        ],
+        start="t0",
+        all_accepting=True,
+        alphabet={"a", "b", "c"},
+    )
+
+
+def fig1b_examples() -> dict[str, FSP]:
+    """All Fig. 1b example processes keyed by the class they illustrate."""
+    return {
+        "general": fig1b_general(),
+        "observable": fig1b_observable(),
+        "standard": fig1b_standard(),
+        "deterministic": fig1b_deterministic(),
+        "restricted": fig1b_restricted(),
+        "restricted observable unary": fig1b_rou(),
+        "finite tree": fig1b_finite_tree(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 2 -- r.o.u. processes separating the equivalence notions
+# ----------------------------------------------------------------------
+def fig2_language_pair() -> tuple[FSP, FSP]:
+    """Two r.o.u. processes that are language (``approx_1``) equivalent but not
+    failure equivalent (and hence not observationally equivalent).
+
+    Both accept exactly ``{epsilon, a, aa}`` (every state is accepting), but
+    the second process can, after one ``a``, reach a state that refuses ``a``
+    while the first cannot.
+    """
+    first = from_transitions(
+        [
+            ("p0", "a", "p1"),
+            ("p1", "a", "p2"),
+        ],
+        start="p0",
+        all_accepting=True,
+    )
+    second = from_transitions(
+        [
+            ("q0", "a", "q1"),
+            ("q1", "a", "q2"),
+            ("q0", "a", "q3"),
+        ],
+        start="q0",
+        all_accepting=True,
+    )
+    return first, second
+
+
+def fig2_failure_pair() -> tuple[FSP, FSP]:
+    """Two r.o.u. processes that are failure equivalent but not observationally
+    equivalent.
+
+    The processes are the representative FSPs of the star expressions
+    ``a.(a u a.a)`` and ``a.a u a.a.a`` with every state accepting.  They have
+    identical failures yet the states reached after the first ``a`` cannot be
+    matched by any bisimulation.
+    """
+    first = from_transitions(
+        [
+            ("p0", "a", "p1"),
+            ("p1", "a", "p2"),
+            ("p1", "a", "p3"),
+            ("p3", "a", "p4"),
+        ],
+        start="p0",
+        all_accepting=True,
+    )
+    second = from_transitions(
+        [
+            ("q0", "a", "q1"),
+            ("q1", "a", "q2"),
+            ("q0", "a", "q3"),
+            ("q3", "a", "q4"),
+            ("q4", "a", "q5"),
+        ],
+        start="q0",
+        all_accepting=True,
+    )
+    return first, second
+
+
+def fig2_examples() -> dict[str, tuple[FSP, FSP]]:
+    """The separating pairs of Fig. 2 keyed by what they separate."""
+    return {
+        "language-equivalent, not failure-equivalent": fig2_language_pair(),
+        "failure-equivalent, not observationally-equivalent": fig2_failure_pair(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 5b -- the chaos process, and Figure 5d -- the trivial NFA
+# ----------------------------------------------------------------------
+def chaos() -> FSP:
+    """The r.o.u. *chaos* process of Fig. 5b.
+
+    Over the unary alphabet ``{a}`` chaos has a start state with an
+    ``a``-self-loop and an ``a``-move to a dead state; every state is
+    accepting.  Theorem 4.1(c) characterises ``q approx_2 chaos`` in terms of
+    the existence of both dead and cyclic ``s``-derivatives of ``q``.
+    """
+    return from_transitions(
+        [
+            ("chaos", "a", "chaos"),
+            ("chaos", "a", "halt"),
+        ],
+        start="chaos",
+        all_accepting=True,
+    )
+
+
+def trivial_nfa(alphabet: frozenset[str] | set[str] = frozenset({"a", "b"})) -> FSP:
+    """The trivial NFA ``q*`` of Fig. 5d: one accepting state with a self-loop
+    for every action, so it accepts ``Sigma*``.
+    """
+    state = "q*"
+    return from_transitions(
+        [(state, action, state) for action in sorted(alphabet)],
+        start=state,
+        all_accepting=True,
+        alphabet=alphabet,
+    )

@@ -1,0 +1,274 @@
+"""Hennessy-Milner logic and distinguishing formulas.
+
+Hennessy & Milner (1985) -- cited by the paper as the logical companion of the
+equivalence theory -- characterise strong bisimilarity on finite-branching
+processes: two states are strongly equivalent iff they satisfy the same
+Hennessy-Milner logic (HML) formulas.  The library uses this in the other
+direction: when two states are *not* equivalent, a distinguishing formula is a
+compact, human-readable certificate of the difference, which the examples and
+the failure counterexamples surface to users.
+
+Formulas are built from ``tt``, negation, finite conjunction, the (strong)
+diamond ``<a>phi``, the weak diamond ``<<a>>phi`` (over ``=>^a``), and an
+extension atom ``ext(V)`` asserting that the state's extension set equals
+``V`` (needed because the paper's equivalences compare extensions at level 0).
+
+:func:`distinguishing_formula` produces a formula satisfied by the first state
+but not the second whenever they are distinguished by the chosen equivalence
+(strong or observational); it works level by level along the refinement chain,
+which guarantees termination and yields formulas of modal depth equal to the
+separation level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.derivatives import WeakTransitionView
+from repro.core.fsp import FSP, TAU
+from repro.partition.partition import Partition
+
+
+# ----------------------------------------------------------------------
+# formula syntax
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Tt:
+    """The formula ``tt`` satisfied by every state."""
+
+    def __str__(self) -> str:
+        return "tt"
+
+
+@dataclass(frozen=True)
+class ExtensionIs:
+    """Atom asserting the state's extension set equals ``extension``."""
+
+    extension: frozenset[str]
+
+    def __str__(self) -> str:
+        inner = ", ".join(sorted(self.extension))
+        return f"ext({{{inner}}})"
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation."""
+
+    operand: "Formula"
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class And:
+    """Finite conjunction."""
+
+    operands: tuple["Formula", ...]
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "tt"
+        return "(" + " ∧ ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Diamond:
+    """The strong diamond ``<action> operand``: some ``action``-successor satisfies it."""
+
+    action: str
+    operand: "Formula"
+
+    def __str__(self) -> str:
+        return f"<{self.action}>({self.operand})"
+
+
+@dataclass(frozen=True)
+class WeakDiamond:
+    """The weak diamond ``<<action>> operand`` over the weak transition ``=>^action``.
+
+    ``action`` may be the empty string, in which case the modality quantifies
+    over ``=>^epsilon`` (tau-reachability).
+    """
+
+    action: str
+    operand: "Formula"
+
+    def __str__(self) -> str:
+        label = self.action if self.action else "ε"
+        return f"<<{label}>>({self.operand})"
+
+
+Formula = Union[Tt, ExtensionIs, Not, And, Diamond, WeakDiamond]
+
+
+def modal_depth(formula: Formula) -> int:
+    """The nesting depth of modalities, matching the ``k`` of ``approx_k``/``simeq_k``."""
+    if isinstance(formula, (Tt, ExtensionIs)):
+        return 0
+    if isinstance(formula, Not):
+        return modal_depth(formula.operand)
+    if isinstance(formula, And):
+        return max((modal_depth(op) for op in formula.operands), default=0)
+    return 1 + modal_depth(formula.operand)
+
+
+# ----------------------------------------------------------------------
+# satisfaction
+# ----------------------------------------------------------------------
+def satisfies(fsp: FSP, state: str, formula: Formula, view: WeakTransitionView | None = None) -> bool:
+    """Whether ``state`` satisfies ``formula`` in ``fsp``."""
+    if isinstance(formula, Tt):
+        return True
+    if isinstance(formula, ExtensionIs):
+        return fsp.extension(state) == formula.extension
+    if isinstance(formula, Not):
+        return not satisfies(fsp, state, formula.operand, view)
+    if isinstance(formula, And):
+        return all(satisfies(fsp, state, operand, view) for operand in formula.operands)
+    if isinstance(formula, Diamond):
+        return any(
+            satisfies(fsp, successor, formula.operand, view)
+            for successor in fsp.successors(state, formula.action)
+        )
+    if isinstance(formula, WeakDiamond):
+        view = view if view is not None else WeakTransitionView(fsp)
+        if formula.action:
+            successors = view.weak_successors(state, formula.action)
+        else:
+            successors = view.epsilon_closure(state)
+        return any(satisfies(fsp, successor, formula.operand, view) for successor in successors)
+    raise TypeError(f"not an HML formula: {formula!r}")
+
+
+# ----------------------------------------------------------------------
+# distinguishing formulas
+# ----------------------------------------------------------------------
+def distinguishing_formula(
+    fsp: FSP, first: str, second: str, weak: bool = False
+) -> Formula | None:
+    """A formula satisfied by ``first`` but not by ``second``, or None.
+
+    ``weak=False`` distinguishes with respect to strong equivalence (tau
+    treated as a label), ``weak=True`` with respect to observational
+    equivalence (weak diamonds).  Returns None when the states are equivalent
+    in the chosen sense, in which case no HML formula can separate them.
+    """
+    levels = _refinement_levels(fsp, weak=weak)
+    separation = None
+    for index, partition in enumerate(levels):
+        if not partition.same_block(first, second):
+            separation = index
+            break
+    if separation is None:
+        return None
+    formula = _distinguish_at_level(fsp, first, second, separation, levels, weak)
+    return formula
+
+
+def _refinement_levels(fsp: FSP, weak: bool) -> list[Partition]:
+    """The chain of partitions ``simeq_0, simeq_1, ...`` until it stabilises.
+
+    For the strong case the refinement uses single strong transitions (tau as
+    a label); for the weak case it uses single weak moves, i.e. the ``simeq_k``
+    chain of Definition 2.2.2.
+    """
+    view = WeakTransitionView(fsp) if weak else None
+    actions: list[str]
+    if weak:
+        actions = sorted(fsp.alphabet) + [""]
+    else:
+        actions = sorted(fsp.alphabet) + ([TAU] if fsp.has_tau() else [])
+
+    def successors(state: str, action: str) -> frozenset[str]:
+        if weak:
+            assert view is not None
+            return view.epsilon_closure(state) if action == "" else view.weak_successors(state, action)
+        return fsp.successors(state, action)
+
+    levels = [Partition.from_key(fsp.states, key=fsp.extension)]
+    while True:
+        current = levels[-1]
+        signatures = {}
+        for state in fsp.states:
+            signature = set()
+            for action in actions:
+                for target in successors(state, action):
+                    signature.add((action, current.block_id_of(target)))
+            signatures[state] = frozenset(signature)
+        next_partition = Partition(list(_split_groups(current, signatures)))
+        levels.append(next_partition)
+        if len(next_partition) == len(current):
+            return levels
+
+
+def _split_groups(partition: Partition, signatures: dict[str, frozenset]) -> list[set[str]]:
+    groups: list[set[str]] = []
+    for block in partition:
+        by_signature: dict[frozenset, set[str]] = {}
+        for state in block:
+            by_signature.setdefault(signatures[state], set()).add(state)
+        groups.extend(by_signature.values())
+    return groups
+
+
+def _distinguish_at_level(
+    fsp: FSP,
+    first: str,
+    second: str,
+    level: int,
+    levels: list[Partition],
+    weak: bool,
+) -> Formula:
+    """Build a formula of modal depth ``level`` separating the two states."""
+    if level == 0:
+        return ExtensionIs(fsp.extension(first))
+    previous = levels[level - 1]
+    view = WeakTransitionView(fsp) if weak else None
+    if weak:
+        actions = sorted(fsp.alphabet) + [""]
+    else:
+        actions = sorted(fsp.alphabet) + ([TAU] if fsp.has_tau() else [])
+
+    def successors(state: str, action: str) -> frozenset[str]:
+        if weak:
+            assert view is not None
+            return view.epsilon_closure(state) if action == "" else view.weak_successors(state, action)
+        return fsp.successors(state, action)
+
+    def diamond(action: str, operand: Formula) -> Formula:
+        return WeakDiamond(action, operand) if weak else Diamond(action, operand)
+
+    # Try to find a move of `first` that `second` cannot match up to the
+    # previous level; if none exists the witness lies on `second`'s side and
+    # the distinguishing formula is negated.
+    for swap in (False, True):
+        left, right = (second, first) if swap else (first, second)
+        for action in actions:
+            for target in successors(left, action):
+                mismatched = [
+                    candidate
+                    for candidate in successors(right, action)
+                    if previous.same_block(target, candidate)
+                ]
+                if mismatched:
+                    continue
+                conjuncts = []
+                for candidate in successors(right, action):
+                    sub_level = _separation_level(levels, target, candidate)
+                    sub = _distinguish_at_level(fsp, target, candidate, sub_level, levels, weak)
+                    conjuncts.append(sub)
+                formula: Formula = diamond(action, And(tuple(conjuncts)) if conjuncts else Tt())
+                return Not(formula) if swap else formula
+    # The two states are not separated at this level after all (should not
+    # happen when the caller picked the true separation level).
+    raise AssertionError("states are not distinguishable at the requested level")
+
+
+def _separation_level(levels: list[Partition], first: str, second: str) -> int:
+    for index, partition in enumerate(levels):
+        if not partition.same_block(first, second):
+            return index
+    raise AssertionError("states are equivalent; no separation level exists")

@@ -1,0 +1,131 @@
+"""Language (NFA) equivalence of FSP states -- the classical baseline.
+
+Proposition 2.2.3(b) identifies ``approx_1`` on the restricted model with
+classical language equivalence ``L(p) = L(q)``, and Proposition 2.2.4 shows
+that on the deterministic model *every* equivalence of the paper collapses to
+it.  This module exposes the language view of an FSP state: the weak-transition
+NFA rooted at that state, language equivalence/inclusion/universality
+decisions, and distinguishing words used as counterexamples.
+
+All functions accept general FSPs; tau-transitions are treated as epsilon
+moves, so ``L(p)`` is the set of *observable* strings that can reach an
+accepting state, matching the paper's use of ``=>^s``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.automata.dfa import DFA, determinize
+from repro.automata.equivalence import (
+    nfa_distinguishing_word,
+    nfa_equivalent,
+    nfa_included,
+    nfa_universal,
+    nfa_universality_counterexample,
+)
+from repro.automata.minimize import hopcroft_minimize
+from repro.automata.nfa import NFA
+from repro.core.classify import require_same_signature
+from repro.core.fsp import FSP, TAU
+
+
+def language_nfa(fsp: FSP, start: str | None = None, accepting: Iterable[str] | None = None) -> NFA:
+    """The NFA accepting ``L(start)`` (acceptance by the standard-model extension).
+
+    Parameters
+    ----------
+    fsp:
+        The process.
+    start:
+        The state to root the automaton at; defaults to the process start
+        state.
+    accepting:
+        Override of the accepting set (used by the ``approx_k`` machinery to
+        accept at an arbitrary block).
+    """
+    root = fsp.start if start is None else start
+    accept = frozenset(accepting) if accepting is not None else fsp.accepting_states()
+    transitions = [
+        (src, None if action == TAU else action, dst) for src, action, dst in fsp.transitions
+    ]
+    return NFA(
+        states=fsp.states,
+        start=root,
+        alphabet=fsp.alphabet,
+        transitions=transitions,
+        accepting=accept,
+    )
+
+
+def language_dfa(fsp: FSP, start: str | None = None, max_states: int | None = None) -> DFA:
+    """The minimal DFA for ``L(start)`` (subset construction + Hopcroft)."""
+    return hopcroft_minimize(determinize(language_nfa(fsp, start), max_states=max_states))
+
+
+def language_equivalent(
+    fsp: FSP, first: str, second: str, max_states: int | None = None
+) -> bool:
+    """Decide ``L(first) = L(second)`` for two states of the same FSP.
+
+    On the restricted model this is exactly ``approx_1`` (Proposition
+    2.2.3(b)); the decision determinises both automata and is exponential in
+    the worst case, matching the PSPACE-completeness of the problem.
+    """
+    left = language_nfa(fsp, first)
+    right = language_nfa(fsp, second)
+    return nfa_equivalent(left, right, max_states=max_states)
+
+
+def language_equivalent_processes(
+    first: FSP, second: FSP, max_states: int | None = None
+) -> bool:
+    """Decide ``L(p0) = L(q0)`` for the start states of two FSPs."""
+    require_same_signature(first, second)
+    return nfa_equivalent(
+        language_nfa(first), language_nfa(second), max_states=max_states
+    )
+
+
+def language_distinguishing_word(
+    fsp: FSP, first: str, second: str, max_states: int | None = None
+) -> tuple[str, ...] | None:
+    """A word in exactly one of ``L(first)``, ``L(second)``, or None when equal."""
+    return nfa_distinguishing_word(
+        language_nfa(fsp, first), language_nfa(fsp, second), max_states=max_states
+    )
+
+
+def language_included(
+    fsp: FSP, first: str, second: str, max_states: int | None = None
+) -> bool:
+    """Decide ``L(first)`` is a subset of ``L(second)``."""
+    return nfa_included(language_nfa(fsp, first), language_nfa(fsp, second), max_states=max_states)
+
+
+def is_universal(fsp: FSP, start: str | None = None, max_states: int | None = None) -> bool:
+    """Decide ``L(start) = Sigma*`` -- the problem the hardness reductions start from."""
+    return nfa_universal(language_nfa(fsp, start), max_states=max_states)
+
+
+def universality_counterexample(
+    fsp: FSP, start: str | None = None, max_states: int | None = None
+) -> tuple[str, ...] | None:
+    """A shortest observable string not in ``L(start)``, or None when universal."""
+    return nfa_universality_counterexample(language_nfa(fsp, start), max_states=max_states)
+
+
+def accepted_strings_upto(fsp: FSP, length: int, start: str | None = None) -> frozenset[tuple[str, ...]]:
+    """All accepted observable strings up to the given length (exhaustive; for tests)."""
+    return language_nfa(fsp, start).language_upto(length)
+
+
+def traces_upto(fsp: FSP, length: int, start: str | None = None) -> frozenset[tuple[str, ...]]:
+    """All observable traces (strings with *some* derivative) up to ``length``.
+
+    For restricted processes traces and accepted strings coincide because
+    every state is accepting; for standard processes they differ and give the
+    classical trace preorder used in the discussion of Section 2.2.
+    """
+    nfa = language_nfa(fsp, start, accepting=fsp.states)
+    return nfa.language_upto(length)

@@ -1,0 +1,95 @@
+"""Strong (observational) equivalence -- Section 3 / Theorem 3.1.
+
+Strong equivalence ``~`` is observational equivalence for observable (tau-free)
+FSPs; Milner characterises it as the largest strong bisimulation.  Lemma 3.1
+reduces deciding it to the generalized partitioning problem: states are the
+elements, the initial partition groups states with equal extension sets, and
+there is one function per action mapping a state to its successor set.  The
+coarsest stable refinement is exactly the partition induced by ``~``.
+
+The functions below expose the partition, the pairwise decision, a quotient
+(minimisation) and a counterexample explanation via distinguishing
+Hennessy-Milner formulas (delegated to :mod:`repro.equivalence.hml`).
+
+Processes containing tau-transitions are accepted as well: tau is then treated
+as an ordinary action label, which yields the notion modern tools call strong
+bisimilarity.  Callers that want the paper's precondition enforced can pass
+``require_observable=True``.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import ModelClass, require, require_same_signature
+from repro.core.fsp import FSP
+from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
+from repro.partition.partition import Partition
+
+
+def strong_bisimulation_partition(
+    fsp: FSP,
+    method: Solver | str = Solver.PAIGE_TARJAN,
+    require_observable: bool = False,
+) -> Partition:
+    """The partition of the state set into strong-equivalence classes.
+
+    Parameters
+    ----------
+    fsp:
+        The process whose states are to be partitioned.
+    method:
+        Which generalized-partitioning solver to use (they agree on the
+        result; see Section 3).
+    require_observable:
+        Enforce the paper's precondition that the process has no
+        tau-transitions.  When False (the default) tau is treated as an
+        ordinary action.
+    """
+    if require_observable:
+        require(fsp, ModelClass.OBSERVABLE, context="strong equivalence")
+    instance = GeneralizedPartitioningInstance.from_fsp(fsp, include_tau=True)
+    return solve(instance, method=method)
+
+
+def strongly_equivalent(
+    fsp: FSP,
+    first: str,
+    second: str,
+    method: Solver | str = Solver.PAIGE_TARJAN,
+    require_observable: bool = False,
+) -> bool:
+    """Decide ``first ~ second`` for two states of the same FSP."""
+    partition = strong_bisimulation_partition(
+        fsp, method=method, require_observable=require_observable
+    )
+    return partition.same_block(first, second)
+
+
+def strongly_equivalent_processes(
+    first: FSP,
+    second: FSP,
+    method: Solver | str = Solver.PAIGE_TARJAN,
+    require_observable: bool = False,
+) -> bool:
+    """Decide strong equivalence of the start states of two FSPs.
+
+    The two processes must share ``Sigma`` and ``V`` (use
+    :meth:`~repro.core.fsp.FSP.with_alphabet` to align them); they are
+    combined into a single process by disjoint union, exactly as the paper
+    does when comparing states of distinct FSPs.
+    """
+    require_same_signature(first, second)
+    combined = first.disjoint_union(second)
+    return strongly_equivalent(
+        combined,
+        "L:" + first.start,
+        "R:" + second.start,
+        method=method,
+        require_observable=require_observable,
+    )
+
+
+def strong_equivalence_classes(
+    fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN
+) -> frozenset[frozenset[str]]:
+    """The set of strong-equivalence classes of the process's states."""
+    return strong_bisimulation_partition(fsp, method=method).as_frozen()

@@ -1,0 +1,56 @@
+"""Star expressions: syntax, representative-FSP semantics, CCS equivalence, identities."""
+
+from repro.expressions.axioms import (
+    IdentityVerdict,
+    annihilation_counterexample,
+    distributivity_counterexample,
+    evaluate_identity,
+    identity_report,
+    identity_table,
+)
+from repro.expressions.ccs_equivalence import (
+    ccs_equivalent,
+    failure_ccs_equivalent,
+    language_ccs_equivalent,
+    observationally_ccs_equivalent,
+)
+from repro.expressions.parser import parse
+from repro.expressions.regular import denotes, language_upto, regular_equivalent
+from repro.expressions.semantics import construction_size, representative_fsp
+from repro.expressions.syntax import (
+    ActionExpr,
+    ConcatExpr,
+    EmptyExpr,
+    StarExpr,
+    StarExpression,
+    UnionExpr,
+    actions_of,
+    length_of,
+)
+
+__all__ = [
+    "ActionExpr",
+    "ConcatExpr",
+    "EmptyExpr",
+    "IdentityVerdict",
+    "StarExpr",
+    "StarExpression",
+    "UnionExpr",
+    "actions_of",
+    "annihilation_counterexample",
+    "ccs_equivalent",
+    "construction_size",
+    "denotes",
+    "distributivity_counterexample",
+    "evaluate_identity",
+    "failure_ccs_equivalent",
+    "identity_report",
+    "identity_table",
+    "language_ccs_equivalent",
+    "language_upto",
+    "length_of",
+    "observationally_ccs_equivalent",
+    "parse",
+    "regular_equivalent",
+    "representative_fsp",
+]

@@ -1,0 +1,100 @@
+"""Algebraic identities of star expressions (Section 2.3, item (3)).
+
+The paper points out the two significant identities that regular expressions
+satisfy but star expressions (under strong equivalence of representative
+FSPs) do not:
+
+* right distributivity of concatenation over union:
+  ``r.(s u t) = r.s u r.t``;
+* annihilation by the empty expression: ``r.0 = 0``.
+
+This module makes those claims executable: :func:`identity_report` evaluates a
+catalogue of classical identities under both semantics (strong equivalence of
+representative FSPs versus classical language equivalence) on concrete
+instantiations, and :func:`distributivity_counterexample` /
+:func:`annihilation_counterexample` return the canonical witnesses.
+Experiment E16 regenerates the resulting table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expressions.ccs_equivalence import ccs_equivalent, language_ccs_equivalent
+from repro.expressions.parser import parse
+from repro.expressions.syntax import StarExpression
+
+
+@dataclass(frozen=True)
+class IdentityVerdict:
+    """Outcome of evaluating one identity instance under both semantics."""
+
+    name: str
+    left: str
+    right: str
+    holds_in_ccs: bool
+    holds_in_language: bool
+
+
+#: Catalogue of identity *instances*: (name, left expression, right expression).
+#: The instances for laws that hold are representative smoke tests, not proofs;
+#: the two failing laws are exactly the ones Section 2.3 singles out.
+IDENTITY_INSTANCES: tuple[tuple[str, str, str], ...] = (
+    ("union commutativity", "a + b", "b + a"),
+    ("union associativity", "(a + b) + c", "a + (b + c)"),
+    ("union idempotence", "a + a", "a"),
+    ("concat associativity", "(a.b).c", "a.(b.c)"),
+    ("left distributivity", "(a + b).c", "a.c + b.c"),
+    ("right distributivity", "a.(b + c)", "a.b + a.c"),
+    ("annihilation r.0 = 0", "a.0", "0"),
+    ("unfold r* = r.r* + 0*", "a*", "a.(a*) + 0*"),
+)
+
+
+def distributivity_counterexample() -> tuple[StarExpression, StarExpression]:
+    """The canonical witness that ``r.(s u t) = r.s u r.t`` fails under CCS semantics.
+
+    With ``r = a``, ``s = b``, ``t = c``: the representative of ``a.(b + c)``
+    commits to the choice between ``b`` and ``c`` only *after* the ``a``,
+    whereas ``a.b + a.c`` resolves it *at* the ``a`` -- the two start states
+    are language equivalent but not strongly equivalent.
+    """
+    return parse("a.(b + c)"), parse("a.b + a.c")
+
+
+def annihilation_counterexample() -> tuple[StarExpression, StarExpression]:
+    """The canonical witness that ``r.0 = 0`` fails under CCS semantics.
+
+    ``a.0`` can perform an ``a`` (into a deadlocked, non-accepting state)
+    whereas ``0`` can perform nothing, so the two are not strongly
+    equivalent although both denote the empty language.
+    """
+    return parse("a.0"), parse("0")
+
+
+def evaluate_identity(name: str, left: str, right: str) -> IdentityVerdict:
+    """Evaluate one identity instance under both semantics."""
+    return IdentityVerdict(
+        name=name,
+        left=left,
+        right=right,
+        holds_in_ccs=ccs_equivalent(left, right),
+        holds_in_language=language_ccs_equivalent(left, right),
+    )
+
+
+def identity_report() -> list[IdentityVerdict]:
+    """Evaluate the whole identity catalogue (experiment E16)."""
+    return [evaluate_identity(name, left, right) for name, left, right in IDENTITY_INSTANCES]
+
+
+def identity_table() -> str:
+    """Render the identity report as a text table (used by the benchmark harness)."""
+    rows = identity_report()
+    header = f"{'identity':<28} {'CCS (strong)':<14} {'language':<10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<28} {str(row.holds_in_ccs):<14} {str(row.holds_in_language):<10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""The CCS equivalence problem for star expressions (Section 2.3).
+
+    "Given two CCS expressions, do they have the same semantics?"
+
+For star expressions the semantics is the strong-equivalence class of the
+representative FSP's start state, so the problem reduces (Lemma 2.3.1 +
+Theorem 3.1) to building the two representative FSPs -- quadratic in the
+expression length -- and testing their start states for strong equivalence in
+``O(m log n)`` time.  The module also offers the analogous decisions under
+observational, failure and classical language equivalence, so that the
+examples can show how the choice of equivalence notion changes which
+identities hold.
+"""
+
+from __future__ import annotations
+
+from repro.core.fsp import FSP
+from repro.equivalence.failure import failure_equivalent_processes
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strongly_equivalent_processes
+from repro.expressions.parser import parse
+from repro.expressions.regular import regular_equivalent
+from repro.expressions.semantics import representative_fsp
+from repro.expressions.syntax import StarExpression, actions_of
+
+
+def _as_expression(value: StarExpression | str) -> StarExpression:
+    return parse(value) if isinstance(value, str) else value
+
+
+def _aligned_representatives(
+    first: StarExpression | str, second: StarExpression | str
+) -> tuple[FSP, FSP]:
+    left = _as_expression(first)
+    right = _as_expression(second)
+    alphabet = actions_of(left) | actions_of(right)
+    return (
+        representative_fsp(left, alphabet=alphabet),
+        representative_fsp(right, alphabet=alphabet),
+    )
+
+
+def ccs_equivalent(first: StarExpression | str, second: StarExpression | str) -> bool:
+    """The CCS equivalence problem: equality of star-expression semantics.
+
+    Decided as strong equivalence of the representative FSPs' start states
+    (Definition 2.3.1 fixes strong equivalence as the notion that makes the
+    semantics independent of the representative chosen).
+    """
+    left, right = _aligned_representatives(first, second)
+    return strongly_equivalent_processes(left, right)
+
+
+def observationally_ccs_equivalent(
+    first: StarExpression | str, second: StarExpression | str
+) -> bool:
+    """Equality of star-expression semantics under observational equivalence.
+
+    For observable representative FSPs this coincides with
+    :func:`ccs_equivalent`; it is exposed separately because the general CCS
+    expressions of Milner (1984) allow tau and then the two notions differ.
+    """
+    left, right = _aligned_representatives(first, second)
+    return observationally_equivalent_processes(left, right)
+
+
+def failure_ccs_equivalent(first: StarExpression | str, second: StarExpression | str) -> bool:
+    """Equality of star-expression semantics under failure equivalence.
+
+    Failure equivalence is defined on the restricted model, so the
+    representative FSPs are compared after marking every state accepting --
+    the standard move the paper itself makes when it reads star expressions as
+    restricted processes in the reductions of Section 4.
+    """
+    left, right = _aligned_representatives(first, second)
+    return failure_equivalent_processes(_make_restricted(left), _make_restricted(right))
+
+
+def language_ccs_equivalent(first: StarExpression | str, second: StarExpression | str) -> bool:
+    """Classical regular-language equivalence of the two expressions (the baseline)."""
+    left = _as_expression(first)
+    right = _as_expression(second)
+    return regular_equivalent(left, right)
+
+
+def _make_restricted(fsp: FSP) -> FSP:
+    """Return the same process with every state accepting (the restricted view)."""
+    return FSP(
+        states=fsp.states,
+        start=fsp.start,
+        alphabet=fsp.alphabet,
+        transitions=fsp.transitions,
+        variables=fsp.variables | {"x"},
+        extensions=set(fsp.extensions) | {(state, "x") for state in fsp.states},
+    )

@@ -1,0 +1,133 @@
+"""Concrete syntax and recursive-descent parser for star expressions.
+
+Grammar (standard regular-expression syntax)::
+
+    expression := term ('+' term)*
+    term       := factor (('.' factor) | factor)*      # '.' or juxtaposition
+    factor     := atom '*'*
+    atom       := '0' | identifier | '(' expression ')'
+
+``identifier`` is ``[A-Za-z_][A-Za-z0-9_]*`` and names an action; ``0`` is the
+empty expression.  ``+`` may also be written ``|`` or ``u`` is *not* accepted
+(it would be ambiguous with an action name); whitespace is ignored.
+
+Example
+-------
+>>> from repro.expressions.parser import parse
+>>> str(parse("a.(b + c)*"))
+'(a.((b + c))*)'
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import ExpressionError
+from repro.expressions.syntax import (
+    ActionExpr,
+    ConcatExpr,
+    EmptyExpr,
+    StarExpr,
+    StarExpression,
+    UnionExpr,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<empty>0)|(?P<name>[A-Za-z_][A-Za-z0-9_]*)|(?P<op>[+|.*()]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ExpressionError(f"unexpected character at position {position}: {remainder[0]!r}")
+        position = match.end()
+        if match.group("empty"):
+            tokens.append(("empty", "0"))
+        elif match.group("name"):
+            tokens.append(("name", match.group("name")))
+        else:
+            op = match.group("op")
+            tokens.append(("union" if op in "+|" else op, op))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(f"unexpected end of expression in {self._source!r}")
+        self._index += 1
+        return token
+
+    def parse(self) -> StarExpression:
+        expression = self._expression()
+        if self._peek() is not None:
+            kind, value = self._peek()  # type: ignore[misc]
+            raise ExpressionError(f"unexpected token {value!r} in {self._source!r}")
+        return expression
+
+    def _expression(self) -> StarExpression:
+        node = self._term()
+        while self._peek() is not None and self._peek()[0] == "union":  # type: ignore[index]
+            self._advance()
+            node = UnionExpr(node, self._term())
+        return node
+
+    def _term(self) -> StarExpression:
+        node = self._factor()
+        while True:
+            token = self._peek()
+            if token is None:
+                return node
+            kind, _value = token
+            if kind == ".":
+                self._advance()
+                node = ConcatExpr(node, self._factor())
+            elif kind in ("empty", "name", "("):
+                node = ConcatExpr(node, self._factor())
+            else:
+                return node
+
+    def _factor(self) -> StarExpression:
+        node = self._atom()
+        while self._peek() is not None and self._peek()[0] == "*":  # type: ignore[index]
+            self._advance()
+            node = StarExpr(node)
+        return node
+
+    def _atom(self) -> StarExpression:
+        kind, value = self._advance()
+        if kind == "empty":
+            return EmptyExpr()
+        if kind == "name":
+            return ActionExpr(value)
+        if kind == "(":
+            node = self._expression()
+            closing = self._advance()
+            if closing[0] != ")":
+                raise ExpressionError(f"expected ')' in {self._source!r}")
+            return node
+        raise ExpressionError(f"unexpected token {value!r} in {self._source!r}")
+
+
+def parse(text: str) -> StarExpression:
+    """Parse the concrete syntax into a :class:`StarExpression` AST."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExpressionError("empty expression text")
+    return _Parser(tokens, text).parse()

@@ -1,0 +1,135 @@
+"""Abstract syntax of star expressions (Definition 2.3.1).
+
+Star expressions are syntactically the regular expressions over an action
+alphabet: the constant ``empty`` (the empty expression, written ``0`` in the
+concrete syntax), single actions, union, concatenation and Kleene star.  The
+*semantics* differ: a regular expression denotes a set of strings, whereas a
+star expression denotes the strong-equivalence class of its representative FSP
+(see :mod:`repro.expressions.semantics`).
+
+The AST nodes are immutable dataclasses; convenience operators are provided so
+tests and examples can build expressions fluently::
+
+    (a | b) >> c.star()     # (a u b) . c*
+
+where ``a = Action("a")`` and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.errors import ExpressionError
+
+
+class _Base:
+    """Shared operator sugar for star-expression nodes."""
+
+    def __or__(self, other: "StarExpression") -> "UnionExpr":
+        return UnionExpr(self, other)  # type: ignore[arg-type]
+
+    def __rshift__(self, other: "StarExpression") -> "ConcatExpr":
+        return ConcatExpr(self, other)  # type: ignore[arg-type]
+
+    def star(self) -> "StarExpr":
+        return StarExpr(self)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class EmptyExpr(_Base):
+    """The empty star expression ``0`` (denoting the deadlocked, non-accepting process)."""
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True)
+class ActionExpr(_Base):
+    """A single action ``a``."""
+
+    action: str
+
+    def __post_init__(self) -> None:
+        if not self.action or not all(ch.isalnum() or ch == "_" for ch in self.action):
+            raise ExpressionError(f"invalid action name {self.action!r}")
+        if self.action == "0":
+            raise ExpressionError("'0' is reserved for the empty expression")
+
+    def __str__(self) -> str:
+        return self.action
+
+
+@dataclass(frozen=True)
+class UnionExpr(_Base):
+    """Union (the ``+`` / ``u`` of the paper)."""
+
+    left: "StarExpression"
+    right: "StarExpression"
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class ConcatExpr(_Base):
+    """Concatenation (the ``.`` of the paper)."""
+
+    left: "StarExpression"
+    right: "StarExpression"
+
+    def __str__(self) -> str:
+        return f"({self.left}.{self.right})"
+
+
+@dataclass(frozen=True)
+class StarExpr(_Base):
+    """Kleene star."""
+
+    operand: "StarExpression"
+
+    def __str__(self) -> str:
+        return f"({self.operand})*"
+
+
+StarExpression = Union[EmptyExpr, ActionExpr, UnionExpr, ConcatExpr, StarExpr]
+
+
+def actions_of(expression: StarExpression) -> frozenset[str]:
+    """The set of action symbols appearing in the expression."""
+    if isinstance(expression, EmptyExpr):
+        return frozenset()
+    if isinstance(expression, ActionExpr):
+        return frozenset({expression.action})
+    if isinstance(expression, (UnionExpr, ConcatExpr)):
+        return actions_of(expression.left) | actions_of(expression.right)
+    if isinstance(expression, StarExpr):
+        return actions_of(expression.operand)
+    raise ExpressionError(f"not a star expression: {expression!r}")
+
+
+def length_of(expression: StarExpression) -> int:
+    """The *length* of the expression in the sense of Lemma 2.3.1.
+
+    The lemma measures the number of symbols of the expression string; we
+    count one for every constant, action occurrence and operator, which is the
+    same quantity up to parentheses.
+    """
+    if isinstance(expression, (EmptyExpr, ActionExpr)):
+        return 1
+    if isinstance(expression, (UnionExpr, ConcatExpr)):
+        return 1 + length_of(expression.left) + length_of(expression.right)
+    if isinstance(expression, StarExpr):
+        return 1 + length_of(expression.operand)
+    raise ExpressionError(f"not a star expression: {expression!r}")
+
+
+def subexpressions(expression: StarExpression) -> list[StarExpression]:
+    """All subexpressions in post-order (the expression itself last)."""
+    if isinstance(expression, (EmptyExpr, ActionExpr)):
+        return [expression]
+    if isinstance(expression, (UnionExpr, ConcatExpr)):
+        return subexpressions(expression.left) + subexpressions(expression.right) + [expression]
+    if isinstance(expression, StarExpr):
+        return subexpressions(expression.operand) + [expression]
+    raise ExpressionError(f"not a star expression: {expression!r}")

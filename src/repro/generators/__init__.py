@@ -1,0 +1,55 @@
+"""Workload generators: random processes, parametric families, random expressions."""
+
+from repro.generators.expressions import (
+    alternating_expression,
+    left_deep_concat,
+    random_star_expression,
+    starred_unions,
+)
+from repro.generators.families import (
+    binary_tree,
+    chain,
+    comb,
+    cycle,
+    duplicated_chain,
+    kanellakis_inequivalent_pair,
+    kanellakis_pair,
+    nondeterministic_counter,
+    restricted_counter,
+    tau_ladder,
+)
+from repro.generators.random_fsp import (
+    perturb,
+    random_deterministic_fsp,
+    random_equivalent_copy,
+    random_finite_tree,
+    random_fsp,
+    random_observable_fsp,
+    random_restricted_observable_fsp,
+    random_rou_fsp,
+)
+
+__all__ = [
+    "alternating_expression",
+    "binary_tree",
+    "chain",
+    "comb",
+    "cycle",
+    "duplicated_chain",
+    "kanellakis_inequivalent_pair",
+    "kanellakis_pair",
+    "left_deep_concat",
+    "nondeterministic_counter",
+    "perturb",
+    "random_deterministic_fsp",
+    "random_equivalent_copy",
+    "random_finite_tree",
+    "random_fsp",
+    "random_observable_fsp",
+    "random_restricted_observable_fsp",
+    "random_rou_fsp",
+    "random_star_expression",
+    "restricted_counter",
+    "starred_unions",
+    "tau_ladder",
+]

@@ -1,0 +1,86 @@
+"""Random and parametric star-expression generators.
+
+Used by the Lemma 2.3.1 benchmark (construction size versus expression
+length), by property-based tests of the expression semantics, and by the
+CCS-equivalence examples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.expressions.syntax import (
+    ActionExpr,
+    ConcatExpr,
+    EmptyExpr,
+    StarExpr,
+    StarExpression,
+    UnionExpr,
+)
+
+
+def random_star_expression(
+    size: int,
+    alphabet: tuple[str, ...] = ("a", "b", "c"),
+    star_probability: float = 0.2,
+    empty_probability: float = 0.05,
+    seed: int | random.Random = 0,
+) -> StarExpression:
+    """A random star expression with roughly ``size`` leaves.
+
+    The shape is a random binary tree over union/concatenation with stars
+    sprinkled on subtrees; ``empty_probability`` controls how often the
+    constant ``0`` appears as a leaf.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+
+    def build(leaves: int) -> StarExpression:
+        if leaves <= 1:
+            if rng.random() < empty_probability:
+                node: StarExpression = EmptyExpr()
+            else:
+                node = ActionExpr(rng.choice(alphabet))
+        else:
+            split = rng.randint(1, leaves - 1)
+            left = build(split)
+            right = build(leaves - split)
+            node = UnionExpr(left, right) if rng.random() < 0.5 else ConcatExpr(left, right)
+        if rng.random() < star_probability:
+            node = StarExpr(node)
+        return node
+
+    return build(max(size, 1))
+
+
+def alternating_expression(depth: int, alphabet: tuple[str, ...] = ("a", "b")) -> StarExpression:
+    """A deterministic family ``((a.b)* + a)`` nested ``depth`` times.
+
+    The expression length grows linearly in ``depth`` and its representative
+    FSP exhibits the quadratic transition growth of the star/concat cases of
+    Definition 2.3.1, which is what the Lemma 2.3.1 benchmark plots.
+    """
+    node: StarExpression = ActionExpr(alphabet[0])
+    for level in range(depth):
+        action = ActionExpr(alphabet[level % len(alphabet)])
+        node = UnionExpr(StarExpr(ConcatExpr(action, node)), ActionExpr(alphabet[(level + 1) % len(alphabet)]))
+    return node
+
+
+def left_deep_concat(length: int, action: str = "a") -> StarExpression:
+    """The expression ``(...((a.a).a)...a)`` with ``length`` occurrences of ``a``."""
+    node: StarExpression = ActionExpr(action)
+    for _ in range(max(length - 1, 0)):
+        node = ConcatExpr(node, ActionExpr(action))
+    return node
+
+
+def starred_unions(width: int, alphabet: tuple[str, ...] = ("a", "b", "c")) -> StarExpression:
+    """The expression ``(a1 + a2 + ... + a_width)*`` cycling through the alphabet.
+
+    Its representative FSP is small but dense (every accepting state copies
+    the start moves), exercising the O(n^2) transition bound of Lemma 2.3.1.
+    """
+    node: StarExpression = ActionExpr(alphabet[0])
+    for index in range(1, max(width, 1)):
+        node = UnionExpr(node, ActionExpr(alphabet[index % len(alphabet)]))
+    return StarExpr(node)

@@ -1,0 +1,180 @@
+"""Parameterised process families used by the benchmark harness.
+
+Each family is a function from a size parameter to an FSP (or a pair of FSPs)
+with a known, documented structure.  They are the workloads behind the
+experiment rows of EXPERIMENTS.md:
+
+* scaling families for the partition-refinement comparison of Theorem 3.1
+  (chains, cycles, complete bipartite "combs", trees with duplicated
+  subtrees);
+* tau-rich families for the observational-equivalence benchmark of
+  Theorem 4.1(a);
+* the hard universality-style instances that make ``approx_1`` / ``approx_k``
+  and failure equivalence blow up (Lemma 4.2 / Theorems 4.1(b), 5.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.fsp import ACCEPT, FSP, TAU, FSPBuilder, from_transitions
+
+
+def chain(length: int, action: str = "a", all_accepting: bool = True) -> FSP:
+    """A simple chain ``s0 --a--> s1 --a--> ... --a--> s_length``."""
+    transitions = [(f"s{i}", action, f"s{i + 1}") for i in range(length)]
+    return from_transitions(
+        transitions,
+        start="s0",
+        all_accepting=all_accepting,
+        accepting=[f"s{length}"],
+        alphabet={action},
+    )
+
+
+def cycle(length: int, action: str = "a", all_accepting: bool = True) -> FSP:
+    """A directed cycle of the given length."""
+    if length < 1:
+        raise ValueError("cycle length must be positive")
+    transitions = [(f"s{i}", action, f"s{(i + 1) % length}") for i in range(length)]
+    return from_transitions(
+        transitions,
+        start="s0",
+        all_accepting=all_accepting,
+        accepting=["s0"],
+        alphabet={action},
+    )
+
+
+def binary_tree(depth: int, actions: tuple[str, str] = ("a", "b")) -> FSP:
+    """A complete binary tree of the given depth (a finite-tree restricted process)."""
+    builder = FSPBuilder(alphabet=set(actions))
+    builder.add_state("n")
+
+    def grow(node: str, remaining: int) -> None:
+        if remaining == 0:
+            return
+        left, right = node + "0", node + "1"
+        builder.add_transition(node, actions[0], left)
+        builder.add_transition(node, actions[1], right)
+        grow(left, remaining - 1)
+        grow(right, remaining - 1)
+
+    grow("n", depth)
+    builder.mark_all_accepting()
+    return builder.build(start="n")
+
+
+def comb(teeth: int, actions: tuple[str, str] = ("a", "b")) -> FSP:
+    """A "comb": a chain of ``a``-moves with a ``b``-tooth hanging off every node.
+
+    Combs refine slowly under partition refinement (each tooth distance from
+    the end gives a distinct class), which makes them a good stress test for
+    the splitter-queue algorithms.
+    """
+    builder = FSPBuilder(alphabet=set(actions))
+    for index in range(teeth):
+        builder.add_transition(f"c{index}", actions[0], f"c{index + 1}")
+        builder.add_transition(f"c{index}", actions[1], f"tooth{index}")
+    builder.mark_all_accepting()
+    return builder.build(start="c0")
+
+
+def tau_ladder(rungs: int, action: str = "a") -> FSP:
+    """A tau-rich process: a chain alternating tau and observable moves.
+
+    The tau-closure of the start state grows linearly with ``rungs`` and the
+    saturated process of Theorem 4.1(a) becomes quadratically denser, which is
+    exactly the regime the observational-equivalence benchmark measures.
+    """
+    builder = FSPBuilder(alphabet={action})
+    for index in range(rungs):
+        builder.add_transition(f"u{index}", TAU, f"u{index + 1}")
+        builder.add_transition(f"u{index}", action, f"v{index}")
+        builder.add_transition(f"v{index}", TAU, f"u{index}")
+    builder.mark_all_accepting()
+    return builder.build(start="u0")
+
+
+def nondeterministic_counter(bits: int) -> FSP:
+    """A standard observable process whose determinisation has ~2^bits states.
+
+    The classical "the k-th symbol from the end is an `a`" automaton: from the
+    start state the process guesses the distinguished position.  Used to drive
+    the exponential worst cases of ``approx_1`` / failure equivalence, i.e.
+    the empirical face of the PSPACE-hardness results.
+    """
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    builder = FSPBuilder(alphabet={"a", "b"})
+    builder.add_transition("g", "a", "g")
+    builder.add_transition("g", "b", "g")
+    builder.add_transition("g", "a", "d0")
+    for index in range(bits - 1):
+        builder.add_transition(f"d{index}", "a", f"d{index + 1}")
+        builder.add_transition(f"d{index}", "b", f"d{index + 1}")
+    builder.mark_accepting(f"d{bits - 1}")
+    return builder.build(start="g")
+
+
+def restricted_counter(bits: int) -> FSP:
+    """The restricted (all-accepting) variant of :func:`nondeterministic_counter`.
+
+    Feeding it to the failure-equivalence checker exhibits the exponential
+    subset-construction behaviour predicted by Theorem 5.1.
+    """
+    base = nondeterministic_counter(bits)
+    return FSP(
+        states=base.states,
+        start=base.start,
+        alphabet=base.alphabet,
+        transitions=base.transitions,
+        variables=[ACCEPT],
+        extensions=[(state, ACCEPT) for state in base.states],
+    )
+
+
+def duplicated_chain(length: int, copies: int, action: str = "a") -> FSP:
+    """A chain in which every node is duplicated ``copies`` times.
+
+    All duplicates of a node are strongly equivalent, so the minimal quotient
+    is the plain chain; the family measures how quickly the refinement
+    algorithms collapse large equivalence classes.
+    """
+    builder = FSPBuilder(alphabet={action})
+    for index in range(length):
+        for copy_src in range(copies):
+            for copy_dst in range(copies):
+                builder.add_transition(f"s{index}_{copy_src}", action, f"s{index + 1}_{copy_dst}")
+    for copy in range(copies):
+        builder.add_state(f"s{length}_{copy}")
+    builder.mark_all_accepting()
+    return builder.build(start="s0_0")
+
+
+def kanellakis_pair(size: int) -> tuple[FSP, FSP]:
+    """A pair of large, strongly *equivalent* processes of parametric size.
+
+    Both are duplicated chains of the same length with different duplication
+    factors, so their quotients coincide; equivalence checkers must do real
+    work to discover it.  Used as the "equivalent" column of the Theorem 3.1
+    benchmark.
+    """
+    return duplicated_chain(size, 2), duplicated_chain(size, 3)
+
+
+def kanellakis_inequivalent_pair(size: int) -> tuple[FSP, FSP]:
+    """A pair of similar but inequivalent processes.
+
+    The right process is the duplicated chain with two extra states appended
+    after the final chain node, so it admits strictly longer traces than the
+    left one; the difference only becomes visible after refining all the way
+    down the chain, which keeps the pair a meaningful "hard inequivalent"
+    benchmark input.
+    """
+    left = duplicated_chain(size, 2)
+    right_builder = FSPBuilder(alphabet={"a"})
+    for src, action, dst in duplicated_chain(size, 2).transitions:
+        right_builder.add_transition(src, action, dst)
+    right_builder.add_transition(f"s{size}_0", "a", "stray")
+    right_builder.add_transition("stray", "a", "stray2")
+    right_builder.mark_all_accepting()
+    return left, right_builder.build(start="s0_0")

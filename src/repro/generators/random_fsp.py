@@ -1,0 +1,229 @@
+"""Random process generators used by property-based tests and benchmarks.
+
+All generators take an explicit ``random.Random`` seed (or a seed integer) so
+that every benchmark row and every Hypothesis example is reproducible.  The
+generators can target specific model classes of the paper's hierarchy so that
+tests of, say, failure equivalence can draw restricted processes only.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.fsp import ACCEPT, FSP, TAU, FSPBuilder
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_fsp(
+    num_states: int,
+    alphabet: Sequence[str] = ("a", "b"),
+    transition_density: float = 1.5,
+    tau_probability: float = 0.15,
+    accepting_probability: float = 0.5,
+    all_accepting: bool = False,
+    ensure_connected: bool = True,
+    seed: int | random.Random = 0,
+) -> FSP:
+    """A random general FSP.
+
+    Parameters
+    ----------
+    num_states:
+        Number of states.
+    alphabet:
+        The observable action alphabet.
+    transition_density:
+        Expected number of outgoing transitions per state.
+    tau_probability:
+        Probability that a generated transition is labelled tau.
+    accepting_probability:
+        Probability that a state is accepting (ignored when ``all_accepting``).
+    all_accepting:
+        Produce a restricted process (every state accepting).
+    ensure_connected:
+        Add a spanning chain of transitions so every state is reachable from
+        the start state; keeps generated instances from degenerating into many
+        tiny unreachable islands.
+    seed:
+        Seed or ``random.Random`` instance.
+    """
+    rng = _rng(seed)
+    if num_states < 1:
+        raise ValueError("num_states must be positive")
+    states = [f"s{i}" for i in range(num_states)]
+    builder = FSPBuilder(alphabet=alphabet)
+    for state in states:
+        builder.add_state(state)
+
+    def pick_action() -> str:
+        if alphabet and rng.random() >= tau_probability:
+            return rng.choice(list(alphabet))
+        return TAU if tau_probability > 0 else rng.choice(list(alphabet))
+
+    if ensure_connected and num_states > 1:
+        order = states[1:]
+        rng.shuffle(order)
+        previous = states[0]
+        for state in order:
+            builder.add_transition(previous, pick_action(), state)
+            previous = rng.choice(states[: states.index(state) + 1])
+    total_transitions = int(transition_density * num_states)
+    for _ in range(total_transitions):
+        src = rng.choice(states)
+        dst = rng.choice(states)
+        builder.add_transition(src, pick_action(), dst)
+    if all_accepting:
+        builder.mark_all_accepting()
+    else:
+        for state in states:
+            if rng.random() < accepting_probability:
+                builder.mark_accepting(state)
+    return builder.build(start=states[0])
+
+
+def random_observable_fsp(
+    num_states: int,
+    alphabet: Sequence[str] = ("a", "b"),
+    transition_density: float = 1.5,
+    accepting_probability: float = 0.5,
+    all_accepting: bool = False,
+    seed: int | random.Random = 0,
+) -> FSP:
+    """A random observable (tau-free) FSP."""
+    return random_fsp(
+        num_states,
+        alphabet=alphabet,
+        transition_density=transition_density,
+        tau_probability=0.0,
+        accepting_probability=accepting_probability,
+        all_accepting=all_accepting,
+        seed=seed,
+    )
+
+
+def random_restricted_observable_fsp(
+    num_states: int,
+    alphabet: Sequence[str] = ("a", "b"),
+    transition_density: float = 1.5,
+    seed: int | random.Random = 0,
+) -> FSP:
+    """A random restricted observable FSP (the setting of the Section 4-5 reductions)."""
+    return random_observable_fsp(
+        num_states,
+        alphabet=alphabet,
+        transition_density=transition_density,
+        all_accepting=True,
+        seed=seed,
+    )
+
+
+def random_rou_fsp(
+    num_states: int,
+    transition_density: float = 1.3,
+    seed: int | random.Random = 0,
+) -> FSP:
+    """A random restricted observable unary FSP over the single action ``a``."""
+    return random_restricted_observable_fsp(
+        num_states, alphabet=("a",), transition_density=transition_density, seed=seed
+    )
+
+
+def random_deterministic_fsp(
+    num_states: int,
+    alphabet: Sequence[str] = ("a", "b"),
+    accepting_probability: float = 0.5,
+    seed: int | random.Random = 0,
+) -> FSP:
+    """A random deterministic FSP: exactly one transition per action from every state."""
+    rng = _rng(seed)
+    states = [f"s{i}" for i in range(num_states)]
+    builder = FSPBuilder(alphabet=alphabet)
+    for state in states:
+        for action in alphabet:
+            builder.add_transition(state, action, rng.choice(states))
+        if rng.random() < accepting_probability:
+            builder.mark_accepting(state)
+    return builder.build(start=states[0])
+
+
+def random_finite_tree(
+    num_states: int,
+    alphabet: Sequence[str] = ("a", "b"),
+    seed: int | random.Random = 0,
+) -> FSP:
+    """A random finite-tree restricted process (each non-root state has one parent)."""
+    rng = _rng(seed)
+    states = [f"t{i}" for i in range(num_states)]
+    builder = FSPBuilder(alphabet=alphabet)
+    builder.add_state(states[0])
+    for index in range(1, num_states):
+        parent = states[rng.randrange(index)]
+        builder.add_transition(parent, rng.choice(list(alphabet)), states[index])
+    builder.mark_all_accepting()
+    return builder.build(start=states[0])
+
+
+def perturb(fsp: FSP, seed: int | random.Random = 0) -> FSP:
+    """A slightly modified copy of a process (one random transition added or removed).
+
+    Benchmarks use pairs ``(fsp, perturb(fsp))`` as "probably inequivalent but
+    very similar" inputs, which are the hard case for equivalence checkers.
+    """
+    rng = _rng(seed)
+    transitions = set(fsp.transitions)
+    states = sorted(fsp.states)
+    actions = sorted(fsp.alphabet) or [TAU]
+    if transitions and rng.random() < 0.5:
+        transitions.discard(rng.choice(sorted(transitions)))
+    else:
+        transitions.add((rng.choice(states), rng.choice(actions), rng.choice(states)))
+    return FSP(
+        states=fsp.states,
+        start=fsp.start,
+        alphabet=fsp.alphabet,
+        transitions=transitions,
+        variables=fsp.variables,
+        extensions=fsp.extensions,
+    )
+
+
+def random_equivalent_copy(fsp: FSP, duplicates: int = 1, seed: int | random.Random = 0) -> FSP:
+    """A process observationally equivalent to ``fsp`` obtained by duplicating states.
+
+    Each chosen state is cloned: the clone receives copies of the original's
+    outgoing transitions and extensions, and every predecessor of the original
+    also points at the clone.  The result is strongly (hence observationally)
+    equivalent to the input state-for-state, but has more states --
+    benchmarks use it to produce non-trivial *equivalent* input pairs.
+    """
+    rng = _rng(seed)
+    states = set(fsp.states)
+    transitions = set(fsp.transitions)
+    extensions = set(fsp.extensions)
+    originals = sorted(fsp.states)
+    for index in range(duplicates):
+        original = rng.choice(originals)
+        clone = f"{original}#dup{index}"
+        while clone in states:
+            clone += "'"
+        states.add(clone)
+        for src, action, dst in list(transitions):
+            if src == original:
+                transitions.add((clone, action, dst))
+            if dst == original:
+                transitions.add((src, action, clone))
+        for state, var in list(extensions):
+            if state == original:
+                extensions.add((clone, var))
+    return FSP(
+        states=states,
+        start=fsp.start,
+        alphabet=fsp.alphabet,
+        transitions=transitions,
+        variables=fsp.variables | {ACCEPT},
+        extensions=extensions,
+    )

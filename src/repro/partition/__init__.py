@@ -1,0 +1,28 @@
+"""Generalized partitioning (relational coarsest partition) and its solvers."""
+
+from repro.partition.generalized import (
+    GeneralizedPartitioningError,
+    GeneralizedPartitioningInstance,
+    Solver,
+    is_stable,
+    is_valid_solution,
+    solve,
+)
+from repro.partition.kanellakis_smolka import kanellakis_smolka_refine
+from repro.partition.naive import naive_refine
+from repro.partition.paige_tarjan import paige_tarjan_refine
+from repro.partition.partition import Partition, PartitionError
+
+__all__ = [
+    "GeneralizedPartitioningError",
+    "GeneralizedPartitioningInstance",
+    "Partition",
+    "PartitionError",
+    "Solver",
+    "is_stable",
+    "is_valid_solution",
+    "kanellakis_smolka_refine",
+    "naive_refine",
+    "paige_tarjan_refine",
+    "solve",
+]

@@ -1,0 +1,263 @@
+"""The *generalized partitioning* problem of Section 3.
+
+The problem (introduced by the paper and now better known as the *relational
+coarsest partition problem*) is:
+
+    **Input:** a set ``S``, an initial partition ``pi = {B_1, ..., B_p}`` of
+    ``S``, and ``k`` functions ``f_l : S -> 2^S``.
+
+    **Output:** the coarsest partition ``pi' = {E_1, ..., E_q}`` such that
+
+    1. ``pi'`` is consistent with (refines) ``pi``;
+    2. for all ``a, b`` in the same block ``E_j``, every block ``E_i`` and
+       every function ``f_l``:  ``f_l(a) ∩ E_i != {}``  iff  ``f_l(b) ∩ E_i != {}``.
+
+The coarsest such partition always exists (Knaster-Tarski on the lattice of
+partitions).  Lemma 3.1 reduces strong-equivalence checking of observable FSPs
+to this problem: ``S`` is the state set, the initial partition groups states
+by extension set, and there is one function per action mapping a state to its
+successor set.
+
+This module defines the instance representation, the Lemma 3.1 reduction, a
+reference correctness check (:func:`is_valid_solution`) and the
+solver dispatcher :func:`solve` used throughout the library.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+
+from repro.core.errors import ReproError
+from repro.core.fsp import FSP
+from repro.partition.partition import Partition
+
+
+class GeneralizedPartitioningError(ReproError):
+    """Raised when an instance of the generalized partitioning problem is malformed."""
+
+
+class Solver(enum.Enum):
+    """The three solution methods discussed in Section 3."""
+
+    NAIVE = "naive"
+    KANELLAKIS_SMOLKA = "kanellakis-smolka"
+    PAIGE_TARJAN = "paige-tarjan"
+
+
+class GeneralizedPartitioningInstance:
+    """An instance ``(S, pi, f_1..f_k)`` of the generalized partitioning problem.
+
+    Parameters
+    ----------
+    elements:
+        The set ``S``.
+    initial_blocks:
+        The initial partition ``pi`` as an iterable of blocks.  Blocks must be
+        non-empty, disjoint, and cover ``S``.
+    functions:
+        A mapping from function name to the function itself, where each
+        function maps an element to a set of elements (``f_l : S -> 2^S``).
+        Elements missing from a function's mapping are treated as mapped to
+        the empty set.
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[str],
+        initial_blocks: Iterable[Iterable[str]],
+        functions: Mapping[str, Mapping[str, Iterable[str]]],
+    ) -> None:
+        self.elements: frozenset[str] = frozenset(elements)
+        self.initial_blocks: tuple[frozenset[str], ...] = tuple(
+            frozenset(block) for block in initial_blocks
+        )
+        self.functions: dict[str, dict[str, frozenset[str]]] = {
+            name: {element: frozenset(targets) for element, targets in mapping.items()}
+            for name, mapping in functions.items()
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        covered: set[str] = set()
+        for block in self.initial_blocks:
+            if not block:
+                raise GeneralizedPartitioningError("initial blocks must be non-empty")
+            if block & covered:
+                raise GeneralizedPartitioningError("initial blocks must be disjoint")
+            covered |= block
+        if covered != set(self.elements):
+            raise GeneralizedPartitioningError(
+                "the initial partition must cover exactly the element set"
+            )
+        for name, mapping in self.functions.items():
+            for element, targets in mapping.items():
+                if element not in self.elements:
+                    raise GeneralizedPartitioningError(
+                        f"function {name!r} is defined on {element!r} which is not in S"
+                    )
+                if not targets <= self.elements:
+                    raise GeneralizedPartitioningError(
+                        f"function {name!r} maps {element!r} outside of S"
+                    )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def image(self, function: str, element: str) -> frozenset[str]:
+        """``f_function(element)`` with missing entries read as the empty set."""
+        return self.functions.get(function, {}).get(element, frozenset())
+
+    @property
+    def size(self) -> tuple[int, int]:
+        """The instance size ``(n, m)``: ``|S|`` and the total number of arcs."""
+        n = len(self.elements)
+        m = sum(len(targets) for mapping in self.functions.values() for targets in mapping.values())
+        return n, m
+
+    @property
+    def fanout(self) -> int:
+        """The maximum ``|f_l(a)|`` over all functions and elements (the ``c`` of Section 3)."""
+        best = 0
+        for mapping in self.functions.values():
+            for targets in mapping.values():
+                best = max(best, len(targets))
+        return best
+
+    def initial_partition(self) -> Partition:
+        """A fresh mutable :class:`Partition` initialised to ``pi``."""
+        return Partition(self.initial_blocks)
+
+    def predecessor_map(self) -> dict[str, dict[str, frozenset[str]]]:
+        """For each function, the inverse image map ``element -> {x | element in f(x)}``.
+
+        The Paige-Tarjan algorithm refines against *preimages* of splitter
+        blocks, so it needs this inverted view of the functions.
+        """
+        inverted: dict[str, dict[str, set[str]]] = {
+            name: {} for name in self.functions
+        }
+        for name, mapping in self.functions.items():
+            for element, targets in mapping.items():
+                for target in targets:
+                    inverted[name].setdefault(target, set()).add(element)
+        return {
+            name: {element: frozenset(sources) for element, sources in mapping.items()}
+            for name, mapping in inverted.items()
+        }
+
+    # ------------------------------------------------------------------
+    # the Lemma 3.1 reduction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fsp(cls, fsp: FSP, include_tau: bool = False) -> "GeneralizedPartitioningInstance":
+        """Build the instance of Lemma 3.1 from a finite state process.
+
+        * ``S`` is the state set,
+        * the initial partition groups states with equal extension sets,
+        * there is one function per action ``sigma`` with
+          ``f_sigma(p) = Delta(p, sigma)``.
+
+        Parameters
+        ----------
+        fsp:
+            The process.  Lemma 3.1 is stated for observable FSPs, but the
+            reduction itself works verbatim for any FSP if tau is treated as
+            an ordinary action, which is what ``include_tau=True`` does (this
+            yields *strong bisimilarity over tau-as-a-label*, the notion most
+            modern toolsets call strong bisimulation).
+        include_tau:
+            Whether to add a function for the tau-transitions.
+        """
+        from repro.core.fsp import TAU  # local import to avoid cycle at module load
+
+        actions = set(fsp.alphabet)
+        if include_tau and fsp.has_tau():
+            actions.add(TAU)
+        functions: dict[str, dict[str, frozenset[str]]] = {}
+        for action in actions:
+            mapping: dict[str, frozenset[str]] = {}
+            for state in fsp.states:
+                successors = fsp.successors(state, action)
+                if successors:
+                    mapping[state] = successors
+            functions[action] = mapping
+        groups: dict[frozenset[str], set[str]] = {}
+        for state in fsp.states:
+            groups.setdefault(fsp.extension(state), set()).add(state)
+        return cls(elements=fsp.states, initial_blocks=groups.values(), functions=functions)
+
+    def __repr__(self) -> str:
+        n, m = self.size
+        return (
+            f"GeneralizedPartitioningInstance(n={n}, m={m}, "
+            f"functions={sorted(self.functions)}, blocks={len(self.initial_blocks)})"
+        )
+
+
+def is_stable(instance: GeneralizedPartitioningInstance, partition: Partition) -> bool:
+    """Check condition (2) of the problem statement for a candidate partition."""
+    blocks = list(partition)
+    for block in blocks:
+        representative_signatures: dict[str, frozenset[tuple[str, int]]] = {}
+        for element in block:
+            signature = set()
+            for name in instance.functions:
+                for target in instance.image(name, element):
+                    signature.add((name, partition.block_id_of(target)))
+            representative_signatures[element] = frozenset(signature)
+        if len(set(representative_signatures.values())) > 1:
+            return False
+    return True
+
+
+def is_valid_solution(
+    instance: GeneralizedPartitioningInstance,
+    partition: Partition,
+    reference: Partition | None = None,
+) -> bool:
+    """Check that ``partition`` satisfies conditions (1) and (2).
+
+    Coarsest-ness (condition 3) cannot be checked locally; when a trusted
+    ``reference`` solution is supplied the two are compared for equality,
+    which the uniqueness of the coarsest stable refinement makes a complete
+    check.
+    """
+    if partition.elements != instance.elements:
+        return False
+    if not partition.refines(instance.initial_partition()):
+        return False
+    if not is_stable(instance, partition):
+        return False
+    if reference is not None and partition != reference:
+        return False
+    return True
+
+
+def solve(
+    instance: GeneralizedPartitioningInstance,
+    method: Solver | str = Solver.PAIGE_TARJAN,
+) -> Partition:
+    """Solve a generalized partitioning instance with the chosen method.
+
+    The three methods produce identical partitions (the coarsest stable
+    refinement is unique); they differ only in running time:
+
+    * :attr:`Solver.NAIVE` -- the O(nm) method of Lemma 3.2;
+    * :attr:`Solver.KANELLAKIS_SMOLKA` -- the splitter-queue refinement in the
+      style of the paper's extension of Hopcroft's algorithm;
+    * :attr:`Solver.PAIGE_TARJAN` -- the O(m log n) three-way splitting
+      algorithm of Paige and Tarjan (1987), the default.
+    """
+    method = Solver(method)
+    if method is Solver.NAIVE:
+        from repro.partition.naive import naive_refine
+
+        return naive_refine(instance)
+    if method is Solver.KANELLAKIS_SMOLKA:
+        from repro.partition.kanellakis_smolka import kanellakis_smolka_refine
+
+        return kanellakis_smolka_refine(instance)
+    from repro.partition.paige_tarjan import paige_tarjan_refine
+
+    return paige_tarjan_refine(instance)

@@ -1,0 +1,90 @@
+"""Splitter-queue partition refinement in the style of Kanellakis & Smolka.
+
+Section 3 of the paper describes (and Kanellakis & Smolka 1983 / Smolka 1984
+develop in full) a divide-and-conquer refinement that generalises Hopcroft's
+DFA-minimisation algorithm to the relational setting: instead of re-examining
+the whole partition after every change (the naive method), only blocks with an
+arc into a *splitter* block can possibly split, so the algorithm keeps a
+worklist of splitters and processes them one at a time.
+
+For processes with fanout bounded by a constant ``c`` the original algorithm
+achieves ``O(c^2 n log n)`` by re-adding only the smaller half of a split
+block to the worklist.  The implementation below keeps the splitter-queue
+structure but conservatively re-adds *both* halves of a split block whenever
+the parent is no longer pending.  This keeps the algorithm correct for
+unbounded nondeterminism (where the smaller-half shortcut alone is unsound --
+precisely the gap that Paige & Tarjan's three-way splitting closes) at the
+cost of a worst case matching the naive bound; in practice it performs close
+to the Paige-Tarjan algorithm on the workloads of the benchmark suite and far
+better than the naive method.  See ``benchmarks/bench_strong_equivalence.py``
+(experiment E5) for the measured comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.partition.generalized import GeneralizedPartitioningInstance
+from repro.partition.partition import Partition
+
+
+def kanellakis_smolka_refine(instance: GeneralizedPartitioningInstance) -> Partition:
+    """Solve a generalized partitioning instance with splitter-queue refinement."""
+    partition = instance.initial_partition()
+    predecessors = instance.predecessor_map()
+    function_names = sorted(instance.functions)
+
+    # Worklist of pending splitter block ids.  A set mirror gives O(1)
+    # membership tests so we can tell whether a split parent is still pending.
+    pending: deque[int] = deque(partition.block_ids())
+    pending_set: set[int] = set(pending)
+
+    while pending:
+        splitter_id = pending.popleft()
+        pending_set.discard(splitter_id)
+        try:
+            splitter = partition.block_members(splitter_id)
+        except Exception:  # pragma: no cover - splitter ids never disappear
+            continue
+
+        for name in function_names:
+            # Elements with at least one arc (under this function) into the
+            # splitter block.  Blocks entirely inside or entirely outside this
+            # preimage are stable with respect to the splitter; mixed blocks
+            # must be split.
+            preimage: set[str] = set()
+            pred = predecessors[name]
+            for member in splitter:
+                preimage |= pred.get(member, frozenset())
+            if not preimage:
+                continue
+
+            touched_blocks: dict[int, set[str]] = {}
+            for element in preimage:
+                touched_blocks.setdefault(partition.block_id_of(element), set()).add(element)
+
+            for block_id, inside in touched_blocks.items():
+                members = partition.block_members(block_id)
+                if len(inside) == len(members):
+                    continue
+                result = partition.split_block(block_id, inside)
+                if result is None:
+                    continue
+                kept_id, new_id = result
+                if block_id in pending_set:
+                    # The parent was still awaiting processing: both halves
+                    # inherit its pending status.
+                    pending.append(new_id)
+                    pending_set.add(new_id)
+                else:
+                    # Conservative variant: enqueue both halves.  (With fanout
+                    # bounded by a constant the original algorithm enqueues
+                    # only the smaller one.)
+                    smaller, larger = sorted(
+                        (kept_id, new_id), key=lambda bid: len(partition.block_members(bid))
+                    )
+                    pending.append(smaller)
+                    pending_set.add(smaller)
+                    pending.append(larger)
+                    pending_set.add(larger)
+    return partition

@@ -1,0 +1,191 @@
+"""Partition data structure shared by the refinement algorithms.
+
+A :class:`Partition` is a division of a finite element set into non-empty,
+pairwise disjoint blocks.  The refinement algorithms of Section 3 only need a
+few operations -- block lookup, splitting a block by a predicate, comparing
+coarseness -- and those are provided here with O(1) block lookup.
+
+Blocks are exposed as ``frozenset`` values; the partition itself is mutable
+(blocks can be split) because the refinement algorithms are inherently
+imperative, but a finished partition can be frozen into a canonical
+``frozenset[frozenset[str]]`` via :meth:`Partition.as_frozen`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Iterator
+
+from repro.core.errors import ReproError
+
+
+class PartitionError(ReproError):
+    """Raised when a partition operation receives inconsistent input."""
+
+
+class Partition:
+    """A partition of a finite set of string-named elements."""
+
+    def __init__(self, blocks: Iterable[Iterable[str]]) -> None:
+        self._blocks: dict[int, set[str]] = {}
+        self._block_of: dict[str, int] = {}
+        self._next_id = 0
+        for block in blocks:
+            self._add_block(set(block))
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def discrete(cls, elements: Iterable[str]) -> "Partition":
+        """The finest partition: every element in its own block."""
+        return cls([[element] for element in elements])
+
+    @classmethod
+    def trivial(cls, elements: Iterable[str]) -> "Partition":
+        """The coarsest partition: a single block containing every element."""
+        elements = list(elements)
+        return cls([elements]) if elements else cls([])
+
+    @classmethod
+    def from_key(cls, elements: Iterable[str], key: Callable[[str], Hashable]) -> "Partition":
+        """Group elements by a key function (used for the initial extension-based blocks)."""
+        groups: dict[Hashable, list[str]] = {}
+        for element in elements:
+            groups.setdefault(key(element), []).append(element)
+        return cls(groups.values())
+
+    def _add_block(self, members: set[str]) -> int:
+        if not members:
+            raise PartitionError("blocks must be non-empty")
+        for element in members:
+            if element in self._block_of:
+                raise PartitionError(f"element {element!r} appears in two blocks")
+        block_id = self._next_id
+        self._next_id += 1
+        self._blocks[block_id] = members
+        for element in members:
+            self._block_of[element] = block_id
+        return block_id
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def elements(self) -> frozenset[str]:
+        """The underlying element set."""
+        return frozenset(self._block_of)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[frozenset[str]]:
+        for members in self._blocks.values():
+            yield frozenset(members)
+
+    def block_ids(self) -> list[int]:
+        """The identifiers of the current blocks (stable across splits of *other* blocks)."""
+        return list(self._blocks)
+
+    def block_members(self, block_id: int) -> frozenset[str]:
+        """The members of the block with the given identifier."""
+        try:
+            return frozenset(self._blocks[block_id])
+        except KeyError as exc:
+            raise PartitionError(f"no block with id {block_id}") from exc
+
+    def block_id_of(self, element: str) -> int:
+        """The identifier of the block containing ``element``."""
+        try:
+            return self._block_of[element]
+        except KeyError as exc:
+            raise PartitionError(f"{element!r} is not an element of this partition") from exc
+
+    def block_of(self, element: str) -> frozenset[str]:
+        """The block (as a frozenset) containing ``element``."""
+        return frozenset(self._blocks[self.block_id_of(element)])
+
+    def same_block(self, first: str, second: str) -> bool:
+        """Whether two elements currently share a block."""
+        return self.block_id_of(first) == self.block_id_of(second)
+
+    def as_frozen(self) -> frozenset[frozenset[str]]:
+        """A canonical immutable rendering of the partition."""
+        return frozenset(frozenset(members) for members in self._blocks.values())
+
+    def refines(self, other: "Partition") -> bool:
+        """Whether every block of ``self`` is contained in some block of ``other``.
+
+        This is the lattice order used in Section 3 to state that the output
+        partition must be *consistent with* the initial partition.
+        """
+        if self.elements != other.elements:
+            return False
+        return all(
+            all(other.same_block(member, next(iter(block))) for member in block)
+            for block in self
+        )
+
+    # ------------------------------------------------------------------
+    # refinement operations
+    # ------------------------------------------------------------------
+    def split_block(self, block_id: int, chosen: Iterable[str]) -> tuple[int, int] | None:
+        """Split one block into ``chosen`` and its complement.
+
+        Returns the pair ``(kept_id, new_id)`` of block identifiers when the
+        split is proper (both parts non-empty); returns ``None`` and leaves the
+        partition unchanged when the split would be trivial.  The original
+        ``block_id`` keeps the complement part, which lets callers that track
+        per-block bookkeeping update only the new block.
+        """
+        members = self._blocks.get(block_id)
+        if members is None:
+            raise PartitionError(f"no block with id {block_id}")
+        chosen_set = {element for element in chosen if element in members}
+        if not chosen_set or len(chosen_set) == len(members):
+            return None
+        members -= chosen_set
+        new_id = self._add_block_unchecked(chosen_set)
+        return block_id, new_id
+
+    def _add_block_unchecked(self, members: set[str]) -> int:
+        block_id = self._next_id
+        self._next_id += 1
+        self._blocks[block_id] = members
+        for element in members:
+            self._block_of[element] = block_id
+        return block_id
+
+    def split_by_key(self, key: Callable[[str], Hashable]) -> bool:
+        """Split every block by a key function; returns True when anything changed."""
+        changed = False
+        for block_id in list(self._blocks):
+            members = self._blocks[block_id]
+            groups: dict[Hashable, set[str]] = {}
+            for element in members:
+                groups.setdefault(key(element), set()).add(element)
+            if len(groups) <= 1:
+                continue
+            changed = True
+            group_sets = list(groups.values())
+            # keep the first group in the existing block, move the rest out
+            kept = group_sets[0]
+            removed = members - kept
+            members -= removed
+            for group in group_sets[1:]:
+                self._add_block_unchecked(set(group))
+        return changed
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self.as_frozen() == other.as_frozen()
+
+    def __hash__(self) -> int:
+        return hash(self.as_frozen())
+
+    def __repr__(self) -> str:
+        blocks = sorted(sorted(block) for block in self)
+        return f"Partition({blocks})"

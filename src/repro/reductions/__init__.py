@@ -1,0 +1,51 @@
+"""The hardness reductions of Sections 4 and 5 as executable constructions."""
+
+from repro.reductions.lemma42 import (
+    decide_universality_via_lemma42,
+    lemma42_transform,
+    normalize_for_lemma42,
+)
+from repro.reductions.star_ops import fsp_prefix, fsp_union
+from repro.reductions.theorem41b import (
+    separating_pair,
+    theorem41b_iterate,
+    theorem41b_step,
+    union_characterisation_holds,
+)
+from repro.reductions.theorem41c import (
+    accepting_to_dead,
+    chaos_characterisation,
+    equivalent_to_chaos,
+    make_restricted,
+    theorem41c_transform,
+)
+from repro.reductions.theorem51 import rou_transform, theorem51_transform
+from repro.reductions.universality import (
+    approx1_equals_trivial,
+    approx2_equals_trivial_characterisation,
+    approx2_equals_trivial_generic,
+    refusal_witness,
+)
+
+__all__ = [
+    "accepting_to_dead",
+    "approx1_equals_trivial",
+    "approx2_equals_trivial_characterisation",
+    "approx2_equals_trivial_generic",
+    "chaos_characterisation",
+    "decide_universality_via_lemma42",
+    "equivalent_to_chaos",
+    "fsp_prefix",
+    "fsp_union",
+    "lemma42_transform",
+    "make_restricted",
+    "normalize_for_lemma42",
+    "refusal_witness",
+    "rou_transform",
+    "separating_pair",
+    "theorem41b_iterate",
+    "theorem41b_step",
+    "theorem41c_transform",
+    "theorem51_transform",
+    "union_characterisation_holds",
+]

@@ -1,0 +1,74 @@
+"""Star-expression style operations lifted to whole processes.
+
+Section 4 freely uses star-expression notation for restricted observable
+processes: ``p u q`` is the process whose start state copies the initial moves
+of ``p`` and ``q``, and ``a . p`` prefixes ``p`` with a single ``a``-move
+(Definition 2.3.1 applied with arbitrary processes in place of representative
+FSPs).  The reductions of Theorems 4.1(b), 4.1(c) and Lemma 4.1 are phrased in
+exactly this notation, so the library provides the two constructions as
+process-level combinators.
+
+Both constructions keep the operands' states (renamed apart) and add fresh
+states only for the new roots, so the size grows by O(1) states and by the
+out-degree of the operand roots -- the property the inductive hardness
+reduction of Theorem 4.1(b) relies on to stay polynomial.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import require_same_signature
+from repro.core.fsp import ACCEPT, FSP
+
+
+def fsp_union(first: FSP, second: FSP, start_name: str = "u") -> FSP:
+    """The process ``first u second`` of Definition 2.3.1.
+
+    A fresh start state receives a copy of every outgoing transition of both
+    operands' start states and the union of their extensions; the operands are
+    kept (renamed with ``L:`` / ``R:`` prefixes) so their own states remain
+    addressable.
+    """
+    require_same_signature(first, second)
+    left = first.rename_states(prefix="L:")
+    right = second.rename_states(prefix="R:")
+    states = set(left.states) | set(right.states) | {start_name}
+    transitions = set(left.transitions) | set(right.transitions)
+    for action, target in left.transitions_from(left.start):
+        transitions.add((start_name, action, target))
+    for action, target in right.transitions_from(right.start):
+        transitions.add((start_name, action, target))
+    extensions = set(left.extensions) | set(right.extensions)
+    for variable in left.extension(left.start) | right.extension(right.start):
+        extensions.add((start_name, variable))
+    return FSP(
+        states=states,
+        start=start_name,
+        alphabet=first.alphabet | second.alphabet,
+        transitions=transitions,
+        variables=first.variables | second.variables,
+        extensions=extensions,
+    )
+
+
+def fsp_prefix(action: str, process: FSP, start_name: str = "pfx", accepting_start: bool = True) -> FSP:
+    """The process ``action . process``: one fresh start with a single move into the operand.
+
+    In the restricted model (the setting of the Section 4 reductions) every
+    state is accepting, so the fresh start is marked accepting by default;
+    pass ``accepting_start=False`` for the standard-model reading in which the
+    prefix state accepts nothing.
+    """
+    inner = process.rename_states(prefix="P:")
+    states = set(inner.states) | {start_name}
+    transitions = set(inner.transitions) | {(start_name, action, inner.start)}
+    extensions = set(inner.extensions)
+    if accepting_start:
+        extensions.add((start_name, ACCEPT))
+    return FSP(
+        states=states,
+        start=start_name,
+        alphabet=process.alphabet | {action},
+        transitions=transitions,
+        variables=process.variables | {ACCEPT},
+        extensions=extensions,
+    )

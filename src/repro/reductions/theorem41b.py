@@ -1,0 +1,117 @@
+"""The inductive reduction of Theorem 4.1(b) (Fig. 5a): ``approx_k`` to ``approx_{k+1}``.
+
+Theorem 4.1(b) proves that deciding ``approx_k`` is PSPACE-complete for every
+fixed ``k >= 1`` in the restricted observable model.  The heart of the proof
+is a reduction that lifts hardness from one level of the chain to the next:
+given two restricted observable states ``p`` and ``q``, construct
+
+    ``p' = a . (p u q)``            ``q' = (a . p) u (a . q)``
+
+using the star-expression combinators of :mod:`repro.reductions.star_ops`.
+Then (using Lemma 4.1, which relates ``p approx_k q`` to
+``p u q approx_k p`` and ``p u q approx_k q``):
+
+    ``p approx_k q   iff   p' approx_{k+1} q'``.
+
+Starting from the PSPACE-hardness of ``approx_1`` (Lemma 4.2) and applying the
+reduction ``k - 1`` times yields hardness of every fixed level -- and since
+the construction uses only a single action symbol ``a``, the same chain also
+carries the co-NP-hardness of the r.o.u. case (Theorem 4.1(c)).
+
+The functions below build the two processes of one reduction step, iterate the
+step, and construct separating families (pairs that are ``approx_k`` but not
+``approx_{k+1}``-equivalent) used by the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import ModelClass, require, require_same_signature
+from repro.core.fsp import FSP
+from repro.core.paper_figures import fig2_language_pair
+from repro.reductions.star_ops import fsp_prefix, fsp_union
+
+
+def theorem41b_step(first: FSP, second: FSP, action: str = "a") -> tuple[FSP, FSP]:
+    """One application of the Fig. 5a reduction.
+
+    Parameters
+    ----------
+    first, second:
+        Restricted observable processes ``p`` and ``q`` over the same
+        signature.
+    action:
+        The single action symbol used by the gadget (``a`` in the paper).
+
+    Returns
+    -------
+    tuple
+        The pair ``(p', q')`` with ``p' = a.(p u q)`` and
+        ``q' = (a.p) u (a.q)``; both are again restricted observable
+        processes, so the construction can be iterated.
+    """
+    require(first, ModelClass.RESTRICTED_OBSERVABLE, context="Theorem 4.1(b) reduction")
+    require(second, ModelClass.RESTRICTED_OBSERVABLE, context="Theorem 4.1(b) reduction")
+    require_same_signature(first, second)
+    union = fsp_union(first, second)
+    p_prime = fsp_prefix(action, union, start_name="p'")
+    q_prime = fsp_union(
+        fsp_prefix(action, first, start_name="ap"),
+        fsp_prefix(action, second, start_name="aq"),
+        start_name="q'",
+    )
+    # The two sides must agree on Sigma even when the operands never use `action`.
+    alphabet = p_prime.alphabet | q_prime.alphabet
+    return p_prime.with_alphabet(alphabet), q_prime.with_alphabet(alphabet)
+
+
+def theorem41b_iterate(
+    first: FSP, second: FSP, times: int, action: str = "a"
+) -> tuple[FSP, FSP]:
+    """Apply the reduction ``times`` times.
+
+    If the inputs satisfy ``p approx_k q  xor  p approx_{k+1} q`` at some base
+    level ``k``, the outputs satisfy the same at level ``k + times``.
+    """
+    current = (first, second)
+    for _ in range(times):
+        current = theorem41b_step(current[0], current[1], action=action)
+    return current
+
+
+def separating_pair(level: int) -> tuple[FSP, FSP]:
+    """A pair of restricted observable processes that are ``approx_level`` equivalent
+    but not ``approx_{level+1}`` equivalent.
+
+    The base pair (level 1) is the Fig. 2 example: two r.o.u. processes with
+    the same language that already differ at level 2; applying the Theorem
+    4.1(b) reduction ``level - 1`` times shifts the separation up the chain.
+    Only defined for ``level >= 1`` (at level 0 any two accepting states are
+    equivalent).
+    """
+    if level < 1:
+        raise ValueError("separating pairs exist for level >= 1")
+    base_first, base_second = fig2_language_pair()
+    return theorem41b_iterate(base_first, base_second, level - 1)
+
+
+def union_characterisation_holds(fsp_first: FSP, fsp_second: FSP, k: int) -> bool:
+    """Check Lemma 4.1 on a concrete pair: ``p approx_k q`` iff
+    ``p u q approx_k p`` and ``p u q approx_k q``.
+
+    Used by the property-based tests of experiment E15.  Both operands must be
+    restricted and observable (the lemma's setting).
+    """
+    from repro.equivalence.kobs import k_observational_equivalent_processes
+
+    require(fsp_first, ModelClass.RESTRICTED_OBSERVABLE, context="Lemma 4.1")
+    require(fsp_second, ModelClass.RESTRICTED_OBSERVABLE, context="Lemma 4.1")
+    require_same_signature(fsp_first, fsp_second)
+    union = fsp_union(fsp_first, fsp_second)
+    alphabet = union.alphabet
+    left = k_observational_equivalent_processes(
+        fsp_first.with_alphabet(alphabet), fsp_second.with_alphabet(alphabet), k
+    )
+    right = k_observational_equivalent_processes(
+        union, fsp_first.with_alphabet(alphabet), k
+    ) and k_observational_equivalent_processes(union, fsp_second.with_alphabet(alphabet), k)
+    return left == right

@@ -1,0 +1,100 @@
+"""The reductions of Theorem 5.1: hardness of failure equivalence.
+
+Theorem 5.1 shows that failure equivalence of restricted processes is
+PSPACE-complete (already for the restricted observable model over two
+actions) and co-NP-complete for the r.o.u. model.  Both hardness proofs are
+constructive transformations, implemented here:
+
+* :func:`theorem51_transform` -- the main reduction.  Given a restricted
+  observable process ``p``, add a fresh state ``p_dead`` (no outgoing
+  transitions) reachable from **every** state by **every** action, keeping all
+  states accepting.  For the transformed processes
+  ``L(p) = L(q)  iff  p' failure-equivalent q'``; this transfers the
+  PSPACE-hardness of restricted-observable language equivalence (Lemma 4.2) to
+  failure equivalence.
+
+* :func:`rou_transform` -- the unary variant.  Starting from an s.o.u. process
+  whose accept states are exactly its dead states, add to the start state an
+  ``a``-transition to a fresh state with an ``a``-self-loop and make every
+  state accepting; then ``L(p) = L(q)  iff  p' failure-equivalent q'``, giving
+  co-NP-hardness in the r.o.u. model.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import ModelClass, require
+from repro.core.errors import ModelClassError
+from repro.core.fsp import ACCEPT, FSP
+
+#: Name of the dead sink added by the main reduction.
+DEAD_STATE = "p_dead"
+#: Name of the looping state added by the r.o.u. reduction.
+LOOP_STATE = "p_loop"
+
+
+def theorem51_transform(fsp: FSP) -> FSP:
+    """The ``p -> p'`` construction of Theorem 5.1.
+
+    * a fresh state ``p_dead`` with no outgoing transitions is added;
+    * every original state gets a transition to ``p_dead`` for **every**
+      action of the alphabet;
+    * all states (including ``p_dead``) are accepting.
+
+    The construction makes every refusal set available after every trace, so
+    the only failure information left is the trace language itself (plus its
+    one-step extensions into ``p_dead``); hence
+    ``L(p) = L(q)  iff  p' = q'`` (failure equivalence).
+    """
+    require(fsp, ModelClass.RESTRICTED_OBSERVABLE, context="Theorem 5.1 reduction")
+    dead = DEAD_STATE
+    while dead in fsp.states:
+        dead += "'"
+    states = set(fsp.states) | {dead}
+    transitions = set(fsp.transitions)
+    for state in fsp.states:
+        for action in fsp.alphabet:
+            transitions.add((state, action, dead))
+    return FSP(
+        states=states,
+        start=fsp.start,
+        alphabet=fsp.alphabet,
+        transitions=transitions,
+        variables=[ACCEPT],
+        extensions=[(state, ACCEPT) for state in states],
+    )
+
+
+def rou_transform(fsp: FSP) -> FSP:
+    """The unary ``p -> p'`` construction used for the co-NP-hardness part.
+
+    Expects a standard observable unary process whose accept states are
+    exactly its dead states (obtainable with
+    :func:`repro.reductions.theorem41c.accepting_to_dead`).  Adds to the start
+    state an ``a``-transition to a fresh state carrying an ``a``-self-loop and
+    marks every state accepting.  The failures of the result are
+    ``{(s, {}) | s in a*} u {(s, {a}) | s in L(p)}``, so two transformed
+    processes are failure equivalent iff the original languages coincide.
+    """
+    if fsp.alphabet != frozenset({"a"}):
+        raise ModelClassError("the r.o.u. reduction is defined over the single action 'a'")
+    require(fsp, ModelClass.STANDARD_OBSERVABLE, context="Theorem 5.1 r.o.u. reduction")
+    for state in fsp.states:
+        is_dead = not fsp.enabled_actions(state)
+        if fsp.is_accepting(state) != is_dead:
+            raise ModelClassError(
+                "the r.o.u. reduction expects accept states to coincide with dead states; "
+                "apply repro.reductions.theorem41c.accepting_to_dead first"
+            )
+    loop = LOOP_STATE
+    while loop in fsp.states:
+        loop += "'"
+    states = set(fsp.states) | {loop}
+    transitions = set(fsp.transitions) | {(fsp.start, "a", loop), (loop, "a", loop)}
+    return FSP(
+        states=states,
+        start=fsp.start,
+        alphabet={"a"},
+        transitions=transitions,
+        variables=[ACCEPT],
+        extensions=[(state, ACCEPT) for state in states],
+    )

@@ -1,0 +1,5 @@
+"""Utilities: matrix formulation of saturation, Aldebaran and JSON I/O, DOT export."""
+
+from repro.utils import aut_format, dot, matrices, serialization
+
+__all__ = ["aut_format", "dot", "matrices", "serialization"]

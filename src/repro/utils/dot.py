@@ -1,0 +1,46 @@
+"""Graphviz DOT export for finite state processes.
+
+Rendering is not required by any algorithm; the export exists so that users of
+the library can inspect counterexamples and the paper's constructions visually
+(``dot -Tpng``), and so that the examples can emit figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.fsp import FSP, TAU
+
+
+def _escape(label: str) -> str:
+    return label.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(fsp: FSP, name: str = "fsp", rankdir: str = "LR") -> str:
+    """Render an FSP as a DOT digraph.
+
+    Accepting states (extension containing ``x``) are drawn with a double
+    circle, mirroring automata conventions; other non-empty extensions are
+    appended to the node label.  Tau-transitions are drawn dashed.
+    """
+    lines = [f"digraph {name} {{", f"  rankdir={rankdir};", "  node [shape=circle];"]
+    lines.append(f'  __start [shape=point, label=""];')
+    lines.append(f'  __start -> "{_escape(fsp.start)}";')
+    for state in sorted(fsp.states):
+        extension = sorted(fsp.extension(state))
+        shape = "doublecircle" if fsp.is_accepting(state) else "circle"
+        extras = [variable for variable in extension if variable != "x"]
+        label = _escape(state)
+        if extras:
+            label = f"{label}\\n{{{', '.join(extras)}}}"
+        lines.append(f'  "{_escape(state)}" [shape={shape}, label="{label}"];')
+    for src, action, dst in sorted(fsp.transitions):
+        style = ', style=dashed' if action == TAU else ""
+        lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}" [label="{_escape(action)}"{style}];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(fsp: FSP, path: str | Path, name: str = "fsp") -> None:
+    """Write the DOT rendering of ``fsp`` to ``path``."""
+    Path(path).write_text(to_dot(fsp, name=name), encoding="utf-8")

@@ -1,0 +1,114 @@
+"""Adjacency-matrix helpers used by the Theorem 4.1(a) saturation benchmark.
+
+The paper's complexity analysis of observational equivalence expresses the
+tau-closure and the weak transition relation through boolean matrix products
+(``M_sigma_hat = M_epsilon . M_sigma . M_epsilon``) so that fast matrix
+multiplication gives the ``n^2.376`` term of Theorem 4.1(a).  The library's
+default implementation (:mod:`repro.core.derivatives`) uses graph traversal,
+which is simpler and faster for the sparse processes we generate; this module
+provides the matrix formulation so that the benchmark harness can reproduce
+the construction exactly as described and cross-check the two.
+
+``numpy`` is an optional dependency here: the functions fall back to pure
+Python when it is unavailable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+try:  # pragma: no cover - exercised implicitly depending on environment
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.core.fsp import FSP, TAU
+
+
+def state_index(fsp: FSP) -> dict[str, int]:
+    """A deterministic state -> row/column index mapping (sorted by name)."""
+    return {state: idx for idx, state in enumerate(sorted(fsp.states))}
+
+
+def adjacency_matrix(fsp: FSP, action: str) -> list[list[bool]]:
+    """The boolean adjacency matrix ``M_action`` of the ``->^action`` relation."""
+    index = state_index(fsp)
+    size = len(index)
+    matrix = [[False] * size for _ in range(size)]
+    for src, act, dst in fsp.transitions:
+        if act == action:
+            matrix[index[src]][index[dst]] = True
+    return matrix
+
+
+def boolean_multiply(left: Sequence[Sequence[bool]], right: Sequence[Sequence[bool]]) -> list[list[bool]]:
+    """Boolean matrix product.  Uses numpy when available."""
+    size = len(left)
+    if _np is not None:
+        a = _np.array(left, dtype=bool)
+        b = _np.array(right, dtype=bool)
+        return (a @ b).astype(bool).tolist()
+    result = [[False] * size for _ in range(size)]
+    for i in range(size):
+        row = left[i]
+        out = result[i]
+        for k in range(size):
+            if row[k]:
+                rrow = right[k]
+                for j in range(size):
+                    if rrow[j]:
+                        out[j] = True
+    return result
+
+
+def reflexive_transitive_closure(matrix: Sequence[Sequence[bool]]) -> list[list[bool]]:
+    """The reflexive-transitive closure of a boolean relation (Warshall).
+
+    This is the ``M_epsilon`` of Theorem 4.1(a): the closure of the
+    tau-adjacency matrix.
+    """
+    size = len(matrix)
+    closure = [list(row) for row in matrix]
+    for i in range(size):
+        closure[i][i] = True
+    for k in range(size):
+        row_k = closure[k]
+        for i in range(size):
+            if closure[i][k]:
+                row_i = closure[i]
+                for j in range(size):
+                    if row_k[j]:
+                        row_i[j] = True
+    return closure
+
+
+def weak_transition_matrices(fsp: FSP) -> dict[str, list[list[bool]]]:
+    """The matrices of the weak relations ``=>^sigma`` for every observable action.
+
+    Implements the two-step procedure in the proof of Theorem 4.1(a):
+
+    1. compute ``M_epsilon``, the reflexive-transitive closure of the tau
+       relation;
+    2. for each observable ``sigma``, compute ``M_epsilon . M_sigma . M_epsilon``.
+
+    The result also contains the ``M_epsilon`` matrix under the key ``""``.
+    """
+    tau_matrix = adjacency_matrix(fsp, TAU)
+    epsilon = reflexive_transitive_closure(tau_matrix)
+    result: dict[str, list[list[bool]]] = {"": epsilon}
+    for action in fsp.alphabet:
+        sigma = adjacency_matrix(fsp, action)
+        result[action] = boolean_multiply(boolean_multiply(epsilon, sigma), epsilon)
+    return result
+
+
+def matrix_to_pairs(fsp: FSP, matrix: Sequence[Sequence[bool]]) -> frozenset[tuple[str, str]]:
+    """Convert a boolean matrix back to a set of (source, target) state pairs."""
+    names = sorted(fsp.states)
+    pairs = set()
+    for i, src in enumerate(names):
+        row = matrix[i]
+        for j, dst in enumerate(names):
+            if row[j]:
+                pairs.add((src, dst))
+    return frozenset(pairs)

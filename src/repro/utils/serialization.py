@@ -1,0 +1,73 @@
+"""Lossless JSON serialisation of finite state processes.
+
+Unlike the Aldebaran format (:mod:`repro.utils.aut_format`) the JSON encoding
+preserves every component of Definition 2.1.1: state names, the start state,
+the alphabet, the full variable set and the extension relation.  The format is
+a plain dictionary so it can be embedded in larger experiment-description
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import FSP
+
+#: Version tag embedded in serialised documents so future format changes can
+#: remain backward compatible.
+FORMAT_VERSION = 1
+
+
+def to_dict(fsp: FSP) -> dict[str, Any]:
+    """Encode an FSP as a JSON-compatible dictionary."""
+    return {
+        "format": "repro-fsp",
+        "version": FORMAT_VERSION,
+        "states": sorted(fsp.states),
+        "start": fsp.start,
+        "alphabet": sorted(fsp.alphabet),
+        "variables": sorted(fsp.variables),
+        "transitions": sorted([list(t) for t in fsp.transitions]),
+        "extensions": sorted([list(e) for e in fsp.extensions]),
+    }
+
+
+def from_dict(document: dict[str, Any]) -> FSP:
+    """Decode an FSP from a dictionary produced by :func:`to_dict`."""
+    if document.get("format") != "repro-fsp":
+        raise InvalidProcessError("document is not a serialised FSP")
+    if int(document.get("version", 0)) > FORMAT_VERSION:
+        raise InvalidProcessError(
+            f"document version {document.get('version')} is newer than supported {FORMAT_VERSION}"
+        )
+    return FSP(
+        states=document["states"],
+        start=document["start"],
+        alphabet=document.get("alphabet", []),
+        transitions=[tuple(t) for t in document.get("transitions", [])],
+        variables=document.get("variables", ["x"]),
+        extensions=[tuple(e) for e in document.get("extensions", [])],
+    )
+
+
+def dumps(fsp: FSP, indent: int | None = 2) -> str:
+    """Serialise an FSP to a JSON string."""
+    return json.dumps(to_dict(fsp), indent=indent, ensure_ascii=False)
+
+
+def loads(text: str) -> FSP:
+    """Deserialise an FSP from a JSON string."""
+    return from_dict(json.loads(text))
+
+
+def dump(fsp: FSP, path: str | Path) -> None:
+    """Write an FSP to ``path`` as JSON."""
+    Path(path).write_text(dumps(fsp), encoding="utf-8")
+
+
+def load(path: str | Path) -> FSP:
+    """Read an FSP from a JSON file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

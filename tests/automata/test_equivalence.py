@@ -1,0 +1,136 @@
+"""Tests for DFA/NFA language equivalence, inclusion and universality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.dfa import DFA, determinize
+from repro.automata.equivalence import (
+    dfa_equivalent,
+    dfa_included,
+    distinguishing_word,
+    nfa_distinguishing_word,
+    nfa_equivalent,
+    nfa_included,
+    nfa_universal,
+    nfa_universality_counterexample,
+)
+from repro.automata.nfa import NFA
+from repro.core.errors import InvalidProcessError
+
+
+def _dfa_ends_with_a() -> DFA:
+    return DFA(
+        states=["n", "y"],
+        start="n",
+        alphabet=["a", "b"],
+        delta={("n", "a"): "y", ("n", "b"): "n", ("y", "a"): "y", ("y", "b"): "n"},
+        accepting=["y"],
+    )
+
+
+def _dfa_ends_with_a_redundant() -> DFA:
+    return DFA(
+        states=["n", "y", "y2"],
+        start="n",
+        alphabet=["a", "b"],
+        delta={
+            ("n", "a"): "y",
+            ("n", "b"): "n",
+            ("y", "a"): "y2",
+            ("y", "b"): "n",
+            ("y2", "a"): "y",
+            ("y2", "b"): "n",
+        },
+        accepting=["y", "y2"],
+    )
+
+
+class TestDfaEquivalence:
+    def test_equivalent_dfas(self):
+        assert dfa_equivalent(_dfa_ends_with_a(), _dfa_ends_with_a_redundant())
+
+    def test_inequivalent_dfas_with_witness(self):
+        witness = distinguishing_word(_dfa_ends_with_a(), _dfa_ends_with_a().complement())
+        assert witness is not None
+        assert _dfa_ends_with_a().accepts(witness) != _dfa_ends_with_a().complement().accepts(witness)
+
+    def test_alphabet_mismatch_rejected(self):
+        other = DFA(["p"], "p", ["z"], {("p", "z"): "p"}, ["p"])
+        with pytest.raises(InvalidProcessError):
+            dfa_equivalent(_dfa_ends_with_a(), other)
+
+    def test_inclusion(self):
+        ends_with_a = _dfa_ends_with_a()
+        everything = DFA(
+            ["u"], "u", ["a", "b"], {("u", "a"): "u", ("u", "b"): "u"}, ["u"]
+        )
+        assert dfa_included(ends_with_a, everything)
+        assert not dfa_included(everything, ends_with_a)
+
+
+class TestNfaEquivalence:
+    def test_thompson_style_equivalence(self):
+        first = NFA(["s", "f"], "s", ["a"], [("s", "a", "f"), ("f", "a", "f")], ["f"])
+        second = NFA(
+            ["s", "m", "f"],
+            "s",
+            ["a"],
+            [("s", "a", "m"), ("m", None, "f"), ("f", "a", "f")],
+            ["f"],
+        )
+        assert nfa_equivalent(first, second)
+        assert nfa_distinguishing_word(first, second) is None
+
+    def test_inequivalence_witness_is_short(self):
+        a_plus = NFA(["s", "f"], "s", ["a"], [("s", "a", "f"), ("f", "a", "f")], ["f"])
+        a_star = NFA(["s"], "s", ["a"], [("s", "a", "s")], ["s"])
+        witness = nfa_distinguishing_word(a_plus, a_star)
+        assert witness == ()
+
+    def test_different_alphabets_are_aligned(self):
+        over_a = NFA(["s"], "s", ["a"], [("s", "a", "s")], ["s"])
+        over_ab = NFA(["s"], "s", ["a", "b"], [("s", "a", "s")], ["s"])
+        # as languages over the joint alphabet they are equal
+        assert nfa_equivalent(over_a, over_ab)
+
+    def test_inclusion(self):
+        a_plus = NFA(["s", "f"], "s", ["a"], [("s", "a", "f"), ("f", "a", "f")], ["f"])
+        a_star = NFA(["s"], "s", ["a"], [("s", "a", "s")], ["s"])
+        assert nfa_included(a_plus, a_star)
+        assert not nfa_included(a_star, a_plus)
+
+
+class TestUniversality:
+    def test_universal_nfa(self):
+        universal = NFA(["u"], "u", ["a", "b"], [("u", "a", "u"), ("u", "b", "u")], ["u"])
+        assert nfa_universal(universal)
+        assert nfa_universality_counterexample(universal) is None
+
+    def test_non_universal_nfa(self):
+        missing_b = NFA(["u"], "u", ["a", "b"], [("u", "a", "u")], ["u"])
+        assert not nfa_universal(missing_b)
+        counterexample = nfa_universality_counterexample(missing_b)
+        assert counterexample is not None and "b" in counterexample
+
+    def test_universality_of_union_covering_all_words(self):
+        # accepts words containing an a, plus words of only b's -> universal
+        nfa = NFA(
+            states=["s", "hasa"],
+            start="s",
+            alphabet=["a", "b"],
+            transitions=[
+                ("s", "b", "s"),
+                ("s", "a", "hasa"),
+                ("hasa", "a", "hasa"),
+                ("hasa", "b", "hasa"),
+            ],
+            accepting=["s", "hasa"],
+        )
+        assert nfa_universal(nfa)
+
+    def test_determinized_view_agrees_with_direct_checks(self):
+        nfa = NFA(["s", "f"], "s", ["a"], [("s", "a", "f"), ("f", "a", "f")], ["f"])
+        dfa = determinize(nfa)
+        for word in ([], ["a"], ["a", "a"]):
+            assert dfa.accepts(word) == nfa.accepts(word)

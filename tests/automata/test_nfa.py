@@ -1,0 +1,98 @@
+"""Tests for the NFA substrate (with epsilon moves)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import NFA
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import TAU, from_transitions
+
+
+@pytest.fixture
+def ab_star_nfa() -> NFA:
+    """An NFA accepting (ab)* with an epsilon shortcut."""
+    return NFA(
+        states=["s", "mid", "back"],
+        start="s",
+        alphabet=["a", "b"],
+        transitions=[("s", "a", "mid"), ("mid", "b", "back"), ("back", None, "s")],
+        accepting=["s"],
+    )
+
+
+class TestConstruction:
+    def test_validation_unknown_state(self):
+        with pytest.raises(InvalidProcessError):
+            NFA(["p"], "p", ["a"], [("p", "a", "zz")], [])
+
+    def test_validation_unknown_symbol(self):
+        with pytest.raises(InvalidProcessError):
+            NFA(["p", "q"], "p", ["a"], [("p", "b", "q")], [])
+
+    def test_validation_start(self):
+        with pytest.raises(InvalidProcessError):
+            NFA(["p"], "zz", ["a"], [], [])
+
+    def test_validation_accepting(self):
+        with pytest.raises(InvalidProcessError):
+            NFA(["p"], "p", ["a"], [], ["zz"])
+
+
+class TestLanguage:
+    def test_accepts(self, ab_star_nfa):
+        assert ab_star_nfa.accepts([])
+        assert ab_star_nfa.accepts(["a", "b"])
+        assert ab_star_nfa.accepts(["a", "b", "a", "b"])
+        assert not ab_star_nfa.accepts(["a"])
+        assert not ab_star_nfa.accepts(["b", "a"])
+        assert not ab_star_nfa.accepts(["c"])
+
+    def test_language_upto(self, ab_star_nfa):
+        words = ab_star_nfa.language_upto(4)
+        assert words == frozenset({(), ("a", "b"), ("a", "b", "a", "b")})
+
+    def test_epsilon_closure(self, ab_star_nfa):
+        assert ab_star_nfa.epsilon_closure({"back"}) == frozenset({"back", "s"})
+
+    def test_step(self, ab_star_nfa):
+        macro = ab_star_nfa.epsilon_closure({ab_star_nfa.start})
+        assert ab_star_nfa.step(macro, "a") == frozenset({"mid"})
+
+    def test_reverse_language(self, ab_star_nfa):
+        reversed_nfa = ab_star_nfa.reverse()
+        assert reversed_nfa.accepts(["b", "a"])
+        assert not reversed_nfa.accepts(["a", "b"])
+        assert reversed_nfa.accepts([])
+
+
+class TestFspConversion:
+    def test_from_fsp_maps_tau_to_epsilon(self):
+        process = from_transitions(
+            [("p", TAU, "q"), ("q", "a", "r")], start="p", accepting=["r"]
+        )
+        nfa = NFA.from_fsp(process)
+        assert nfa.accepts(["a"])
+        assert ("p", None, "q") in nfa.transitions
+
+    def test_from_fsp_custom_accepting(self):
+        process = from_transitions([("p", "a", "q")], start="p", accepting=["q"])
+        nfa = NFA.from_fsp(process, accepting={"p"})
+        assert nfa.accepts([])
+        assert not nfa.accepts(["a"])
+
+    def test_round_trip_preserves_language(self):
+        process = from_transitions(
+            [("p", "a", "q"), ("q", TAU, "r"), ("r", "b", "p")], start="p", accepting=["q"]
+        )
+        nfa = NFA.from_fsp(process)
+        back = NFA.from_fsp(nfa.to_fsp())
+        assert nfa.language_upto(4) == back.language_upto(4)
+
+    def test_to_fsp_all_accepting(self):
+        nfa = NFA(["p", "q"], "p", ["a"], [("p", "a", "q")], ["q"])
+        restricted = nfa.to_fsp(all_accepting=True)
+        assert restricted.accepting_states() == frozenset({"p", "q"})
+
+    def test_repr(self, ab_star_nfa):
+        assert "states=3" in repr(ab_star_nfa)

@@ -1,0 +1,47 @@
+"""Tests for the union-find structure used by DFA equivalence."""
+
+from __future__ import annotations
+
+from repro.automata.union_find import UnionFind
+
+
+def test_singletons_are_their_own_representatives():
+    union = UnionFind(["a", "b"])
+    assert union.find("a") == "a"
+    assert not union.connected("a", "b")
+
+
+def test_union_connects():
+    union = UnionFind()
+    assert union.union("a", "b")
+    assert union.connected("a", "b")
+    assert not union.union("a", "b")  # already connected
+
+
+def test_transitivity():
+    union = UnionFind()
+    union.union("a", "b")
+    union.union("b", "c")
+    assert union.connected("a", "c")
+
+
+def test_find_adds_unknown_elements():
+    union = UnionFind()
+    assert union.find("fresh") == "fresh"
+    assert "fresh" in union
+
+
+def test_sets_enumeration():
+    union = UnionFind(["a", "b", "c", "d"])
+    union.union("a", "b")
+    union.union("c", "d")
+    sets = {frozenset(group) for group in union.sets()}
+    assert sets == {frozenset({"a", "b"}), frozenset({"c", "d"})}
+
+
+def test_large_chain_of_unions():
+    union = UnionFind()
+    for index in range(100):
+        union.union(index, index + 1)
+    assert union.connected(0, 100)
+    assert len(union.sets()) == 1

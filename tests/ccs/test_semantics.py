@@ -1,0 +1,112 @@
+"""Tests for the CCS SOS semantics and the compilation to FSPs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccs.parser import parse_definitions, parse_process
+from repro.ccs.semantics import compile_to_fsp, derivatives, observable_alphabet
+from repro.ccs.syntax import Definitions, Nil, Parallel, Prefix, TAU_ACTION
+from repro.core.classify import ModelClass, classify
+from repro.core.errors import ExpressionError, StateSpaceLimitError
+from repro.core.fsp import TAU
+from repro.equivalence.language import accepted_strings_upto
+from repro.equivalence.observational import observationally_equivalent_processes
+
+
+class TestDerivatives:
+    def test_nil_has_no_moves(self):
+        assert derivatives(Nil()) == frozenset()
+
+    def test_prefix(self):
+        assert derivatives(Prefix("a", Nil())) == frozenset({("a", Nil())})
+
+    def test_sum_collects_both_sides(self):
+        term = parse_process("a.0 + b.0")
+        assert {action for action, _ in derivatives(term)} == {"a", "b"}
+
+    def test_parallel_interleaves(self):
+        term = parse_process("a.0 | b.0")
+        moves = derivatives(term)
+        assert {action for action, _ in moves} == {"a", "b"}
+        assert len(moves) == 2
+
+    def test_parallel_synchronises_complements_into_tau(self):
+        term = parse_process("a.0 | a!.0")
+        moves = derivatives(term)
+        actions = {action for action, _ in moves}
+        assert TAU_ACTION in actions
+        assert {"a", "a!"} <= actions
+        tau_targets = [target for action, target in moves if action == TAU_ACTION]
+        assert tau_targets == [Parallel(Nil(), Nil())]
+
+    def test_restriction_blocks_channel_but_not_tau(self):
+        term = parse_process("(a.0 | a!.0) \\ {a}")
+        moves = derivatives(term)
+        assert {action for action, _ in moves} == {TAU_ACTION}
+
+    def test_relabeling_renames_actions_and_co_actions(self):
+        term = parse_process("(a.b!.0)[c/a, d/b]")
+        moves = derivatives(term)
+        assert {action for action, _ in moves} == {"c"}
+        (_, successor), = moves
+        assert {action for action, _ in derivatives(successor)} == {"d!"}
+
+    def test_reference_unfolds_definition(self):
+        definitions = parse_definitions("P := a.P")
+        moves = derivatives(parse_process("P"), definitions)
+        assert {action for action, _ in moves} == {"a"}
+
+    def test_unguarded_recursion_rejected(self):
+        definitions = parse_definitions("P := P + a.0")
+        with pytest.raises(ExpressionError):
+            derivatives(parse_process("P"), definitions)
+
+    def test_undefined_reference_rejected(self):
+        with pytest.raises(ExpressionError):
+            derivatives(parse_process("Unknown"), Definitions())
+
+
+class TestCompilation:
+    def test_finite_term_compiles_to_tree(self):
+        process = compile_to_fsp(parse_process("a.b.0"))
+        assert process.num_states == 3
+        assert accepted_strings_upto(process, 3) == frozenset({(), ("a",), ("a", "b")})
+
+    def test_compiled_process_is_restricted(self):
+        process = compile_to_fsp(parse_process("a.0 + tau.b.0"))
+        assert ModelClass.RESTRICTED in classify(process)
+
+    def test_synchronisation_appears_as_tau(self):
+        process = compile_to_fsp(parse_process("(a.0 | a!.0) \\ {a}"))
+        assert process.has_tau()
+        assert observable_alphabet(process) == frozenset()
+
+    def test_recursion_produces_cycles(self):
+        definitions = parse_definitions("P := a.b.P")
+        process = compile_to_fsp(parse_process("P"), definitions)
+        assert process.num_states == 2
+        assert ("a",) in accepted_strings_upto(process, 1)
+
+    def test_state_bound_enforced(self):
+        definitions = parse_definitions("P := a.(P | b.0)")
+        with pytest.raises(StateSpaceLimitError):
+            compile_to_fsp(parse_process("P"), definitions, max_states=20)
+
+    def test_explicit_alphabet_is_extended(self):
+        process = compile_to_fsp(parse_process("a.0"), alphabet={"a", "b"})
+        assert process.alphabet == frozenset({"a", "b"})
+
+    def test_expansion_law_instance(self):
+        """a.0 | b.0 is observationally equivalent to a.b.0 + b.a.0 (no synchronisation)."""
+        parallel = compile_to_fsp(parse_process("a.0 | b.0"))
+        expanded = compile_to_fsp(parse_process("a.b.0 + b.a.0"))
+        assert observationally_equivalent_processes(parallel, expanded)
+
+    def test_restriction_of_unsynchronised_channel_deadlocks(self):
+        process = compile_to_fsp(parse_process("(a.b.0) \\ {a}"))
+        assert accepted_strings_upto(process, 2) == frozenset({()})
+
+    def test_tau_prefix_compiles_to_tau_transition(self):
+        process = compile_to_fsp(parse_process("tau.a.0"))
+        assert any(action == TAU for _s, action, _t in process.transitions)

@@ -1,0 +1,135 @@
+"""Tests for CCS term syntax and the parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccs.parser import parse_definitions, parse_process
+from repro.ccs.syntax import (
+    Definitions,
+    Nil,
+    Parallel,
+    Prefix,
+    ProcessRef,
+    Relabeling,
+    Restriction,
+    Sum,
+    TAU_ACTION,
+    actions_of,
+    channel_of,
+    co,
+    is_co_action,
+)
+from repro.core.errors import ExpressionError
+
+
+class TestActions:
+    def test_co_is_an_involution(self):
+        assert co("a") == "a!"
+        assert co("a!") == "a"
+        assert co(co("send")) == "send"
+
+    def test_tau_has_no_complement(self):
+        with pytest.raises(ExpressionError):
+            co(TAU_ACTION)
+
+    def test_channel_of(self):
+        assert channel_of("a!") == "a"
+        assert channel_of("a") == "a"
+
+    def test_is_co_action(self):
+        assert is_co_action("a!")
+        assert not is_co_action("a")
+
+
+class TestAst:
+    def test_operator_sugar(self):
+        term = Prefix("a", Nil()) + Prefix("b", Nil()) | Nil()
+        assert isinstance(term, Parallel)
+        assert isinstance(term.left, Sum)
+
+    def test_process_names_must_be_capitalised(self):
+        with pytest.raises(ExpressionError):
+            ProcessRef("lowercase")
+
+    def test_definitions_lookup(self):
+        definitions = Definitions().define("P", Prefix("a", Nil()))
+        assert "P" in definitions
+        assert definitions.lookup("P") == Prefix("a", Nil())
+        with pytest.raises(ExpressionError):
+            definitions.lookup("Q")
+
+    def test_actions_of_folds_co_actions(self):
+        term = parse_process("a.b!.0 + tau.0")
+        assert actions_of(term) == frozenset({"a", "b"})
+
+    def test_actions_of_through_definitions(self):
+        definitions = parse_definitions("P := a.Q\nQ := b.P")
+        assert actions_of(parse_process("P"), definitions) == frozenset({"a", "b"})
+
+    def test_actions_of_relabeling(self):
+        term = parse_process("(a.0)[c/a]")
+        assert "c" in actions_of(term)
+
+
+class TestParser:
+    def test_nil(self):
+        assert parse_process("0") == Nil()
+
+    def test_prefix_chain(self):
+        term = parse_process("a.b!.0")
+        assert term == Prefix("a", Prefix("b!", Nil()))
+
+    def test_bare_action_abbreviates_prefix_nil(self):
+        assert parse_process("a") == Prefix("a", Nil())
+        assert parse_process("tau") == Prefix(TAU_ACTION, Nil())
+
+    def test_sum_and_parallel_precedence(self):
+        term = parse_process("a.0 + b.0 | c.0")
+        assert isinstance(term, Sum)
+        assert isinstance(term.right, Parallel)
+
+    def test_restriction(self):
+        term = parse_process("(a.0 | a!.0) \\ {a}")
+        assert isinstance(term, Restriction)
+        assert term.channels == frozenset({"a"})
+
+    def test_restriction_multiple_channels(self):
+        term = parse_process("(a.0) \\ {a, b, c}")
+        assert term.channels == frozenset({"a", "b", "c"})
+
+    def test_relabeling(self):
+        term = parse_process("(a.0)[b/a]")
+        assert isinstance(term, Relabeling)
+        assert term.as_dict() == {"a": "b"}
+
+    def test_process_reference(self):
+        assert parse_process("Worker") == ProcessRef("Worker")
+
+    def test_tau_prefix(self):
+        term = parse_process("tau.a.0")
+        assert term == Prefix(TAU_ACTION, Prefix("a", Nil()))
+
+    def test_parse_errors(self):
+        for text in ("", "a +", "(a.0", "a.0)", "a.0 \\ {A}", "a.0 [b]"):
+            with pytest.raises(ExpressionError):
+                parse_process(text)
+
+    def test_parse_definitions(self):
+        definitions = parse_definitions(
+            """
+            # a comment
+            P := a.Q
+
+            Q := b!.P
+            """
+        )
+        assert "P" in definitions and "Q" in definitions
+
+    def test_parse_definitions_requires_assignment(self):
+        with pytest.raises(ExpressionError):
+            parse_definitions("P = a.0")
+
+    def test_round_trip_via_str(self):
+        term = parse_process("(a.0 | a!.0) \\ {a} + tau.0")
+        assert parse_process(str(term)) == term

@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests from a source checkout without installing the
+# package (e.g. straight after `git clone`).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - depends on the environment
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.fsp import FSP, TAU, from_transitions  # noqa: E402
+
+
+@pytest.fixture
+def simple_chain() -> FSP:
+    """A three-state restricted chain ``c0 --a--> c1 --a--> c2``."""
+    return from_transitions(
+        [("c0", "a", "c1"), ("c1", "a", "c2")],
+        start="c0",
+        all_accepting=True,
+    )
+
+
+@pytest.fixture
+def branching_process() -> FSP:
+    """A standard process with branching and one accepting leaf."""
+    return from_transitions(
+        [
+            ("s", "a", "l"),
+            ("s", "a", "r"),
+            ("l", "b", "t"),
+            ("r", "c", "t"),
+        ],
+        start="s",
+        accepting=["t"],
+    )
+
+
+@pytest.fixture
+def tau_process() -> FSP:
+    """A general process with tau-moves: s =tau=> m =a=> t, plus a direct a-move."""
+    return from_transitions(
+        [
+            ("s", TAU, "m"),
+            ("m", "a", "t"),
+            ("s", "a", "t"),
+            ("t", TAU, "t"),
+        ],
+        start="s",
+        accepting=["t"],
+    )

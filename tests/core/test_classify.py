@@ -1,0 +1,184 @@
+"""Tests for the model hierarchy of Fig. 1a / Appendix A Table I (experiment E1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import (
+    HIERARCHY,
+    ModelClass,
+    belongs_to,
+    classify,
+    dead_states,
+    has_dead_states,
+    hierarchy_table,
+    is_deterministic,
+    is_finite_tree,
+    is_observable,
+    is_restricted,
+    is_restricted_observable,
+    is_rou,
+    is_sou,
+    is_standard,
+    is_standard_observable,
+    require,
+    require_same_signature,
+)
+from repro.core.errors import ModelClassError
+from repro.core.fsp import TAU, FSPBuilder, from_transitions
+
+
+def _restricted_chain():
+    return from_transitions([("p", "a", "q")], start="p", all_accepting=True)
+
+
+class TestPredicates:
+    def test_observable(self, branching_process, tau_process):
+        assert is_observable(branching_process)
+        assert not is_observable(tau_process)
+
+    def test_standard(self, branching_process):
+        assert is_standard(branching_process)
+        builder = FSPBuilder(variables={"x", "y"})
+        builder.add_transition("p", "a", "q")
+        builder.add_extension("p", "y")
+        assert not is_standard(builder.build(start="p"))
+
+    def test_deterministic_requires_exactly_one_transition(self):
+        deterministic = from_transitions(
+            [("p", "a", "q"), ("p", "b", "p"), ("q", "a", "p"), ("q", "b", "q")],
+            start="p",
+            accepting=["q"],
+        )
+        assert is_deterministic(deterministic)
+        missing = from_transitions([("p", "a", "q")], start="p", alphabet={"a", "b"})
+        assert not is_deterministic(missing)
+        double = from_transitions(
+            [("p", "a", "q"), ("p", "a", "p"), ("q", "a", "q"), ("q", "a", "p")],
+            start="p",
+        )
+        assert not is_deterministic(double)
+
+    def test_deterministic_excludes_tau(self, tau_process):
+        assert not is_deterministic(tau_process)
+
+    def test_restricted(self, simple_chain, branching_process):
+        assert is_restricted(simple_chain)
+        assert not is_restricted(branching_process)
+
+    def test_restricted_observable(self, simple_chain):
+        assert is_restricted_observable(simple_chain)
+        with_tau = from_transitions([("p", TAU, "q")], start="p", all_accepting=True)
+        assert not is_restricted_observable(with_tau)
+
+    def test_rou_requires_unary_alphabet(self, simple_chain):
+        assert is_rou(simple_chain)
+        binary = from_transitions(
+            [("p", "a", "q"), ("p", "b", "q")], start="p", all_accepting=True
+        )
+        assert not is_rou(binary)
+
+    def test_sou(self):
+        sou = from_transitions([("p", "a", "q")], start="p", accepting=["q"])
+        assert is_sou(sou)
+        assert not is_rou(sou)
+
+    def test_standard_observable(self, branching_process, tau_process):
+        assert is_standard_observable(branching_process)
+        assert not is_standard_observable(tau_process)
+
+    def test_finite_tree_positive(self):
+        tree = from_transitions(
+            [("r", "a", "l"), ("r", "b", "s"), ("l", "a", "t")],
+            start="r",
+            all_accepting=True,
+        )
+        assert is_finite_tree(tree)
+
+    def test_finite_tree_rejects_cycles(self):
+        looped = from_transitions([("r", "a", "r")], start="r", all_accepting=True)
+        assert not is_finite_tree(looped)
+
+    def test_finite_tree_rejects_shared_children(self):
+        dag = from_transitions(
+            [("r", "a", "x"), ("r", "b", "y"), ("x", "a", "z"), ("y", "a", "z")],
+            start="r",
+            all_accepting=True,
+        )
+        assert not is_finite_tree(dag)
+
+    def test_finite_tree_requires_restricted(self):
+        tree = from_transitions([("r", "a", "l")], start="r", accepting=["l"])
+        assert not is_finite_tree(tree)
+
+    def test_dead_states(self, branching_process):
+        assert has_dead_states(branching_process)
+        assert dead_states(branching_process) == frozenset({"t"})
+        loop = from_transitions([("p", "a", "p")], start="p", all_accepting=True)
+        assert not has_dead_states(loop)
+
+
+class TestClassify:
+    def test_rou_chain_has_all_expected_classes(self, simple_chain):
+        classes = classify(simple_chain)
+        assert ModelClass.ROU in classes
+        assert ModelClass.RESTRICTED_OBSERVABLE in classes
+        assert ModelClass.RESTRICTED in classes
+        assert ModelClass.STANDARD in classes
+        assert ModelClass.OBSERVABLE in classes
+        assert ModelClass.GENERAL in classes
+        assert ModelClass.FINITE_TREE in classes  # a chain is a tree
+
+    def test_general_only_for_tau_with_rich_extensions(self):
+        builder = FSPBuilder(variables={"x", "y"})
+        builder.add_transition("p", TAU, "q")
+        builder.add_extension("q", "y")
+        process = builder.build(start="p")
+        assert classify(process) == frozenset({ModelClass.GENERAL})
+
+    def test_belongs_to_matches_classify(self, simple_chain):
+        for model in ModelClass:
+            assert belongs_to(simple_chain, model) == (model in classify(simple_chain))
+
+    def test_hierarchy_is_consistent_with_predicates(self):
+        # membership in a class implies membership in every ancestor class
+        examples = [
+            _restricted_chain(),
+            from_transitions([("p", "a", "q")], start="p", accepting=["q"]),
+            from_transitions([("p", TAU, "q")], start="p"),
+        ]
+        for process in examples:
+            classes = classify(process)
+            for model in classes:
+                for parent in HIERARCHY[model]:
+                    assert parent in classes
+
+    def test_hierarchy_table_lists_every_class(self):
+        table = hierarchy_table()
+        for model in ModelClass:
+            assert model.value in table
+
+
+class TestRequire:
+    def test_require_passes(self, simple_chain):
+        require(simple_chain, ModelClass.RESTRICTED)
+
+    def test_require_raises_with_context(self, branching_process):
+        with pytest.raises(ModelClassError, match="failure equivalence"):
+            require(branching_process, ModelClass.RESTRICTED, context="failure equivalence")
+
+    def test_require_same_signature_alphabet(self, simple_chain):
+        other = from_transitions([("p", "b", "q")], start="p", all_accepting=True)
+        with pytest.raises(ModelClassError, match="Sigma"):
+            require_same_signature(simple_chain, other)
+
+    def test_require_same_signature_variables(self, simple_chain):
+        builder = FSPBuilder(alphabet={"a"}, variables={"x", "y"})
+        builder.add_transition("p", "a", "q")
+        builder.add_extension("p", "y")
+        other = builder.build(start="p")
+        with pytest.raises(ModelClassError, match="variable"):
+            require_same_signature(simple_chain, other)
+
+    def test_require_same_signature_accepts_matching(self, simple_chain):
+        require_same_signature(simple_chain, _restricted_chain())

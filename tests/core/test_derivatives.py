@@ -1,0 +1,144 @@
+"""Tests for weak derivatives, tau-closure and the Theorem 4.1(a) saturation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derivatives import (
+    WeakTransitionView,
+    closure_of_set,
+    saturate,
+    string_derivatives,
+    tau_closure,
+    weak_initials,
+    weak_successors,
+    weak_successors_of_set,
+)
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import EPSILON, TAU, from_transitions
+
+
+@pytest.fixture
+def tau_chain():
+    """p0 =tau=> p1 =tau=> p2 --a--> p3, p3 --b--> p0."""
+    return from_transitions(
+        [
+            ("p0", TAU, "p1"),
+            ("p1", TAU, "p2"),
+            ("p2", "a", "p3"),
+            ("p3", "b", "p0"),
+        ],
+        start="p0",
+        all_accepting=True,
+    )
+
+
+class TestTauClosure:
+    def test_closure_is_reflexive(self, tau_chain):
+        closure = tau_closure(tau_chain)
+        for state in tau_chain.states:
+            assert state in closure[state]
+
+    def test_closure_follows_chains(self, tau_chain):
+        closure = tau_closure(tau_chain)
+        assert closure["p0"] == frozenset({"p0", "p1", "p2"})
+        assert closure["p3"] == frozenset({"p3"})
+
+    def test_closure_handles_cycles(self):
+        cyclic = from_transitions(
+            [("a", TAU, "b"), ("b", TAU, "a")], start="a", all_accepting=True
+        )
+        closure = tau_closure(cyclic)
+        assert closure["a"] == frozenset({"a", "b"})
+        assert closure["b"] == frozenset({"a", "b"})
+
+    def test_closure_of_set(self, tau_chain):
+        assert closure_of_set(tau_chain, {"p0", "p3"}) == frozenset({"p0", "p1", "p2", "p3"})
+
+
+class TestWeakSuccessors:
+    def test_weak_successor_through_tau(self, tau_chain):
+        assert weak_successors(tau_chain, "p0", "a") == frozenset({"p3"})
+
+    def test_weak_successor_direct(self, tau_chain):
+        assert weak_successors(tau_chain, "p3", "b") == frozenset({"p0", "p1", "p2"})
+
+    def test_weak_successor_missing_action(self, tau_chain):
+        assert weak_successors(tau_chain, "p3", "a") == frozenset()
+
+    def test_epsilon_returns_closure(self, tau_chain):
+        assert weak_successors(tau_chain, "p0", EPSILON) == frozenset({"p0", "p1", "p2"})
+
+    def test_tau_is_rejected_as_query_action(self, tau_chain):
+        with pytest.raises(InvalidProcessError):
+            weak_successors(tau_chain, "p0", TAU)
+
+    def test_successors_of_set(self, tau_chain):
+        result = weak_successors_of_set(tau_chain, {"p0", "p3"}, "a")
+        assert result == frozenset({"p3"})
+
+    def test_string_derivatives(self, tau_chain):
+        assert string_derivatives(tau_chain, "p0", ["a", "b"]) == frozenset({"p0", "p1", "p2"})
+        assert string_derivatives(tau_chain, "p0", []) == frozenset({"p0", "p1", "p2"})
+        assert string_derivatives(tau_chain, "p0", ["b"]) == frozenset()
+
+    def test_weak_initials(self, tau_chain):
+        assert weak_initials(tau_chain, "p0") == frozenset({"a"})
+        assert weak_initials(tau_chain, "p3") == frozenset({"b"})
+
+
+class TestSaturate:
+    def test_saturated_has_epsilon_self_loops(self, tau_chain):
+        saturated = saturate(tau_chain)
+        for state in tau_chain.states:
+            assert (state, EPSILON, state) in saturated.transitions
+
+    def test_saturated_has_no_tau(self, tau_chain):
+        saturated = saturate(tau_chain)
+        assert not saturated.has_tau()
+
+    def test_saturated_alphabet_includes_marker(self, tau_chain):
+        saturated = saturate(tau_chain)
+        assert EPSILON in saturated.alphabet
+        assert saturated.alphabet - {EPSILON} == tau_chain.alphabet
+
+    def test_saturated_weak_moves_become_strong(self, tau_chain):
+        saturated = saturate(tau_chain)
+        assert "p3" in saturated.successors("p0", "a")
+
+    def test_marker_collision_rejected(self):
+        process = from_transitions([("p", "ε", "q")], start="p", all_accepting=True)
+        with pytest.raises(InvalidProcessError):
+            saturate(process)
+
+    def test_custom_marker(self, tau_chain):
+        saturated = saturate(tau_chain, epsilon_action="eps")
+        assert "eps" in saturated.alphabet
+
+    def test_saturation_preserves_extensions(self, tau_chain):
+        saturated = saturate(tau_chain)
+        for state in tau_chain.states:
+            assert saturated.extension(state) == tau_chain.extension(state)
+
+
+class TestWeakTransitionView:
+    def test_view_matches_free_functions(self, tau_chain):
+        view = WeakTransitionView(tau_chain)
+        for state in tau_chain.states:
+            assert view.epsilon_closure(state) == tau_closure(tau_chain)[state]
+            for action in tau_chain.alphabet:
+                assert view.weak_successors(state, action) == weak_successors(
+                    tau_chain, state, action
+                )
+            assert view.weak_initials(state) == weak_initials(tau_chain, state)
+
+    def test_view_string_derivatives(self, tau_chain):
+        view = WeakTransitionView(tau_chain)
+        assert view.string_derivatives("p0", ["a"]) == frozenset({"p3"})
+        assert view.string_derivatives("p0", ["a", "a"]) == frozenset()
+
+    def test_view_caches_are_transparent(self, tau_chain):
+        view = WeakTransitionView(tau_chain)
+        first = view.weak_successors("p0", "a")
+        second = view.weak_successors("p0", "a")
+        assert first == second

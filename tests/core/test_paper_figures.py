@@ -1,0 +1,101 @@
+"""Tests that the reconstructed figure processes have the advertised properties (E2, E3)."""
+
+from __future__ import annotations
+
+from repro.core.classify import ModelClass, classify
+from repro.core.paper_figures import (
+    chaos,
+    fig1b_examples,
+    fig2_examples,
+    fig2_failure_pair,
+    fig2_language_pair,
+    trivial_nfa,
+)
+from repro.equivalence.failure import failure_equivalent_processes, failures_upto
+from repro.equivalence.language import language_equivalent_processes
+from repro.equivalence.observational import observationally_equivalent_processes
+
+
+class TestFig1bClassMembership:
+    def test_each_example_belongs_to_its_class(self):
+        expectations = {
+            "general": ModelClass.GENERAL,
+            "observable": ModelClass.OBSERVABLE,
+            "standard": ModelClass.STANDARD,
+            "deterministic": ModelClass.DETERMINISTIC,
+            "restricted": ModelClass.RESTRICTED,
+            "restricted observable unary": ModelClass.ROU,
+            "finite tree": ModelClass.FINITE_TREE,
+        }
+        examples = fig1b_examples()
+        for label, model in expectations.items():
+            assert model in classify(examples[label]), label
+
+    def test_general_example_is_not_observable(self):
+        classes = classify(fig1b_examples()["general"])
+        assert ModelClass.OBSERVABLE not in classes
+
+    def test_observable_example_is_not_standard(self):
+        classes = classify(fig1b_examples()["observable"])
+        assert ModelClass.STANDARD not in classes
+
+    def test_deterministic_example_is_standard_observable(self):
+        classes = classify(fig1b_examples()["deterministic"])
+        assert ModelClass.STANDARD_OBSERVABLE in classes
+
+    def test_finite_tree_failures_match_section_21(self):
+        """The failure set computed in Section 2.1 for the finite-tree example."""
+        tree = fig1b_examples()["finite tree"]
+        failures = failures_upto(tree, tree.start, max_length=3)
+        strings = {string for string, _refusal in failures}
+        assert strings == {(), ("a",), ("a", "b"), ("a", "c")}
+        # at the root, only subsets of {b, c} may be refused
+        root_refusals = {refusal for string, refusal in failures if string == ()}
+        assert frozenset({"b", "c"}) in root_refusals
+        assert all("a" not in refusal for refusal in root_refusals)
+        # after `a`, only {a} may be refused
+        after_a = {refusal for string, refusal in failures if string == ("a",)}
+        assert after_a == {frozenset(), frozenset({"a"})}
+        # after `ab` and `ac`, everything may be refused
+        after_ab = {refusal for string, refusal in failures if string == ("a", "b")}
+        assert frozenset({"a", "b", "c"}) in after_ab
+
+
+class TestFig2Separations:
+    def test_language_pair_separates_language_from_failures(self):
+        first, second = fig2_language_pair()
+        assert language_equivalent_processes(first, second)
+        assert not failure_equivalent_processes(first, second)
+        assert not observationally_equivalent_processes(first, second)
+
+    def test_failure_pair_separates_failures_from_bisimulation(self):
+        first, second = fig2_failure_pair()
+        assert language_equivalent_processes(first, second)
+        assert failure_equivalent_processes(first, second)
+        assert not observationally_equivalent_processes(first, second)
+
+    def test_pairs_are_rou(self):
+        for first, second in fig2_examples().values():
+            assert ModelClass.ROU in classify(first)
+            assert ModelClass.ROU in classify(second)
+
+
+class TestGadgets:
+    def test_chaos_is_rou(self):
+        assert ModelClass.ROU in classify(chaos())
+
+    def test_chaos_shape(self):
+        process = chaos()
+        assert process.num_states == 2
+        assert process.successors("chaos", "a") == frozenset({"chaos", "halt"})
+        assert process.enabled_actions("halt") == frozenset()
+
+    def test_trivial_nfa_accepts_everything_locally(self):
+        process = trivial_nfa({"a", "b"})
+        assert process.num_states == 1
+        assert process.enabled_actions(process.start) == frozenset({"a", "b"})
+        assert process.is_accepting(process.start)
+
+    def test_trivial_nfa_custom_alphabet(self):
+        process = trivial_nfa({"u", "v", "w"})
+        assert process.alphabet == frozenset({"u", "v", "w"})

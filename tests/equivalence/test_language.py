@@ -1,0 +1,108 @@
+"""Tests for the language view of FSP states (approx_1 / Proposition 2.2.3(b))."""
+
+from __future__ import annotations
+
+from repro.core.fsp import TAU, from_transitions
+from repro.equivalence.language import (
+    accepted_strings_upto,
+    is_universal,
+    language_distinguishing_word,
+    language_equivalent,
+    language_equivalent_processes,
+    language_included,
+    language_nfa,
+    traces_upto,
+    universality_counterexample,
+)
+
+
+class TestLanguageExtraction:
+    def test_accepted_strings(self, branching_process):
+        strings = accepted_strings_upto(branching_process, 3)
+        assert strings == frozenset({("a", "b"), ("a", "c")})
+
+    def test_tau_is_invisible_in_language(self, tau_process):
+        strings = accepted_strings_upto(tau_process, 2)
+        assert ("a",) in strings
+        assert all(TAU not in string for string in strings)
+
+    def test_traces_include_non_accepting_prefixes(self, branching_process):
+        traces = traces_upto(branching_process, 2)
+        assert () in traces
+        assert ("a",) in traces
+
+    def test_language_nfa_custom_root_and_accepting(self, branching_process):
+        nfa = language_nfa(branching_process, start="l", accepting={"t"})
+        assert nfa.accepts(["b"])
+        assert not nfa.accepts(["a"])
+
+
+class TestEquivalenceAndInclusion:
+    def test_language_equivalent_states(self):
+        process = from_transitions(
+            [("p", "a", "x"), ("q", "a", "y")], start="p", all_accepting=True
+        )
+        assert language_equivalent(process, "p", "q")
+        assert language_equivalent(process, "x", "y")
+        assert not language_equivalent(process, "p", "x")
+
+    def test_distinguishing_word(self):
+        process = from_transitions(
+            [("p", "a", "x"), ("x", "a", "z"), ("q", "a", "y")],
+            start="p",
+            all_accepting=True,
+        )
+        word = language_distinguishing_word(process, "p", "q")
+        assert word == ("a", "a")
+        assert language_distinguishing_word(process, "x", "y") == ("a",)
+        assert language_distinguishing_word(process, "z", "y") is None
+
+    def test_inclusion(self):
+        process = from_transitions(
+            [("p", "a", "x"), ("p", "b", "y"), ("q", "a", "z")],
+            start="p",
+            all_accepting=True,
+        )
+        assert language_included(process, "q", "p")
+        assert not language_included(process, "p", "q")
+
+    def test_processes_comparison(self):
+        first = from_transitions([("p", "a", "x")], start="p", all_accepting=True)
+        second = from_transitions(
+            [("q", "a", "y"), ("q", "a", "z")], start="q", all_accepting=True
+        )
+        assert language_equivalent_processes(first, second)
+
+
+class TestUniversality:
+    def test_universal_process(self):
+        process = from_transitions(
+            [("u", "a", "u"), ("u", "b", "u")], start="u", all_accepting=True
+        )
+        assert is_universal(process)
+        assert universality_counterexample(process) is None
+
+    def test_non_universal_process(self):
+        process = from_transitions(
+            [("u", "a", "u")], start="u", all_accepting=True, alphabet={"a", "b"}
+        )
+        assert not is_universal(process)
+        counterexample = universality_counterexample(process)
+        assert counterexample is not None and counterexample == ("b",)
+
+    def test_universality_with_tau_shortcuts(self):
+        process = from_transitions(
+            [("u", TAU, "v"), ("v", "a", "v"), ("v", "b", "v")],
+            start="u",
+            all_accepting=True,
+        )
+        assert is_universal(process)
+
+    def test_standard_process_universality_depends_on_accepting(self):
+        process = from_transitions(
+            [("u", "a", "v"), ("v", "a", "u"), ("u", "b", "u"), ("v", "b", "v")],
+            start="u",
+            accepting=["u"],
+        )
+        # the odd-length a-words are rejected
+        assert not is_universal(process)

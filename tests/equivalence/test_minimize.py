@@ -1,0 +1,97 @@
+"""Tests for quotient construction and minimisation."""
+
+from __future__ import annotations
+
+from repro.core.fsp import TAU, from_transitions
+from repro.equivalence.minimize import minimize_observational, minimize_strong, quotient, reduction_ratio
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strong_bisimulation_partition, strongly_equivalent_processes
+from repro.generators.families import duplicated_chain
+from repro.partition.partition import Partition
+
+
+class TestQuotient:
+    def test_quotient_collapses_blocks(self, simple_chain):
+        partition = Partition([["c0", "c1"], ["c2"]])
+        collapsed = quotient(simple_chain, partition)
+        assert collapsed.num_states == 2
+
+    def test_quotient_keeps_start(self, simple_chain):
+        partition = Partition([["c0"], ["c1", "c2"]])
+        collapsed = quotient(simple_chain, partition)
+        assert collapsed.start == "[c0]"
+
+    def test_quotient_can_keep_unreachable(self):
+        process = from_transitions(
+            [("p", "a", "q"), ("island", "a", "island")], start="p", all_accepting=True
+        )
+        partition = Partition.discrete(process.states)
+        kept = quotient(process, partition, drop_unreachable=False)
+        dropped = quotient(process, partition, drop_unreachable=True)
+        assert kept.num_states == 3
+        assert dropped.num_states == 2
+
+
+class TestMinimizeStrong:
+    def test_duplicates_collapse_to_chain(self):
+        bloated = duplicated_chain(4, 3)
+        minimal = minimize_strong(bloated)
+        assert minimal.num_states == 5  # a chain of length 4 has 5 states
+        assert strongly_equivalent_processes(bloated, minimal)
+
+    def test_minimal_process_is_a_fixed_point(self):
+        bloated = duplicated_chain(3, 2)
+        minimal = minimize_strong(bloated)
+        assert minimize_strong(minimal).num_states == minimal.num_states
+
+    def test_partition_blocks_match_state_count(self):
+        bloated = duplicated_chain(3, 2)
+        partition = strong_bisimulation_partition(bloated)
+        minimal = minimize_strong(bloated)
+        # reachable blocks = states of the quotient
+        assert minimal.num_states <= len(partition)
+
+    def test_reduction_ratio(self):
+        bloated = duplicated_chain(4, 3)
+        minimal = minimize_strong(bloated)
+        ratio = reduction_ratio(bloated, minimal)
+        assert 0.0 < ratio < 1.0
+        assert reduction_ratio(minimal, minimal) == 0.0
+
+
+class TestMinimizeObservational:
+    def test_tau_chains_collapse(self):
+        process = from_transitions(
+            [
+                ("p", TAU, "p1"),
+                ("p1", TAU, "p2"),
+                ("p2", "a", "p3"),
+            ],
+            start="p",
+            all_accepting=True,
+        )
+        minimal = minimize_observational(process)
+        assert minimal.num_states <= 2
+        assert observationally_equivalent_processes(process, minimal)
+
+    def test_observational_quotient_preserves_weak_behaviour(self):
+        process = from_transitions(
+            [
+                ("p", "coin", "p1"),
+                ("p1", TAU, "p2"),
+                ("p2", "tea", "p3"),
+                ("p1", TAU, "p4"),
+                ("p4", "tea", "p5"),
+            ],
+            start="p",
+            all_accepting=True,
+        )
+        minimal = minimize_observational(process)
+        assert minimal.num_states < process.num_states
+        assert observationally_equivalent_processes(process, minimal)
+
+    def test_already_minimal_untouched(self):
+        process = from_transitions(
+            [("p", "a", "q"), ("q", "b", "p")], start="p", all_accepting=True
+        )
+        assert minimize_observational(process).num_states == 2

@@ -1,0 +1,99 @@
+"""Tests for explicit bisimulation relations and the fixed-point checks."""
+
+from __future__ import annotations
+
+from repro.core.fsp import TAU, from_transitions
+from repro.equivalence.relations import (
+    is_strong_bisimulation,
+    is_weak_bisimulation,
+    largest_strong_bisimulation,
+    largest_weak_bisimulation,
+    partition_from_relation,
+    reflexive_closure,
+    relation_from_partition,
+    symmetric_closure,
+)
+from repro.equivalence.observational import observational_partition
+from repro.equivalence.strong import strong_bisimulation_partition
+from repro.partition.partition import Partition
+
+
+class TestClosures:
+    def test_symmetric_closure(self):
+        assert symmetric_closure([("a", "b")]) == frozenset({("a", "b"), ("b", "a")})
+
+    def test_reflexive_closure(self):
+        closed = reflexive_closure([("a", "b")], ["a", "b", "c"])
+        assert ("c", "c") in closed and ("a", "b") in closed
+
+    def test_relation_partition_round_trip(self):
+        partition = Partition([["a", "b"], ["c"]])
+        relation = relation_from_partition(partition)
+        assert ("a", "b") in relation and ("a", "c") not in relation
+        assert partition_from_relation(["a", "b", "c"], relation) == partition
+
+    def test_partition_from_relation_closes_transitively(self):
+        result = partition_from_relation(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert result.same_block("a", "c")
+
+
+class TestStrongBisimulationCheck:
+    def test_identity_is_always_a_bisimulation(self, branching_process):
+        identity = [(state, state) for state in branching_process.states]
+        assert is_strong_bisimulation(branching_process, identity)
+
+    def test_partition_relation_is_a_bisimulation(self, branching_process):
+        partition = strong_bisimulation_partition(branching_process)
+        assert is_strong_bisimulation(branching_process, relation_from_partition(partition))
+
+    def test_relating_inequivalent_states_fails(self, branching_process):
+        assert not is_strong_bisimulation(branching_process, [("l", "r")])
+
+    def test_relating_states_with_different_extensions_fails(self, branching_process):
+        assert not is_strong_bisimulation(branching_process, [("s", "t")])
+
+    def test_largest_strong_bisimulation_contains_partition(self, branching_process):
+        relation = largest_strong_bisimulation(branching_process)
+        assert ("l", "l") in relation
+        assert ("l", "r") not in relation
+
+    def test_tau_as_action_flag(self):
+        process = from_transitions(
+            [("p", TAU, "p1"), ("p1", "a", "dead")],
+            start="p",
+            all_accepting=True,
+            alphabet={"a"},
+        )
+        # With tau treated as a label, p (which has a tau-move) cannot be
+        # related to the dead state; ignoring tau, the pair is fine because
+        # neither has any observable single-step move.
+        assert not is_strong_bisimulation(process, [("p", "dead")], tau_as_action=True)
+        assert is_strong_bisimulation(process, [("p", "dead")], tau_as_action=False)
+
+
+class TestWeakBisimulationCheck:
+    def test_weak_relation_accepts_tau_absorption(self):
+        process = from_transitions(
+            [("p", "a", "p1"), ("q", TAU, "qm"), ("qm", "a", "q1")],
+            start="p",
+            all_accepting=True,
+        )
+        relation = reflexive_closure(
+            [("p", "q"), ("p", "qm"), ("p1", "q1"), ("q", "qm")], process.states
+        )
+        assert is_weak_bisimulation(process, relation)
+        # the same relation is not a *strong* bisimulation
+        assert not is_strong_bisimulation(process, relation)
+
+    def test_weak_relation_rejects_real_differences(self):
+        process = from_transitions(
+            [("p", "a", "p1"), ("q", "b", "q1")], start="p", all_accepting=True
+        )
+        assert not is_weak_bisimulation(process, [("p", "q")])
+
+    def test_largest_weak_bisimulation_matches_partition(self, tau_process):
+        relation = largest_weak_bisimulation(tau_process)
+        partition = observational_partition(tau_process)
+        for first, second in relation:
+            assert partition.same_block(first, second)
+        assert is_weak_bisimulation(tau_process, relation)

@@ -1,0 +1,99 @@
+"""Tests for the simulation preorder and mutual similarity."""
+
+from __future__ import annotations
+
+from repro.core.fsp import TAU, from_transitions
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.simulation import (
+    is_simulation,
+    similar,
+    similar_processes,
+    simulates,
+    simulation_preorder,
+)
+from repro.equivalence.strong import strongly_equivalent_processes
+
+
+def _with_stub_branch():
+    """a.b + a -- the extra `a` branch deadlocks immediately."""
+    return from_transitions(
+        [("p", "a", "p1"), ("p1", "b", "p2"), ("p", "a", "p3")],
+        start="p",
+        all_accepting=True,
+    )
+
+
+def _without_stub_branch():
+    """a.b"""
+    return from_transitions(
+        [("q", "a", "q1"), ("q1", "b", "q2")],
+        start="q",
+        all_accepting=True,
+    )
+
+
+class TestStrongSimulation:
+    def test_preorder_is_reflexive(self, branching_process):
+        relation = simulation_preorder(branching_process)
+        for state in branching_process.states:
+            assert (state, state) in relation
+
+    def test_computed_preorder_is_a_simulation(self, branching_process):
+        relation = simulation_preorder(branching_process)
+        assert is_simulation(branching_process, relation)
+
+    def test_longer_chain_simulates_shorter(self):
+        process = from_transitions(
+            [("long0", "a", "long1"), ("long1", "a", "long2"), ("short0", "a", "short1")],
+            start="long0",
+            all_accepting=True,
+        )
+        assert simulates(process, "long0", "short0")
+        assert not simulates(process, "short0", "long0")
+        assert not similar(process, "long0", "short0")
+
+    def test_extension_mismatch_blocks_simulation(self, branching_process):
+        assert not simulates(branching_process, "s", "t")
+
+    def test_stub_branch_is_similar_but_not_bisimilar(self):
+        """The classic gap between mutual similarity and bisimilarity: a.b + a  vs  a.b."""
+        first, second = _with_stub_branch(), _without_stub_branch()
+        assert similar_processes(first, second)
+        assert not strongly_equivalent_processes(first, second)
+        assert not observationally_equivalent_processes(first, second)
+
+    def test_similarity_is_coarser_than_bisimilarity(self):
+        first = from_transitions([("p", "a", "p1")], start="p", all_accepting=True)
+        second = from_transitions(
+            [("q", "a", "q1"), ("q", "a", "q2")], start="q", all_accepting=True
+        )
+        assert strongly_equivalent_processes(first, second)
+        assert similar_processes(first, second)
+
+
+class TestWeakSimulation:
+    def test_tau_prefix_is_absorbed(self):
+        process = from_transitions(
+            [("p", "a", "p1"), ("q", TAU, "qm"), ("qm", "a", "q1")],
+            start="p",
+            all_accepting=True,
+        )
+        assert similar(process, "p", "q", weak=True)
+        assert not similar(process, "p", "q", weak=False)
+
+    def test_weak_preorder_is_a_weak_simulation(self, tau_process):
+        relation = simulation_preorder(tau_process, weak=True)
+        assert is_simulation(tau_process, relation, weak=True)
+
+    def test_weak_similarity_strictly_coarser_than_observational_equivalence(self):
+        first, second = _with_stub_branch(), _without_stub_branch()
+        # observational equivalence would imply weak mutual similarity; here we
+        # only have the latter, which shows the inclusion is strict.
+        assert similar_processes(first, second, weak=True)
+        assert not observationally_equivalent_processes(first, second)
+
+    def test_is_simulation_rejects_bad_relation(self):
+        process = from_transitions(
+            [("p", "a", "p1"), ("q", "b", "q1")], start="p", all_accepting=True
+        )
+        assert not is_simulation(process, {("p", "q")})

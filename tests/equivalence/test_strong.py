@@ -1,0 +1,144 @@
+"""Tests for strong equivalence via generalized partitioning (Theorem 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ModelClassError
+from repro.core.fsp import TAU, from_transitions
+from repro.equivalence.strong import (
+    strong_bisimulation_partition,
+    strong_equivalence_classes,
+    strongly_equivalent,
+    strongly_equivalent_processes,
+)
+from repro.partition.generalized import Solver
+
+
+@pytest.fixture
+def mirrored_process():
+    """Two structurally identical branches hanging off distinguishable roots."""
+    return from_transitions(
+        [
+            ("p", "a", "p1"),
+            ("p1", "b", "p2"),
+            ("q", "a", "q1"),
+            ("q1", "b", "q2"),
+            ("r", "a", "r1"),
+            ("r1", "c", "r2"),
+        ],
+        start="p",
+        all_accepting=True,
+    )
+
+
+class TestPartition:
+    def test_isomorphic_branches_merge(self, mirrored_process):
+        partition = strong_bisimulation_partition(mirrored_process)
+        assert partition.same_block("p", "q")
+        assert partition.same_block("p1", "q1")
+        assert partition.same_block("p2", "q2")
+
+    def test_different_branches_stay_apart(self, mirrored_process):
+        partition = strong_bisimulation_partition(mirrored_process)
+        assert not partition.same_block("p", "r")
+        assert not partition.same_block("p1", "r1")
+        # but the leaves are all strongly equivalent (dead, accepting)
+        assert partition.same_block("p2", "r2")
+
+    def test_extensions_split_level_zero(self):
+        process = from_transitions(
+            [("p", "a", "x"), ("q", "a", "y")], start="p", accepting=["x"]
+        )
+        partition = strong_bisimulation_partition(process)
+        assert not partition.same_block("x", "y")
+        assert not partition.same_block("p", "q")
+
+    def test_all_methods_agree(self, mirrored_process):
+        reference = strong_bisimulation_partition(mirrored_process, method=Solver.NAIVE)
+        for method in (Solver.KANELLAKIS_SMOLKA, Solver.PAIGE_TARJAN):
+            assert strong_bisimulation_partition(mirrored_process, method=method) == reference
+
+    def test_classes_view(self, mirrored_process):
+        classes = strong_equivalence_classes(mirrored_process)
+        assert frozenset({"p2", "q2", "r2"}) in classes
+
+
+class TestPairwiseDecision:
+    def test_strongly_equivalent_states(self, mirrored_process):
+        assert strongly_equivalent(mirrored_process, "p", "q")
+        assert not strongly_equivalent(mirrored_process, "p", "r")
+
+    def test_reflexive(self, mirrored_process):
+        for state in mirrored_process.states:
+            assert strongly_equivalent(mirrored_process, state, state)
+
+    def test_strongly_equivalent_processes(self):
+        first = from_transitions([("p", "a", "p1")], start="p", all_accepting=True)
+        second = from_transitions([("q", "a", "q1")], start="q", all_accepting=True)
+        assert strongly_equivalent_processes(first, second)
+
+    def test_inequivalent_processes(self):
+        first = from_transitions([("p", "a", "p1")], start="p", all_accepting=True)
+        second = from_transitions(
+            [("q", "a", "q1"), ("q1", "a", "q2")], start="q", all_accepting=True
+        )
+        assert not strongly_equivalent_processes(first, second)
+
+    def test_signature_mismatch_rejected(self):
+        first = from_transitions([("p", "a", "p1")], start="p", all_accepting=True)
+        second = from_transitions([("q", "b", "q1")], start="q", all_accepting=True)
+        with pytest.raises(ModelClassError):
+            strongly_equivalent_processes(first, second)
+
+
+class TestTauHandling:
+    def test_tau_treated_as_action_by_default(self):
+        """With tau as a label, a.0 and tau.a.0 are NOT strongly equivalent."""
+        direct = from_transitions([("p", "a", "p1")], start="p", all_accepting=True)
+        delayed = from_transitions(
+            [("q", TAU, "qm"), ("qm", "a", "q1")], start="q", all_accepting=True
+        )
+        assert not strongly_equivalent_processes(direct, delayed)
+
+    def test_require_observable_flag(self):
+        delayed = from_transitions([("q", TAU, "q1")], start="q", all_accepting=True)
+        with pytest.raises(ModelClassError):
+            strong_bisimulation_partition(delayed, require_observable=True)
+
+    def test_tau_branching_difference_detected(self):
+        first = from_transitions(
+            [("p", TAU, "p1"), ("p1", "a", "p2")], start="p", all_accepting=True
+        )
+        second = from_transitions(
+            [("q", TAU, "q1"), ("q", TAU, "q2"), ("q1", "a", "q3")],
+            start="q",
+            all_accepting=True,
+        )
+        # q has a tau-move into a dead state; strongly this is a difference
+        assert not strongly_equivalent_processes(first, second)
+
+
+class TestKnownIdentities:
+    def test_nondeterministic_choice_commutes(self):
+        left = from_transitions(
+            [("p", "a", "p1"), ("p", "b", "p2")], start="p", all_accepting=True
+        )
+        right = from_transitions(
+            [("q", "b", "q1"), ("q", "a", "q2")], start="q", all_accepting=True
+        )
+        assert strongly_equivalent_processes(left, right)
+
+    def test_unfolding_a_loop_is_strongly_equivalent(self):
+        loop = from_transitions([("p", "a", "p")], start="p", all_accepting=True)
+        unrolled = from_transitions(
+            [("q0", "a", "q1"), ("q1", "a", "q0")], start="q0", all_accepting=True
+        )
+        assert strongly_equivalent_processes(loop, unrolled)
+
+    def test_duplicate_branch_is_absorbed(self):
+        single = from_transitions([("p", "a", "p1")], start="p", all_accepting=True)
+        doubled = from_transitions(
+            [("q", "a", "q1"), ("q", "a", "q2")], start="q", all_accepting=True
+        )
+        assert strongly_equivalent_processes(single, doubled)

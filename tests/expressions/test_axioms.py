@@ -1,0 +1,54 @@
+"""Tests for the algebraic-identity catalogue (Section 2.3 item (3), experiment E16)."""
+
+from __future__ import annotations
+
+from repro.expressions.axioms import (
+    IDENTITY_INSTANCES,
+    annihilation_counterexample,
+    distributivity_counterexample,
+    evaluate_identity,
+    identity_report,
+    identity_table,
+)
+from repro.expressions.ccs_equivalence import ccs_equivalent, language_ccs_equivalent
+
+
+def test_distributivity_counterexample_behaves_as_the_paper_states():
+    left, right = distributivity_counterexample()
+    assert language_ccs_equivalent(left, right)
+    assert not ccs_equivalent(left, right)
+
+
+def test_annihilation_counterexample_behaves_as_the_paper_states():
+    left, right = annihilation_counterexample()
+    assert language_ccs_equivalent(left, right)
+    assert not ccs_equivalent(left, right)
+
+
+def test_report_contains_every_catalogue_entry():
+    report = identity_report()
+    assert len(report) == len(IDENTITY_INSTANCES)
+    names = {verdict.name for verdict in report}
+    assert "right distributivity" in names and "annihilation r.0 = 0" in names
+
+
+def test_every_identity_holds_in_language_semantics():
+    """All catalogued laws are classical regular-expression identities."""
+    for verdict in identity_report():
+        assert verdict.holds_in_language, verdict.name
+
+
+def test_exactly_the_two_paper_identities_fail_in_ccs():
+    failing = {verdict.name for verdict in identity_report() if not verdict.holds_in_ccs}
+    assert failing == {"right distributivity", "annihilation r.0 = 0"}
+
+
+def test_evaluate_identity_single():
+    verdict = evaluate_identity("custom", "a + a", "a")
+    assert verdict.holds_in_ccs and verdict.holds_in_language
+
+
+def test_identity_table_renders_all_rows():
+    table = identity_table()
+    for name, _left, _right in IDENTITY_INSTANCES:
+        assert name in table

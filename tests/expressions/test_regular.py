@@ -1,0 +1,65 @@
+"""Tests for the classical (language) semantics of the expression syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expressions.parser import parse
+from repro.expressions.regular import denotes, language_nfa, language_upto, regular_equivalent
+
+
+class TestDenotation:
+    def test_empty_denotes_nothing(self):
+        assert not denotes(parse("0"), [])
+        assert not denotes(parse("0"), ["a"])
+
+    def test_action(self):
+        assert denotes(parse("a"), ["a"])
+        assert not denotes(parse("a"), [])
+        assert not denotes(parse("a"), ["a", "a"])
+
+    def test_union(self):
+        expression = parse("a + b")
+        assert denotes(expression, ["a"]) and denotes(expression, ["b"])
+        assert not denotes(expression, ["a", "b"])
+
+    def test_concat(self):
+        expression = parse("a.b")
+        assert denotes(expression, ["a", "b"])
+        assert not denotes(expression, ["a"])
+
+    def test_star(self):
+        expression = parse("(a.b)*")
+        assert denotes(expression, [])
+        assert denotes(expression, ["a", "b", "a", "b"])
+        assert not denotes(expression, ["a"])
+
+    def test_language_upto(self):
+        assert language_upto(parse("a*"), 3) == frozenset(
+            {(), ("a",), ("a", "a"), ("a", "a", "a")}
+        )
+
+    def test_language_nfa_alphabet_override(self):
+        nfa = language_nfa(parse("a"), alphabet={"a", "b"})
+        assert nfa.alphabet == frozenset({"a", "b"})
+
+
+class TestRegularEquivalence:
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("a + b", "b + a", True),
+            ("a.(b + c)", "a.b + a.c", True),
+            ("a.0", "0", True),
+            ("(a + b)*", "(a*.b*)*", True),
+            ("a*", "a.a*", False),
+            ("a", "a + a.a", False),
+            ("0*", "0", False),  # 0* denotes {epsilon}
+        ],
+    )
+    def test_equivalences(self, left, right, expected):
+        assert regular_equivalent(parse(left), parse(right)) is expected
+
+    def test_alphabet_alignment(self):
+        # over the joint alphabet {a, b}: a* != (a+b)*
+        assert not regular_equivalent(parse("a*"), parse("(a + b)*"))

@@ -1,0 +1,105 @@
+"""Tests for star-expression syntax and the parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ExpressionError
+from repro.expressions.parser import parse
+from repro.expressions.syntax import (
+    ActionExpr,
+    ConcatExpr,
+    EmptyExpr,
+    StarExpr,
+    UnionExpr,
+    actions_of,
+    length_of,
+    subexpressions,
+)
+
+
+class TestAst:
+    def test_operator_sugar(self):
+        a, b = ActionExpr("a"), ActionExpr("b")
+        expression = (a | b) >> a.star()
+        assert isinstance(expression, ConcatExpr)
+        assert isinstance(expression.left, UnionExpr)
+        assert isinstance(expression.right, StarExpr)
+
+    def test_invalid_action_names(self):
+        with pytest.raises(ExpressionError):
+            ActionExpr("")
+        with pytest.raises(ExpressionError):
+            ActionExpr("a b")
+        with pytest.raises(ExpressionError):
+            ActionExpr("0")
+
+    def test_actions_of(self):
+        expression = parse("a.(b + c)* + 0")
+        assert actions_of(expression) == frozenset({"a", "b", "c"})
+        assert actions_of(EmptyExpr()) == frozenset()
+
+    def test_length_of_counts_symbols(self):
+        assert length_of(parse("a")) == 1
+        assert length_of(parse("a + b")) == 3
+        assert length_of(parse("(a.b)*")) == 4
+        assert length_of(EmptyExpr()) == 1
+
+    def test_subexpressions_postorder(self):
+        expression = parse("a.b")
+        subs = subexpressions(expression)
+        assert subs[-1] is expression
+        assert len(subs) == 3
+
+    def test_str_round_trip_parses(self):
+        expression = parse("a.(b + c)* + 0.a")
+        again = parse(str(expression))
+        assert str(again) == str(expression)
+
+
+class TestParser:
+    def test_empty_expression(self):
+        assert isinstance(parse("0"), EmptyExpr)
+
+    def test_single_action(self):
+        expression = parse("a")
+        assert isinstance(expression, ActionExpr) and expression.action == "a"
+
+    def test_multi_character_actions(self):
+        expression = parse("coin.tea")
+        assert isinstance(expression, ConcatExpr)
+        assert expression.left == ActionExpr("coin")
+
+    def test_union_variants(self):
+        assert parse("a + b") == parse("a | b")
+
+    def test_precedence_star_tightest(self):
+        expression = parse("a.b*")
+        assert isinstance(expression, ConcatExpr)
+        assert isinstance(expression.right, StarExpr)
+
+    def test_precedence_concat_over_union(self):
+        expression = parse("a.b + c")
+        assert isinstance(expression, UnionExpr)
+        assert isinstance(expression.left, ConcatExpr)
+
+    def test_juxtaposition_is_concatenation(self):
+        assert parse("a b") == parse("a.b")
+        assert parse("(a)(b)") == parse("a.b")
+
+    def test_double_star(self):
+        expression = parse("a**")
+        assert isinstance(expression, StarExpr) and isinstance(expression.operand, StarExpr)
+
+    def test_parentheses(self):
+        expression = parse("(a + b).c")
+        assert isinstance(expression, ConcatExpr)
+        assert isinstance(expression.left, UnionExpr)
+
+    def test_errors(self):
+        for text in ("", "a +", "(a", "a)", "*a", "a @ b", "+"):
+            with pytest.raises(ExpressionError):
+                parse(text)
+
+    def test_whitespace_ignored(self):
+        assert parse(" a .  ( b + c ) ") == parse("a.(b+c)")

@@ -1,0 +1,98 @@
+"""Tests for the parametric process families used by the benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.dfa import determinize
+from repro.core.classify import ModelClass, classify
+from repro.equivalence.language import language_nfa
+from repro.equivalence.minimize import minimize_strong
+from repro.equivalence.strong import strongly_equivalent_processes
+from repro.generators.expressions import (
+    alternating_expression,
+    left_deep_concat,
+    random_star_expression,
+    starred_unions,
+)
+from repro.generators.families import (
+    binary_tree,
+    chain,
+    comb,
+    cycle,
+    duplicated_chain,
+    kanellakis_inequivalent_pair,
+    kanellakis_pair,
+    nondeterministic_counter,
+    restricted_counter,
+    tau_ladder,
+)
+from repro.expressions.syntax import length_of
+
+
+class TestBasicFamilies:
+    def test_chain_size(self):
+        process = chain(5)
+        assert process.num_states == 6
+        assert process.num_transitions == 5
+
+    def test_cycle_size_and_validation(self):
+        assert cycle(4).num_states == 4
+        with pytest.raises(ValueError):
+            cycle(0)
+
+    def test_binary_tree_is_a_finite_tree(self):
+        tree = binary_tree(3)
+        assert ModelClass.FINITE_TREE in classify(tree)
+        assert tree.num_states == 2 ** 4 - 1
+
+    def test_comb_structure(self):
+        process = comb(4)
+        assert ModelClass.RESTRICTED_OBSERVABLE in classify(process)
+        assert process.num_states == 9  # 5 spine + 4 teeth
+
+    def test_tau_ladder_has_tau(self):
+        assert tau_ladder(3).has_tau()
+
+    def test_duplicated_chain_minimises_to_plain_chain(self):
+        bloated = duplicated_chain(4, 3)
+        assert minimize_strong(bloated).num_states == 5
+
+
+class TestHardInstances:
+    def test_nondeterministic_counter_blows_up_under_determinisation(self):
+        process = nondeterministic_counter(6)
+        dfa = determinize(language_nfa(process))
+        assert len(dfa.states) >= 2 ** 6
+
+    def test_restricted_counter_is_restricted(self):
+        assert ModelClass.RESTRICTED in classify(restricted_counter(4))
+
+    def test_counter_validation(self):
+        with pytest.raises(ValueError):
+            nondeterministic_counter(0)
+
+    def test_kanellakis_pair_is_equivalent(self):
+        left, right = kanellakis_pair(4)
+        assert strongly_equivalent_processes(left, right)
+
+    def test_kanellakis_inequivalent_pair_is_inequivalent(self):
+        left, right = kanellakis_inequivalent_pair(4)
+        assert not strongly_equivalent_processes(left, right)
+
+
+class TestExpressionFamilies:
+    def test_random_expression_reproducible(self):
+        assert str(random_star_expression(8, seed=1)) == str(random_star_expression(8, seed=1))
+
+    def test_alternating_expression_grows_linearly(self):
+        small = length_of(alternating_expression(2))
+        large = length_of(alternating_expression(4))
+        assert large > small
+
+    def test_left_deep_concat_length(self):
+        assert length_of(left_deep_concat(5)) == 9  # 5 actions + 4 concat operators
+
+    def test_starred_unions_width(self):
+        expression = starred_unions(4)
+        assert length_of(expression) == 8  # 4 actions + 3 unions + 1 star

@@ -1,0 +1,122 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_ERROR, EXIT_INEQUIVALENT, load_process, main
+from repro.core.fsp import from_transitions
+from repro.core.paper_figures import fig2_language_pair
+from repro.utils import serialization
+
+
+@pytest.fixture
+def stored_pair(tmp_path: Path) -> tuple[str, str]:
+    first, second = fig2_language_pair()
+    first_path = tmp_path / "first.json"
+    second_path = tmp_path / "second.json"
+    serialization.dump(first, first_path)
+    serialization.dump(second, second_path)
+    return str(first_path), str(second_path)
+
+
+class TestClassify:
+    def test_classify_lists_model_classes(self, stored_pair, capsys):
+        first, _second = stored_pair
+        assert main(["classify", first]) == 0
+        output = capsys.readouterr().out
+        assert "restricted observable unary" in output
+        assert "3 states" in output
+
+    def test_classify_missing_file(self, tmp_path, capsys):
+        assert main(["classify", str(tmp_path / "missing.json")]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_language_equivalence_exit_zero(self, stored_pair, capsys):
+        first, second = stored_pair
+        assert main(["check", first, second, "--notion", "language"]) == 0
+        assert "are equivalent" in capsys.readouterr().out
+
+    def test_observational_inequivalence_exit_one(self, stored_pair, capsys):
+        first, second = stored_pair
+        assert main(["check", first, second, "--notion", "observational"]) == EXIT_INEQUIVALENT
+        assert "NOT equivalent" in capsys.readouterr().out
+
+    def test_k_observational_uses_level(self, stored_pair):
+        first, second = stored_pair
+        assert main(["check", first, second, "--notion", "k-observational", "--k", "1"]) == 0
+        assert (
+            main(["check", first, second, "--notion", "k-observational", "--k", "2"])
+            == EXIT_INEQUIVALENT
+        )
+
+    def test_failure_and_strong_notions(self, stored_pair):
+        first, second = stored_pair
+        assert main(["check", first, second, "--notion", "failure"]) == EXIT_INEQUIVALENT
+        assert main(["check", first, first, "--notion", "strong"]) == 0
+
+
+class TestMinimizeAndConvert:
+    def test_minimize_writes_smaller_process(self, tmp_path, capsys):
+        bloated = from_transitions(
+            [("p", "a", "x"), ("p", "a", "y"), ("x", "a", "z"), ("y", "a", "z")],
+            start="p",
+            all_accepting=True,
+        )
+        source = tmp_path / "bloated.json"
+        target = tmp_path / "minimal.json"
+        serialization.dump(bloated, source)
+        assert main(["minimize", str(source), str(target), "--notion", "strong"]) == 0
+        minimal = load_process(target)
+        assert minimal.num_states < bloated.num_states
+        assert "minimised" in capsys.readouterr().out
+
+    def test_convert_json_to_aut_and_back(self, tmp_path, stored_pair):
+        first, _second = stored_pair
+        aut_path = tmp_path / "copy.aut"
+        assert main(["convert", first, str(aut_path)]) == 0
+        reloaded = load_process(aut_path)
+        assert reloaded.num_states == load_process(first).num_states
+
+    def test_convert_to_dot(self, tmp_path, stored_pair):
+        first, _second = stored_pair
+        dot_path = tmp_path / "graph.dot"
+        assert main(["convert", first, str(dot_path)]) == 0
+        assert dot_path.read_text().startswith("digraph")
+
+
+class TestExpressionsAndCcs:
+    def test_expr_strong_inequivalence(self, capsys):
+        assert main(["expr", "a.(b + c)", "a.b + a.c"]) == EXIT_INEQUIVALENT
+        assert main(["expr", "a.(b + c)", "a.b + a.c", "--notion", "language"]) == 0
+
+    def test_expr_parse_error(self, capsys):
+        assert main(["expr", "a + ", "a"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_ccs_compile_and_store(self, tmp_path, capsys):
+        output = tmp_path / "term.json"
+        definitions = tmp_path / "defs.ccs"
+        definitions.write_text("P := a.b.P\n", encoding="utf-8")
+        code = main(
+            ["ccs", "P", "--definitions", str(definitions), "--output", str(output)]
+        )
+        assert code == 0
+        compiled = load_process(output)
+        assert compiled.num_states == 2
+        assert "compiled" in capsys.readouterr().out
+
+    def test_ccs_state_bound(self, capsys):
+        """Exceeding --max-states is reported as an input error, not a silent truncation."""
+        assert main(["ccs", "a.0", "--max-states", "1"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_json_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["classify", str(bad)]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs to completion and prints the expected headline facts."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=True,
+    )
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_output():
+    output = run_example("quickstart.py")
+    assert "language equivalent (approx_1): True" in output
+    assert "observationally equivalent:     False" in output
+    assert "approx_2" in output
+
+
+@pytest.mark.slow
+def test_equivalence_spectrum_output():
+    output = run_example("equivalence_spectrum.py")
+    assert "pair A: same language, different failures" in output
+    assert "separating_pair(3)" in output
+
+
+@pytest.mark.slow
+def test_protocol_verification_output():
+    output = run_example("protocol_verification.py")
+    assert "observationally equivalent: True" in output
+    assert "mutual-exclusion violations found: 0" in output
+
+
+@pytest.mark.slow
+def test_star_expressions_demo_output():
+    output = run_example("star_expressions_demo.py")
+    assert "right distributivity" in output
+    assert "False" in output
+
+
+@pytest.mark.slow
+def test_minimization_pipeline_output():
+    output = run_example("minimization_pipeline.py")
+    assert "observational quotient" in output
+    assert "paige-tarjan" in output

@@ -1,0 +1,86 @@
+"""Integration test: the full equivalence matrix on the Fig. 2 examples (experiment E3).
+
+This test ties together the whole stack -- paper figures, every equivalence
+checker, the separation-level machinery and the HML explanation layer -- and
+asserts the exact pattern of agreements and disagreements that Appendix A /
+Fig. 2 describe.
+"""
+
+from __future__ import annotations
+
+from repro.core.paper_figures import fig2_failure_pair, fig2_language_pair
+from repro.equivalence.failure import failure_equivalent_processes
+from repro.equivalence.hml import distinguishing_formula, satisfies
+from repro.equivalence.kobs import k_observational_equivalent_processes, separation_level
+from repro.equivalence.language import language_equivalent_processes
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strongly_equivalent_processes
+
+
+def equivalence_row(first, second) -> dict[str, bool]:
+    return {
+        "language": language_equivalent_processes(first, second),
+        "failure": failure_equivalent_processes(first, second),
+        "observational": observationally_equivalent_processes(first, second),
+        "strong": strongly_equivalent_processes(first, second),
+        "approx_1": k_observational_equivalent_processes(first, second, 1),
+        "approx_2": k_observational_equivalent_processes(first, second, 2),
+    }
+
+
+def test_language_pair_matrix():
+    row = equivalence_row(*fig2_language_pair())
+    assert row == {
+        "language": True,
+        "failure": False,
+        "observational": False,
+        "strong": False,
+        "approx_1": True,
+        "approx_2": False,
+    }
+
+
+def test_failure_pair_matrix():
+    """Failure equivalence sits strictly between approx_1 and approx_2 (Section 1):
+    this pair is failure equivalent and approx_1-equivalent yet already differs at approx_2."""
+    row = equivalence_row(*fig2_failure_pair())
+    assert row == {
+        "language": True,
+        "failure": True,
+        "observational": False,
+        "strong": False,
+        "approx_1": True,
+        "approx_2": False,
+    }
+
+
+def test_spectrum_is_ordered_as_in_proposition_223():
+    """language >= failure >= observational, with both inclusions strict on these examples."""
+    language_row = equivalence_row(*fig2_language_pair())
+    failure_row = equivalence_row(*fig2_failure_pair())
+    # approx implies failure implies language: whenever a finer one holds, the coarser must
+    for row in (language_row, failure_row):
+        if row["observational"]:
+            assert row["failure"]
+        if row["failure"]:
+            assert row["language"]
+    # strictness witnesses
+    assert language_row["language"] and not language_row["failure"]
+    assert failure_row["failure"] and not failure_row["observational"]
+
+
+def test_separation_levels_and_distinguishing_formulas():
+    first, second = fig2_language_pair()
+    combined = first.disjoint_union(second)
+    level = separation_level(combined, "L:" + first.start, "R:" + second.start)
+    assert level == 2
+    formula = distinguishing_formula(combined, "R:" + second.start, "L:" + first.start, weak=True)
+    assert formula is not None
+    assert satisfies(combined, "R:" + second.start, formula) != satisfies(
+        combined, "L:" + first.start, formula
+    )
+
+    first2, second2 = fig2_failure_pair()
+    combined2 = first2.disjoint_union(second2)
+    level2 = separation_level(combined2, "L:" + first2.start, "R:" + second2.start)
+    assert level2 is not None and level2 >= 2

@@ -1,0 +1,75 @@
+"""Integration tests exercising several subsystems together."""
+
+from __future__ import annotations
+
+from repro.ccs.parser import parse_definitions, parse_process
+from repro.ccs.semantics import compile_to_fsp
+from repro.equivalence.minimize import minimize_observational
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strongly_equivalent_processes
+from repro.expressions.parser import parse
+from repro.expressions.semantics import representative_fsp
+from repro.reductions.theorem41c import make_restricted
+from repro.utils import aut_format, serialization
+
+
+def test_ccs_term_versus_star_expression():
+    """A sequential CCS term and the star expression with the same shape agree up to approx."""
+    term = compile_to_fsp(parse_process("a.b.0 + a.c.0"))
+    expression = representative_fsp(parse("a.b + a.c"), prune_unreachable=True)
+    term_restricted = make_restricted(term)
+    expression_restricted = make_restricted(expression)
+    alphabet = term_restricted.alphabet | expression_restricted.alphabet
+    assert observationally_equivalent_processes(
+        term_restricted.with_alphabet(alphabet), expression_restricted.with_alphabet(alphabet)
+    )
+
+
+def test_minimise_serialise_reload_and_recheck():
+    """Quotient a compiled CCS system, write it to both formats, reload, re-verify equivalence."""
+    definitions = parse_definitions(
+        """
+        SPEC0 := left.SPEC1
+        SPEC1 := left.SPEC2 + right!.SPEC0
+        SPEC2 := right!.SPEC1
+        CELL := left.mid!.CELL
+        CELL2 := mid.right!.CELL2
+        """
+    )
+    implementation = compile_to_fsp(parse_process("(CELL | CELL2) \\ {mid}"), definitions)
+    specification = compile_to_fsp(parse_process("SPEC0"), definitions)
+    minimal = minimize_observational(implementation)
+
+    json_round_trip = serialization.loads(serialization.dumps(minimal))
+    assert json_round_trip == minimal
+
+    aut_round_trip = aut_format.loads(
+        aut_format.dumps(minimal, accepting_label="ACCEPT"), accepting_label="ACCEPT"
+    )
+    assert aut_round_trip.num_states == minimal.num_states
+
+    alphabet = implementation.alphabet | specification.alphabet
+    assert observationally_equivalent_processes(
+        minimal.with_alphabet(alphabet), specification.with_alphabet(alphabet)
+    )
+
+
+def test_spec_and_buggy_implementation_differ():
+    """A one-cell 'implementation' must not pass for the two-place specification."""
+    definitions = parse_definitions(
+        """
+        SPEC0 := inp.SPEC1
+        SPEC1 := inp.SPEC2 + outp!.SPEC0
+        SPEC2 := outp!.SPEC1
+        CELL := inp.outp!.CELL
+        """
+    )
+    spec = compile_to_fsp(parse_process("SPEC0"), definitions)
+    buggy = compile_to_fsp(parse_process("CELL"), definitions)
+    alphabet = spec.alphabet | buggy.alphabet
+    assert not observationally_equivalent_processes(
+        spec.with_alphabet(alphabet), buggy.with_alphabet(alphabet)
+    )
+    assert not strongly_equivalent_processes(
+        spec.with_alphabet(alphabet), buggy.with_alphabet(alphabet)
+    )

@@ -1,0 +1,153 @@
+"""Tests for the generalized partitioning problem definition and the Lemma 3.1 reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fsp import TAU, from_transitions
+from repro.partition.generalized import (
+    GeneralizedPartitioningError,
+    GeneralizedPartitioningInstance,
+    Solver,
+    is_stable,
+    is_valid_solution,
+    solve,
+)
+from repro.partition.partition import Partition
+
+
+def small_instance() -> GeneralizedPartitioningInstance:
+    """S = {1..4}, one function f with f(1)={2}, f(2)={3}, f(3)={4}, f(4)={}.
+
+    Starting from the trivial partition, the coarsest stable refinement must
+    separate 4 (no image) from 3 (image into the block of 4), and so on: the
+    answer is the discrete partition.
+    """
+    return GeneralizedPartitioningInstance(
+        elements=["1", "2", "3", "4"],
+        initial_blocks=[["1", "2", "3", "4"]],
+        functions={"f": {"1": ["2"], "2": ["3"], "3": ["4"]}},
+    )
+
+
+class TestInstanceValidation:
+    def test_valid_instance(self):
+        instance = small_instance()
+        assert instance.size == (4, 3)
+        assert instance.fanout == 1
+
+    def test_blocks_must_cover(self):
+        with pytest.raises(GeneralizedPartitioningError):
+            GeneralizedPartitioningInstance(["a", "b"], [["a"]], {})
+
+    def test_blocks_must_be_disjoint(self):
+        with pytest.raises(GeneralizedPartitioningError):
+            GeneralizedPartitioningInstance(["a", "b"], [["a", "b"], ["b"]], {})
+
+    def test_blocks_must_be_nonempty(self):
+        with pytest.raises(GeneralizedPartitioningError):
+            GeneralizedPartitioningInstance(["a"], [["a"], []], {})
+
+    def test_function_domain_inside_s(self):
+        with pytest.raises(GeneralizedPartitioningError):
+            GeneralizedPartitioningInstance(["a"], [["a"]], {"f": {"z": ["a"]}})
+
+    def test_function_range_inside_s(self):
+        with pytest.raises(GeneralizedPartitioningError):
+            GeneralizedPartitioningInstance(["a"], [["a"]], {"f": {"a": ["z"]}})
+
+    def test_image_defaults_to_empty(self):
+        instance = small_instance()
+        assert instance.image("f", "4") == frozenset()
+        assert instance.image("missing", "1") == frozenset()
+
+    def test_predecessor_map(self):
+        instance = small_instance()
+        predecessors = instance.predecessor_map()
+        assert predecessors["f"]["2"] == frozenset({"1"})
+        assert "1" not in predecessors["f"]
+
+
+class TestStabilityCheck:
+    def test_discrete_partition_is_stable(self):
+        instance = small_instance()
+        assert is_stable(instance, Partition.discrete(instance.elements))
+
+    def test_trivial_partition_is_unstable_here(self):
+        instance = small_instance()
+        assert not is_stable(instance, Partition.trivial(instance.elements))
+
+    def test_is_valid_solution_checks_consistency(self):
+        instance = small_instance()
+        discrete = Partition.discrete(instance.elements)
+        assert is_valid_solution(instance, discrete)
+        wrong_elements = Partition.discrete(["1", "2", "3"])
+        assert not is_valid_solution(instance, wrong_elements)
+
+    def test_is_valid_solution_with_reference(self):
+        instance = small_instance()
+        reference = solve(instance, Solver.NAIVE)
+        assert is_valid_solution(instance, solve(instance, Solver.PAIGE_TARJAN), reference)
+
+
+class TestLemma31Reduction:
+    def test_states_become_elements(self, branching_process):
+        instance = GeneralizedPartitioningInstance.from_fsp(branching_process)
+        assert instance.elements == branching_process.states
+
+    def test_one_function_per_action(self, branching_process):
+        instance = GeneralizedPartitioningInstance.from_fsp(branching_process)
+        assert set(instance.functions) == set(branching_process.alphabet)
+
+    def test_functions_are_successor_sets(self, branching_process):
+        instance = GeneralizedPartitioningInstance.from_fsp(branching_process)
+        assert instance.image("a", "s") == frozenset({"l", "r"})
+        assert instance.image("b", "l") == frozenset({"t"})
+
+    def test_initial_blocks_group_by_extension(self, branching_process):
+        instance = GeneralizedPartitioningInstance.from_fsp(branching_process)
+        partition = instance.initial_partition()
+        assert partition.same_block("s", "l")
+        assert not partition.same_block("s", "t")
+
+    def test_tau_included_only_on_request(self, tau_process):
+        without = GeneralizedPartitioningInstance.from_fsp(tau_process, include_tau=False)
+        with_tau = GeneralizedPartitioningInstance.from_fsp(tau_process, include_tau=True)
+        assert TAU not in without.functions
+        assert TAU in with_tau.functions
+
+    def test_size_matches_lemma(self, branching_process):
+        instance = GeneralizedPartitioningInstance.from_fsp(branching_process)
+        n, m = instance.size
+        assert n == branching_process.num_states
+        assert m == branching_process.num_transitions
+
+    def test_repr(self):
+        assert "n=4" in repr(small_instance())
+
+
+class TestSolveDispatcher:
+    def test_solver_accepts_strings(self):
+        instance = small_instance()
+        assert solve(instance, "naive") == solve(instance, Solver.NAIVE)
+
+    def test_all_methods_agree_on_small_instance(self):
+        instance = small_instance()
+        reference = solve(instance, Solver.NAIVE)
+        assert solve(instance, Solver.KANELLAKIS_SMOLKA) == reference
+        assert solve(instance, Solver.PAIGE_TARJAN) == reference
+        assert len(reference) == 4  # discrete, as analysed in the fixture docstring
+
+    def test_known_two_class_instance(self):
+        # two parallel chains of equal length collapse pairwise
+        process = from_transitions(
+            [("a0", "x1", "a1"), ("a1", "x1", "a2"), ("b0", "x1", "b1"), ("b1", "x1", "b2")],
+            start="a0",
+            all_accepting=True,
+        )
+        instance = GeneralizedPartitioningInstance.from_fsp(process)
+        result = solve(instance)
+        assert result.same_block("a0", "b0")
+        assert result.same_block("a1", "b1")
+        assert result.same_block("a2", "b2")
+        assert not result.same_block("a0", "a1")

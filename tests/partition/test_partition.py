@@ -1,0 +1,110 @@
+"""Unit tests for the Partition data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition.partition import Partition, PartitionError
+
+
+class TestConstruction:
+    def test_blocks_and_elements(self):
+        partition = Partition([["a", "b"], ["c"]])
+        assert len(partition) == 2
+        assert partition.elements == frozenset({"a", "b", "c"})
+
+    def test_discrete(self):
+        partition = Partition.discrete(["a", "b", "c"])
+        assert len(partition) == 3
+        assert all(len(block) == 1 for block in partition)
+
+    def test_trivial(self):
+        partition = Partition.trivial(["a", "b", "c"])
+        assert len(partition) == 1
+
+    def test_trivial_empty(self):
+        assert len(Partition.trivial([])) == 0
+
+    def test_from_key(self):
+        partition = Partition.from_key(["a", "bb", "cc", "d"], key=len)
+        assert partition.as_frozen() == frozenset(
+            {frozenset({"a", "d"}), frozenset({"bb", "cc"})}
+        )
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition([["a", "b"], ["b", "c"]])
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition([["a"], []])
+
+
+class TestQueries:
+    def test_block_of_and_same_block(self):
+        partition = Partition([["a", "b"], ["c"]])
+        assert partition.block_of("a") == frozenset({"a", "b"})
+        assert partition.same_block("a", "b")
+        assert not partition.same_block("a", "c")
+
+    def test_block_of_unknown_element(self):
+        partition = Partition([["a"]])
+        with pytest.raises(PartitionError):
+            partition.block_of("z")
+
+    def test_block_members_unknown_id(self):
+        partition = Partition([["a"]])
+        with pytest.raises(PartitionError):
+            partition.block_members(99)
+
+    def test_refines(self):
+        coarse = Partition([["a", "b", "c"], ["d"]])
+        fine = Partition([["a", "b"], ["c"], ["d"]])
+        assert fine.refines(coarse)
+        assert not coarse.refines(fine)
+        assert coarse.refines(coarse)
+
+    def test_refines_requires_same_elements(self):
+        assert not Partition([["a"]]).refines(Partition([["b"]]))
+
+
+class TestSplitting:
+    def test_split_block_proper(self):
+        partition = Partition([["a", "b", "c"]])
+        block_id = partition.block_ids()[0]
+        result = partition.split_block(block_id, ["a"])
+        assert result is not None
+        kept, new = result
+        assert partition.block_members(new) == frozenset({"a"})
+        assert partition.block_members(kept) == frozenset({"b", "c"})
+
+    def test_split_block_trivial_is_noop(self):
+        partition = Partition([["a", "b"]])
+        block_id = partition.block_ids()[0]
+        assert partition.split_block(block_id, ["a", "b"]) is None
+        assert partition.split_block(block_id, ["z"]) is None
+        assert len(partition) == 1
+
+    def test_split_by_key(self):
+        partition = Partition([["a", "bb", "c"], ["dd", "ee"]])
+        changed = partition.split_by_key(len)
+        assert changed
+        assert partition.as_frozen() == frozenset(
+            {frozenset({"a", "c"}), frozenset({"bb"}), frozenset({"dd", "ee"})}
+        )
+
+    def test_split_by_key_stable(self):
+        partition = Partition([["a", "b"]])
+        assert not partition.split_by_key(lambda _e: 0)
+
+    def test_equality_and_hash(self):
+        first = Partition([["a", "b"], ["c"]])
+        second = Partition([["c"], ["b", "a"]])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != Partition([["a"], ["b"], ["c"]])
+        assert first != "something else"
+
+    def test_repr_is_sorted(self):
+        partition = Partition([["b", "a"]])
+        assert repr(partition) == "Partition([['a', 'b']])"

@@ -1,0 +1,75 @@
+"""Property-based tests for star expressions, minimisation and serialisation round-trips."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.equivalence.language import accepted_strings_upto
+from repro.equivalence.minimize import minimize_observational, minimize_strong
+from repro.equivalence.observational import observationally_equivalent_processes
+from repro.equivalence.strong import strongly_equivalent_processes
+from repro.expressions.regular import language_upto
+from repro.expressions.semantics import representative_fsp
+from repro.expressions.syntax import (
+    ActionExpr,
+    ConcatExpr,
+    EmptyExpr,
+    StarExpr,
+    UnionExpr,
+    length_of,
+)
+from repro.utils import serialization
+from tests.property.strategies import fsp_strategy
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+_ACTIONS = st.sampled_from(["a", "b", "c"])
+
+
+def _expression_strategy():
+    return st.recursive(
+        st.one_of(st.builds(EmptyExpr), st.builds(ActionExpr, _ACTIONS)),
+        lambda children: st.one_of(
+            st.builds(UnionExpr, children, children),
+            st.builds(ConcatExpr, children, children),
+            st.builds(StarExpr, children),
+        ),
+        max_leaves=6,
+    )
+
+
+@given(_expression_strategy())
+@SETTINGS
+def test_representative_fsp_language_matches_classical_semantics(expression):
+    process = representative_fsp(expression)
+    assert accepted_strings_upto(process, 3) == language_upto(expression, 3)
+
+
+@given(_expression_strategy())
+@SETTINGS
+def test_representative_fsp_respects_lemma_231_state_bound(expression):
+    process = representative_fsp(expression)
+    assert process.num_states <= 2 * length_of(expression) + 1
+
+
+@given(fsp_strategy())
+@SETTINGS
+def test_strong_minimisation_preserves_strong_equivalence(process):
+    minimal = minimize_strong(process)
+    assert minimal.num_states <= process.num_states
+    assert strongly_equivalent_processes(process, minimal)
+
+
+@given(fsp_strategy())
+@SETTINGS
+def test_observational_minimisation_preserves_observational_equivalence(process):
+    minimal = minimize_observational(process)
+    assert minimal.num_states <= process.num_states
+    assert observationally_equivalent_processes(process, minimal)
+
+
+@given(fsp_strategy())
+@SETTINGS
+def test_json_round_trip_is_lossless(process):
+    assert serialization.loads(serialization.dumps(process)) == process

@@ -1,0 +1,83 @@
+"""Property-based tests for the relationships between the equivalences (E14, Propositions 2.2.3/2.2.4)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.equivalence.failure import failure_equivalent
+from repro.equivalence.kobs import k_observational_equivalent
+from repro.equivalence.language import language_equivalent
+from repro.equivalence.observational import observationally_equivalent
+from repro.equivalence.strong import strongly_equivalent
+from tests.property.strategies import (
+    deterministic_strategy,
+    restricted_observable_strategy,
+    rou_strategy,
+)
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def _state_pairs(process):
+    states = sorted(process.states)
+    return [(p, q) for i, p in enumerate(states) for q in states[i + 1 :]]
+
+
+@given(restricted_observable_strategy(max_states=4))
+@SETTINGS
+def test_proposition_223a_observational_implies_failure_implies_language(process):
+    """On the restricted model: approx  implies  failure-equivalence  implies  approx_1."""
+    for first, second in _state_pairs(process):
+        if observationally_equivalent(process, first, second):
+            assert failure_equivalent(process, first, second)
+        if failure_equivalent(process, first, second):
+            assert language_equivalent(process, first, second)
+
+
+@given(restricted_observable_strategy(max_states=4))
+@SETTINGS
+def test_proposition_223b_approx1_is_language_equivalence(process):
+    for first, second in _state_pairs(process):
+        assert k_observational_equivalent(process, first, second, 1) == language_equivalent(
+            process, first, second
+        )
+
+
+@given(deterministic_strategy(max_states=4))
+@SETTINGS
+def test_proposition_224_deterministic_collapse(process):
+    """On the deterministic model approx_1 already equals observational equivalence."""
+    for first, second in _state_pairs(process):
+        level_one = k_observational_equivalent(process, first, second, 1)
+        full = observationally_equivalent(process, first, second)
+        assert level_one == full
+
+
+@given(rou_strategy(max_states=4))
+@SETTINGS
+def test_rou_chain_between_language_and_observational(process):
+    """Even in the r.o.u. model the chain approx => failure => approx_1 holds and is strict in general."""
+    for first, second in _state_pairs(process):
+        if observationally_equivalent(process, first, second):
+            assert failure_equivalent(process, first, second)
+            assert language_equivalent(process, first, second)
+
+
+@given(restricted_observable_strategy(max_states=4))
+@SETTINGS
+def test_strong_equals_observational_on_observable_processes(process):
+    """Definition 2.2.3: for observable processes strong equivalence IS observational equivalence."""
+    for first, second in _state_pairs(process):
+        assert strongly_equivalent(process, first, second) == observationally_equivalent(
+            process, first, second
+        )
+
+
+@given(restricted_observable_strategy(max_states=4))
+@SETTINGS
+def test_approx_k_chain_is_monotone(process):
+    """approx_{k+1} is contained in approx_k."""
+    for first, second in _state_pairs(process):
+        for k in (1, 2):
+            if k_observational_equivalent(process, first, second, k + 1):
+                assert k_observational_equivalent(process, first, second, k)

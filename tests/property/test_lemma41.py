@@ -1,0 +1,34 @@
+"""Property-based test of Lemma 4.1 (the union characterisation of approx_k) -- experiment E15."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.equivalence.kobs import k_observational_equivalent_processes
+from repro.reductions.star_ops import fsp_union
+from repro.reductions.theorem41b import union_characterisation_holds
+from tests.property.strategies import restricted_observable_strategy, rou_strategy
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@given(rou_strategy(max_states=3), rou_strategy(max_states=3))
+@SETTINGS
+def test_lemma_41_on_rou_pairs(first, second):
+    for k in (1, 2):
+        assert union_characterisation_holds(first, second, k)
+
+
+@given(restricted_observable_strategy(max_states=3), restricted_observable_strategy(max_states=3))
+@SETTINGS
+def test_lemma_41_on_restricted_observable_pairs(first, second):
+    assert union_characterisation_holds(first, second, 1)
+
+
+@given(rou_strategy(max_states=3))
+@SETTINGS
+def test_union_with_self_is_equivalent_to_self(process):
+    """p u p approx_k p for every k -- a direct consequence of Lemma 4.1 with q = p."""
+    union = fsp_union(process, process)
+    for k in (1, 2):
+        assert k_observational_equivalent_processes(union, process.with_alphabet(union.alphabet), k)

@@ -1,0 +1,85 @@
+"""Tests for the process-level star-expression combinators used by the reductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import ModelClass, classify
+from repro.core.errors import ModelClassError
+from repro.core.fsp import from_transitions
+from repro.equivalence.language import accepted_strings_upto
+from repro.equivalence.strong import strongly_equivalent_processes
+from repro.reductions.star_ops import fsp_prefix, fsp_union
+
+
+@pytest.fixture
+def chain_one():
+    return from_transitions([("p", "a", "p1")], start="p", all_accepting=True)
+
+
+@pytest.fixture
+def chain_two():
+    return from_transitions(
+        [("q", "a", "q1"), ("q1", "a", "q2")], start="q", all_accepting=True
+    )
+
+
+class TestUnion:
+    def test_union_start_offers_both_initial_moves(self, chain_one, chain_two):
+        union = fsp_union(chain_one, chain_two)
+        assert union.successors(union.start, "a") == frozenset({"L:p1", "R:q1"})
+
+    def test_union_language_is_the_set_union(self, chain_one, chain_two):
+        union = fsp_union(chain_one, chain_two)
+        expected = accepted_strings_upto(chain_one, 3) | accepted_strings_upto(chain_two, 3)
+        assert accepted_strings_upto(union, 3) == expected
+
+    def test_union_stays_restricted_observable(self, chain_one, chain_two):
+        union = fsp_union(chain_one, chain_two)
+        assert ModelClass.RESTRICTED_OBSERVABLE in classify(union)
+
+    def test_union_extension_of_start_is_inherited(self):
+        accepting = from_transitions([("p", "a", "p1")], start="p", all_accepting=True)
+        non_accepting = from_transitions([("q", "a", "q1")], start="q", accepting=["q1"])
+        union = fsp_union(non_accepting, non_accepting)
+        assert not union.is_accepting(union.start)
+        union_acc = fsp_union(accepting, accepting.rename_states(prefix="o"))
+        assert union_acc.is_accepting(union_acc.start)
+
+    def test_union_requires_same_signature(self, chain_one):
+        other = from_transitions([("q", "b", "q1")], start="q", all_accepting=True)
+        with pytest.raises(ModelClassError):
+            fsp_union(chain_one, other)
+
+    def test_union_is_commutative_up_to_strong_equivalence(self, chain_one, chain_two):
+        left = fsp_union(chain_one, chain_two)
+        right = fsp_union(chain_two, chain_one)
+        assert strongly_equivalent_processes(left, right)
+
+    def test_union_idempotent_up_to_strong_equivalence(self, chain_one):
+        doubled = fsp_union(chain_one, chain_one.rename_states(prefix="o"))
+        assert strongly_equivalent_processes(doubled, chain_one)
+
+
+class TestPrefix:
+    def test_prefix_adds_one_state_and_one_move(self, chain_one):
+        prefixed = fsp_prefix("b", chain_one)
+        assert prefixed.num_states == chain_one.num_states + 1
+        assert prefixed.num_transitions == chain_one.num_transitions + 1
+        assert prefixed.enabled_actions(prefixed.start) == frozenset({"b"})
+
+    def test_prefix_language(self, chain_one):
+        prefixed = fsp_prefix("b", chain_one)
+        strings = accepted_strings_upto(prefixed, 3)
+        assert ("b", "a") in strings and ("a",) not in strings
+
+    def test_prefix_start_accepting_by_default(self, chain_one):
+        assert fsp_prefix("b", chain_one).is_accepting("pfx")
+
+    def test_prefix_standard_mode(self, chain_one):
+        prefixed = fsp_prefix("b", chain_one, accepting_start=False)
+        assert not prefixed.is_accepting(prefixed.start)
+
+    def test_prefix_extends_alphabet(self, chain_one):
+        prefixed = fsp_prefix("new", chain_one)
+        assert "new" in prefixed.alphabet

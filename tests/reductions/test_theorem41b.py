@@ -1,0 +1,93 @@
+"""Tests for the Theorem 4.1(b) reduction: approx_k lifted to approx_{k+1}."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import ModelClass, classify
+from repro.core.errors import ModelClassError
+from repro.core.fsp import from_transitions
+from repro.core.paper_figures import fig2_language_pair
+from repro.equivalence.kobs import k_observational_equivalent_processes
+from repro.generators.random_fsp import random_rou_fsp
+from repro.reductions.theorem41b import (
+    separating_pair,
+    theorem41b_iterate,
+    theorem41b_step,
+    union_characterisation_holds,
+)
+
+
+class TestStep:
+    def test_outputs_are_restricted_observable(self):
+        first, second = fig2_language_pair()
+        p_prime, q_prime = theorem41b_step(first, second)
+        assert ModelClass.RESTRICTED_OBSERVABLE in classify(p_prime)
+        assert ModelClass.RESTRICTED_OBSERVABLE in classify(q_prime)
+
+    def test_size_growth_is_linear(self):
+        first, second = fig2_language_pair()
+        p_prime, q_prime = theorem41b_step(first, second)
+        total_before = first.num_states + second.num_states
+        assert p_prime.num_states <= 2 * total_before + 3
+        assert q_prime.num_states <= 2 * total_before + 3
+
+    def test_requires_restricted_observable(self, branching_process):
+        with pytest.raises(ModelClassError):
+            theorem41b_step(branching_process, branching_process)
+
+    def test_iff_property_on_fig2_pair(self):
+        """p approx_k q iff p' approx_{k+1} q', checked at k = 1 and k = 2."""
+        first, second = fig2_language_pair()
+        p_prime, q_prime = theorem41b_step(first, second)
+        assert k_observational_equivalent_processes(first, second, 1)
+        assert k_observational_equivalent_processes(p_prime, q_prime, 2)
+        assert not k_observational_equivalent_processes(first, second, 2)
+        assert not k_observational_equivalent_processes(p_prime, q_prime, 3)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_iff_property_on_random_rou_pairs(self, seed):
+        first = random_rou_fsp(4, seed=seed)
+        second = random_rou_fsp(4, seed=seed + 100)
+        p_prime, q_prime = theorem41b_step(first, second)
+        for k in (1, 2):
+            assert k_observational_equivalent_processes(
+                first, second, k
+            ) == k_observational_equivalent_processes(p_prime, q_prime, k + 1)
+
+    def test_equivalent_inputs_stay_equivalent(self):
+        process = from_transitions([("p", "a", "p1")], start="p", all_accepting=True)
+        clone = from_transitions([("q", "a", "q1")], start="q", all_accepting=True)
+        p_prime, q_prime = theorem41b_step(process, clone)
+        for k in (1, 2, 3):
+            assert k_observational_equivalent_processes(p_prime, q_prime, k)
+
+
+class TestIterationAndSeparatingPairs:
+    def test_iterate_zero_times_is_identity(self):
+        first, second = fig2_language_pair()
+        assert theorem41b_iterate(first, second, 0) == (first, second)
+
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_separating_pair_separates_exactly_at_level(self, level):
+        first, second = separating_pair(level)
+        assert k_observational_equivalent_processes(first, second, level)
+        assert not k_observational_equivalent_processes(first, second, level + 1)
+
+    def test_separating_pair_rejects_level_zero(self):
+        with pytest.raises(ValueError):
+            separating_pair(0)
+
+
+class TestLemma41:
+    def test_union_characterisation_on_fig2_pair(self):
+        first, second = fig2_language_pair()
+        for k in (1, 2):
+            assert union_characterisation_holds(first, second, k)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_union_characterisation_on_random_pairs(self, seed):
+        first = random_rou_fsp(4, seed=seed)
+        second = random_rou_fsp(4, seed=seed + 50)
+        for k in (1, 2):
+            assert union_characterisation_holds(first, second, k)

@@ -1,0 +1,121 @@
+"""Tests for the Theorem 4.1(c) constructions (chaos, accept->dead, r.o.u. hardness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import ModelClass, classify
+from repro.core.errors import ModelClassError
+from repro.core.fsp import from_transitions
+from repro.core.paper_figures import chaos
+from repro.equivalence.language import accepted_strings_upto
+from repro.reductions.theorem41c import (
+    accepting_to_dead,
+    chaos_characterisation,
+    equivalent_to_chaos,
+    make_restricted,
+    theorem41c_transform,
+)
+
+
+def _sou_language_a_plus():
+    """An s.o.u. process without dead states whose language is {a}+."""
+    return from_transitions(
+        [("p", "a", "q"), ("q", "a", "q")], start="p", accepting=["q"]
+    )
+
+
+def _sou_language_not_a_plus():
+    """An s.o.u. process without dead states whose language misses the word `a`."""
+    return from_transitions(
+        [("p", "a", "q"), ("q", "a", "r"), ("r", "a", "r")], start="p", accepting=["r"]
+    )
+
+
+class TestAcceptingToDead:
+    def test_language_preserved_when_start_not_accepting(self):
+        process = _sou_language_a_plus()
+        transformed = accepting_to_dead(process)
+        assert accepted_strings_upto(process, 4) == accepted_strings_upto(transformed, 4)
+
+    def test_accepting_states_become_exactly_the_dead_states(self):
+        transformed = accepting_to_dead(_sou_language_a_plus())
+        for state in transformed.states:
+            assert transformed.is_accepting(state) == (not transformed.enabled_actions(state))
+
+    def test_requires_standard_observable(self, tau_process):
+        with pytest.raises(ModelClassError):
+            accepting_to_dead(tau_process)
+
+    def test_already_dead_accept_states_untouched(self):
+        process = from_transitions([("p", "a", "q")], start="p", accepting=["q"])
+        transformed = accepting_to_dead(process)
+        assert transformed.num_states == process.num_states
+
+
+class TestMakeRestricted:
+    def test_every_state_becomes_accepting(self, branching_process):
+        restricted = make_restricted(branching_process)
+        assert ModelClass.RESTRICTED in classify(restricted)
+        assert restricted.num_states == branching_process.num_states
+
+
+class TestChaosCharacterisation:
+    def test_chaos_is_equivalent_to_itself(self):
+        assert chaos_characterisation(chaos())
+        assert equivalent_to_chaos(chaos())
+
+    def test_characterisation_agrees_with_generic_approx2(self):
+        candidates = [
+            chaos(),
+            # a* loop only: no dead derivative, so not chaos-like
+            from_transitions([("p", "a", "p")], start="p", all_accepting=True),
+            # finite chain: dies out entirely, so not chaos-like
+            from_transitions([("p", "a", "q")], start="p", all_accepting=True),
+            # chaos with an extra intermediate state (still chaos-like)
+            from_transitions(
+                [("p", "a", "p"), ("p", "a", "d"), ("p", "a", "m"), ("m", "a", "p"), ("m", "a", "d")],
+                start="p",
+                all_accepting=True,
+            ),
+            # a process with a "finite but non-trivial" derivative (violates condition iii)
+            from_transitions(
+                [("p", "a", "p"), ("p", "a", "d"), ("p", "a", "m"), ("m", "a", "d2")],
+                start="p",
+                all_accepting=True,
+            ),
+        ]
+        for candidate in candidates:
+            assert chaos_characterisation(candidate) == equivalent_to_chaos(candidate), candidate
+
+    def test_characterisation_requires_unary_alphabet(self):
+        binary = from_transitions(
+            [("p", "a", "p"), ("p", "b", "p")], start="p", all_accepting=True
+        )
+        with pytest.raises(ModelClassError):
+            chaos_characterisation(binary)
+
+
+class TestFullReduction:
+    def test_a_plus_instance_maps_to_chaos_equivalent(self):
+        transformed = theorem41c_transform(_sou_language_a_plus())
+        assert ModelClass.ROU in classify(transformed)
+        assert equivalent_to_chaos(transformed)
+        assert chaos_characterisation(transformed)
+
+    def test_non_a_plus_instance_maps_to_chaos_inequivalent(self):
+        transformed = theorem41c_transform(_sou_language_not_a_plus())
+        assert not equivalent_to_chaos(transformed)
+        assert not chaos_characterisation(transformed)
+
+    def test_rejects_processes_with_dead_states(self):
+        with_dead = from_transitions([("p", "a", "q")], start="p", accepting=["q"])
+        with pytest.raises(ModelClassError):
+            theorem41c_transform(with_dead)
+
+    def test_rejects_non_unary_processes(self):
+        binary = from_transitions(
+            [("p", "a", "p"), ("p", "b", "p")], start="p", accepting=["p"]
+        )
+        with pytest.raises(ModelClassError):
+            theorem41c_transform(binary)

@@ -1,0 +1,141 @@
+"""Tests for the Theorem 5.1 reductions (language equivalence -> failure equivalence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import ModelClass, classify
+from repro.core.errors import ModelClassError
+from repro.core.fsp import from_transitions
+from repro.equivalence.failure import failure_equivalent_processes
+from repro.equivalence.language import language_equivalent_processes
+from repro.generators.random_fsp import random_restricted_observable_fsp, random_rou_fsp
+from repro.reductions.theorem41c import accepting_to_dead
+from repro.reductions.theorem51 import rou_transform, theorem51_transform
+
+
+class TestMainReduction:
+    def test_transform_shape(self, simple_chain):
+        transformed = theorem51_transform(simple_chain)
+        assert ModelClass.RESTRICTED_OBSERVABLE in classify(transformed)
+        assert transformed.num_states == simple_chain.num_states + 1
+        # every original state now has an arc to the dead sink for every action
+        for state in simple_chain.states:
+            for action in simple_chain.alphabet:
+                assert "p_dead" in transformed.successors(state, action)
+
+    def test_requires_restricted_observable(self, branching_process):
+        with pytest.raises(ModelClassError):
+            theorem51_transform(branching_process)
+
+    def test_language_equal_implies_failure_equal_after_transform(self):
+        first = from_transitions(
+            [("p", "a", "p1"), ("p", "a", "p2"), ("p1", "b", "p3")],
+            start="p",
+            all_accepting=True,
+            alphabet={"a", "b"},
+        )
+        second = from_transitions(
+            [("q", "a", "q1"), ("q1", "b", "q2")],
+            start="q",
+            all_accepting=True,
+            alphabet={"a", "b"},
+        )
+        assert language_equivalent_processes(first, second)
+        assert not failure_equivalent_processes(first, second)  # before the transform they differ
+        assert failure_equivalent_processes(
+            theorem51_transform(first), theorem51_transform(second)
+        )
+
+    def test_language_difference_is_preserved(self):
+        first = from_transitions(
+            [("p", "a", "p1")], start="p", all_accepting=True, alphabet={"a", "b"}
+        )
+        second = from_transitions(
+            [("q", "a", "q1"), ("q1", "b", "q2")],
+            start="q",
+            all_accepting=True,
+            alphabet={"a", "b"},
+        )
+        assert not language_equivalent_processes(first, second)
+        assert not failure_equivalent_processes(
+            theorem51_transform(first), theorem51_transform(second)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_iff_property_on_random_restricted_pairs(self, seed):
+        first = random_restricted_observable_fsp(5, seed=seed)
+        second = random_restricted_observable_fsp(5, seed=seed + 31)
+        language_equal = language_equivalent_processes(first, second)
+        failures_equal_after = failure_equivalent_processes(
+            theorem51_transform(first), theorem51_transform(second)
+        )
+        assert language_equal == failures_equal_after
+
+    def test_name_clash_with_existing_dead_state(self):
+        process = from_transitions(
+            [("p_dead", "a", "x")], start="p_dead", all_accepting=True
+        )
+        transformed = theorem51_transform(process)
+        assert transformed.num_states == process.num_states + 1
+
+
+class TestRouReduction:
+    def _prepared(self, process):
+        """accepting_to_dead expects s.o.u. processes; the reduction then follows."""
+        return rou_transform(accepting_to_dead(process))
+
+    def test_transform_is_rou(self):
+        process = from_transitions(
+            [("p", "a", "q"), ("q", "a", "q")], start="p", accepting=["q"]
+        )
+        transformed = self._prepared(process)
+        assert ModelClass.ROU in classify(transformed)
+
+    def test_requires_unary(self, simple_chain):
+        binary = from_transitions(
+            [("p", "a", "q"), ("p", "b", "q")], start="p", accepting=["q"]
+        )
+        with pytest.raises(ModelClassError):
+            rou_transform(binary)
+
+    def test_requires_accepting_equals_dead(self):
+        process = from_transitions(
+            [("p", "a", "q"), ("q", "a", "q")], start="p", accepting=["q"]
+        )
+        with pytest.raises(ModelClassError):
+            rou_transform(process)  # q is accepting but not dead
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_iff_property_on_random_sou_pairs(self, seed):
+        first = random_rou_fsp(5, seed=seed)
+        second = random_rou_fsp(5, seed=seed + 77)
+        # view them as s.o.u. instances by making acceptance follow deadness
+        first_sou = accepting_to_dead(
+            from_transitions(first.transitions, start=first.start, accepting=[], alphabet={"a"})
+        )
+        second_sou = accepting_to_dead(
+            from_transitions(second.transitions, start=second.start, accepting=[], alphabet={"a"})
+        )
+        # make acceptance = dead states explicitly (language = strings reaching a dead state)
+        first_sou = _accept_dead(first_sou)
+        second_sou = _accept_dead(second_sou)
+        language_equal = language_equivalent_processes(first_sou, second_sou)
+        failure_equal_after = failure_equivalent_processes(
+            rou_transform(first_sou), rou_transform(second_sou)
+        )
+        assert language_equal == failure_equal_after
+
+
+def _accept_dead(process):
+    from repro.core.fsp import FSP, ACCEPT
+
+    dead = [state for state in process.states if not process.enabled_actions(state)]
+    return FSP(
+        states=process.states,
+        start=process.start,
+        alphabet=process.alphabet,
+        transitions=process.transitions,
+        variables=[ACCEPT],
+        extensions=[(state, ACCEPT) for state in dead],
+    )

@@ -1,0 +1,108 @@
+"""Tests for the trivial-NFA comparisons (Fig. 5d and the closing remark of Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ModelClassError
+from repro.core.fsp import TAU, from_transitions
+from repro.generators.random_fsp import random_fsp, random_restricted_observable_fsp
+from repro.reductions.universality import (
+    approx1_equals_trivial,
+    approx2_equals_trivial_characterisation,
+    approx2_equals_trivial_generic,
+    has_tau_cycle,
+    refusal_witness,
+)
+
+
+def _total_process():
+    return from_transitions(
+        [("u", "a", "u"), ("u", "b", "v"), ("v", "a", "u"), ("v", "b", "v")],
+        start="u",
+        all_accepting=True,
+    )
+
+
+def _partial_process():
+    return from_transitions(
+        [("u", "a", "u"), ("u", "b", "v")],
+        start="u",
+        all_accepting=True,
+        alphabet={"a", "b"},
+    )
+
+
+class TestApprox1:
+    def test_total_process_is_universal(self):
+        assert approx1_equals_trivial(_total_process())
+
+    def test_partial_process_is_not_universal(self):
+        assert not approx1_equals_trivial(_partial_process())
+
+    def test_requires_restricted(self, branching_process):
+        with pytest.raises(ModelClassError):
+            approx1_equals_trivial(branching_process)
+
+
+class TestApprox2Characterisation:
+    def test_total_process_matches_trivial_at_level_2(self):
+        assert approx2_equals_trivial_characterisation(_total_process())
+        assert approx2_equals_trivial_generic(_total_process())
+
+    def test_partial_process_fails_at_level_2(self):
+        assert not approx2_equals_trivial_characterisation(_partial_process())
+        assert not approx2_equals_trivial_generic(_partial_process())
+
+    def test_universal_language_but_refusing_state_fails_at_level_2(self):
+        """A process can be approx_1 the trivial NFA without being approx_2 it."""
+        process = from_transitions(
+            [
+                ("u", "a", "u"),
+                ("u", "b", "u"),
+                ("u", "a", "dead_end"),
+                ("dead_end", "a", "u"),
+            ],
+            start="u",
+            all_accepting=True,
+            alphabet={"a", "b"},
+        )
+        assert approx1_equals_trivial(process)  # language is still Sigma*
+        assert not approx2_equals_trivial_characterisation(process)
+        assert not approx2_equals_trivial_generic(process)
+
+    def test_tau_moves_count_as_weak_enabledness(self):
+        process = from_transitions(
+            [("u", TAU, "v"), ("v", "a", "u"), ("v", "b", "u"), ("u", "a", "v")],
+            start="u",
+            all_accepting=True,
+        )
+        assert approx2_equals_trivial_characterisation(process)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_characterisation_agrees_with_generic_decision(self, seed):
+        process = random_restricted_observable_fsp(5, seed=seed)
+        assert approx2_equals_trivial_characterisation(process) == approx2_equals_trivial_generic(
+            process
+        )
+
+
+class TestWitnesses:
+    def test_refusal_witness_names_missing_actions(self):
+        witness = refusal_witness(_partial_process())
+        assert witness is not None
+        state, missing = witness
+        assert state == "v" and missing == frozenset({"a", "b"})
+
+    def test_no_witness_for_total_process(self):
+        assert refusal_witness(_total_process()) is None
+
+    def test_has_tau_cycle(self):
+        cyclic = from_transitions(
+            [("p", TAU, "q"), ("q", TAU, "p")], start="p", all_accepting=True
+        )
+        acyclic = from_transitions(
+            [("p", TAU, "q"), ("q", "a", "p")], start="p", all_accepting=True
+        )
+        assert has_tau_cycle(cyclic)
+        assert not has_tau_cycle(acyclic)

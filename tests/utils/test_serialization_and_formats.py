@@ -1,0 +1,132 @@
+"""Tests for JSON serialisation, Aldebaran I/O, DOT export and matrix helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import TAU, from_transitions
+from repro.core.derivatives import weak_successors
+from repro.generators.random_fsp import random_fsp
+from repro.utils import aut_format, dot, matrices, serialization
+
+
+@pytest.fixture
+def sample_process():
+    return from_transitions(
+        [("p", "a", "q"), ("q", TAU, "r"), ("r", "b", "p")],
+        start="p",
+        accepting=["q", "r"],
+        alphabet={"a", "b"},
+    )
+
+
+class TestJsonSerialization:
+    def test_round_trip(self, sample_process):
+        assert serialization.loads(serialization.dumps(sample_process)) == sample_process
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_trip_random(self, seed):
+        process = random_fsp(7, tau_probability=0.2, seed=seed)
+        assert serialization.loads(serialization.dumps(process)) == process
+
+    def test_file_round_trip(self, sample_process, tmp_path):
+        path = tmp_path / "process.json"
+        serialization.dump(sample_process, path)
+        assert serialization.load(path) == sample_process
+
+    def test_format_marker_required(self):
+        with pytest.raises(InvalidProcessError):
+            serialization.from_dict({"states": ["p"], "start": "p"})
+
+    def test_newer_version_rejected(self, sample_process):
+        document = serialization.to_dict(sample_process)
+        document["version"] = 999
+        with pytest.raises(InvalidProcessError):
+            serialization.from_dict(document)
+
+
+class TestAldebaran:
+    def test_round_trip_with_acceptance_marker(self, sample_process):
+        text = aut_format.dumps(sample_process, accepting_label="ACCEPT")
+        loaded = aut_format.loads(text, accepting_label="ACCEPT")
+        # state names change (integers) but sizes and tau usage survive
+        assert loaded.num_states == sample_process.num_states
+        assert loaded.num_transitions == sample_process.num_transitions
+        assert loaded.has_tau()
+        assert len(loaded.accepting_states()) == len(sample_process.accepting_states())
+
+    def test_round_trip_all_accepting(self, simple_chain):
+        text = aut_format.dumps(simple_chain)
+        loaded = aut_format.loads(text, all_accepting=True)
+        assert loaded.num_states == simple_chain.num_states
+        assert loaded.accepting_states() == loaded.states
+
+    def test_header_and_format(self, simple_chain):
+        text = aut_format.dumps(simple_chain)
+        assert text.startswith("des (0, 2, 3)")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(InvalidProcessError):
+            aut_format.loads("not a header\n(0, \"a\", 1)")
+
+    def test_malformed_transition_rejected(self):
+        with pytest.raises(InvalidProcessError):
+            aut_format.loads('des (0, 1, 2)\n(0, "a" 1)')
+
+    def test_transition_count_checked(self):
+        with pytest.raises(InvalidProcessError):
+            aut_format.loads('des (0, 2, 2)\n(0, "a", 1)')
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(InvalidProcessError):
+            aut_format.loads("")
+
+    def test_file_round_trip(self, simple_chain, tmp_path):
+        path = tmp_path / "process.aut"
+        aut_format.dump(simple_chain, path, accepting_label="ACC")
+        loaded = aut_format.load(path, accepting_label="ACC")
+        assert loaded.num_states == simple_chain.num_states
+
+
+class TestDot:
+    def test_dot_output_contains_states_and_edges(self, sample_process):
+        text = dot.to_dot(sample_process)
+        assert "digraph" in text
+        assert '"p" -> "q" [label="a"]' in text
+        assert "doublecircle" in text  # accepting states
+        assert "style=dashed" in text  # tau edge
+
+    def test_write_dot(self, simple_chain, tmp_path):
+        path = tmp_path / "chain.dot"
+        dot.write_dot(simple_chain, path)
+        assert path.read_text().startswith("digraph")
+
+
+class TestMatrices:
+    def test_weak_transition_matrices_agree_with_graph_traversal(self, sample_process):
+        weak = matrices.weak_transition_matrices(sample_process)
+        for action in sample_process.alphabet:
+            pairs = matrices.matrix_to_pairs(sample_process, weak[action])
+            for state in sample_process.states:
+                expected = weak_successors(sample_process, state, action)
+                actual = frozenset(dst for src, dst in pairs if src == state)
+                assert actual == expected
+
+    def test_epsilon_matrix_is_reflexive(self, sample_process):
+        weak = matrices.weak_transition_matrices(sample_process)
+        epsilon_pairs = matrices.matrix_to_pairs(sample_process, weak[""])
+        for state in sample_process.states:
+            assert (state, state) in epsilon_pairs
+
+    def test_boolean_multiply_matches_manual(self):
+        left = [[True, False], [False, True]]
+        right = [[False, True], [True, False]]
+        assert matrices.boolean_multiply(left, right) == [[False, True], [True, False]]
+
+    def test_reflexive_transitive_closure(self):
+        matrix = [[False, True, False], [False, False, True], [False, False, False]]
+        closure = matrices.reflexive_transitive_closure(matrix)
+        assert closure[0][2] is True
+        assert closure[2][2] is True
+        assert closure[2][0] is False
