@@ -53,3 +53,37 @@ def test_unbounded_fanout_instances(benchmark, fanout, size):
     benchmark.extra_info["fanout"] = instance.fanout
     benchmark.extra_info["blocks"] = len(result)
     assert result == solve(instance, Solver.NAIVE)
+
+
+# ----------------------------------------------------------------------
+# LTS-kernel solver trajectory (the cells behind BENCH_partition.json; see
+# benchmarks/run_all.py for the full solver x family x size sweep).
+# ----------------------------------------------------------------------
+KERNEL_SIZES = [200, 600]
+
+
+@pytest.mark.parametrize("size", KERNEL_SIZES)
+@pytest.mark.parametrize(
+    "solver", [Solver.KANELLAKIS_SMOLKA, Solver.PAIGE_TARJAN], ids=["ks", "pt"]
+)
+def test_kernel_solvers_on_duplicated_chain(benchmark, solver, size):
+    """End-to-end Lemma 3.1 pipeline (reduction + solve) on the integer kernel."""
+    process = duplicated_chain(size // 2, 2)
+    result = benchmark(
+        lambda: solve(GeneralizedPartitioningInstance.from_fsp(process), solver)
+    )
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["blocks"] = len(result)
+
+
+@pytest.mark.parametrize("size", KERNEL_SIZES)
+def test_seed_baseline_on_duplicated_chain(benchmark, size):
+    """The frozen pre-kernel pipeline, kept as the fixed reference point."""
+    from seed_baseline import seed_kanellakis_smolka
+
+    process = duplicated_chain(size // 2, 2)
+    result = benchmark(lambda: seed_kanellakis_smolka(process))
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["blocks"] = len(result)

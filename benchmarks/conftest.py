@@ -15,3 +15,9 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:  # pragma: no cover - depends on the environment
     sys.path.insert(0, str(_SRC))
+
+# Make the frozen seed baseline (seed_baseline.py, used by the solver
+# trajectory benchmarks and run_all.py) importable from bench modules.
+_BENCH = Path(__file__).resolve().parent
+if str(_BENCH) not in sys.path:  # pragma: no cover - depends on the environment
+    sys.path.insert(0, str(_BENCH))

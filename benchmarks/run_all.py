@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Benchmark runner: partition-solver trajectory plus the pytest-benchmark suite.
+
+Two jobs in one entry point:
+
+1. **Trajectory** -- times the end-to-end Lemma 3.1 pipeline (reduction +
+   solver) for every solver x family x size cell and writes the rows to a
+   machine-readable JSON file (``BENCH_partition.json`` by default).  The
+   frozen seed implementation (``benchmarks/seed_baseline.py``) is timed next
+   to the kernel solvers, so successive runs of this script record the
+   perf trajectory of the repository against a fixed baseline.
+
+2. **Suite smoke** -- executes every ``bench_*.py`` module via pytest
+   (``--benchmark-disable`` in ``--quick`` mode so each workload runs once;
+   ``--benchmark-only`` otherwise) and folds the per-file status into the
+   JSON metadata.
+
+Usage::
+
+    python benchmarks/run_all.py --quick            # CI smoke: seconds, not minutes
+    python benchmarks/run_all.py                    # full trajectory + benchmarks
+    python benchmarks/run_all.py --skip-pytest      # trajectory only
+
+The script exits non-zero if any solver disagrees with the reference result
+or any pytest bench module fails, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from seed_baseline import seed_kanellakis_smolka  # noqa: E402
+
+from repro.core.fsp import FSP  # noqa: E402
+from repro.generators.families import comb, duplicated_chain, tau_ladder  # noqa: E402
+from repro.partition.generalized import (  # noqa: E402
+    GeneralizedPartitioningInstance,
+    Solver,
+    solve,
+)
+
+#: family name -> (process builder for ~n states, include_tau flag).  These are
+#: the structured scaling families of the partition benchmarks: refinement
+#: performs many rounds on them, which is exactly the regime the splitter
+#: queue (and the paper) is about.
+FAMILIES: dict[str, tuple] = {
+    "duplicated_chain": (lambda n: duplicated_chain(max(1, n // 2), 2), False),
+    "comb": (lambda n: comb(max(1, n // 2)), False),
+    "tau_ladder": (lambda n: tau_ladder(max(1, n // 2)), True),
+}
+
+#: the naive O(nm) method is only run below this state count so that the
+#: quick mode stays quick; dropped cells are recorded in the metadata.
+NAIVE_MAX_STATES = 900
+
+QUICK_SIZES = [400, 2000]
+FULL_SIZES = [400, 1000, 2000, 4000]
+
+
+def _pipeline(process: FSP, include_tau: bool, method: Solver):
+    instance = GeneralizedPartitioningInstance.from_fsp(process, include_tau=include_tau)
+    return solve(instance, method)
+
+
+def _best_of(fn, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - begin)
+    return best, result
+
+
+def run_trajectory(sizes: list[int], repeats: int) -> tuple[list[dict], list[str], bool]:
+    records: list[dict] = []
+    skipped: list[str] = []
+    agree = True
+    for family, (builder, include_tau) in FAMILIES.items():
+        for size in sizes:
+            process = builder(size)
+            n, m = process.num_states, process.num_transitions
+            cell = [
+                ("seed_kanellakis_smolka", lambda: seed_kanellakis_smolka(process, include_tau)),
+                ("kanellakis_smolka", lambda: _pipeline(process, include_tau, Solver.KANELLAKIS_SMOLKA)),
+                ("paige_tarjan", lambda: _pipeline(process, include_tau, Solver.PAIGE_TARJAN)),
+            ]
+            if n <= NAIVE_MAX_STATES:
+                cell.append(("naive", lambda: _pipeline(process, include_tau, Solver.NAIVE)))
+            else:
+                skipped.append(f"naive on {family} n={n} (> {NAIVE_MAX_STATES} states)")
+            reference = None
+            for solver, fn in cell:
+                seconds, partition = _best_of(fn, repeats)
+                frozen = partition.as_frozen()
+                if reference is None:
+                    reference = frozen
+                elif frozen != reference:
+                    agree = False
+                    print(f"ERROR: {solver} disagrees on {family} n={n}", file=sys.stderr)
+                records.append(
+                    {
+                        "solver": solver,
+                        "family": family,
+                        "n": n,
+                        "transitions": m,
+                        "blocks": len(partition),
+                        "seconds": round(seconds, 6),
+                    }
+                )
+                print(
+                    f"  {family:18s} n={n:5d} m={m:6d} {solver:24s} "
+                    f"{seconds * 1000:9.2f} ms  blocks={len(partition)}"
+                )
+    return records, skipped, agree
+
+
+def speedup_summary(records: list[dict]) -> dict:
+    """Per (family, n): seed seconds / kernel kanellakis_smolka seconds."""
+    cells: dict[tuple[str, int], dict[str, float]] = {}
+    for record in records:
+        cells.setdefault((record["family"], record["n"]), {})[record["solver"]] = record["seconds"]
+    summary: dict[str, dict[str, float]] = {}
+    for (family, n), timings in sorted(cells.items()):
+        seed = timings.get("seed_kanellakis_smolka")
+        new = timings.get("kanellakis_smolka")
+        if seed and new:
+            summary.setdefault(family, {})[str(n)] = round(seed / new, 2)
+    return summary
+
+
+def run_pytest_benches(quick: bool) -> dict[str, str]:
+    statuses: dict[str, str] = {}
+    mode = ["--benchmark-disable"] if quick else ["--benchmark-only"]
+    for bench in sorted(BENCH_DIR.glob("bench_*.py")):
+        command = [sys.executable, "-m", "pytest", str(bench), "-q", "-p", "no:cacheprovider", *mode]
+        print(f"  pytest {bench.name} ...", flush=True)
+        proc = subprocess.run(command, cwd=ROOT, capture_output=True, text=True)
+        statuses[bench.name] = "passed" if proc.returncode == 0 else "failed"
+        if proc.returncode != 0:
+            print(proc.stdout[-2000:], file=sys.stderr)
+    return statuses
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode: fewer sizes, one repeat")
+    parser.add_argument("--skip-pytest", action="store_true", help="only run the trajectory")
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_partition.json"), help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    repeats = 1 if args.quick else 3
+
+    print(f"partition trajectory: families={list(FAMILIES)} sizes={sizes}")
+    records, skipped, agree = run_trajectory(sizes, repeats)
+    speedups = speedup_summary(records)
+
+    statuses: dict[str, str] = {}
+    if not args.skip_pytest:
+        print("pytest benchmark modules:")
+        statuses = run_pytest_benches(args.quick)
+
+    payload = {
+        "meta": {
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "families": list(FAMILIES),
+            "sizes": sizes,
+            "repeats": repeats,
+            "solvers_agree": agree,
+            "skipped_cells": skipped,
+            "speedup_kanellakis_smolka_vs_seed": speedups,
+            "bench_modules": statuses,
+        },
+        "records": records,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    print("speedup (kernel kanellakis_smolka vs seed implementation):")
+    for family, by_n in speedups.items():
+        row = "  ".join(f"n={n}: {ratio:.1f}x" for n, ratio in by_n.items())
+        print(f"  {family:18s} {row}")
+    if skipped:
+        print(f"skipped {len(skipped)} trajectory cells: " + "; ".join(skipped))
+
+    failed_modules = [name for name, status in statuses.items() if status == "failed"]
+    if failed_modules:
+        print(f"FAILED bench modules: {failed_modules}", file=sys.stderr)
+    return 0 if agree and not failed_modules else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Frozen seed implementation of the Lemma 3.1 partition pipeline.
+
+This is a faithful copy of the repository's *seed* (pre-LTS-kernel)
+implementation: the Lemma 3.1 reduction built as dict-of-frozensets and the
+Kanellakis-Smolka splitter queue running over the string-keyed
+:class:`~repro.partition.partition.Partition`.  ``benchmarks/run_all.py``
+times it next to the kernel solvers so that ``BENCH_partition.json`` records
+the speedup trajectory against a fixed baseline; it must not be "improved".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.fsp import FSP, TAU
+from repro.partition.partition import Partition
+
+
+class SeedInstance:
+    """The seed's eager dict representation of a generalized partitioning instance."""
+
+    def __init__(self, fsp: FSP, include_tau: bool = False) -> None:
+        actions = set(fsp.alphabet)
+        if include_tau and fsp.has_tau():
+            actions.add(TAU)
+        self.functions: dict[str, dict[str, frozenset[str]]] = {}
+        for action in actions:
+            mapping: dict[str, frozenset[str]] = {}
+            for state in fsp.states:
+                successors = fsp.successors(state, action)
+                if successors:
+                    mapping[state] = successors
+            self.functions[action] = mapping
+        groups: dict[frozenset[str], set[str]] = {}
+        for state in fsp.states:
+            groups.setdefault(fsp.extension(state), set()).add(state)
+        self.initial_blocks = tuple(frozenset(block) for block in groups.values())
+
+    def initial_partition(self) -> Partition:
+        return Partition(self.initial_blocks)
+
+    def predecessor_map(self) -> dict[str, dict[str, frozenset[str]]]:
+        inverted: dict[str, dict[str, set[str]]] = {name: {} for name in self.functions}
+        for name, mapping in self.functions.items():
+            for element, targets in mapping.items():
+                for target in targets:
+                    inverted[name].setdefault(target, set()).add(element)
+        return {
+            name: {element: frozenset(sources) for element, sources in mapping.items()}
+            for name, mapping in inverted.items()
+        }
+
+
+def seed_kanellakis_smolka(fsp: FSP, include_tau: bool = False) -> Partition:
+    """The seed's end-to-end pipeline: eager reduction + dict splitter queue."""
+    instance = SeedInstance(fsp, include_tau=include_tau)
+    partition = instance.initial_partition()
+    predecessors = instance.predecessor_map()
+    function_names = sorted(instance.functions)
+
+    pending: deque[int] = deque(partition.block_ids())
+    pending_set: set[int] = set(pending)
+
+    while pending:
+        splitter_id = pending.popleft()
+        pending_set.discard(splitter_id)
+        splitter = partition.block_members(splitter_id)
+
+        for name in function_names:
+            preimage: set[str] = set()
+            pred = predecessors[name]
+            for member in splitter:
+                preimage |= pred.get(member, frozenset())
+            if not preimage:
+                continue
+
+            touched_blocks: dict[int, set[str]] = {}
+            for element in preimage:
+                touched_blocks.setdefault(partition.block_id_of(element), set()).add(element)
+
+            for block_id, inside in touched_blocks.items():
+                members = partition.block_members(block_id)
+                if len(inside) == len(members):
+                    continue
+                result = partition.split_block(block_id, inside)
+                if result is None:
+                    continue
+                kept_id, new_id = result
+                if block_id in pending_set:
+                    pending.append(new_id)
+                    pending_set.add(new_id)
+                else:
+                    smaller, larger = sorted(
+                        (kept_id, new_id), key=lambda bid: len(partition.block_members(bid))
+                    )
+                    pending.append(smaller)
+                    pending_set.add(smaller)
+                    pending.append(larger)
+                    pending_set.add(larger)
+    return partition

@@ -5,13 +5,20 @@ generalisation of Hopcroft's (1971) DFA state-minimisation algorithm, so the
 library ships both the classical algorithm (as the deterministic special case
 the paper starts from) and the slower textbook refinement by Moore as a
 cross-check.
+
+Hopcroft's algorithm is not re-implemented here: a DFA is a deterministic
+LTS, so :func:`hopcroft_minimize` interns the automaton into the
+integer-indexed :class:`~repro.core.lts.LTS` kernel and runs the shared
+splitter-queue engine of :mod:`repro.partition.kanellakis_smolka`, which
+applies the genuine smaller-half worklist rule exactly because the system is
+deterministic.  One engine, two of the paper's problems.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.automata.dfa import DFA
+from repro.core.lts import LTS
+from repro.partition.kanellakis_smolka import kanellakis_smolka_refine_lts
 
 
 def moore_minimize(dfa: DFA) -> DFA:
@@ -47,53 +54,26 @@ def hopcroft_minimize(dfa: DFA) -> DFA:
     This is the deterministic ancestor of the paper's generalized partitioning
     problem: blocks are split against the *preimage* of a splitter block and
     only the smaller half of each split needs to be re-processed, giving the
-    O(N log N) bound (here: O(|Sigma| N log N)).
+    O(N log N) bound (here: O(|Sigma| N log N)).  The refinement itself runs
+    on the integer-indexed LTS kernel shared with the relational solvers.
     """
     dfa = dfa.restrict_to_reachable()
-    states = dfa.states
+    names = sorted(dfa.states)
+    state_index = {name: i for i, name in enumerate(names)}
     alphabet = sorted(dfa.alphabet)
-    accepting = dfa.accepting & states
-    rejecting = states - accepting
+    edges = [
+        (state_index[state], symbol_id, state_index[dfa.transition(state, symbol)])
+        for state in names
+        for symbol_id, symbol in enumerate(alphabet)
+    ]
+    lts = LTS(names, alphabet, edges, start=state_index[dfa.start])
 
-    # predecessor map per symbol
-    preimage: dict[str, dict[str, set[str]]] = {symbol: {} for symbol in alphabet}
-    for state in states:
-        for symbol in alphabet:
-            preimage[symbol].setdefault(dfa.transition(state, symbol), set()).add(state)
+    accepting = dfa.accepting
+    block_ids: dict[bool, int] = {}
+    block_of = [block_ids.setdefault(name in accepting, len(block_ids)) for name in names]
+    part = kanellakis_smolka_refine_lts(lts, block_of, len(block_ids))
 
-    partition: list[set[str]] = [block for block in (set(accepting), set(rejecting)) if block]
-    worklist: deque[frozenset[str]] = deque(frozenset(block) for block in partition)
-
-    while worklist:
-        splitter = worklist.popleft()
-        for symbol in alphabet:
-            affected: set[str] = set()
-            for target in splitter:
-                affected |= preimage[symbol].get(target, set())
-            if not affected:
-                continue
-            next_partition: list[set[str]] = []
-            for block in partition:
-                inside = block & affected
-                outside = block - affected
-                if inside and outside:
-                    next_partition.extend((inside, outside))
-                    frozen_block = frozenset(block)
-                    if frozen_block in worklist:
-                        worklist.remove(frozen_block)
-                        worklist.extend((frozenset(inside), frozenset(outside)))
-                    else:
-                        smaller = inside if len(inside) <= len(outside) else outside
-                        worklist.append(frozenset(smaller))
-                else:
-                    next_partition.append(block)
-            partition = next_partition
-
-    block_of: dict[str, int] = {}
-    for index, block in enumerate(partition):
-        for state in block:
-            block_of[state] = index
-    return _quotient(dfa, block_of)
+    return _quotient(dfa, {names[i]: part.blk[i] for i in range(len(names))})
 
 
 def _quotient(dfa: DFA, block_of: dict[str, object]) -> DFA:

@@ -10,6 +10,7 @@ from repro.core.errors import (
     StateSpaceLimitError,
 )
 from repro.core.fsp import ACCEPT, EPSILON, FSP, TAU, FSPBuilder, from_transitions, single_state_process
+from repro.core.lts import LTS
 
 __all__ = [
     "ACCEPT",
@@ -18,6 +19,7 @@ __all__ = [
     "FSP",
     "FSPBuilder",
     "InvalidProcessError",
+    "LTS",
     "ModelClass",
     "ModelClassError",
     "ReproError",

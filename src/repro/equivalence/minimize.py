@@ -15,6 +15,10 @@ Two quotients are provided:
   the result is observationally equivalent to the input.  The quotient keeps
   the original (strong) transitions between class representatives, which is
   sound because observational equivalence is coarser than strong equivalence.
+
+Both partitions are computed on the integer-indexed LTS kernel (via the
+Lemma 3.1 reduction in :mod:`repro.partition.generalized`); only the final
+quotient construction works on the string-named FSP view.
 """
 
 from __future__ import annotations

@@ -15,6 +15,11 @@ Processes containing tau-transitions are accepted as well: tau is then treated
 as an ordinary action label, which yields the notion modern tools call strong
 bisimilarity.  Callers that want the paper's precondition enforced can pass
 ``require_observable=True``.
+
+The reduction interns the process straight into the integer-indexed
+:class:`~repro.core.lts.LTS` kernel (states and actions as dense ints,
+transitions as CSR arrays), so every partition query below runs at kernel
+speed regardless of the solver chosen.
 """
 
 from __future__ import annotations

@@ -1,4 +1,11 @@
-"""Generalized partitioning (relational coarsest partition) and its solvers."""
+"""Generalized partitioning (relational coarsest partition) and its solvers.
+
+All solvers run on the integer-indexed :class:`~repro.core.lts.LTS` kernel;
+the ``*_refine_lts`` variants expose the raw integer interface for callers
+that already hold an interned system (e.g. DFA minimisation), while the
+``*_refine`` functions accept a :class:`GeneralizedPartitioningInstance` and
+return a string-keyed :class:`Partition`.
+"""
 
 from repro.partition.generalized import (
     GeneralizedPartitioningError,
@@ -8,21 +15,30 @@ from repro.partition.generalized import (
     is_valid_solution,
     solve,
 )
-from repro.partition.kanellakis_smolka import kanellakis_smolka_refine
-from repro.partition.naive import naive_refine
-from repro.partition.paige_tarjan import paige_tarjan_refine
+from repro.partition.kanellakis_smolka import (
+    kanellakis_smolka_refine,
+    kanellakis_smolka_refine_lts,
+)
+from repro.partition.naive import naive_refine, naive_refine_lts
+from repro.partition.paige_tarjan import paige_tarjan_refine, paige_tarjan_refine_lts
 from repro.partition.partition import Partition, PartitionError
+from repro.partition.refinable import RefinablePartition, partition_from_refinable
 
 __all__ = [
     "GeneralizedPartitioningError",
     "GeneralizedPartitioningInstance",
     "Partition",
     "PartitionError",
+    "RefinablePartition",
     "Solver",
     "is_stable",
     "is_valid_solution",
     "kanellakis_smolka_refine",
+    "kanellakis_smolka_refine_lts",
     "naive_refine",
+    "naive_refine_lts",
     "paige_tarjan_refine",
+    "paige_tarjan_refine_lts",
+    "partition_from_refinable",
     "solve",
 ]

@@ -21,6 +21,14 @@ successor set.
 This module defines the instance representation, the Lemma 3.1 reduction, a
 reference correctness check (:func:`is_valid_solution`) and the
 solver dispatcher :func:`solve` used throughout the library.
+
+Internally every instance is backed by the integer-indexed
+:class:`~repro.core.lts.LTS` kernel (elements and function names interned to
+dense ints, arcs in CSR arrays): that is the representation all three solvers
+actually refine.  The dict-of-frozensets views (:attr:`functions`,
+:meth:`image`, :meth:`predecessor_map`) remain available -- instances built
+via :meth:`from_fsp` materialise them lazily, so the hot path never pays for
+them.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from collections.abc import Iterable, Mapping
 
 from repro.core.errors import ReproError
 from repro.core.fsp import FSP
+from repro.core.lts import LTS
 from repro.partition.partition import Partition
 
 
@@ -68,15 +77,34 @@ class GeneralizedPartitioningInstance:
         initial_blocks: Iterable[Iterable[str]],
         functions: Mapping[str, Mapping[str, Iterable[str]]],
     ) -> None:
-        self.elements: frozenset[str] = frozenset(elements)
-        self.initial_blocks: tuple[frozenset[str], ...] = tuple(
-            frozenset(block) for block in initial_blocks
+        self._init_fields(
+            elements=frozenset(elements),
+            initial_blocks=tuple(frozenset(block) for block in initial_blocks),
+            functions={
+                name: {element: frozenset(targets) for element, targets in mapping.items()}
+                for name, mapping in functions.items()
+            },
+            kernel=None,
         )
-        self.functions: dict[str, dict[str, frozenset[str]]] = {
-            name: {element: frozenset(targets) for element, targets in mapping.items()}
-            for name, mapping in functions.items()
-        }
         self._validate()
+
+    def _init_fields(
+        self,
+        elements: frozenset[str],
+        initial_blocks: tuple[frozenset[str], ...],
+        functions: dict[str, dict[str, frozenset[str]]] | None,
+        kernel: tuple[LTS, list[int], int] | None,
+    ) -> None:
+        """Single initialisation point for every instance field.
+
+        Both construction paths -- the validated dict path in ``__init__``
+        and the kernel fast path in :meth:`from_fsp` -- go through here, so
+        a future field cannot be set on one path and missed on the other.
+        """
+        self.elements = elements
+        self.initial_blocks = initial_blocks
+        self._functions = functions
+        self._kernel = kernel
 
     def _validate(self) -> None:
         covered: set[str] = set()
@@ -102,8 +130,63 @@ class GeneralizedPartitioningInstance:
                     )
 
     # ------------------------------------------------------------------
+    # the integer kernel every solver runs on
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> tuple[LTS, list[int], int]:
+        """``(lts, block_of, num_blocks)`` -- the interned form of the instance.
+
+        The :class:`~repro.core.lts.LTS` encodes the functions as one action
+        per function name over CSR adjacency arrays; ``block_of`` assigns
+        every interned element its initial-partition block id.  Built once
+        and cached.
+        """
+        if self._kernel is None:
+            names = sorted(self.elements)
+            state_index = {name: i for i, name in enumerate(names)}
+            functions = self.functions
+            action_names = sorted(functions)
+            edges = [
+                (state_index[element], action_id, state_index[target])
+                for action_id, name in enumerate(action_names)
+                for element, targets in functions[name].items()
+                for target in targets
+            ]
+            lts = LTS(names, action_names, edges)
+            block_of = [0] * len(names)
+            for block_id, block in enumerate(self.initial_blocks):
+                for element in block:
+                    block_of[state_index[element]] = block_id
+            self._kernel = (lts, block_of, len(self.initial_blocks))
+        return self._kernel
+
+    # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
+    @property
+    def functions(self) -> dict[str, dict[str, frozenset[str]]]:
+        """The functions as dict-of-frozensets (materialised lazily from the kernel)."""
+        if self._functions is None:
+            lts = self._kernel[0]  # from_fsp always sets the kernel
+            functions: dict[str, dict[str, frozenset[str]]] = {
+                name: {} for name in lts.action_names
+            }
+            names = lts.state_names
+            action_names = lts.action_names
+            offsets, arc_actions, arc_targets = (
+                lts.fwd_offsets,
+                lts.fwd_actions,
+                lts.fwd_targets,
+            )
+            grouped: dict[tuple[int, int], list[str]] = {}
+            for src in range(lts.n):
+                for i in range(offsets[src], offsets[src + 1]):
+                    grouped.setdefault((src, arc_actions[i]), []).append(names[arc_targets[i]])
+            for (src, action), targets in grouped.items():
+                functions[action_names[action]][names[src]] = frozenset(targets)
+            self._functions = functions
+        return self._functions
+
     def image(self, function: str, element: str) -> frozenset[str]:
         """``f_function(element)`` with missing entries read as the empty set."""
         return self.functions.get(function, {}).get(element, frozenset())
@@ -111,18 +194,13 @@ class GeneralizedPartitioningInstance:
     @property
     def size(self) -> tuple[int, int]:
         """The instance size ``(n, m)``: ``|S|`` and the total number of arcs."""
-        n = len(self.elements)
-        m = sum(len(targets) for mapping in self.functions.values() for targets in mapping.values())
-        return n, m
+        lts = self.kernel[0]
+        return lts.n, lts.num_transitions
 
     @property
     def fanout(self) -> int:
         """The maximum ``|f_l(a)|`` over all functions and elements (the ``c`` of Section 3)."""
-        best = 0
-        for mapping in self.functions.values():
-            for targets in mapping.values():
-                best = max(best, len(targets))
-        return best
+        return self.kernel[0].max_fanout()
 
     def initial_partition(self) -> Partition:
         """A fresh mutable :class:`Partition` initialised to ``pi``."""
@@ -131,12 +209,10 @@ class GeneralizedPartitioningInstance:
     def predecessor_map(self) -> dict[str, dict[str, frozenset[str]]]:
         """For each function, the inverse image map ``element -> {x | element in f(x)}``.
 
-        The Paige-Tarjan algorithm refines against *preimages* of splitter
-        blocks, so it needs this inverted view of the functions.
+        Kept as a dict view for reference implementations and tests; the
+        solvers themselves use the LTS kernel's cached reverse CSR index.
         """
-        inverted: dict[str, dict[str, set[str]]] = {
-            name: {} for name in self.functions
-        }
+        inverted: dict[str, dict[str, set[str]]] = {name: {} for name in self.functions}
         for name, mapping in self.functions.items():
             for element, targets in mapping.items():
                 for target in targets:
@@ -158,6 +234,10 @@ class GeneralizedPartitioningInstance:
         * there is one function per action ``sigma`` with
           ``f_sigma(p) = Delta(p, sigma)``.
 
+        The process is interned straight into the integer kernel (states and
+        actions to dense ints, transitions to CSR arrays); no dict-of-sets
+        intermediary is built unless :attr:`functions` is actually read.
+
         Parameters
         ----------
         fsp:
@@ -169,23 +249,19 @@ class GeneralizedPartitioningInstance:
         include_tau:
             Whether to add a function for the tau-transitions.
         """
-        from repro.core.fsp import TAU  # local import to avoid cycle at module load
-
-        actions = set(fsp.alphabet)
-        if include_tau and fsp.has_tau():
-            actions.add(TAU)
-        functions: dict[str, dict[str, frozenset[str]]] = {}
-        for action in actions:
-            mapping: dict[str, frozenset[str]] = {}
-            for state in fsp.states:
-                successors = fsp.successors(state, action)
-                if successors:
-                    mapping[state] = successors
-            functions[action] = mapping
-        groups: dict[frozenset[str], set[str]] = {}
-        for state in fsp.states:
-            groups.setdefault(fsp.extension(state), set()).add(state)
-        return cls(elements=fsp.states, initial_blocks=groups.values(), functions=functions)
+        lts = LTS.from_fsp(fsp, include_tau=include_tau)
+        block_of, num_blocks = lts.extension_block_ids()
+        groups: list[list[str]] = [[] for _ in range(num_blocks)]
+        for index, block_id in enumerate(block_of):
+            groups[block_id].append(lts.state_names[index])
+        instance = cls.__new__(cls)
+        instance._init_fields(
+            elements=fsp.states,
+            initial_blocks=tuple(frozenset(group) for group in groups),
+            functions=None,
+            kernel=(lts, block_of, num_blocks),
+        )
+        return instance
 
     def __repr__(self) -> str:
         n, m = self.size
@@ -248,6 +324,8 @@ def solve(
       style of the paper's extension of Hopcroft's algorithm;
     * :attr:`Solver.PAIGE_TARJAN` -- the O(m log n) three-way splitting
       algorithm of Paige and Tarjan (1987), the default.
+
+    All three run on the instance's integer :attr:`~GeneralizedPartitioningInstance.kernel`.
     """
     method = Solver(method)
     if method is Solver.NAIVE:

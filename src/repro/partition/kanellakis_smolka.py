@@ -7,84 +7,123 @@ the whole partition after every change (the naive method), only blocks with an
 arc into a *splitter* block can possibly split, so the algorithm keeps a
 worklist of splitters and processes them one at a time.
 
-For processes with fanout bounded by a constant ``c`` the original algorithm
-achieves ``O(c^2 n log n)`` by re-adding only the smaller half of a split
-block to the worklist.  The implementation below keeps the splitter-queue
-structure but conservatively re-adds *both* halves of a split block whenever
-the parent is no longer pending.  This keeps the algorithm correct for
-unbounded nondeterminism (where the smaller-half shortcut alone is unsound --
-precisely the gap that Paige & Tarjan's three-way splitting closes) at the
-cost of a worst case matching the naive bound; in practice it performs close
-to the Paige-Tarjan algorithm on the workloads of the benchmark suite and far
-better than the naive method.  See ``benchmarks/bench_strong_equivalence.py``
-(experiment E5) for the measured comparison.
+The solver runs on the integer-indexed :class:`~repro.core.lts.LTS` kernel:
+a splitter scan walks the cached per-``(action, target)`` reverse index, and
+marking/splitting the touched blocks is O(1) per predecessor in the
+:class:`~repro.partition.refinable.RefinablePartition` (the mark is inlined
+in the scan loop, so the per-arc cost is a handful of list operations).
+
+Worklist policy:
+
+* Pending splitters are processed **smallest first** (a heap keyed by the
+  block's size when it was enqueued; stale priorities are harmless because
+  processing order never affects the result, only the amount of rework).
+  Scanning the arcs into a splitter costs time proportional to the
+  splitter's in-degree, so draining small blocks first keeps the repeatedly
+  re-enqueued large remainder blocks from being rescanned while they are
+  still shrinking.
+* The smaller-half rule is applied exactly where it is sound.  When every
+  function is *deterministic* (fanout at most one -- the Hopcroft special
+  case the paper generalises), a block stable with respect to a splitter
+  ``S`` and to one half ``B`` of a split of ``S`` is automatically stable
+  with respect to ``S \\ B``, so only the smaller half of each split block
+  is re-enqueued, giving the genuine ``O(k n log n)`` bound.  Otherwise the
+  nonemptiness predicate does not determine the complement (precisely the
+  gap Paige & Tarjan's three-way splitting closes), so both halves are
+  conservatively re-enqueued; the worst case then matches the naive bound,
+  but the splitter-queue structure keeps it close to Paige-Tarjan in
+  practice -- see ``benchmarks/run_all.py`` for the measured trajectory.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from heapq import heapify, heappop, heappush
 
+from repro.core.lts import LTS
 from repro.partition.generalized import GeneralizedPartitioningInstance
 from repro.partition.partition import Partition
+from repro.partition.refinable import RefinablePartition, partition_from_refinable
+
+
+def kanellakis_smolka_refine_lts(
+    lts: LTS, block_of: list[int], num_blocks: int
+) -> RefinablePartition:
+    """Run splitter-queue refinement on the integer kernel."""
+    part = RefinablePartition(block_of, num_blocks)
+    n = lts.n
+    if n == 0:
+        return part
+    rev_lists = lts.reverse_lists()
+    num_actions = lts.num_actions
+    smaller_half_only = lts.is_deterministic()
+
+    elems = part.elems
+    loc = part.loc
+    blk = part.blk
+    marked = part.marked
+    first = part.first
+    end = part.end
+
+    pending = [(end[b] - first[b], b) for b in range(num_blocks)]
+    heapify(pending)
+    in_pending = [True] * num_blocks
+
+    while pending:
+        _, splitter_block = heappop(pending)
+        if not in_pending[splitter_block]:
+            continue  # stale heap entry: the block was already processed
+        in_pending[splitter_block] = False
+        splitter = elems[first[splitter_block] : end[splitter_block]]  # snapshot
+
+        for action in range(num_actions):
+            base = action * n
+            # Mark every element with an arc (under this action) into the
+            # splitter.  Blocks entirely inside or outside this preimage are
+            # stable with respect to the splitter; mixed blocks must split.
+            # The mark is inlined (see RefinablePartition.mark) -- this loop
+            # runs once per arc into the splitter and dominates the runtime.
+            touched: list[int] = []
+            for target in splitter:
+                for s in rev_lists[base + target]:
+                    b = blk[s]
+                    pos = loc[s]
+                    boundary = first[b] + marked[b]
+                    if pos >= boundary:
+                        if boundary == first[b]:
+                            touched.append(b)
+                        other = elems[boundary]
+                        elems[pos] = other
+                        loc[other] = pos
+                        elems[boundary] = s
+                        loc[s] = boundary
+                        marked[b] = boundary + 1 - first[b]
+            for b in touched:
+                m = marked[b]
+                size = end[b] - first[b]
+                if m == size:
+                    marked[b] = 0  # wholly inside the preimage: stable
+                    continue
+                new_block = part.split_marked(b)
+                in_pending.append(False)
+                if in_pending[b]:
+                    # The parent was still awaiting processing: both halves
+                    # inherit its pending status.
+                    heappush(pending, (m, new_block))
+                    in_pending[new_block] = True
+                elif smaller_half_only:
+                    smaller = new_block if m <= size - m else b
+                    heappush(pending, (end[smaller] - first[smaller], smaller))
+                    in_pending[smaller] = True
+                else:
+                    heappush(pending, (size - m, b))
+                    heappush(pending, (m, new_block))
+                    in_pending[b] = True
+                    in_pending[new_block] = True
+    return part
 
 
 def kanellakis_smolka_refine(instance: GeneralizedPartitioningInstance) -> Partition:
     """Solve a generalized partitioning instance with splitter-queue refinement."""
-    partition = instance.initial_partition()
-    predecessors = instance.predecessor_map()
-    function_names = sorted(instance.functions)
-
-    # Worklist of pending splitter block ids.  A set mirror gives O(1)
-    # membership tests so we can tell whether a split parent is still pending.
-    pending: deque[int] = deque(partition.block_ids())
-    pending_set: set[int] = set(pending)
-
-    while pending:
-        splitter_id = pending.popleft()
-        pending_set.discard(splitter_id)
-        try:
-            splitter = partition.block_members(splitter_id)
-        except Exception:  # pragma: no cover - splitter ids never disappear
-            continue
-
-        for name in function_names:
-            # Elements with at least one arc (under this function) into the
-            # splitter block.  Blocks entirely inside or entirely outside this
-            # preimage are stable with respect to the splitter; mixed blocks
-            # must be split.
-            preimage: set[str] = set()
-            pred = predecessors[name]
-            for member in splitter:
-                preimage |= pred.get(member, frozenset())
-            if not preimage:
-                continue
-
-            touched_blocks: dict[int, set[str]] = {}
-            for element in preimage:
-                touched_blocks.setdefault(partition.block_id_of(element), set()).add(element)
-
-            for block_id, inside in touched_blocks.items():
-                members = partition.block_members(block_id)
-                if len(inside) == len(members):
-                    continue
-                result = partition.split_block(block_id, inside)
-                if result is None:
-                    continue
-                kept_id, new_id = result
-                if block_id in pending_set:
-                    # The parent was still awaiting processing: both halves
-                    # inherit its pending status.
-                    pending.append(new_id)
-                    pending_set.add(new_id)
-                else:
-                    # Conservative variant: enqueue both halves.  (With fanout
-                    # bounded by a constant the original algorithm enqueues
-                    # only the smaller one.)
-                    smaller, larger = sorted(
-                        (kept_id, new_id), key=lambda bid: len(partition.block_members(bid))
-                    )
-                    pending.append(smaller)
-                    pending_set.add(smaller)
-                    pending.append(larger)
-                    pending_set.add(larger)
-    return partition
+    lts, block_of, num_blocks = instance.kernel
+    part = kanellakis_smolka_refine_lts(lts, block_of, num_blocks)
+    return partition_from_refinable(part, lts.state_names)

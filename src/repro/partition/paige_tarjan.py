@@ -19,142 +19,165 @@ Processing a splitter costs time proportional to the arcs into ``B``, and each
 element's block can play the role of ``B`` only ``O(log n)`` times, giving
 ``O(m log n + n)``.
 
-The implementation below follows the published algorithm with one relation per
-function name (one per action of the reduced FSP); counts are kept per
-``(element, function, X-block)``.
+The implementation runs on the integer-indexed :class:`~repro.core.lts.LTS`
+kernel: splitter scans walk the cached reverse CSR index, counts are kept in
+a dict keyed by a single packed integer ``(x_block * k + action) * n + state``
+(one hash per update instead of a tuple allocation), and the blocks live in a
+:class:`~repro.partition.refinable.RefinablePartition`.
 """
 
 from __future__ import annotations
 
+from repro.core.lts import LTS
 from repro.partition.generalized import GeneralizedPartitioningInstance
 from repro.partition.partition import Partition
+from repro.partition.refinable import RefinablePartition, partition_from_refinable
 
 
-def paige_tarjan_refine(instance: GeneralizedPartitioningInstance) -> Partition:
-    """Solve a generalized partitioning instance with the Paige-Tarjan algorithm."""
-    partition = instance.initial_partition()
-    predecessors = instance.predecessor_map()
-    function_names = sorted(instance.functions)
-    if not partition.elements:
-        return partition
+def paige_tarjan_refine_lts(
+    lts: LTS, block_of: list[int], num_blocks: int
+) -> RefinablePartition:
+    """Run the Paige-Tarjan algorithm on the integer kernel."""
+    n = lts.n
+    num_actions = lts.num_actions
+    if n == 0:
+        return RefinablePartition(block_of, num_blocks)
+    offsets = lts.fwd_offsets
+    arc_actions = lts.fwd_actions.tolist()
+    rev_lists = lts.reverse_lists()
 
     # ------------------------------------------------------------------
     # Preprocessing: make P stable with respect to the single X-block U.
     # For every function, elements with a non-empty image must be separated
-    # from elements with an empty image inside every initial block.
+    # from elements with an empty image inside every initial block, so group
+    # states by (initial block, bitmask of actions with outgoing arcs) and
+    # rebuild the partition over those finer ids.  Along the way record the
+    # per-(state, action) out-degrees that seed the counts against U.
     # ------------------------------------------------------------------
-    def emptiness_signature(element: str) -> tuple[bool, ...]:
-        return tuple(bool(instance.image(name, element)) for name in function_names)
-
-    partition.split_by_key(emptiness_signature)
+    out_count = [0] * (n * num_actions)
+    for s in range(n):
+        base = s * num_actions
+        for i in range(offsets[s], offsets[s + 1]):
+            out_count[base + arc_actions[i]] += 1
+    fine_ids: dict[tuple[int, int], int] = {}
+    fine_of = [0] * n
+    for s in range(n):
+        mask = 0
+        base = s * num_actions
+        for action in range(num_actions):
+            if out_count[base + action]:
+                mask |= 1 << action
+        fine_of[s] = fine_ids.setdefault((block_of[s], mask), len(fine_ids))
+    part = RefinablePartition(fine_of, len(fine_ids))
 
     # ------------------------------------------------------------------
     # X-partition bookkeeping.  X-blocks are identified by integers; each
     # X-block is a set of P-block ids, and every P-block belongs to exactly
-    # one X-block.
+    # one X-block.  counts[(x * k + action) * n + s] = |f_action(s) ∩ X-block|.
     # ------------------------------------------------------------------
-    x_members: dict[int, set[int]] = {0: set(partition.block_ids())}
-    x_of_pblock: dict[int, int] = {pid: 0 for pid in partition.block_ids()}
-    next_x_id = 1
+    x_of = [0] * part.num_blocks()
+    x_members: list[set[int]] = [set(range(part.num_blocks()))]
+    compound = {0} if part.num_blocks() > 1 else set()
 
-    # counts[(element, function, x_id)] = |f(element) ∩ X-block|
-    counts: dict[tuple[str, str, int], int] = {}
-    for element in instance.elements:
-        for name in function_names:
-            image = instance.image(name, element)
-            if image:
-                counts[(element, name, 0)] = len(image)
+    counts: dict[int, int] = {}
+    for s in range(n):
+        base = s * num_actions
+        for action in range(num_actions):
+            c = out_count[base + action]
+            if c:
+                counts[action * n + s] = c  # x = 0
 
-    def compound_x_blocks() -> list[int]:
-        return [x_id for x_id, members in x_members.items() if len(members) > 1]
+    blk = part.blk
+    marked = part.marked
+    first = part.first
+    end = part.end
 
-    compound = set(compound_x_blocks())
-
-    def register_split(parent_pid: int, new_pid: int) -> None:
+    def register_split(parent: int, new_block: int) -> None:
         """A P-block split: the new block joins the parent's X-block."""
-        x_id = x_of_pblock[parent_pid]
-        x_members[x_id].add(new_pid)
-        x_of_pblock[new_pid] = x_id
-        if len(x_members[x_id]) > 1:
-            compound.add(x_id)
+        x = x_of[parent]
+        x_members[x].add(new_block)
+        x_of.append(x)
+        if len(x_members[x]) > 1:
+            compound.add(x)
 
     # ------------------------------------------------------------------
     # Main refinement loop.
     # ------------------------------------------------------------------
     while compound:
-        s_x_id = compound.pop()
-        members = x_members[s_x_id]
+        s_x = compound.pop()
+        members = x_members[s_x]
         if len(members) <= 1:
             continue
-        # Choose a P-block B inside S of size at most |S| / 2: compare the two
-        # smallest candidates, taking the smaller.
-        pids = sorted(members, key=lambda pid: len(partition.block_members(pid)))
-        b_pid = pids[0]
-        splitter = partition.block_members(b_pid)
+        # Choose a P-block B inside S of size at most |S| / 2.
+        b_block = min(members, key=lambda pid: end[pid] - first[pid])
+        splitter = part.block_elems(b_block)
 
         # Move B out of S into its own X-block.
-        members.discard(b_pid)
-        b_x_id = next_x_id
-        next_x_id += 1
-        x_members[b_x_id] = {b_pid}
-        x_of_pblock[b_pid] = b_x_id
+        members.discard(b_block)
+        b_x = len(x_members)
+        x_members.append({b_block})
+        x_of[b_block] = b_x
         if len(members) > 1:
-            compound.add(s_x_id)
+            compound.add(s_x)
 
-        # Compute counts into the new X-block B and decrement the counts into
-        # the remainder S' = S \ B, touching only predecessors of B.
-        touched: dict[str, dict[str, int]] = {name: {} for name in function_names}
-        for name in function_names:
-            pred = predecessors[name]
-            per_function = touched[name]
+        # Per action: count arcs into the new X-block B per source (walking
+        # only the reverse-index slices of B's members), update the counts
+        # against the remainder S' = S \ B, and three-way split.  The split
+        # for one action happens before the counts for the next are read,
+        # which is safe because counts are per-element, not per-block.
+        for action in range(num_actions):
+            base = action * n
+            per_action: dict[int, int] = {}
+            get_count = per_action.get
             for target in splitter:
-                for source in pred.get(target, frozenset()):
-                    per_function[source] = per_function.get(source, 0) + 1
-        for name, per_function in touched.items():
-            for source, count_into_b in per_function.items():
-                counts[(source, name, b_x_id)] = count_into_b
-                remaining = counts.get((source, name, s_x_id), 0) - count_into_b
-                if remaining:
-                    counts[(source, name, s_x_id)] = remaining
-                else:
-                    counts.pop((source, name, s_x_id), None)
-
-        # Three-way split of every P-block with an arc into B.
-        for name, per_function in touched.items():
-            if not per_function:
+                for source in rev_lists[base + target]:
+                    per_action[source] = get_count(source, 0) + 1
+            if not per_action:
                 continue
-            preimage = set(per_function)
+            base_b = (b_x * num_actions + action) * n
+            base_s = (s_x * num_actions + action) * n
+            for source, count_into_b in per_action.items():
+                counts[base_b + source] = count_into_b
+                remaining = counts.get(base_s + source, 0) - count_into_b
+                if remaining:
+                    counts[base_s + source] = remaining
+                else:
+                    counts.pop(base_s + source, None)
+
             # First split: elements with an arc into B versus the rest.
-            blocks_hit: dict[int, set[str]] = {}
-            for element in preimage:
-                blocks_hit.setdefault(partition.block_id_of(element), set()).add(element)
+            hit_blocks: list[int] = []
+            for source in per_action:
+                b = blk[source]
+                if marked[b] == 0:
+                    hit_blocks.append(b)
+                part.mark(source)
             inside_blocks: list[int] = []
-            for pid, inside in blocks_hit.items():
-                block = partition.block_members(pid)
-                if len(inside) == len(block):
-                    inside_blocks.append(pid)
+            for b in hit_blocks:
+                if marked[b] == end[b] - first[b]:
+                    marked[b] = 0  # wholly inside the preimage: no split
+                    inside_blocks.append(b)
                     continue
-                result = partition.split_block(pid, inside)
-                if result is None:  # pragma: no cover - guarded by length check
-                    continue
-                _kept, new_pid = result
-                register_split(pid, new_pid)
-                inside_blocks.append(new_pid)
+                new_block = part.split_marked(b)
+                register_split(b, new_block)
+                inside_blocks.append(new_block)
             # Second split: among elements with an arc into B, separate those
             # with no remaining arc into S' (count into S' is zero).
-            for pid in inside_blocks:
-                block = partition.block_members(pid)
-                only_into_b = {
-                    element
-                    for element in block
-                    if counts.get((element, name, s_x_id), 0) == 0
-                }
-                if not only_into_b or len(only_into_b) == len(block):
+            for b in inside_blocks:
+                for source in part.block_elems(b):  # snapshot: mark() reorders
+                    if counts.get(base_s + source, 0) == 0:
+                        part.mark(source)
+                m = marked[b]
+                if m == 0 or m == end[b] - first[b]:
+                    marked[b] = 0
                     continue
-                result = partition.split_block(pid, only_into_b)
-                if result is None:  # pragma: no cover - guarded above
-                    continue
-                _kept, new_pid = result
-                register_split(pid, new_pid)
+                new_block = part.split_marked(b)
+                register_split(b, new_block)
 
-    return partition
+    return part
+
+
+def paige_tarjan_refine(instance: GeneralizedPartitioningInstance) -> Partition:
+    """Solve a generalized partitioning instance with the Paige-Tarjan algorithm."""
+    lts, block_of, num_blocks = instance.kernel
+    part = paige_tarjan_refine_lts(lts, block_of, num_blocks)
+    return partition_from_refinable(part, lts.state_names)

@@ -1,0 +1,111 @@
+"""Tests for the integer-indexed LTS kernel and its FSP bridges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import TAU, from_transitions
+from repro.core.lts import LTS
+from repro.generators.random_fsp import (
+    random_deterministic_fsp,
+    random_fsp,
+    random_observable_fsp,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_fsp_round_trips_exactly(self, seed):
+        process = random_fsp(12, tau_probability=0.3, seed=seed)
+        assert LTS.from_fsp(process, include_tau=True).to_fsp() == process
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_observable_fsp_round_trips_without_tau_flag(self, seed):
+        process = random_observable_fsp(10, seed=seed)
+        assert LTS.from_fsp(process, include_tau=False).to_fsp() == process
+
+    def test_round_trip_keeps_start_and_extensions(self, branching_process):
+        back = LTS.from_fsp(branching_process).to_fsp()
+        assert back.start == branching_process.start
+        assert back.extensions == branching_process.extensions
+        assert back.alphabet == branching_process.alphabet
+
+    def test_include_tau_false_drops_tau_arcs(self, tau_process):
+        lts = LTS.from_fsp(tau_process, include_tau=False)
+        assert TAU not in lts.action_names
+        assert lts.num_transitions == sum(
+            1 for _, act, _ in tau_process.transitions if act != TAU
+        )
+
+    def test_empty_lts_has_no_fsp(self):
+        lts = LTS([], [], [])
+        assert lts.n == 0
+        with pytest.raises(InvalidProcessError):
+            lts.to_fsp()
+
+
+class TestStructure:
+    def test_interning_is_canonical(self, branching_process):
+        lts = LTS.from_fsp(branching_process)
+        assert list(lts.state_names) == sorted(branching_process.states)
+        assert list(lts.action_names) == sorted(branching_process.alphabet)
+
+    def test_csr_matches_transitions(self, branching_process):
+        lts = LTS.from_fsp(branching_process)
+        arcs = {
+            (lts.state_names[s], lts.action_names[a], lts.state_names[d])
+            for s, a, d in lts.arcs()
+        }
+        assert arcs == set(branching_process.transitions)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reverse_index_mirrors_forward(self, seed):
+        lts = LTS.from_fsp(random_fsp(10, tau_probability=0.2, seed=seed))
+        rev_offsets, rev_actions, rev_sources = lts.reverse_index()
+        backward = set()
+        for target in range(lts.n):
+            for i in range(rev_offsets[target], rev_offsets[target + 1]):
+                backward.add((rev_sources[i], rev_actions[i], target))
+        assert backward == set(lts.arcs())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reverse_lists_mirror_forward(self, seed):
+        lts = LTS.from_fsp(random_fsp(10, tau_probability=0.2, seed=seed))
+        slots = lts.reverse_lists()
+        backward = {
+            (source, slot // lts.n, slot % lts.n)
+            for slot, sources in enumerate(slots)
+            for source in sources
+        }
+        assert backward == set(lts.arcs())
+
+    def test_duplicate_edges_are_removed(self):
+        lts = LTS(["p", "q"], ["a"], [(0, 0, 1), (0, 0, 1), (1, 0, 0)])
+        assert lts.num_transitions == 2
+
+    def test_out_of_range_edges_rejected(self):
+        with pytest.raises(InvalidProcessError):
+            LTS(["p"], ["a"], [(0, 0, 5)])
+        with pytest.raises(InvalidProcessError):
+            LTS(["p"], ["a"], [(0, 3, 0)])
+
+    def test_determinism_detection(self):
+        deterministic = LTS.from_fsp(random_deterministic_fsp(9, seed=3))
+        assert deterministic.is_deterministic()
+        assert deterministic.max_fanout() <= 1
+        branching = LTS.from_fsp(
+            from_transitions(
+                [("s", "a", "p"), ("s", "a", "q")], start="s", all_accepting=True
+            )
+        )
+        assert not branching.is_deterministic()
+        assert branching.max_fanout() == 2
+
+    def test_extension_block_ids_group_by_extension(self, branching_process):
+        lts = LTS.from_fsp(branching_process)
+        block_of, num_blocks = lts.extension_block_ids()
+        assert num_blocks == 2  # accepting leaf vs everything else
+        by_name = dict(zip(lts.state_names, block_of))
+        assert by_name["s"] == by_name["l"] == by_name["r"]
+        assert by_name["t"] != by_name["s"]
