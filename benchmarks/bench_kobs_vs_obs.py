@@ -27,9 +27,7 @@ def test_approx1_on_counter_family(benchmark, bits):
     """approx_1 = language equivalence: the subset construction doubles per bit."""
     first = restricted_counter(bits)
     second = restricted_counter(bits).rename_states(prefix="o")
-    result = benchmark(
-        lambda: k_observational_equivalent_processes(first, second, 1)
-    )
+    result = benchmark(lambda: k_observational_equivalent_processes(first, second, 1))
     benchmark.extra_info["experiment"] = "E8"
     benchmark.extra_info["bits"] = bits
     benchmark.extra_info["answer"] = result
@@ -61,9 +59,7 @@ def test_theorem41b_reduction_cost(benchmark, level):
 @pytest.mark.parametrize("level", [1, 2])
 def test_deciding_approx_k_on_separating_pairs(benchmark, level):
     first, second = separating_pair(level)
-    result = benchmark(
-        lambda: k_observational_equivalent_processes(first, second, level + 1)
-    )
+    result = benchmark(lambda: k_observational_equivalent_processes(first, second, level + 1))
     benchmark.extra_info["experiment"] = "E8"
     benchmark.extra_info["level"] = level
     assert result is False

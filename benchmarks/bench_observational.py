@@ -55,7 +55,9 @@ def test_observational_partition_cost(benchmark, rungs):
 @pytest.mark.parametrize("size", [15, 40])
 @pytest.mark.parametrize("relation", ["equivalent", "inequivalent"])
 def test_end_to_end_equivalence_decision(benchmark, size, relation):
-    base = random_fsp(size, tau_probability=0.25, transition_density=2.0, seed=size, all_accepting=True)
+    base = random_fsp(
+        size, tau_probability=0.25, transition_density=2.0, seed=size, all_accepting=True
+    )
     if relation == "equivalent":
         other = random_equivalent_copy(base, duplicates=size // 3, seed=size)
         expected = True

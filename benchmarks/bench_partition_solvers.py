@@ -44,9 +44,7 @@ def test_naive_method_pass_count(benchmark, size):
 )
 def test_unbounded_fanout_instances(benchmark, fanout, size):
     """Fanout is the parameter separating the Kanellakis-Smolka bound from Paige-Tarjan."""
-    process = random_observable_fsp(
-        size, transition_density=float(fanout), seed=fanout * size
-    )
+    process = random_observable_fsp(size, transition_density=float(fanout), seed=fanout * size)
     instance = GeneralizedPartitioningInstance.from_fsp(process)
     result = benchmark(lambda: solve(instance, Solver.PAIGE_TARJAN))
     benchmark.extra_info["experiment"] = "E6"
@@ -69,9 +67,7 @@ KERNEL_SIZES = [200, 600]
 def test_kernel_solvers_on_duplicated_chain(benchmark, solver, size):
     """End-to-end Lemma 3.1 pipeline (reduction + solve) on the integer kernel."""
     process = duplicated_chain(size // 2, 2)
-    result = benchmark(
-        lambda: solve(GeneralizedPartitioningInstance.from_fsp(process), solver)
-    )
+    result = benchmark(lambda: solve(GeneralizedPartitioningInstance.from_fsp(process), solver))
     benchmark.extra_info["experiment"] = "E6"
     benchmark.extra_info["states"] = process.num_states
     benchmark.extra_info["blocks"] = len(result)

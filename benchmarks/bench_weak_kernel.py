@@ -1,0 +1,90 @@
+"""Weak-transition engine benchmarks: kernel saturation vs the dict reference.
+
+The weak-equivalence pipeline of Theorem 4.1(a) has two phases -- saturation
+and strong partition refinement of the saturated process.  These benchmarks
+time the kernel implementations of both (tau-SCC + bitset saturation from
+:mod:`repro.core.weak`, then the LTS solvers) next to the retained dict
+reference route (:func:`repro.core.derivatives.saturate_reference` +
+``GeneralizedPartitioningInstance.from_fsp``) on the tau-heavy generator
+families, whose saturated relations grow quadratically.  The machine-readable
+trajectory lives in the ``weak`` section of ``BENCH_partition.json``
+(``benchmarks/run_all.py``); this module is the pytest-benchmark face of the
+same comparison at CI-friendly sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derivatives import saturate_reference
+from repro.core.lts import LTS
+from repro.core.weak import saturate_lts, tau_closure_bits
+from repro.equivalence.observational import observational_partition
+from repro.generators.families import tau_diamond_tower, tau_ladder, tau_mesh
+from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
+
+FAMILIES = {
+    "tau_ladder": lambda n: tau_ladder(max(1, n // 2)),
+    "tau_mesh": tau_mesh,
+    "tau_diamond_tower": lambda n: tau_diamond_tower(max(1, n // 3)),
+}
+
+SIZES = [60, 150]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_kernel_saturation(benchmark, family, size):
+    process = FAMILIES[family](size)
+    lts = LTS.from_fsp(process, include_tau=True)
+    saturated = benchmark(lambda: saturate_lts(lts))
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["saturated_transitions"] = saturated.num_transitions
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_reference_saturation(benchmark, family, size):
+    process = FAMILIES[family](size)
+    saturated = benchmark(lambda: saturate_reference(process))
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["saturated_transitions"] = saturated.num_transitions
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_tau_closure_bitsets(benchmark, size):
+    lts = LTS.from_fsp(FAMILIES["tau_mesh"](size), include_tau=True)
+    closures = benchmark(lambda: tau_closure_bits(lts))
+    benchmark.extra_info["states"] = lts.n
+    benchmark.extra_info["total_closure_bits"] = sum(c.bit_count() for c in closures)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_weak_partition_kernel_route(benchmark, family, size):
+    process = FAMILIES[family](size)
+    partition = benchmark(lambda: observational_partition(process, method=Solver.PAIGE_TARJAN))
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["blocks"] = len(partition)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_weak_partition_dict_route(benchmark, family, size):
+    """The pre-kernel pipeline, kept as the timed baseline of the weak trajectory."""
+    process = FAMILIES[family](size)
+
+    def dict_route():
+        saturated = saturate_reference(process)
+        instance = GeneralizedPartitioningInstance.from_fsp(saturated, include_tau=False)
+        return solve(instance, Solver.PAIGE_TARJAN)
+
+    partition = benchmark(dict_route)
+    kernel = observational_partition(process, method=Solver.PAIGE_TARJAN)
+    assert partition.as_frozen() == kernel.as_frozen()
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["blocks"] = len(partition)

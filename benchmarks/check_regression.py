@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""CI bench-gate: fail the build when the benchmark trajectory regresses.
+
+Reads the ``BENCH_partition.json`` produced by ``benchmarks/run_all.py`` and
+compares every solver x family x n cell (strong *and* weak sections) against
+the committed ``benchmarks/baseline_expectations.json``:
+
+* any cell slower than ``factor`` (default 2) times its expected seconds --
+  after normalising out the overall hardware speed difference between the CI
+  runner and the machine that recorded the baseline -- fails the gate;
+* ``solvers_agree`` / ``weak_solvers_agree`` being false fails the gate
+  (a solver producing a different partition is a correctness bug, not a
+  perf problem);
+* the weak-engine speedup floors (kernel saturation route at least ``floor``
+  times faster than the dict route on the named families at ``n >= min_n``)
+  fail the gate when not met.
+
+The hardware normaliser is the median of ``current / expected`` over all
+shared cells: a uniformly slower CI machine shifts every ratio equally and is
+divided out, while a genuine regression moves one cell against the rest.
+Pass ``--absolute`` to compare raw seconds instead, and ``--update`` to
+rewrite the baseline from the current run (review the diff before
+committing).
+
+Usage::
+
+    python benchmarks/run_all.py --quick --skip-pytest
+    python benchmarks/check_regression.py              # the CI gate
+    python benchmarks/check_regression.py --update     # refresh the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_BENCH = BENCH_DIR.parent / "BENCH_partition.json"
+DEFAULT_BASELINE = BENCH_DIR / "baseline_expectations.json"
+
+#: cells faster than this are treated as this slow: millisecond-scale cells
+#: routinely swing 2-3x from scheduler/interpreter noise alone (the committed
+#: baseline itself shows such swings), so the per-cell gate only has teeth
+#: once a cell costs tens of milliseconds.
+MIN_EXPECTED_SECONDS = 0.05
+
+
+def cell_key(record: dict) -> str:
+    return f"{record['solver']}|{record['family']}|{record['n']}"
+
+
+def collect_cells(payload: dict) -> dict[str, float]:
+    """Flatten both trajectory sections to ``solver|family|n -> seconds``."""
+    cells: dict[str, float] = {}
+    for section in ("records", "weak_records"):
+        for record in payload.get(section, []):
+            key = cell_key(record)
+            seconds = float(record["seconds"])
+            cells[key] = min(seconds, cells.get(key, seconds))
+    return cells
+
+
+def weak_speedups(payload: dict) -> dict[str, dict[str, float]]:
+    return payload.get("meta", {}).get("speedup_weak_kernel_vs_dict_saturation", {})
+
+
+def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[str]:
+    """All gate violations for this run (empty means the gate passes)."""
+    failures: list[str] = []
+    meta = payload.get("meta", {})
+    for flag in ("solvers_agree", "weak_solvers_agree"):
+        if not meta.get(flag, False):
+            failures.append(f"{flag} is not true -- solver disagreement or missing section")
+
+    current = collect_cells(payload)
+    expected: dict[str, float] = baseline.get("cells", {})
+    shared = sorted(set(current) & set(expected))
+    missing = sorted(set(expected) - set(current))
+    for key in missing:
+        failures.append(f"cell {key} present in the baseline but absent from this run")
+
+    ratios = {
+        key: current[key] / max(expected[key], MIN_EXPECTED_SECONDS) for key in shared
+    }
+    normaliser = 1.0
+    if not absolute and len(ratios) >= 3:
+        normaliser = max(statistics.median(ratios.values()), 0.1)
+    for key in shared:
+        if ratios[key] > factor * normaliser:
+            failures.append(
+                f"cell {key} regressed: {current[key]:.4f}s vs expected "
+                f"{expected[key]:.4f}s ({ratios[key]:.2f}x, allowed "
+                f"{factor:.1f}x at hardware factor {normaliser:.2f})"
+            )
+
+    speedups = weak_speedups(payload)
+    for family, rule in baseline.get("weak_speedup_floors", {}).items():
+        floor, min_n = float(rule["floor"]), int(rule["min_n"])
+        eligible = {
+            int(n): ratio
+            for n, ratio in speedups.get(family, {}).items()
+            if int(n) >= min_n
+        }
+        if not eligible:
+            failures.append(f"no weak-speedup cell for {family} at n >= {min_n} in this run")
+        else:
+            best_n, best = max(eligible.items(), key=lambda item: item[1])
+            if best < floor:
+                failures.append(
+                    f"weak-engine speedup on {family} is {best:.1f}x at n={best_n}, "
+                    f"below the committed floor of {floor:.1f}x"
+                )
+    return failures
+
+
+def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
+    previous: dict = {}
+    if baseline_path.exists():
+        previous = json.loads(baseline_path.read_text(encoding="utf-8"))
+    baseline = {
+        "note": (
+            "Expected per-cell seconds for the quick benchmark trajectory, and "
+            "speedup floors for the weak-transition engine.  Regenerate with "
+            "`python benchmarks/run_all.py --quick --skip-pytest && python "
+            "benchmarks/check_regression.py --update` and review the diff."
+        ),
+        "factor": factor,
+        "recorded_on": {
+            "python": payload.get("meta", {}).get("python"),
+            "platform": payload.get("meta", {}).get("platform"),
+        },
+        "cells": {
+            key: round(seconds, 6) for key, seconds in sorted(collect_cells(payload).items())
+        },
+        "weak_speedup_floors": previous.get(
+            "weak_speedup_floors",
+            {
+                "tau_ladder": {"min_n": 2000, "floor": 5.0},
+                "tau_mesh": {"min_n": 2000, "floor": 5.0},
+            },
+        ),
+    }
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {baseline_path} ({len(baseline['cells'])} cells)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", type=Path, default=DEFAULT_BENCH, help="BENCH_partition.json path"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE, help="committed expectations path"
+    )
+    parser.add_argument(
+        "--factor", type=float, default=None, help="allowed slowdown per cell (default: baseline's)"
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw seconds (skip the hardware-speed normalisation)",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from the current run"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.bench.exists():
+        print(f"ERROR: {args.bench} not found -- run benchmarks/run_all.py first", file=sys.stderr)
+        return 2
+    payload = json.loads(args.bench.read_text(encoding="utf-8"))
+
+    if args.update:
+        update_baseline(payload, args.baseline, args.factor if args.factor is not None else 2.0)
+        return 0
+
+    if not args.baseline.exists():
+        print(f"ERROR: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    factor = args.factor if args.factor is not None else float(baseline.get("factor", 2.0))
+
+    failures = check(payload, baseline, factor, args.absolute)
+    shared = len(set(collect_cells(payload)) & set(baseline.get("cells", {})))
+    if failures:
+        print(f"bench-gate FAILED ({len(failures)} violation(s), {shared} cells compared):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"bench-gate passed: {shared} cells within {factor:.1f}x of expectations, solvers agree")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

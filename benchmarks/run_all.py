@@ -8,7 +8,11 @@ Two jobs in one entry point:
    machine-readable JSON file (``BENCH_partition.json`` by default).  The
    frozen seed implementation (``benchmarks/seed_baseline.py``) is timed next
    to the kernel solvers, so successive runs of this script record the
-   perf trajectory of the repository against a fixed baseline.
+   perf trajectory of the repository against a fixed baseline.  A second,
+   *weak-equivalence* section does the same for the Theorem 4.1(a) pipeline
+   on tau-heavy families: the kernel weak-transition engine
+   (``repro.core.weak``) is timed next to the retained dict-saturation route,
+   and the ``speedup_weak_kernel_vs_dict_saturation`` cells record the gap.
 
 2. **Suite smoke** -- executes every ``bench_*.py`` module via pytest
    (``--benchmark-disable`` in ``--quick`` mode so each workload runs once;
@@ -44,8 +48,16 @@ if str(BENCH_DIR) not in sys.path:
 
 from seed_baseline import seed_kanellakis_smolka  # noqa: E402
 
+from repro.core.derivatives import saturate_reference  # noqa: E402
 from repro.core.fsp import FSP  # noqa: E402
-from repro.generators.families import comb, duplicated_chain, tau_ladder  # noqa: E402
+from repro.equivalence.observational import observational_partition  # noqa: E402
+from repro.generators.families import (  # noqa: E402
+    comb,
+    duplicated_chain,
+    tau_diamond_tower,
+    tau_ladder,
+    tau_mesh,
+)
 from repro.partition.generalized import (  # noqa: E402
     GeneralizedPartitioningInstance,
     Solver,
@@ -66,6 +78,21 @@ FAMILIES: dict[str, tuple] = {
 #: quick mode stays quick; dropped cells are recorded in the metadata.
 NAIVE_MAX_STATES = 900
 
+#: tau-heavy families for the weak-equivalence (Theorem 4.1a) trajectory:
+#: ``family -> (builder for ~n states, dict-route state cap)``.  The inputs
+#: are sparse but their saturated relations are Theta(n^2) dense, so the
+#: dict-saturation baseline route takes minutes above the cap (which is the
+#: point of the kernel engine); dropped cells are recorded in the metadata.
+#: tau_ladder and tau_mesh keep dict cells at n ~ 2000 because the committed
+#: weak-speedup floors are measured there; tau_diamond_tower has no floor, so
+#: its dict route stops at the small calibration size rather than spending
+#: ~90 s of every CI run re-measuring a known-slow path.
+WEAK_FAMILIES: dict[str, tuple] = {
+    "tau_ladder": (lambda n: tau_ladder(max(1, n // 2)), 2500),
+    "tau_mesh": (tau_mesh, 2500),
+    "tau_diamond_tower": (lambda n: tau_diamond_tower(max(1, n // 3)), 500),
+}
+
 QUICK_SIZES = [400, 2000]
 FULL_SIZES = [400, 1000, 2000, 4000]
 
@@ -85,6 +112,49 @@ def _best_of(fn, repeats: int):
     return best, result
 
 
+def _time_cell(
+    cell: list[tuple],
+    family: str,
+    n: int,
+    m: int,
+    repeats: int,
+    records: list[dict],
+) -> bool:
+    """Time every solver of one family x size cell, append its records.
+
+    All solvers of a cell must produce the same partition (the coarsest
+    stable refinement is unique); returns False when one disagrees.  This is
+    the single place the record schema (``solver|family|n`` -- the key format
+    ``check_regression.cell_key`` parses) and the agreement check live, shared
+    by the strong and weak trajectories.
+    """
+    agree = True
+    reference = None
+    for solver, fn in cell:
+        seconds, partition = _best_of(fn, repeats)
+        frozen = partition.as_frozen()
+        if reference is None:
+            reference = frozen
+        elif frozen != reference:
+            agree = False
+            print(f"ERROR: {solver} disagrees on {family} n={n}", file=sys.stderr)
+        records.append(
+            {
+                "solver": solver,
+                "family": family,
+                "n": n,
+                "transitions": m,
+                "blocks": len(partition),
+                "seconds": round(seconds, 6),
+            }
+        )
+        print(
+            f"  {family:18s} n={n:5d} m={m:6d} {solver:28s} "
+            f"{seconds * 1000:9.2f} ms  blocks={len(partition)}"
+        )
+    return agree
+
+
 def run_trajectory(sizes: list[int], repeats: int) -> tuple[list[dict], list[str], bool]:
     records: list[dict] = []
     skipped: list[str] = []
@@ -95,36 +165,53 @@ def run_trajectory(sizes: list[int], repeats: int) -> tuple[list[dict], list[str
             n, m = process.num_states, process.num_transitions
             cell = [
                 ("seed_kanellakis_smolka", lambda: seed_kanellakis_smolka(process, include_tau)),
-                ("kanellakis_smolka", lambda: _pipeline(process, include_tau, Solver.KANELLAKIS_SMOLKA)),
+                (
+                    "kanellakis_smolka",
+                    lambda: _pipeline(process, include_tau, Solver.KANELLAKIS_SMOLKA),
+                ),
                 ("paige_tarjan", lambda: _pipeline(process, include_tau, Solver.PAIGE_TARJAN)),
             ]
             if n <= NAIVE_MAX_STATES:
                 cell.append(("naive", lambda: _pipeline(process, include_tau, Solver.NAIVE)))
             else:
                 skipped.append(f"naive on {family} n={n} (> {NAIVE_MAX_STATES} states)")
-            reference = None
-            for solver, fn in cell:
-                seconds, partition = _best_of(fn, repeats)
-                frozen = partition.as_frozen()
-                if reference is None:
-                    reference = frozen
-                elif frozen != reference:
-                    agree = False
-                    print(f"ERROR: {solver} disagrees on {family} n={n}", file=sys.stderr)
-                records.append(
-                    {
-                        "solver": solver,
-                        "family": family,
-                        "n": n,
-                        "transitions": m,
-                        "blocks": len(partition),
-                        "seconds": round(seconds, 6),
-                    }
-                )
-                print(
-                    f"  {family:18s} n={n:5d} m={m:6d} {solver:24s} "
-                    f"{seconds * 1000:9.2f} ms  blocks={len(partition)}"
-                )
+            agree = _time_cell(cell, family, n, m, repeats, records) and agree
+    return records, skipped, agree
+
+
+def run_weak_trajectory(sizes: list[int], repeats: int) -> tuple[list[dict], list[str], bool]:
+    """The weak-equivalence section: observational partition, kernel vs dict saturation."""
+    records: list[dict] = []
+    skipped: list[str] = []
+    agree = True
+
+    def dict_route(process: FSP):
+        saturated = saturate_reference(process)
+        instance = GeneralizedPartitioningInstance.from_fsp(saturated, include_tau=False)
+        return solve(instance, Solver.PAIGE_TARJAN)
+
+    for family, (builder, dict_cap) in WEAK_FAMILIES.items():
+        for size in sizes:
+            process = builder(size)
+            n, m = process.num_states, process.num_transitions
+            cell = []
+            if n <= dict_cap:
+                cell.append(("dict_saturation", lambda: dict_route(process)))
+            else:
+                skipped.append(f"dict_saturation on {family} n={n} (> {dict_cap} states)")
+            cell.extend(
+                [
+                    (
+                        "weak_kernel_paige_tarjan",
+                        lambda: observational_partition(process, method=Solver.PAIGE_TARJAN),
+                    ),
+                    (
+                        "weak_kernel_kanellakis_smolka",
+                        lambda: observational_partition(process, method=Solver.KANELLAKIS_SMOLKA),
+                    ),
+                ]
+            )
+            agree = _time_cell(cell, family, n, m, repeats, records) and agree
     return records, skipped, agree
 
 
@@ -142,11 +229,27 @@ def speedup_summary(records: list[dict]) -> dict:
     return summary
 
 
+def weak_speedup_summary(records: list[dict]) -> dict:
+    """Per (family, n): dict-saturation seconds / kernel weak-engine seconds."""
+    cells: dict[tuple[str, int], dict[str, float]] = {}
+    for record in records:
+        cells.setdefault((record["family"], record["n"]), {})[record["solver"]] = record["seconds"]
+    summary: dict[str, dict[str, float]] = {}
+    for (family, n), timings in sorted(cells.items()):
+        baseline = timings.get("dict_saturation")
+        kernel = timings.get("weak_kernel_paige_tarjan")
+        if baseline and kernel:
+            summary.setdefault(family, {})[str(n)] = round(baseline / kernel, 2)
+    return summary
+
+
 def run_pytest_benches(quick: bool) -> dict[str, str]:
     statuses: dict[str, str] = {}
     mode = ["--benchmark-disable"] if quick else ["--benchmark-only"]
     for bench in sorted(BENCH_DIR.glob("bench_*.py")):
-        command = [sys.executable, "-m", "pytest", str(bench), "-q", "-p", "no:cacheprovider", *mode]
+        command = [
+            sys.executable, "-m", "pytest", str(bench), "-q", "-p", "no:cacheprovider", *mode
+        ]
         print(f"  pytest {bench.name} ...", flush=True)
         proc = subprocess.run(command, cwd=ROOT, capture_output=True, text=True)
         statuses[bench.name] = "passed" if proc.returncode == 0 else "failed"
@@ -157,7 +260,9 @@ def run_pytest_benches(quick: bool) -> dict[str, str]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="CI smoke mode: fewer sizes, one repeat")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: fewer sizes, one repeat"
+    )
     parser.add_argument("--skip-pytest", action="store_true", help="only run the trajectory")
     parser.add_argument(
         "--output", type=Path, default=Path("BENCH_partition.json"), help="JSON output path"
@@ -170,6 +275,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"partition trajectory: families={list(FAMILIES)} sizes={sizes}")
     records, skipped, agree = run_trajectory(sizes, repeats)
     speedups = speedup_summary(records)
+
+    print(f"weak-equivalence trajectory: families={list(WEAK_FAMILIES)} sizes={sizes}")
+    weak_records, weak_skipped, weak_agree = run_weak_trajectory(sizes, repeats)
+    weak_speedups = weak_speedup_summary(weak_records)
 
     statuses: dict[str, str] = {}
     if not args.skip_pytest:
@@ -187,9 +296,14 @@ def main(argv: list[str] | None = None) -> int:
             "solvers_agree": agree,
             "skipped_cells": skipped,
             "speedup_kanellakis_smolka_vs_seed": speedups,
+            "weak_families": list(WEAK_FAMILIES),
+            "weak_solvers_agree": weak_agree,
+            "weak_skipped_cells": weak_skipped,
+            "speedup_weak_kernel_vs_dict_saturation": weak_speedups,
             "bench_modules": statuses,
         },
         "records": records,
+        "weak_records": weak_records,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
@@ -198,13 +312,18 @@ def main(argv: list[str] | None = None) -> int:
     for family, by_n in speedups.items():
         row = "  ".join(f"n={n}: {ratio:.1f}x" for n, ratio in by_n.items())
         print(f"  {family:18s} {row}")
-    if skipped:
-        print(f"skipped {len(skipped)} trajectory cells: " + "; ".join(skipped))
+    print("weak speedup (kernel saturation route vs dict saturation route):")
+    for family, by_n in weak_speedups.items():
+        row = "  ".join(f"n={n}: {ratio:.1f}x" for n, ratio in by_n.items())
+        print(f"  {family:18s} {row}")
+    skipped_all = skipped + weak_skipped
+    if skipped_all:
+        print(f"skipped {len(skipped_all)} trajectory cells: " + "; ".join(skipped_all))
 
     failed_modules = [name for name, status in statuses.items() if status == "failed"]
     if failed_modules:
         print(f"FAILED bench modules: {failed_modules}", file=sys.stderr)
-    return 0 if agree and not failed_modules else 1
+    return 0 if agree and weak_agree and not failed_modules else 1
 
 
 if __name__ == "__main__":

@@ -29,7 +29,11 @@ works without knowing the internal module layout.
 
 from repro.core.classify import ModelClass, classify
 from repro.core.fsp import ACCEPT, EPSILON, FSP, TAU, FSPBuilder, from_transitions
-from repro.equivalence.failure import failure_equivalent, failure_equivalent_processes, failures_upto
+from repro.equivalence.failure import (
+    failure_equivalent,
+    failure_equivalent_processes,
+    failures_upto,
+)
 from repro.equivalence.hml import distinguishing_formula, satisfies
 from repro.equivalence.kobs import (
     k_limited_equivalent,

@@ -156,7 +156,9 @@ class DFA:
                 if next_pair not in seen:
                     seen.add(next_pair)
                     frontier.append(next_pair)
-        return DFA(states=states, start=start, alphabet=self._alphabet, delta=delta, accepting=accepting)
+        return DFA(
+            states=states, start=start, alphabet=self._alphabet, delta=delta, accepting=accepting
+        )
 
     def is_empty(self) -> bool:
         """Whether the accepted language is empty."""

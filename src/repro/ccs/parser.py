@@ -56,7 +56,9 @@ def _tokenize(text: str) -> list[tuple[str, str]]:
             remainder = text[position:].strip()
             if not remainder:
                 break
-            raise ExpressionError(f"unexpected character in CCS term at {position}: {remainder[0]!r}")
+            raise ExpressionError(
+                f"unexpected character in CCS term at {position}: {remainder[0]!r}"
+            )
         position = match.end()
         for kind in ("nil", "tau", "upper", "lower", "op"):
             value = match.group(kind)
@@ -91,7 +93,9 @@ class _Parser:
     def parse(self) -> Process:
         process = self._choice()
         if self._peek() is not None:
-            raise ExpressionError(f"unexpected token {self._peek()[1]!r} in {self._source!r}")  # type: ignore[index]
+            raise ExpressionError(
+                f"unexpected token {self._peek()[1]!r} in {self._source!r}"  # type: ignore[index]
+            )
         return process
 
     def _choice(self) -> Process:
@@ -111,7 +115,9 @@ class _Parser:
     def _prefixed(self) -> Process:
         token = self._peek()
         if token is not None and token[0] in ("lower", "tau"):
-            following = self._tokens[self._index + 1] if self._index + 1 < len(self._tokens) else None
+            following = (
+                self._tokens[self._index + 1] if self._index + 1 < len(self._tokens) else None
+            )
             if following is not None and following[0] == ".":
                 action_token = self._advance()
                 self._expect(".")

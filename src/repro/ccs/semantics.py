@@ -103,9 +103,7 @@ def derivatives(
         )
     if isinstance(process, ProcessRef):
         if process.name in _unfolding:
-            raise ExpressionError(
-                f"unguarded recursion through process name {process.name!r}"
-            )
+            raise ExpressionError(f"unguarded recursion through process name {process.name!r}")
         return derivatives(
             definitions.lookup(process.name), definitions, _unfolding | {process.name}
         )

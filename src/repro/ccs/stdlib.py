@@ -47,7 +47,9 @@ def broken_vending_machine() -> tuple[Process, Definitions]:
 # ----------------------------------------------------------------------
 # buffers
 # ----------------------------------------------------------------------
-def one_place_buffer(input_channel: str = "in", output_channel: str = "out") -> tuple[Process, Definitions]:
+def one_place_buffer(
+    input_channel: str = "in", output_channel: str = "out"
+) -> tuple[Process, Definitions]:
     """A one-place buffer ``B := in.out!.B``."""
     definitions = Definitions()
     definitions.define("B", parse_process(f"{input_channel}.{output_channel}!.B"))
@@ -104,9 +106,7 @@ def mutual_exclusion(workers: int = 2) -> tuple[Process, Definitions]:
     worker_terms = []
     for index in range(1, workers + 1):
         name = f"W{index}"
-        definitions.define(
-            name, parse_process(f"p!.enter{index}.exit{index}.v!.{name}")
-        )
+        definitions.define(name, parse_process(f"p!.enter{index}.exit{index}.v!.{name}"))
         worker_terms.append(name)
     system = "(" + " | ".join(["SEM", *worker_terms]) + ") \\ {p, v}"
     return parse_process(system), definitions

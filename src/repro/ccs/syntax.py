@@ -185,7 +185,11 @@ class Definitions:
         return name in self.bindings
 
 
-def actions_of(process: Process, definitions: Definitions | None = None, _seen: frozenset[str] = frozenset()) -> frozenset[str]:
+def actions_of(
+    process: Process,
+    definitions: Definitions | None = None,
+    _seen: frozenset[str] = frozenset(),
+) -> frozenset[str]:
     """All channel names syntactically occurring in the term (co-actions folded to channels)."""
     if isinstance(process, Nil):
         return frozenset()

@@ -187,12 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     convert_cmd.add_argument("output")
     convert_cmd.set_defaults(handler=_cmd_convert)
 
-    expr_cmd = commands.add_parser("expr", help="decide the CCS equivalence problem for star expressions")
+    expr_cmd = commands.add_parser(
+        "expr", help="decide the CCS equivalence problem for star expressions"
+    )
     expr_cmd.add_argument("first")
     expr_cmd.add_argument("second")
-    expr_cmd.add_argument(
-        "--notion", choices=sorted(_EXPRESSION_CHECKS), default="strong"
-    )
+    expr_cmd.add_argument("--notion", choices=sorted(_EXPRESSION_CHECKS), default="strong")
     expr_cmd.set_defaults(handler=_cmd_expr)
 
     ccs_cmd = commands.add_parser("ccs", help="compile a CCS term to a process")

@@ -1,7 +1,14 @@
 """Core process model: FSPs, model classification, weak derivatives, paper figures."""
 
 from repro.core.classify import ModelClass, belongs_to, classify, require
-from repro.core.derivatives import WeakTransitionView, saturate, tau_closure, weak_successors
+from repro.core.derivatives import (
+    WeakTransitionView,
+    saturate,
+    saturate_reference,
+    tau_closure,
+    tau_closure_reference,
+    weak_successors,
+)
 from repro.core.errors import (
     ExpressionError,
     InvalidProcessError,
@@ -9,8 +16,17 @@ from repro.core.errors import (
     ReproError,
     StateSpaceLimitError,
 )
-from repro.core.fsp import ACCEPT, EPSILON, FSP, TAU, FSPBuilder, from_transitions, single_state_process
+from repro.core.fsp import (
+    ACCEPT,
+    EPSILON,
+    FSP,
+    TAU,
+    FSPBuilder,
+    from_transitions,
+    single_state_process,
+)
 from repro.core.lts import LTS
+from repro.core.weak import WeakKernel, saturate_lts, tau_closure_bits, tau_scc
 
 __all__ = [
     "ACCEPT",
@@ -25,13 +41,19 @@ __all__ = [
     "ReproError",
     "StateSpaceLimitError",
     "TAU",
+    "WeakKernel",
     "WeakTransitionView",
     "belongs_to",
     "classify",
     "from_transitions",
     "require",
     "saturate",
+    "saturate_lts",
+    "saturate_reference",
     "single_state_process",
     "tau_closure",
+    "tau_closure_bits",
+    "tau_closure_reference",
+    "tau_scc",
     "weak_successors",
 ]

@@ -14,6 +14,14 @@ strong equivalence on ``P_hat``.  :func:`saturate` implements that
 construction; the remaining helpers expose tau-closures, weak successor sets
 and weak string derivatives, which are also the substrate for failure
 semantics (Section 5) and for the language view of ``approx_1``.
+
+Since the weak-transition engine landed, the closure and saturation entry
+points are backed by :mod:`repro.core.weak` (tau-SCC condensation plus bitset
+propagation on the integer CSR kernel).  The original dict-of-frozensets
+implementations are retained verbatim as :func:`tau_closure_reference` and
+:func:`saturate_reference`; they are the oracles the kernel's property tests
+check against, and they remain the clearest rendering of the paper's
+definitions.
 """
 
 from __future__ import annotations
@@ -22,17 +30,19 @@ from collections.abc import Iterable, Sequence
 
 from repro.core.errors import InvalidProcessError
 from repro.core.fsp import EPSILON, FSP, TAU, State
+from repro.core.lts import LTS
+from repro.core.weak import WeakKernel, bits_iter, saturate_lts
 
 
-def tau_closure(fsp: FSP) -> dict[State, frozenset[State]]:
-    """The reflexive-transitive closure of the tau-transition relation.
+def tau_closure_reference(fsp: FSP) -> dict[State, frozenset[State]]:
+    """Reference tau-closure: one breadth-first search per state.
 
     Returns a mapping from every state ``p`` to the set
-    ``{p' | p =>^epsilon p'}``.  Computed by one breadth-first search per
-    state, which is ``O(n * (n + m_tau))`` and entirely adequate for the
-    process sizes this library targets; the matrix-product formulation the
-    paper uses for its ``n^2.376`` bound is available in
-    :mod:`repro.utils.matrices` for the benchmark harness.
+    ``{p' | p =>^epsilon p'}``.  ``O(n * (n + m_tau))`` hashed set operations;
+    kept as the oracle for :func:`tau_closure` (which computes the same map on
+    the CSR kernel via tau-SCC condensation and bitset propagation).  The
+    matrix-product formulation the paper uses for its ``n^2.376`` bound is
+    available in :mod:`repro.utils.matrices` for the benchmark harness.
     """
     closure: dict[State, frozenset[State]] = {}
     for origin in fsp.states:
@@ -48,7 +58,22 @@ def tau_closure(fsp: FSP) -> dict[State, frozenset[State]]:
     return closure
 
 
-def closure_of_set(fsp: FSP, states: Iterable[State], closure: dict[State, frozenset[State]] | None = None) -> frozenset[State]:
+def tau_closure(fsp: FSP) -> dict[State, frozenset[State]]:
+    """The reflexive-transitive closure of the tau-transition relation.
+
+    Returns a mapping from every state ``p`` to the set
+    ``{p' | p =>^epsilon p'}``.  Computed on the integer kernel
+    (:class:`repro.core.weak.WeakKernel`): one Tarjan pass over the tau
+    sub-relation plus one bitset union per condensation arc, instead of one
+    BFS per state.  Agrees with :func:`tau_closure_reference` by construction
+    (and by the kernel property tests).
+    """
+    return WeakKernel.from_fsp(fsp).closure_dict()
+
+
+def closure_of_set(
+    fsp: FSP, states: Iterable[State], closure: dict[State, frozenset[State]] | None = None
+) -> frozenset[State]:
     """The tau-closure of a *set* of states."""
     closure = closure if closure is not None else tau_closure(fsp)
     out: set[State] = set()
@@ -122,18 +147,55 @@ def weak_initials(
     state: State,
     closure: dict[State, frozenset[State]] | None = None,
 ) -> frozenset[State]:
-    """The observable actions ``a`` for which ``state =>^a`` holds.
+    """The *observable* actions ``a`` for which ``state =>^a`` holds.
 
     This is the complement-defining set for the failure semantics of
     Section 5: a refusal set ``Z`` is valid at ``p'`` exactly when
     ``Z`` is disjoint from ``weak_initials(p')``.
+
+    Only observable actions are considered: the :data:`EPSILON` marker (which
+    enters the alphabet of saturated processes and for which ``=>^epsilon``
+    trivially holds at every state) is skipped, and :data:`TAU` -- were it
+    ever handed in via a malformed alphabet -- is rejected by
+    :func:`weak_successors`.
     """
     closure = closure if closure is not None else tau_closure(fsp)
     initials: set[State] = set()
     for action in fsp.alphabet:
+        if action == EPSILON:
+            continue
         if weak_successors(fsp, state, action, closure):
             initials.add(action)
     return frozenset(initials)
+
+
+def saturate_reference(fsp: FSP, epsilon_action: str = EPSILON) -> FSP:
+    """Reference construction of ``P_hat``: dict-of-frozensets, per-state loops.
+
+    This is the original (pre-kernel) implementation of Theorem 4.1(a)'s
+    saturation, kept verbatim as the oracle for :func:`saturate` and the
+    weak-kernel property tests.
+    """
+    if epsilon_action in fsp.alphabet or epsilon_action == TAU:
+        raise InvalidProcessError(
+            f"epsilon marker {epsilon_action!r} collides with the process alphabet"
+        )
+    closure = tau_closure_reference(fsp)
+    transitions: set[tuple[State, str, State]] = set()
+    for state in fsp.states:
+        for target in closure[state]:
+            transitions.add((state, epsilon_action, target))
+        for action in fsp.alphabet:
+            for target in weak_successors(fsp, state, action, closure):
+                transitions.add((state, action, target))
+    return FSP(
+        states=fsp.states,
+        start=fsp.start,
+        alphabet=fsp.alphabet | {epsilon_action},
+        transitions=transitions,
+        variables=fsp.variables,
+        extensions=fsp.extensions,
+    )
 
 
 def saturate(fsp: FSP, epsilon_action: str = EPSILON) -> FSP:
@@ -153,6 +215,13 @@ def saturate(fsp: FSP, epsilon_action: str = EPSILON) -> FSP:
     states are observationally equivalent in ``P`` iff they are strongly
     equivalent in ``P_hat``.
 
+    Computed on the CSR kernel (:func:`repro.core.weak.saturate_lts`) and
+    rendered back as an FSP; equal, state for state and arc for arc, to
+    :func:`saturate_reference`.  Callers that go on to run partition
+    refinement should prefer staying in kernel form
+    (``saturate_lts(LTS.from_fsp(p, include_tau=True))``) and skip this FSP
+    round-trip entirely, as :mod:`repro.equivalence.observational` does.
+
     Parameters
     ----------
     fsp:
@@ -166,35 +235,17 @@ def saturate(fsp: FSP, epsilon_action: str = EPSILON) -> FSP:
     InvalidProcessError
         If ``epsilon_action`` collides with an existing action.
     """
-    if epsilon_action in fsp.alphabet or epsilon_action == TAU:
-        raise InvalidProcessError(
-            f"epsilon marker {epsilon_action!r} collides with the process alphabet"
-        )
-    closure = tau_closure(fsp)
-    transitions: set[tuple[State, str, State]] = set()
-    for state in fsp.states:
-        for target in closure[state]:
-            transitions.add((state, epsilon_action, target))
-        for action in fsp.alphabet:
-            for target in weak_successors(fsp, state, action, closure):
-                transitions.add((state, action, target))
-    return FSP(
-        states=fsp.states,
-        start=fsp.start,
-        alphabet=fsp.alphabet | {epsilon_action},
-        transitions=transitions,
-        variables=fsp.variables,
-        extensions=fsp.extensions,
-    )
+    return saturate_lts(LTS.from_fsp(fsp, include_tau=True), epsilon_action).to_fsp()
 
 
 def observable_quotient_transitions(fsp: FSP) -> int:
     """Number of transitions of the saturated process (the ``|Delta_hat|`` of Theorem 4.1a).
 
     Exposed separately so benchmarks can report the saturation blow-up without
-    materialising ``P_hat`` twice.
+    materialising ``P_hat`` at all (the count is read off the saturated CSR
+    kernel).
     """
-    return saturate(fsp).num_transitions
+    return saturate_lts(LTS.from_fsp(fsp, include_tau=True)).num_transitions
 
 
 class WeakTransitionView:
@@ -202,13 +253,16 @@ class WeakTransitionView:
 
     Several algorithms (failure equivalence, ``approx_k`` refinement, the
     language view) repeatedly need tau-closures and weak successor sets of the
-    same process.  This small helper computes the tau-closure once and
-    memoises weak successor queries.
+    same process.  The view interns the process once into a
+    :class:`~repro.core.weak.WeakKernel` and answers every query from its
+    bitsets; the public API is unchanged from the dict era (all answers are
+    ``frozenset``s of state names).
     """
 
     def __init__(self, fsp: FSP) -> None:
         self._fsp = fsp
-        self._closure = tau_closure(fsp)
+        self._kernel = WeakKernel.from_fsp(fsp)
+        self._closure: dict[State, frozenset[State]] | None = None
         self._weak_cache: dict[tuple[State, str], frozenset[State]] = {}
         self._initials_cache: dict[State, frozenset[State]] = {}
 
@@ -217,35 +271,53 @@ class WeakTransitionView:
         return self._fsp
 
     @property
+    def kernel(self) -> WeakKernel:
+        """The backing kernel (for callers that want to stay in bitset form)."""
+        return self._kernel
+
+    @property
     def closure(self) -> dict[State, frozenset[State]]:
+        if self._closure is None:
+            self._closure = self._kernel.closure_dict()
         return self._closure
 
     def epsilon_closure(self, state: State) -> frozenset[State]:
-        return self._closure[state]
+        return self._kernel.epsilon_closure(state)
 
     def weak_successors(self, state: State, action: str) -> frozenset[State]:
         key = (state, action)
-        if key not in self._weak_cache:
-            self._weak_cache[key] = weak_successors(self._fsp, state, action, self._closure)
-        return self._weak_cache[key]
+        cached = self._weak_cache.get(key)
+        if cached is None:
+            cached = self._kernel.weak_successors(state, action)
+            self._weak_cache[key] = cached
+        return cached
 
     def weak_successors_of_set(self, states: Iterable[State], action: str) -> frozenset[State]:
-        out: set[State] = set()
+        kernel = self._kernel
+        bits = 0
         for state in states:
-            out |= self.weak_successors(state, action)
-        return frozenset(out)
+            bits |= kernel.weak_bits(kernel.state_index(state), action)
+        return kernel.names_of(bits)
 
     def weak_initials(self, state: State) -> frozenset[State]:
-        if state not in self._initials_cache:
-            self._initials_cache[state] = frozenset(
-                action for action in self._fsp.alphabet if self.weak_successors(state, action)
+        cached = self._initials_cache.get(state)
+        if cached is None:
+            cached = frozenset(
+                action
+                for action in self._fsp.alphabet
+                if action != EPSILON and self.weak_successors(state, action)
             )
-        return self._initials_cache[state]
+            self._initials_cache[state] = cached
+        return cached
 
     def string_derivatives(self, state: State, string: Sequence[str]) -> frozenset[State]:
-        current = self.epsilon_closure(state)
+        kernel = self._kernel
+        bits = kernel.closure_bits(kernel.state_index(state))
         for action in string:
-            current = self.weak_successors_of_set(current, action)
-            if not current:
+            step = 0
+            for target in bits_iter(bits):
+                step |= kernel.weak_bits(target, action)
+            bits = step
+            if not bits:
                 break
-        return frozenset(current)
+        return kernel.names_of(bits)

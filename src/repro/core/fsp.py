@@ -295,7 +295,9 @@ class FSP:
             extensions=[e for e in self._extensions if e[0] in keep],
         )
 
-    def rename_states(self, mapping: Mapping[State, State] | None = None, prefix: str = "") -> "FSP":
+    def rename_states(
+        self, mapping: Mapping[State, State] | None = None, prefix: str = ""
+    ) -> "FSP":
         """Return an isomorphic copy with renamed states.
 
         If ``mapping`` is given it must be a bijection on the state set.  If it

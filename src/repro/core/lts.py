@@ -179,6 +179,59 @@ class LTS:
             observable_alphabet=tuple(sorted(fsp.alphabet)),
         )
 
+    @classmethod
+    def from_csr(
+        cls,
+        state_names: Sequence[str],
+        action_names: Sequence[str],
+        fwd_offsets: array,
+        fwd_actions: array,
+        fwd_targets: array,
+        start: int = 0,
+        ext_sets: Sequence[frozenset[str]] | None = None,
+        variables: tuple[str, ...] = (),
+        observable_alphabet: tuple[str, ...] | None = None,
+    ) -> "LTS":
+        """Adopt pre-built CSR arrays without the sort/dedup of ``__init__``.
+
+        The caller guarantees the CSR invariants: ``fwd_offsets`` has length
+        ``n + 1`` with ``fwd_offsets[0] == 0`` and ``fwd_offsets[n] == m``,
+        and within every state's slice the arcs are sorted by ``(action,
+        target)`` with no duplicates -- the exact layout ``__init__`` produces.
+        This is the emission path of the weak-transition engine
+        (:mod:`repro.core.weak`), whose saturated arc sets are generated in
+        sorted order and would only be re-sorted (at ``O(m log m)``) by the
+        edge-triple constructor.
+        """
+        lts = cls.__new__(cls)
+        lts.state_names = tuple(state_names)
+        lts.action_names = tuple(action_names)
+        n = len(lts.state_names)
+        lts.n = n
+        lts.num_actions = len(lts.action_names)
+        if (
+            len(fwd_offsets) != n + 1
+            or fwd_offsets[n] != len(fwd_targets)
+            or len(fwd_actions) != len(fwd_targets)
+        ):
+            raise InvalidProcessError("CSR offsets do not match the arc arrays")
+        if n and not 0 <= start < n:
+            raise InvalidProcessError(f"start index {start} out of range for {n} states")
+        lts.start = start if n else 0
+        lts.fwd_offsets = fwd_offsets
+        lts.fwd_actions = fwd_actions
+        lts.fwd_targets = fwd_targets
+        lts.ext_sets = (tuple(frozenset(ext) for ext in ext_sets) if ext_sets is not None else None)
+        if lts.ext_sets is not None and len(lts.ext_sets) != n:
+            raise InvalidProcessError("ext_sets must give one extension set per state")
+        lts.variables = tuple(variables)
+        lts.observable_alphabet = observable_alphabet
+        lts._rev = None
+        lts._rev_lists = None
+        lts._deterministic = None
+        lts._max_fanout = None
+        return lts
+
     def to_fsp(self) -> "FSP":
         """Reconstruct the :class:`~repro.core.fsp.FSP` this kernel encodes."""
         from repro.core.fsp import FSP, TAU
@@ -333,7 +386,4 @@ class LTS:
         return block_of, len(index)
 
     def __repr__(self) -> str:
-        return (
-            f"LTS(n={self.n}, m={self.num_transitions}, "
-            f"actions={list(self.action_names)})"
-        )
+        return (f"LTS(n={self.n}, m={self.num_transitions}, " f"actions={list(self.action_names)})")

@@ -19,6 +19,11 @@ is polynomial, which covers the tractable special cases the paper mentions
 
 The module also exposes bounded enumeration of failure pairs (for display and
 exhaustive testing) and a purpose-built polynomial fast path for finite trees.
+
+All weak-transition queries (tau-closures, weak successor sets, weak
+initials) go through :class:`~repro.core.derivatives.WeakTransitionView`,
+which since the weak-transition engine landed answers from the tau-SCC +
+bitset kernel of :mod:`repro.core.weak` rather than per-state BFS dicts.
 """
 
 from __future__ import annotations
@@ -38,7 +43,9 @@ FailurePair = tuple[tuple[str, ...], frozenset[str]]
 # ----------------------------------------------------------------------
 # refusal bookkeeping
 # ----------------------------------------------------------------------
-def refusal_sets(fsp: FSP, state: str, view: WeakTransitionView | None = None) -> frozenset[frozenset[str]]:
+def refusal_sets(
+    fsp: FSP, state: str, view: WeakTransitionView | None = None
+) -> frozenset[frozenset[str]]:
     """All refusal sets of a single state: subsets of ``Sigma`` it cannot weakly perform."""
     view = view if view is not None else WeakTransitionView(fsp)
     refusable = fsp.alphabet - view.weak_initials(state)
@@ -179,15 +186,15 @@ def failure_equivalent_processes(
     """Decide failure equivalence of the start states of two restricted FSPs."""
     require_same_signature(first, second)
     combined = first.disjoint_union(second)
-    return failure_equivalent(
-        combined, "L:" + first.start, "R:" + second.start, max_macro_states
-    )
+    return failure_equivalent(combined, "L:" + first.start, "R:" + second.start, max_macro_states)
 
 
 # ----------------------------------------------------------------------
 # the finite-tree fast path (Smolka 1984)
 # ----------------------------------------------------------------------
-def tree_failure_signature(fsp: FSP, state: str | None = None) -> frozenset[tuple[tuple[str, ...], frozenset[str]]]:
+def tree_failure_signature(
+    fsp: FSP, state: str | None = None
+) -> frozenset[tuple[tuple[str, ...], frozenset[str]]]:
     """Canonical failure signature of a finite-tree process.
 
     For finite trees the set of strings with a derivative is finite (at most

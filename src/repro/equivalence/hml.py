@@ -118,7 +118,9 @@ def modal_depth(formula: Formula) -> int:
 # ----------------------------------------------------------------------
 # satisfaction
 # ----------------------------------------------------------------------
-def satisfies(fsp: FSP, state: str, formula: Formula, view: WeakTransitionView | None = None) -> bool:
+def satisfies(
+    fsp: FSP, state: str, formula: Formula, view: WeakTransitionView | None = None
+) -> bool:
     """Whether ``state`` satisfies ``formula`` in ``fsp``."""
     if isinstance(formula, Tt):
         return True
@@ -146,9 +148,7 @@ def satisfies(fsp: FSP, state: str, formula: Formula, view: WeakTransitionView |
 # ----------------------------------------------------------------------
 # distinguishing formulas
 # ----------------------------------------------------------------------
-def distinguishing_formula(
-    fsp: FSP, first: str, second: str, weak: bool = False
-) -> Formula | None:
+def distinguishing_formula(fsp: FSP, first: str, second: str, weak: bool = False) -> Formula | None:
     """A formula satisfied by ``first`` but not by ``second``, or None.
 
     ``weak=False`` distinguishes with respect to strong equivalence (tau
@@ -185,7 +185,11 @@ def _refinement_levels(fsp: FSP, weak: bool) -> list[Partition]:
     def successors(state: str, action: str) -> frozenset[str]:
         if weak:
             assert view is not None
-            return view.epsilon_closure(state) if action == "" else view.weak_successors(state, action)
+            return (
+                view.epsilon_closure(state)
+                if action == ""
+                else view.weak_successors(state, action)
+            )
         return fsp.successors(state, action)
 
     levels = [Partition.from_key(fsp.states, key=fsp.extension)]
@@ -235,7 +239,11 @@ def _distinguish_at_level(
     def successors(state: str, action: str) -> frozenset[str]:
         if weak:
             assert view is not None
-            return view.epsilon_closure(state) if action == "" else view.weak_successors(state, action)
+            return (
+                view.epsilon_closure(state)
+                if action == ""
+                else view.weak_successors(state, action)
+            )
         return fsp.successors(state, action)
 
     def diamond(action: str, operand: Formula) -> Formula:

@@ -29,10 +29,10 @@ behaviour the PSPACE-completeness result says cannot be avoided for fixed
 from __future__ import annotations
 
 from repro.automata.equivalence import nfa_equivalent
-from repro.automata.nfa import NFA
 from repro.core.classify import require_same_signature
-from repro.core.derivatives import WeakTransitionView, saturate
+from repro.core.derivatives import WeakTransitionView
 from repro.core.fsp import EPSILON, FSP
+from repro.equivalence.language import weak_language_nfa
 from repro.partition.partition import Partition
 
 
@@ -81,9 +81,7 @@ def limited_observational_partition(fsp: FSP) -> Partition:
 # ----------------------------------------------------------------------
 # approx_k : k-observational equivalence
 # ----------------------------------------------------------------------
-def k_observational_partition(
-    fsp: FSP, k: int, max_subset_states: int | None = None
-) -> Partition:
+def k_observational_partition(fsp: FSP, k: int, max_subset_states: int | None = None) -> Partition:
     """The partition induced by ``approx_k`` (Definition 2.2.1).
 
     Parameters
@@ -101,28 +99,28 @@ def k_observational_partition(
     -----
     The refinement step compares, for every pair of states in a block and
     every current block ``B_i``, the languages of the weak-transition NFAs
-    accepting at ``B_i``.  The saturated process is used so that weak
-    derivatives become ordinary paths.
+    accepting at ``B_i``.  The NFAs are the epsilon-free kernel automata of
+    :func:`repro.equivalence.language.weak_language_nfa`, all sharing one
+    interned :class:`~repro.core.weak.WeakKernel` (no saturated dict FSP is
+    materialised).
     """
     if k < 0:
         raise ValueError("k must be non-negative")
-    saturated = saturate(fsp)
+    view = WeakTransitionView(fsp)
     partition = Partition.from_key(fsp.states, key=fsp.extension)
     for _ in range(k):
-        partition = _refine_by_block_languages(fsp, saturated, partition, max_subset_states)
+        partition = _refine_by_block_languages(fsp, view, partition, max_subset_states)
     return partition
 
 
 def _refine_by_block_languages(
     fsp: FSP,
-    saturated: FSP,
+    view: WeakTransitionView,
     partition: Partition,
     max_subset_states: int | None,
 ) -> Partition:
     """One ``approx_k -> approx_{k+1}`` refinement round via per-block languages."""
     blocks = [frozenset(block) for block in partition]
-    states = sorted(fsp.states)
-    # Cache of NFAs per (accepting block); start state is varied by re-rooting.
     new_groups: list[set[str]] = []
     for block in partition:
         remaining = sorted(block)
@@ -132,7 +130,7 @@ def _refine_by_block_languages(
             for group in groups:
                 representative = next(iter(group))
                 if _same_block_languages(
-                    fsp, saturated, state, representative, blocks, max_subset_states
+                    fsp, view, state, representative, blocks, max_subset_states
                 ):
                     group.add(state)
                     placed = True
@@ -140,13 +138,12 @@ def _refine_by_block_languages(
             if not placed:
                 groups.append({state})
         new_groups.extend(groups)
-    del states
     return Partition(new_groups)
 
 
 def _same_block_languages(
     fsp: FSP,
-    saturated: FSP,
+    view: WeakTransitionView,
     first: str,
     second: str,
     blocks: list[frozenset[str]],
@@ -154,30 +151,11 @@ def _same_block_languages(
 ) -> bool:
     """Whether ``L_i(first) = L_i(second)`` for every block ``B_i``."""
     for block in blocks:
-        left = _weak_language_nfa(fsp, saturated, first, block)
-        right = _weak_language_nfa(fsp, saturated, second, block)
+        left = weak_language_nfa(fsp, first, accepting=block, view=view)
+        right = weak_language_nfa(fsp, second, accepting=block, view=view)
         if not nfa_equivalent(left, right, max_states=max_subset_states):
             return False
     return True
-
-
-def _weak_language_nfa(fsp: FSP, saturated: FSP, start: str, accepting: frozenset[str]) -> NFA:
-    """The NFA over weak transitions rooted at ``start`` accepting in ``accepting``.
-
-    Epsilon weak moves of the saturated process become epsilon transitions of
-    the NFA, so the NFA accepts exactly ``{s | exists p' in accepting, start =>^s p'}``.
-    """
-    transitions = [
-        (src, None if action == EPSILON else action, dst)
-        for src, action, dst in saturated.transitions
-    ]
-    return NFA(
-        states=saturated.states,
-        start=start,
-        alphabet=fsp.alphabet,
-        transitions=transitions,
-        accepting=accepting,
-    )
 
 
 def k_observational_equivalent(

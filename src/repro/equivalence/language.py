@@ -10,6 +10,18 @@ decisions, and distinguishing words used as counterexamples.
 All functions accept general FSPs; tau-transitions are treated as epsilon
 moves, so ``L(p)`` is the set of *observable* strings that can reach an
 accepting state, matching the paper's use of ``=>^s``.
+
+Two automaton views are provided.  :func:`language_nfa` is the literal one
+(tau-arcs become epsilon-arcs of the NFA); it is lazy -- O(m) arcs -- and is
+what the one-shot deciders below use, since their subset constructions only
+ever touch the reachable macro-states.  :func:`weak_language_nfa` is the
+kernel-backed one: the arcs are the weak transitions read off a
+:class:`~repro.core.weak.WeakKernel` and acceptance is lifted through the
+tau-closure, so the automaton is *epsilon-free*.  Materialising those arcs
+costs the full ``Theta(|Delta_hat|)`` saturation, which only pays when many
+automata over the same process share one view -- the ``approx_k`` machinery
+(:mod:`repro.equivalence.kobs`) builds one NFA per state/block pair and is
+exactly that consumer.  The two views accept the same language.
 """
 
 from __future__ import annotations
@@ -27,7 +39,9 @@ from repro.automata.equivalence import (
 from repro.automata.minimize import hopcroft_minimize
 from repro.automata.nfa import NFA
 from repro.core.classify import require_same_signature
-from repro.core.fsp import FSP, TAU
+from repro.core.derivatives import WeakTransitionView
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import EPSILON, FSP, TAU
 
 
 def language_nfa(fsp: FSP, start: str | None = None, accepting: Iterable[str] | None = None) -> NFA:
@@ -58,14 +72,63 @@ def language_nfa(fsp: FSP, start: str | None = None, accepting: Iterable[str] | 
     )
 
 
+def weak_language_nfa(
+    fsp: FSP,
+    start: str | None = None,
+    accepting: Iterable[str] | None = None,
+    view: WeakTransitionView | None = None,
+) -> NFA:
+    """The *epsilon-free* NFA for ``L(start)``, built on the weak kernel.
+
+    The arcs are the weak transitions ``p =>^a q`` (read off the tau-SCC +
+    bitset engine of :mod:`repro.core.weak`) and a state accepts when its
+    tau-closure meets the accepting set, so no epsilon moves remain.  The
+    language is exactly that of :func:`language_nfa`; subset constructions on
+    this view skip all epsilon-closure bookkeeping.
+
+    Pass an existing ``view`` to share one interned kernel across many
+    automata over the same process (the ``approx_k`` machinery builds one NFA
+    per state/block pair and reuses the cached weak arc set every time).
+
+    Raises
+    ------
+    InvalidProcessError
+        If the alphabet contains the :data:`~repro.core.fsp.EPSILON` marker:
+        the weak language view is defined over observable actions, and on an
+        already-saturated process the kernel's reserved reading of EPSILON
+        (``=>^epsilon``, i.e. the tau-closure) and its reading as an ordinary
+        letter would silently disagree.  This mirrors the collision check of
+        ``saturate`` that guarded the pre-kernel ``approx_k`` route.
+    """
+    if EPSILON in fsp.alphabet:
+        raise InvalidProcessError(
+            f"the weak language view is undefined over the reserved marker {EPSILON!r}; "
+            "pass the unsaturated process instead"
+        )
+    view = view if view is not None else WeakTransitionView(fsp)
+    kernel = view.kernel
+    root = fsp.start if start is None else start
+    accept_base = frozenset(accepting) if accepting is not None else fsp.accepting_states()
+    accept_bits = 0
+    for state in accept_base:
+        accept_bits |= 1 << kernel.state_index(state)
+    names = kernel.lts.state_names
+    lifted = frozenset(name for i, name in enumerate(names) if kernel.closure_bits(i) & accept_bits)
+    return NFA(
+        states=fsp.states,
+        start=root,
+        alphabet=fsp.alphabet,
+        transitions=kernel.weak_arc_triples(),
+        accepting=lifted,
+    )
+
+
 def language_dfa(fsp: FSP, start: str | None = None, max_states: int | None = None) -> DFA:
     """The minimal DFA for ``L(start)`` (subset construction + Hopcroft)."""
     return hopcroft_minimize(determinize(language_nfa(fsp, start), max_states=max_states))
 
 
-def language_equivalent(
-    fsp: FSP, first: str, second: str, max_states: int | None = None
-) -> bool:
+def language_equivalent(fsp: FSP, first: str, second: str, max_states: int | None = None) -> bool:
     """Decide ``L(first) = L(second)`` for two states of the same FSP.
 
     On the restricted model this is exactly ``approx_1`` (Proposition
@@ -77,14 +140,10 @@ def language_equivalent(
     return nfa_equivalent(left, right, max_states=max_states)
 
 
-def language_equivalent_processes(
-    first: FSP, second: FSP, max_states: int | None = None
-) -> bool:
+def language_equivalent_processes(first: FSP, second: FSP, max_states: int | None = None) -> bool:
     """Decide ``L(p0) = L(q0)`` for the start states of two FSPs."""
     require_same_signature(first, second)
-    return nfa_equivalent(
-        language_nfa(first), language_nfa(second), max_states=max_states
-    )
+    return nfa_equivalent(language_nfa(first), language_nfa(second), max_states=max_states)
 
 
 def language_distinguishing_word(
@@ -96,9 +155,7 @@ def language_distinguishing_word(
     )
 
 
-def language_included(
-    fsp: FSP, first: str, second: str, max_states: int | None = None
-) -> bool:
+def language_included(fsp: FSP, first: str, second: str, max_states: int | None = None) -> bool:
     """Decide ``L(first)`` is a subset of ``L(second)``."""
     return nfa_included(language_nfa(fsp, first), language_nfa(fsp, second), max_states=max_states)
 
@@ -115,7 +172,9 @@ def universality_counterexample(
     return nfa_universality_counterexample(language_nfa(fsp, start), max_states=max_states)
 
 
-def accepted_strings_upto(fsp: FSP, length: int, start: str | None = None) -> frozenset[tuple[str, ...]]:
+def accepted_strings_upto(
+    fsp: FSP, length: int, start: str | None = None
+) -> frozenset[tuple[str, ...]]:
     """All accepted observable strings up to the given length (exhaustive; for tests)."""
     return language_nfa(fsp, start).language_upto(length)
 

@@ -16,8 +16,11 @@ Two quotients are provided:
   the original (strong) transitions between class representatives, which is
   sound because observational equivalence is coarser than strong equivalence.
 
-Both partitions are computed on the integer-indexed LTS kernel (via the
-Lemma 3.1 reduction in :mod:`repro.partition.generalized`); only the final
+Both partitions are computed on the integer-indexed LTS kernel: strong
+equivalence via the Lemma 3.1 reduction in
+:mod:`repro.partition.generalized`, observational equivalence via the
+weak-transition engine (``FSP -> LTS -> saturated LTS ->
+RefinablePartition``, :func:`repro.core.weak.saturate_lts`).  Only the final
 quotient construction works on the string-named FSP view.
 """
 

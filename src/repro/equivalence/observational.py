@@ -6,9 +6,10 @@ observational equivalence ``simeq`` (Definition 2.2.2), which only quantifies
 over single-action weak moves.  Theorem 4.1(a) turns this into a polynomial
 algorithm:
 
-1. saturate the process: build the observable FSP ``P_hat`` over
-   ``Sigma u {epsilon}`` whose transitions are the weak transitions of ``P``
-   (:func:`repro.core.derivatives.saturate`);
+1. saturate the process: build the observable kernel ``P_hat`` over
+   ``Sigma u {epsilon}`` whose arcs are the weak transitions of ``P``
+   (:func:`repro.core.weak.saturate_lts`, tau-SCC condensation + bitset
+   propagation straight on the CSR :class:`~repro.core.lts.LTS`);
 2. decide strong equivalence on ``P_hat`` by generalized partitioning.
 
 Two states of ``P`` are observationally equivalent iff they are strongly
@@ -23,23 +24,26 @@ route (experiment E13).
 from __future__ import annotations
 
 from repro.core.classify import require_same_signature
-from repro.core.derivatives import WeakTransitionView, saturate
+from repro.core.derivatives import WeakTransitionView
 from repro.core.fsp import EPSILON, FSP
+from repro.core.lts import LTS
+from repro.core.weak import saturate_lts
 from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
 from repro.partition.partition import Partition
 
 
-def observational_partition(
-    fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN
-) -> Partition:
+def observational_partition(fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN) -> Partition:
     """The partition of the state set into observational-equivalence classes.
 
     Implements the algorithm of Theorem 4.1(a): saturation followed by strong
-    partition refinement.
+    partition refinement.  The whole pipeline stays on the integer kernel --
+    ``FSP -> LTS -> saturated LTS -> RefinablePartition`` -- via
+    :func:`repro.core.weak.saturate_lts` and
+    :meth:`~repro.partition.generalized.GeneralizedPartitioningInstance.from_lts`;
+    no dict-of-frozensets saturated FSP is ever materialised.
     """
-    saturated = saturate(fsp)
-    instance = GeneralizedPartitioningInstance.from_fsp(saturated, include_tau=False)
-    return solve(instance, method=method)
+    saturated = saturate_lts(LTS.from_fsp(fsp, include_tau=True))
+    return solve(GeneralizedPartitioningInstance.from_lts(saturated), method=method)
 
 
 def observationally_equivalent(

@@ -57,7 +57,11 @@ def simulation_preorder(fsp: FSP, weak: bool = False) -> frozenset[Pair]:
         if not weak:
             return fsp.successors(state, action)
         assert view is not None
-        return view.epsilon_closure(state) if action == EPSILON else view.weak_successors(state, action)
+        return (
+            view.epsilon_closure(state)
+            if action == EPSILON
+            else view.weak_successors(state, action)
+        )
 
     relation: set[Pair] = {
         (p, q)
@@ -113,7 +117,11 @@ def is_simulation(fsp: FSP, pairs: frozenset[Pair] | set[Pair], weak: bool = Fal
         if not weak:
             return fsp.successors(state, action)
         assert view is not None
-        return view.epsilon_closure(state) if action == EPSILON else view.weak_successors(state, action)
+        return (
+            view.epsilon_closure(state)
+            if action == EPSILON
+            else view.weak_successors(state, action)
+        )
 
     for p, q in relation:
         if fsp.extension(p) != fsp.extension(q):

@@ -94,7 +94,5 @@ def identity_table() -> str:
     header = f"{'identity':<28} {'CCS (strong)':<14} {'language':<10}"
     lines = [header, "-" * len(header)]
     for row in rows:
-        lines.append(
-            f"{row.name:<28} {str(row.holds_in_ccs):<14} {str(row.holds_in_language):<10}"
-        )
+        lines.append(f"{row.name:<28} {str(row.holds_in_ccs):<14} {str(row.holds_in_language):<10}")
     return "\n".join(lines)

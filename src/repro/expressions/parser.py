@@ -32,9 +32,7 @@ from repro.expressions.syntax import (
     UnionExpr,
 )
 
-_TOKEN_RE = re.compile(
-    r"\s*(?:(?P<empty>0)|(?P<name>[A-Za-z_][A-Za-z0-9_]*)|(?P<op>[+|.*()]))"
-)
+_TOKEN_RE = re.compile(r"\s*(?:(?P<empty>0)|(?P<name>[A-Za-z_][A-Za-z0-9_]*)|(?P<op>[+|.*()]))")
 
 
 def _tokenize(text: str) -> list[tuple[str, str]]:

@@ -38,7 +38,9 @@ class _Thompson:
     def fresh(self) -> str:
         return f"t{next(self._counter)}"
 
-    def build(self, expression: StarExpression) -> tuple[set[str], str, str, set[tuple[str, str | None, str]]]:
+    def build(
+        self, expression: StarExpression
+    ) -> tuple[set[str], str, str, set[tuple[str, str | None, str]]]:
         """Return ``(states, start, accept, transitions)`` with a single accept state."""
         if isinstance(expression, EmptyExpr):
             start, accept = self.fresh(), self.fresh()
@@ -75,7 +77,9 @@ class _Thompson:
         raise ExpressionError(f"not a star expression: {expression!r}")
 
 
-def language_nfa(expression: StarExpression, alphabet: frozenset[str] | set[str] | None = None) -> NFA:
+def language_nfa(
+    expression: StarExpression, alphabet: frozenset[str] | set[str] | None = None
+) -> NFA:
     """The Thompson NFA accepting the classical language of the expression."""
     sigma = frozenset(alphabet) if alphabet is not None else actions_of(expression)
     states, start, accept, transitions = _Thompson().build(expression)

@@ -66,7 +66,9 @@ class _Construction:
     # ------------------------------------------------------------------
     # each case returns (states, start, transitions, accepting)
     # ------------------------------------------------------------------
-    def build(self, expression: StarExpression) -> tuple[set[str], str, set[tuple[str, str, str]], set[str]]:
+    def build(
+        self, expression: StarExpression
+    ) -> tuple[set[str], str, set[tuple[str, str, str]], set[str]]:
         if isinstance(expression, EmptyExpr):
             start = self.fresh()
             return {start}, start, set(), set()
@@ -81,7 +83,9 @@ class _Construction:
             return self._star(expression)
         raise ExpressionError(f"not a star expression: {expression!r}")
 
-    def _union(self, expression: UnionExpr) -> tuple[set[str], str, set[tuple[str, str, str]], set[str]]:
+    def _union(
+        self, expression: UnionExpr
+    ) -> tuple[set[str], str, set[tuple[str, str, str]], set[str]]:
         states1, start1, trans1, accept1 = self.build(expression.left)
         states2, start2, trans2, accept2 = self.build(expression.right)
         start = self.fresh()
@@ -98,7 +102,9 @@ class _Construction:
             accepting.add(start)
         return states, start, transitions, accepting
 
-    def _concat(self, expression: ConcatExpr) -> tuple[set[str], str, set[tuple[str, str, str]], set[str]]:
+    def _concat(
+        self, expression: ConcatExpr
+    ) -> tuple[set[str], str, set[tuple[str, str, str]], set[str]]:
         states1, start1, trans1, accept1 = self.build(expression.left)
         states2, start2, trans2, accept2 = self.build(expression.right)
         states = states1 | states2
@@ -112,7 +118,9 @@ class _Construction:
             accepting |= set(accept1)
         return states, start1, transitions, accepting
 
-    def _star(self, expression: StarExpr) -> tuple[set[str], str, set[tuple[str, str, str]], set[str]]:
+    def _star(
+        self, expression: StarExpr
+    ) -> tuple[set[str], str, set[tuple[str, str, str]], set[str]]:
         states1, start1, trans1, accept1 = self.build(expression.operand)
         start = self.fresh()
         states = states1 | {start}

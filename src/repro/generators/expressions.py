@@ -62,7 +62,9 @@ def alternating_expression(depth: int, alphabet: tuple[str, ...] = ("a", "b")) -
     node: StarExpression = ActionExpr(alphabet[0])
     for level in range(depth):
         action = ActionExpr(alphabet[level % len(alphabet)])
-        node = UnionExpr(StarExpr(ConcatExpr(action, node)), ActionExpr(alphabet[(level + 1) % len(alphabet)]))
+        node = UnionExpr(
+            StarExpr(ConcatExpr(action, node)), ActionExpr(alphabet[(level + 1) % len(alphabet)])
+        )
     return node
 
 

@@ -15,6 +15,8 @@ experiment rows of EXPERIMENTS.md:
 
 from __future__ import annotations
 
+import math
+
 from repro.core.fsp import ACCEPT, FSP, TAU, FSPBuilder, from_transitions
 
 
@@ -92,6 +94,67 @@ def tau_ladder(rungs: int, action: str = "a") -> FSP:
         builder.add_transition(f"v{index}", TAU, f"u{index}")
     builder.mark_all_accepting()
     return builder.build(start="u0")
+
+
+def tau_mesh(size: int, action: str = "a") -> FSP:
+    """A square tau-mesh: tau-moves right and down, an observable diagonal.
+
+    States form a ``side x side`` grid with ``side = ceil(sqrt(size))`` (at
+    least 2): state ``(r, c)`` has tau-moves to ``(r+1, c)`` and ``(r, c+1)``
+    and an ``action``-move to ``(r+1, c+1)``.  The tau-closure of ``(r, c)``
+    is the whole rectangle below and to the right, so the saturated relation
+    has ``Theta(n^2)`` arcs while the input is sparse -- the regime where the
+    kernel saturation's bitset propagation pays off most.  Unlike
+    :func:`tau_ladder` the tau sub-relation is a DAG of overlapping paths
+    (every tau-SCC is a singleton), complementing the ladder's cycles.
+    """
+    side = max(2, math.isqrt(max(0, size - 1)) + 1)
+    builder = FSPBuilder(alphabet={action})
+
+    def name(row: int, col: int) -> str:
+        return f"g{row}_{col}"
+
+    for row in range(side):
+        for col in range(side):
+            if row + 1 < side:
+                builder.add_transition(name(row, col), TAU, name(row + 1, col))
+            if col + 1 < side:
+                builder.add_transition(name(row, col), TAU, name(row, col + 1))
+            if row + 1 < side and col + 1 < side:
+                builder.add_transition(name(row, col), action, name(row + 1, col + 1))
+    builder.mark_all_accepting()
+    return builder.build(start=name(0, 0))
+
+
+def tau_diamond_tower(levels: int, actions: tuple[str, str] = ("a", "b")) -> FSP:
+    """A tower of tau-diamonds with observable shortcuts.
+
+    Level ``i`` is a diamond ``t_i --tau--> l_i | r_i --tau--> t_{i+1}`` with
+    observable shortcuts ``l_i --a--> t_{i+1}`` and ``r_i --b--> t_{i+1}``
+    (``3 * levels + 1`` states).  Every state tau-reaches every later level,
+    so saturation is quadratically dense, and the number of tau-*paths* grows
+    as ``2^levels`` -- per-path enumeration dies here while the closure
+    computation stays linear in the condensation.
+    """
+    if levels < 1:
+        raise ValueError("levels must be positive")
+    first, second = actions
+    builder = FSPBuilder(alphabet=set(actions))
+    for level in range(levels):
+        top, left, right, nxt = (
+            f"t{level}",
+            f"l{level}",
+            f"r{level}",
+            f"t{level + 1}",
+        )
+        builder.add_transition(top, TAU, left)
+        builder.add_transition(top, TAU, right)
+        builder.add_transition(left, TAU, nxt)
+        builder.add_transition(right, TAU, nxt)
+        builder.add_transition(left, first, nxt)
+        builder.add_transition(right, second, nxt)
+    builder.mark_all_accepting()
+    return builder.build(start="t0")
 
 
 def nondeterministic_counter(bits: int) -> FSP:

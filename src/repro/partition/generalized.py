@@ -249,14 +249,26 @@ class GeneralizedPartitioningInstance:
         include_tau:
             Whether to add a function for the tau-transitions.
         """
-        lts = LTS.from_fsp(fsp, include_tau=include_tau)
+        return cls.from_lts(LTS.from_fsp(fsp, include_tau=include_tau))
+
+    @classmethod
+    def from_lts(cls, lts: LTS) -> "GeneralizedPartitioningInstance":
+        """Adopt an already-interned kernel as a partitioning instance.
+
+        The initial partition is taken from the kernel's extension sets
+        (:meth:`~repro.core.lts.LTS.extension_block_ids` -- the Lemma 3.1
+        grouping); every action of the kernel becomes one function.  This is
+        the zero-copy entry point of the weak-equivalence pipeline: the
+        saturated kernel produced by :func:`repro.core.weak.saturate_lts`
+        feeds the solvers directly, with no dict FSP in between.
+        """
         block_of, num_blocks = lts.extension_block_ids()
         groups: list[list[str]] = [[] for _ in range(num_blocks)]
         for index, block_id in enumerate(block_of):
             groups[block_id].append(lts.state_names[index])
         instance = cls.__new__(cls)
         instance._init_fields(
-            elements=fsp.states,
+            elements=frozenset(lts.state_names),
             initial_blocks=tuple(frozenset(group) for group in groups),
             functions=None,
             kernel=(lts, block_of, num_blocks),

@@ -25,9 +25,7 @@ from repro.partition.refinable import RefinablePartition, partition_from_refinab
 _ACTION_SHIFT = 40
 
 
-def naive_refine_lts(
-    lts: LTS, block_of: list[int], num_blocks: int
-) -> RefinablePartition:
+def naive_refine_lts(lts: LTS, block_of: list[int], num_blocks: int) -> RefinablePartition:
     """Run the naive method on the integer kernel; returns the refined partition."""
     part, _passes = _refine_counting_passes(lts, block_of, num_blocks)
     return part

@@ -34,9 +34,7 @@ from repro.partition.partition import Partition
 from repro.partition.refinable import RefinablePartition, partition_from_refinable
 
 
-def paige_tarjan_refine_lts(
-    lts: LTS, block_of: list[int], num_blocks: int
-) -> RefinablePartition:
+def paige_tarjan_refine_lts(lts: LTS, block_of: list[int], num_blocks: int) -> RefinablePartition:
     """Run the Paige-Tarjan algorithm on the integer kernel."""
     n = lts.n
     num_actions = lts.num_actions

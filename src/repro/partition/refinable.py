@@ -120,6 +120,4 @@ class RefinablePartition:
 
 def partition_from_refinable(part: RefinablePartition, names: Sequence[str]) -> Partition:
     """Render a finished integer refinement as a string-keyed :class:`Partition`."""
-    return Partition(
-        [names[s] for s in part.block_elems(b)] for b in range(part.num_blocks())
-    )
+    return Partition([names[s] for s in part.block_elems(b)] for b in range(part.num_blocks()))

@@ -50,7 +50,9 @@ def fsp_union(first: FSP, second: FSP, start_name: str = "u") -> FSP:
     )
 
 
-def fsp_prefix(action: str, process: FSP, start_name: str = "pfx", accepting_start: bool = True) -> FSP:
+def fsp_prefix(
+    action: str, process: FSP, start_name: str = "pfx", accepting_start: bool = True
+) -> FSP:
     """The process ``action . process``: one fresh start with a single move into the operand.
 
     In the restricted model (the setting of the Section 4 reductions) every

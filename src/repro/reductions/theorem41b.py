@@ -64,9 +64,7 @@ def theorem41b_step(first: FSP, second: FSP, action: str = "a") -> tuple[FSP, FS
     return p_prime.with_alphabet(alphabet), q_prime.with_alphabet(alphabet)
 
 
-def theorem41b_iterate(
-    first: FSP, second: FSP, times: int, action: str = "a"
-) -> tuple[FSP, FSP]:
+def theorem41b_iterate(first: FSP, second: FSP, times: int, action: str = "a") -> tuple[FSP, FSP]:
     """Apply the reduction ``times`` times.
 
     If the inputs satisfy ``p approx_k q  xor  p approx_{k+1} q`` at some base

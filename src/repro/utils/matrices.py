@@ -41,7 +41,9 @@ def adjacency_matrix(fsp: FSP, action: str) -> list[list[bool]]:
     return matrix
 
 
-def boolean_multiply(left: Sequence[Sequence[bool]], right: Sequence[Sequence[bool]]) -> list[list[bool]]:
+def boolean_multiply(
+    left: Sequence[Sequence[bool]], right: Sequence[Sequence[bool]]
+) -> list[list[bool]]:
     """Boolean matrix product.  Uses numpy when available."""
     size = len(left)
     if _np is not None:

@@ -53,7 +53,9 @@ class TestDfaEquivalence:
     def test_inequivalent_dfas_with_witness(self):
         witness = distinguishing_word(_dfa_ends_with_a(), _dfa_ends_with_a().complement())
         assert witness is not None
-        assert _dfa_ends_with_a().accepts(witness) != _dfa_ends_with_a().complement().accepts(witness)
+        assert _dfa_ends_with_a().accepts(witness) != _dfa_ends_with_a().complement().accepts(
+            witness
+        )
 
     def test_alphabet_mismatch_rejected(self):
         other = DFA(["p"], "p", ["z"], {("p", "z"): "p"}, ["p"])
@@ -62,9 +64,7 @@ class TestDfaEquivalence:
 
     def test_inclusion(self):
         ends_with_a = _dfa_ends_with_a()
-        everything = DFA(
-            ["u"], "u", ["a", "b"], {("u", "a"): "u", ("u", "b"): "u"}, ["u"]
-        )
+        everything = DFA(["u"], "u", ["a", "b"], {("u", "a"): "u", ("u", "b"): "u"}, ["u"])
         assert dfa_included(ends_with_a, everything)
         assert not dfa_included(everything, ends_with_a)
 

@@ -91,9 +91,7 @@ def test_hopcroft_and_moore_agree_on_size():
 
 def test_minimal_dfa_is_canonical_up_to_equivalence():
     """Two different DFAs for the same language minimise to the same number of states."""
-    first = determinize(
-        NFA(["s", "f"], "s", ["a"], [("s", "a", "f"), ("f", "a", "f")], ["f"])
-    )
+    first = determinize(NFA(["s", "f"], "s", ["a"], [("s", "a", "f"), ("f", "a", "f")], ["f"]))
     second = determinize(
         NFA(
             ["s", "x", "f"],

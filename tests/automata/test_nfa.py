@@ -68,9 +68,7 @@ class TestLanguage:
 
 class TestFspConversion:
     def test_from_fsp_maps_tau_to_epsilon(self):
-        process = from_transitions(
-            [("p", TAU, "q"), ("q", "a", "r")], start="p", accepting=["r"]
-        )
+        process = from_transitions([("p", TAU, "q"), ("q", "a", "r")], start="p", accepting=["r"])
         nfa = NFA.from_fsp(process)
         assert nfa.accepts(["a"])
         assert ("p", None, "q") in nfa.transitions

@@ -73,9 +73,7 @@ class TestPredicates:
 
     def test_rou_requires_unary_alphabet(self, simple_chain):
         assert is_rou(simple_chain)
-        binary = from_transitions(
-            [("p", "a", "q"), ("p", "b", "q")], start="p", all_accepting=True
-        )
+        binary = from_transitions([("p", "a", "q"), ("p", "b", "q")], start="p", all_accepting=True)
         assert not is_rou(binary)
 
     def test_sou(self):

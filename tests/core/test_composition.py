@@ -126,9 +126,7 @@ class TestUnaryOperators:
     def test_hide_then_weak_equivalence(self):
         """Hiding the internal action makes the chain weakly equivalent to b.0."""
         hidden = hide(_ab_chain(), ["a"])
-        spec = from_transitions(
-            [("q", "b", "q1")], start="q", all_accepting=True, alphabet={"b"}
-        )
+        spec = from_transitions([("q", "b", "q1")], start="q", all_accepting=True, alphabet={"b"})
         assert observationally_equivalent_processes(hidden, spec)
 
     def test_relabel_renames_channel_and_co_action(self):

@@ -45,9 +45,7 @@ class TestTauClosure:
         assert closure["p3"] == frozenset({"p3"})
 
     def test_closure_handles_cycles(self):
-        cyclic = from_transitions(
-            [("a", TAU, "b"), ("b", TAU, "a")], start="a", all_accepting=True
-        )
+        cyclic = from_transitions([("a", TAU, "b"), ("b", TAU, "a")], start="a", all_accepting=True)
         closure = tau_closure(cyclic)
         assert closure["a"] == frozenset({"a", "b"})
         assert closure["b"] == frozenset({"a", "b"})

@@ -34,9 +34,7 @@ class TestRoundTrip:
     def test_include_tau_false_drops_tau_arcs(self, tau_process):
         lts = LTS.from_fsp(tau_process, include_tau=False)
         assert TAU not in lts.action_names
-        assert lts.num_transitions == sum(
-            1 for _, act, _ in tau_process.transitions if act != TAU
-        )
+        assert lts.num_transitions == sum(1 for _, act, _ in tau_process.transitions if act != TAU)
 
     def test_empty_lts_has_no_fsp(self):
         lts = LTS([], [], [])

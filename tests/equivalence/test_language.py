@@ -68,9 +68,7 @@ class TestEquivalenceAndInclusion:
 
     def test_processes_comparison(self):
         first = from_transitions([("p", "a", "x")], start="p", all_accepting=True)
-        second = from_transitions(
-            [("q", "a", "y"), ("q", "a", "z")], start="q", all_accepting=True
-        )
+        second = from_transitions([("q", "a", "y"), ("q", "a", "z")], start="q", all_accepting=True)
         assert language_equivalent_processes(first, second)
 
 

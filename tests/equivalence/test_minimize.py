@@ -3,7 +3,12 @@
 from __future__ import annotations
 
 from repro.core.fsp import TAU, from_transitions
-from repro.equivalence.minimize import minimize_observational, minimize_strong, quotient, reduction_ratio
+from repro.equivalence.minimize import (
+    minimize_observational,
+    minimize_strong,
+    quotient,
+    reduction_ratio,
+)
 from repro.equivalence.observational import observationally_equivalent_processes
 from repro.equivalence.strong import strong_bisimulation_partition, strongly_equivalent_processes
 from repro.generators.families import duplicated_chain

@@ -56,9 +56,7 @@ class TestTauLaws:
 class TestAgainstReferenceImplementation:
     @pytest.mark.parametrize("seed", range(8))
     def test_saturation_route_matches_fixed_point_reference(self, seed):
-        process = random_fsp(
-            num_states=8, tau_probability=0.3, transition_density=1.8, seed=seed
-        )
+        process = random_fsp(num_states=8, tau_probability=0.3, transition_density=1.8, seed=seed)
         fast = observational_partition(process)
         reference = limited_observational_partition_reference(process)
         assert fast == reference
@@ -87,9 +85,7 @@ class TestPairwise:
         second = from_transitions(
             [("q", "a", "q1"), ("q1", "b", "q2")], start="q", all_accepting=True
         )
-        assert not observationally_equivalent_processes(
-            first.with_alphabet({"a", "b"}), second
-        )
+        assert not observationally_equivalent_processes(first.with_alphabet({"a", "b"}), second)
 
 
 class TestClassicExamples:

@@ -47,9 +47,7 @@ class TestPartition:
         assert partition.same_block("p2", "r2")
 
     def test_extensions_split_level_zero(self):
-        process = from_transitions(
-            [("p", "a", "x"), ("q", "a", "y")], start="p", accepting=["x"]
-        )
+        process = from_transitions([("p", "a", "x"), ("q", "a", "y")], start="p", accepting=["x"])
         partition = strong_bisimulation_partition(process)
         assert not partition.same_block("x", "y")
         assert not partition.same_block("p", "q")
@@ -121,9 +119,7 @@ class TestTauHandling:
 
 class TestKnownIdentities:
     def test_nondeterministic_choice_commutes(self):
-        left = from_transitions(
-            [("p", "a", "p1"), ("p", "b", "p2")], start="p", all_accepting=True
-        )
+        left = from_transitions([("p", "a", "p1"), ("p", "b", "p2")], start="p", all_accepting=True)
         right = from_transitions(
             [("q", "b", "q1"), ("q", "a", "q2")], start="q", all_accepting=True
         )

@@ -35,9 +35,7 @@ class TestDenotation:
         assert not denotes(expression, ["a"])
 
     def test_language_upto(self):
-        assert language_upto(parse("a*"), 3) == frozenset(
-            {(), ("a",), ("a", "a"), ("a", "a", "a")}
-        )
+        assert language_upto(parse("a*"), 3) == frozenset({(), ("a",), ("a", "a"), ("a", "a", "a")})
 
     def test_language_nfa_alphabet_override(self):
         nfa = language_nfa(parse("a"), alphabet={"a", "b"})

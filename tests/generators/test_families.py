@@ -25,7 +25,9 @@ from repro.generators.families import (
     kanellakis_pair,
     nondeterministic_counter,
     restricted_counter,
+    tau_diamond_tower,
     tau_ladder,
+    tau_mesh,
 )
 from repro.expressions.syntax import length_of
 
@@ -57,6 +59,26 @@ class TestBasicFamilies:
     def test_duplicated_chain_minimises_to_plain_chain(self):
         bloated = duplicated_chain(4, 3)
         assert minimize_strong(bloated).num_states == 5
+
+    def test_tau_mesh_shape_and_density(self):
+        process = tau_mesh(16)
+        assert process.num_states == 16  # 4x4 grid
+        assert process.has_tau()
+        # closure of the corner reaches the whole grid, so saturation is dense
+        from repro.core.derivatives import tau_closure
+
+        assert tau_closure(process)["g0_0"] == process.states
+
+    def test_tau_mesh_rounds_the_side_up(self):
+        assert tau_mesh(2000).num_states == 45 * 45
+        assert tau_mesh(2).num_states == 4  # side is at least 2
+
+    def test_tau_diamond_tower_structure(self):
+        process = tau_diamond_tower(3)
+        assert process.num_states == 3 * 3 + 1
+        assert process.has_tau()
+        with pytest.raises(ValueError):
+            tau_diamond_tower(0)
 
 
 class TestHardInstances:

@@ -102,9 +102,7 @@ class TestExpressionsAndCcs:
         output = tmp_path / "term.json"
         definitions = tmp_path / "defs.ccs"
         definitions.write_text("P := a.b.P\n", encoding="utf-8")
-        code = main(
-            ["ccs", "P", "--definitions", str(definitions), "--output", str(output)]
-        )
+        code = main(["ccs", "P", "--definitions", str(definitions), "--output", str(output)])
         assert code == 0
         compiled = load_process(output)
         assert compiled.num_states == 2

@@ -50,9 +50,7 @@ def _assert_all_solvers_agree(instance: GeneralizedPartitioningInstance) -> None
 @pytest.mark.parametrize("seed", range(12))
 def test_solvers_agree_on_random_general_fsps(seed):
     process = random_fsp(12, tau_probability=0.25, seed=seed)
-    _assert_all_solvers_agree(
-        GeneralizedPartitioningInstance.from_fsp(process, include_tau=True)
-    )
+    _assert_all_solvers_agree(GeneralizedPartitioningInstance.from_fsp(process, include_tau=True))
 
 
 @pytest.mark.parametrize("seed", range(8))
@@ -89,9 +87,7 @@ def test_solvers_agree_on_duplicated_state_classes(seed):
 @settings(max_examples=40, deadline=None)
 @given(process=fsp_strategy())
 def test_solvers_agree_on_hypothesis_fsps(process):
-    _assert_all_solvers_agree(
-        GeneralizedPartitioningInstance.from_fsp(process, include_tau=True)
-    )
+    _assert_all_solvers_agree(GeneralizedPartitioningInstance.from_fsp(process, include_tau=True))
 
 
 @settings(max_examples=25, deadline=None)

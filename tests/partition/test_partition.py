@@ -27,9 +27,7 @@ class TestConstruction:
 
     def test_from_key(self):
         partition = Partition.from_key(["a", "bb", "cc", "d"], key=len)
-        assert partition.as_frozen() == frozenset(
-            {frozenset({"a", "d"}), frozenset({"bb", "cc"})}
-        )
+        assert partition.as_frozen() == frozenset({frozenset({"a", "d"}), frozenset({"bb", "cc"})})
 
     def test_overlapping_blocks_rejected(self):
         with pytest.raises(PartitionError):

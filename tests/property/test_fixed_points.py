@@ -25,7 +25,12 @@ from repro.equivalence.relations import (
     relation_from_partition,
 )
 from repro.equivalence.strong import strong_bisimulation_partition
-from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, is_valid_solution, solve
+from repro.partition.generalized import (
+    GeneralizedPartitioningInstance,
+    Solver,
+    is_valid_solution,
+    solve,
+)
 from tests.property.strategies import fsp_strategy
 
 SETTINGS = settings(max_examples=40, deadline=None)

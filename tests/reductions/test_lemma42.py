@@ -17,9 +17,7 @@ from repro.reductions.lemma42 import (
 
 
 def _universal_two_action():
-    return from_transitions(
-        [("u", "a", "u"), ("u", "b", "u")], start="u", accepting=["u"]
-    )
+    return from_transitions([("u", "a", "u"), ("u", "b", "u")], start="u", accepting=["u"])
 
 
 def _missing_word_process():

@@ -19,9 +19,7 @@ def chain_one():
 
 @pytest.fixture
 def chain_two():
-    return from_transitions(
-        [("q", "a", "q1"), ("q1", "a", "q2")], start="q", all_accepting=True
-    )
+    return from_transitions([("q", "a", "q1"), ("q1", "a", "q2")], start="q", all_accepting=True)
 
 
 class TestUnion:

@@ -20,9 +20,7 @@ from repro.reductions.theorem41c import (
 
 def _sou_language_a_plus():
     """An s.o.u. process without dead states whose language is {a}+."""
-    return from_transitions(
-        [("p", "a", "q"), ("q", "a", "q")], start="p", accepting=["q"]
-    )
+    return from_transitions([("p", "a", "q"), ("q", "a", "q")], start="p", accepting=["q"])
 
 
 def _sou_language_not_a_plus():
@@ -74,7 +72,13 @@ class TestChaosCharacterisation:
             from_transitions([("p", "a", "q")], start="p", all_accepting=True),
             # chaos with an extra intermediate state (still chaos-like)
             from_transitions(
-                [("p", "a", "p"), ("p", "a", "d"), ("p", "a", "m"), ("m", "a", "p"), ("m", "a", "d")],
+                [
+                    ("p", "a", "p"),
+                    ("p", "a", "d"),
+                    ("p", "a", "m"),
+                    ("m", "a", "p"),
+                    ("m", "a", "d"),
+                ],
                 start="p",
                 all_accepting=True,
             ),
@@ -89,9 +93,7 @@ class TestChaosCharacterisation:
             assert chaos_characterisation(candidate) == equivalent_to_chaos(candidate), candidate
 
     def test_characterisation_requires_unary_alphabet(self):
-        binary = from_transitions(
-            [("p", "a", "p"), ("p", "b", "p")], start="p", all_accepting=True
-        )
+        binary = from_transitions([("p", "a", "p"), ("p", "b", "p")], start="p", all_accepting=True)
         with pytest.raises(ModelClassError):
             chaos_characterisation(binary)
 
@@ -114,8 +116,6 @@ class TestFullReduction:
             theorem41c_transform(with_dead)
 
     def test_rejects_non_unary_processes(self):
-        binary = from_transitions(
-            [("p", "a", "p"), ("p", "b", "p")], start="p", accepting=["p"]
-        )
+        binary = from_transitions([("p", "a", "p"), ("p", "b", "p")], start="p", accepting=["p"])
         with pytest.raises(ModelClassError):
             theorem41c_transform(binary)

@@ -43,9 +43,7 @@ class TestMainReduction:
         )
         assert language_equivalent_processes(first, second)
         assert not failure_equivalent_processes(first, second)  # before the transform they differ
-        assert failure_equivalent_processes(
-            theorem51_transform(first), theorem51_transform(second)
-        )
+        assert failure_equivalent_processes(theorem51_transform(first), theorem51_transform(second))
 
     def test_language_difference_is_preserved(self):
         first = from_transitions(
@@ -73,9 +71,7 @@ class TestMainReduction:
         assert language_equal == failures_equal_after
 
     def test_name_clash_with_existing_dead_state(self):
-        process = from_transitions(
-            [("p_dead", "a", "x")], start="p_dead", all_accepting=True
-        )
+        process = from_transitions([("p_dead", "a", "x")], start="p_dead", all_accepting=True)
         transformed = theorem51_transform(process)
         assert transformed.num_states == process.num_states + 1
 
@@ -86,23 +82,17 @@ class TestRouReduction:
         return rou_transform(accepting_to_dead(process))
 
     def test_transform_is_rou(self):
-        process = from_transitions(
-            [("p", "a", "q"), ("q", "a", "q")], start="p", accepting=["q"]
-        )
+        process = from_transitions([("p", "a", "q"), ("q", "a", "q")], start="p", accepting=["q"])
         transformed = self._prepared(process)
         assert ModelClass.ROU in classify(transformed)
 
     def test_requires_unary(self, simple_chain):
-        binary = from_transitions(
-            [("p", "a", "q"), ("p", "b", "q")], start="p", accepting=["q"]
-        )
+        binary = from_transitions([("p", "a", "q"), ("p", "b", "q")], start="p", accepting=["q"])
         with pytest.raises(ModelClassError):
             rou_transform(binary)
 
     def test_requires_accepting_equals_dead(self):
-        process = from_transitions(
-            [("p", "a", "q"), ("q", "a", "q")], start="p", accepting=["q"]
-        )
+        process = from_transitions([("p", "a", "q"), ("q", "a", "q")], start="p", accepting=["q"])
         with pytest.raises(ModelClassError):
             rou_transform(process)  # q is accepting but not dead
 

@@ -98,9 +98,7 @@ class TestWitnesses:
         assert refusal_witness(_total_process()) is None
 
     def test_has_tau_cycle(self):
-        cyclic = from_transitions(
-            [("p", TAU, "q"), ("q", TAU, "p")], start="p", all_accepting=True
-        )
+        cyclic = from_transitions([("p", TAU, "q"), ("q", TAU, "p")], start="p", all_accepting=True)
         acyclic = from_transitions(
             [("p", TAU, "q"), ("q", "a", "p")], start="p", all_accepting=True
         )
