@@ -1,0 +1,171 @@
+"""Engine cache benchmark: ``check_many`` on a cached engine vs cold free calls.
+
+The engine facade exists for the repeated-query workload: many equivalence
+checks that keep revisiting the same processes and pairs.  This module builds
+that workload -- a pool of related processes (random bases, duplicated
+equivalent copies, perturbed near-misses) and a manifest of 100+ checks drawn
+from it with repetition across strong / observational / language notions --
+and times two routes over the *same* manifest:
+
+* **cold** -- the pre-engine free-function shape: every check recompiles the
+  full ``FSP -> kernel -> partition`` (or subset-construction) pipeline from
+  scratch, exactly as the old ``*_equivalent_processes`` bodies did;
+* **warm** -- one shared :class:`repro.engine.Engine` driving
+  :meth:`~repro.engine.Engine.check_many`, so per-process artifacts
+  (quotients, DFAs, saturations) and per-pair verdicts are computed once.
+
+Both routes must agree check-for-check; ``run_cells`` reports the records in
+the ``solver|family|n`` schema of ``BENCH_partition.json`` so
+``benchmarks/run_all.py`` folds them into the trajectory and
+``benchmarks/check_regression.py`` gates the committed speedup floor.
+
+The pytest-benchmark half exposes the same two routes to the bench suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import Engine
+from repro.equivalence.language import language_nfa
+from repro.equivalence.observational import observationally_equivalent
+from repro.equivalence.strong import strongly_equivalent
+from repro.generators.random_fsp import perturb, random_equivalent_copy, random_fsp
+
+#: manifest size used by the trajectory: 24 distinct (pair, notion) checks
+#: revisited 10x each, the repeat profile of a server-side batch.  The
+#: committed speedup floor is measured on this manifest (>= 100
+#: repeated-process pairs).
+DEFAULT_NUM_CHECKS = 240
+FAMILY = "engine_pool"
+COLD_SOLVER = "cold_free_functions"
+WARM_SOLVER = "engine_check_many"
+
+_NOTIONS = ("strong", "observational", "language")
+
+
+def build_pool(num_bases: int = 4, base_states: int = 24) -> list:
+    """Related processes sharing one signature: bases, equivalent copies, near-misses."""
+    pool = []
+    for seed in range(num_bases):
+        base = random_fsp(base_states, tau_probability=0.2, all_accepting=True, seed=seed)
+        pool.append(base)
+        pool.append(random_equivalent_copy(base, duplicates=3, seed=seed + 100))
+        pool.append(perturb(base, seed=seed + 200))
+    return pool
+
+
+def build_manifest(num_checks: int = DEFAULT_NUM_CHECKS, num_bases: int = 4) -> list[tuple]:
+    """``num_checks`` checks cycling over pool pairs and notions, with repetition.
+
+    The distinct (pair, notion) combinations are deliberately far fewer than
+    ``num_checks``: the manifest revisits pairs exactly the way a server-side
+    batch does, which is the shape the verdict cache exists for.
+    """
+    pool = build_pool(num_bases=num_bases)
+    distinct: list[tuple] = []
+    for base_index in range(num_bases):
+        base = pool[3 * base_index]
+        copy = pool[3 * base_index + 1]
+        near = pool[3 * base_index + 2]
+        for notion in _NOTIONS:
+            distinct.append((base, copy, notion))
+            distinct.append((base, near, notion))
+    return [distinct[i % len(distinct)] for i in range(num_checks)]
+
+
+def _cold_check(first, second, notion: str) -> bool:
+    """One check the pre-engine way: recompile everything for this pair."""
+    if notion == "language":
+        from repro.automata.equivalence import nfa_equivalent
+
+        return nfa_equivalent(language_nfa(first), language_nfa(second))
+    combined = first.disjoint_union(second)
+    decide = strongly_equivalent if notion == "strong" else observationally_equivalent
+    return decide(combined, "L:" + first.start, "R:" + second.start)
+
+
+def cold_loop(manifest: list[tuple]) -> list[bool]:
+    """Run the whole manifest with zero sharing between checks."""
+    return [_cold_check(first, second, notion) for first, second, notion in manifest]
+
+
+def warm_run(manifest: list[tuple], engine: Engine | None = None) -> list[bool]:
+    """Run the manifest through one shared engine (the cached route)."""
+    engine = engine if engine is not None else Engine()
+    result = engine.check_many(manifest, witness=False, align=False)
+    return [verdict.equivalent for verdict in result]
+
+
+def run_cells(
+    num_checks: int = DEFAULT_NUM_CHECKS, repeats: int = 1
+) -> tuple[list[dict], float, bool]:
+    """Time both routes; returns ``(records, speedup, agree)``.
+
+    Records follow the ``BENCH_partition.json`` schema (``solver`` /
+    ``family`` / ``n`` / ``seconds``); ``n`` is the manifest size.  ``agree``
+    is False when the two routes disagree on any check -- a correctness bug,
+    which the CI gate treats like a solver disagreement.
+    """
+    manifest = build_manifest(num_checks)
+
+    def best_of(fn):
+        best, answers = float("inf"), None
+        for _ in range(repeats):
+            begin = time.perf_counter()
+            answers = fn()
+            best = min(best, time.perf_counter() - begin)
+        return best, answers
+
+    cold_seconds, cold_answers = best_of(lambda: cold_loop(manifest))
+    warm_seconds, warm_answers = best_of(lambda: warm_run(manifest))
+    agree = cold_answers == warm_answers
+    records = [
+        {
+            "solver": COLD_SOLVER,
+            "family": FAMILY,
+            "n": num_checks,
+            "transitions": sum(p.num_transitions for p, _q, _n in manifest),
+            "blocks": sum(cold_answers),
+            "seconds": round(cold_seconds, 6),
+        },
+        {
+            "solver": WARM_SOLVER,
+            "family": FAMILY,
+            "n": num_checks,
+            "transitions": sum(p.num_transitions for p, _q, _n in manifest),
+            "blocks": sum(warm_answers),
+            "seconds": round(warm_seconds, 6),
+        },
+    ]
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    return records, round(speedup, 2), agree
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (run by benchmarks/run_all.py's suite smoke)
+# ----------------------------------------------------------------------
+def test_cold_free_function_loop(benchmark):
+    manifest = build_manifest(40)
+    answers = benchmark(lambda: cold_loop(manifest))
+    benchmark.extra_info["checks"] = len(manifest)
+    benchmark.extra_info["equivalent"] = sum(answers)
+
+
+def test_warm_engine_check_many(benchmark):
+    manifest = build_manifest(40)
+    answers = benchmark(lambda: warm_run(manifest))
+    benchmark.extra_info["checks"] = len(manifest)
+    benchmark.extra_info["equivalent"] = sum(answers)
+
+
+def test_routes_agree():
+    manifest = build_manifest(40)
+    assert cold_loop(manifest) == warm_run(manifest)
+
+
+if __name__ == "__main__":
+    records, speedup, agree = run_cells()
+    for record in records:
+        print(f"{record['solver']:22s} n={record['n']}  {record['seconds'] * 1000:9.2f} ms")
+    print(f"speedup (cached engine vs cold loop): {speedup:.1f}x; agree={agree}")

@@ -13,7 +13,11 @@ the committed ``benchmarks/baseline_expectations.json``:
   perf problem);
 * the weak-engine speedup floors (kernel saturation route at least ``floor``
   times faster than the dict route on the named families at ``n >= min_n``)
-  fail the gate when not met.
+  fail the gate when not met;
+* the engine-cache speedup floor (``check_many`` on a shared engine at least
+  ``engine_speedup_floor`` times faster than the cold free-function loop on
+  the repeated-pair manifest) fails the gate when not met, as does a
+  disagreement between the two routes.
 
 The hardware normaliser is the median of ``current / expected`` over all
 shared cells: a uniformly slower CI machine shifts every ratio equally and is
@@ -53,9 +57,9 @@ def cell_key(record: dict) -> str:
 
 
 def collect_cells(payload: dict) -> dict[str, float]:
-    """Flatten both trajectory sections to ``solver|family|n -> seconds``."""
+    """Flatten all trajectory sections to ``solver|family|n -> seconds``."""
     cells: dict[str, float] = {}
-    for section in ("records", "weak_records"):
+    for section in ("records", "weak_records", "engine_records"):
         for record in payload.get(section, []):
             key = cell_key(record)
             seconds = float(record["seconds"])
@@ -94,6 +98,21 @@ def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[
                 f"cell {key} regressed: {current[key]:.4f}s vs expected "
                 f"{expected[key]:.4f}s ({ratios[key]:.2f}x, allowed "
                 f"{factor:.1f}x at hardware factor {normaliser:.2f})"
+            )
+
+    engine_floor = baseline.get("engine_speedup_floor")
+    if engine_floor is not None:
+        if not meta.get("engine_routes_agree", False):
+            failures.append(
+                "engine_routes_agree is not true -- check_many disagrees with the cold loop"
+            )
+        engine_speedup = meta.get("speedup_engine_cached_vs_cold")
+        if engine_speedup is None:
+            failures.append("no engine-cache speedup recorded in this run")
+        elif float(engine_speedup) < float(engine_floor):
+            failures.append(
+                f"engine cached-check speedup is {float(engine_speedup):.1f}x, "
+                f"below the committed floor of {float(engine_floor):.1f}x"
             )
 
     speedups = weak_speedups(payload)
@@ -142,6 +161,7 @@ def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
                 "tau_mesh": {"min_n": 2000, "floor": 5.0},
             },
         ),
+        "engine_speedup_floor": previous.get("engine_speedup_floor", 5.0),
     }
     baseline_path.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {baseline_path} ({len(baseline['cells'])} cells)")

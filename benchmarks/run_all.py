@@ -46,6 +46,7 @@ if str(ROOT / "src") not in sys.path:
 if str(BENCH_DIR) not in sys.path:
     sys.path.insert(0, str(BENCH_DIR))
 
+import bench_engine_cache  # noqa: E402
 from seed_baseline import seed_kanellakis_smolka  # noqa: E402
 
 from repro.core.derivatives import saturate_reference  # noqa: E402
@@ -215,6 +216,28 @@ def run_weak_trajectory(sizes: list[int], repeats: int) -> tuple[list[dict], lis
     return records, skipped, agree
 
 
+def run_engine_trajectory(repeats: int) -> tuple[list[dict], float, bool]:
+    """The engine-cache section: ``check_many`` on one engine vs the cold loop.
+
+    Delegates to :mod:`bench_engine_cache`; the records use the shared
+    ``solver|family|n`` schema so the regression gate covers them, and the
+    returned speedup feeds ``meta.speedup_engine_cached_vs_cold`` (gated
+    against the committed floor).
+    """
+    records, speedup, agree = bench_engine_cache.run_cells(repeats=repeats)
+    for record in records:
+        print(
+            f"  {record['family']:18s} n={record['n']:5d} {record['solver']:28s} "
+            f"{record['seconds'] * 1000:9.2f} ms"
+        )
+    if not agree:
+        print(
+            "ERROR: engine check_many disagrees with the cold free-function loop",
+            file=sys.stderr,
+        )
+    return records, speedup, agree
+
+
 def speedup_summary(records: list[dict]) -> dict:
     """Per (family, n): seed seconds / kernel kanellakis_smolka seconds."""
     cells: dict[tuple[str, int], dict[str, float]] = {}
@@ -280,6 +303,9 @@ def main(argv: list[str] | None = None) -> int:
     weak_records, weak_skipped, weak_agree = run_weak_trajectory(sizes, repeats)
     weak_speedups = weak_speedup_summary(weak_records)
 
+    print("engine-cache trajectory: check_many (cached) vs cold free-function loop")
+    engine_records, engine_speedup, engine_agree = run_engine_trajectory(repeats)
+
     statuses: dict[str, str] = {}
     if not args.skip_pytest:
         print("pytest benchmark modules:")
@@ -300,10 +326,13 @@ def main(argv: list[str] | None = None) -> int:
             "weak_solvers_agree": weak_agree,
             "weak_skipped_cells": weak_skipped,
             "speedup_weak_kernel_vs_dict_saturation": weak_speedups,
+            "engine_routes_agree": engine_agree,
+            "speedup_engine_cached_vs_cold": engine_speedup,
             "bench_modules": statuses,
         },
         "records": records,
         "weak_records": weak_records,
+        "engine_records": engine_records,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
@@ -316,6 +345,7 @@ def main(argv: list[str] | None = None) -> int:
     for family, by_n in weak_speedups.items():
         row = "  ".join(f"n={n}: {ratio:.1f}x" for n, ratio in by_n.items())
         print(f"  {family:18s} {row}")
+    print(f"engine speedup (cached check_many vs cold free-function loop): {engine_speedup:.1f}x")
     skipped_all = skipped + weak_skipped
     if skipped_all:
         print(f"skipped {len(skipped_all)} trajectory cells: " + "; ".join(skipped_all))
@@ -323,7 +353,7 @@ def main(argv: list[str] | None = None) -> int:
     failed_modules = [name for name, status in statuses.items() if status == "failed"]
     if failed_modules:
         print(f"FAILED bench modules: {failed_modules}", file=sys.stderr)
-    return 0 if agree and weak_agree and not failed_modules else 1
+    return 0 if agree and weak_agree and engine_agree and not failed_modules else 1
 
 
 if __name__ == "__main__":

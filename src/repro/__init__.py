@@ -25,10 +25,37 @@ The most common entry points are re-exported here so that::
     from repro import FSP, strongly_equivalent_processes, observationally_equivalent_processes
 
 works without knowing the internal module layout.
+
+Since the engine facade landed (:mod:`repro.engine`), the recommended entry
+point for repeated queries is an :class:`Engine` (or the module-level
+:func:`check` / :func:`check_many` on the shared default engine)::
+
+    from repro import check
+
+    verdict = check(p, q, "observational", witness=True)
+    verdict.equivalent, verdict.witness, verdict.stats.seconds
+
+The classic free functions remain available as thin shims over the same
+engine, so existing callers keep working while sharing its caches.
 """
 
 from repro.core.classify import ModelClass, classify
 from repro.core.fsp import ACCEPT, EPSILON, FSP, TAU, FSPBuilder, from_transitions
+from repro.engine import (
+    BatchResult,
+    Engine,
+    Notion,
+    Process,
+    Verdict,
+    Witness,
+    available_notions,
+    check,
+    check_expressions,
+    check_many,
+    default_engine,
+    get_notion,
+    register_notion,
+)
 from repro.equivalence.failure import (
     failure_equivalent,
     failure_equivalent_processes,
@@ -57,24 +84,36 @@ from repro.expressions.parser import parse as parse_star_expression
 from repro.expressions.semantics import representative_fsp
 from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ACCEPT",
+    "BatchResult",
     "EPSILON",
+    "Engine",
     "FSP",
     "FSPBuilder",
     "GeneralizedPartitioningInstance",
     "ModelClass",
+    "Notion",
+    "Process",
     "Solver",
     "TAU",
+    "Verdict",
+    "Witness",
+    "available_notions",
     "ccs_equivalent",
+    "check",
+    "check_expressions",
+    "check_many",
     "classify",
+    "default_engine",
     "distinguishing_formula",
     "failure_equivalent",
     "failure_equivalent_processes",
     "failures_upto",
     "from_transitions",
+    "get_notion",
     "k_limited_equivalent",
     "k_observational_equivalent",
     "k_observational_equivalent_processes",
@@ -86,6 +125,7 @@ __all__ = [
     "observationally_equivalent",
     "observationally_equivalent_processes",
     "parse_star_expression",
+    "register_notion",
     "representative_fsp",
     "satisfies",
     "solve",

@@ -1,45 +1,43 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-The CLI exposes the day-to-day operations of the library on serialised
-processes (JSON via :mod:`repro.utils.serialization` or Aldebaran ``.aut``
-via :mod:`repro.utils.aut_format`, selected by file extension):
+The CLI is a thin shell over the engine facade (:mod:`repro.engine`): one
+shared :class:`~repro.engine.engine.Engine` per invocation, so every command
+benefits from cached process handles and verdicts.  Operations work on
+serialised processes (JSON via :mod:`repro.utils.serialization` or Aldebaran
+``.aut``, selected by file extension; unknown extensions are rejected with
+the list of supported formats):
 
 ``classify``      print the model classes of a process (Fig. 1a hierarchy)
 ``check``         decide an equivalence between two processes' start states
+``batch``         run a JSON manifest of checks through the shared caches
 ``minimize``      write the strong or observational quotient of a process
 ``convert``       convert between JSON, ``.aut`` and DOT
 ``expr``          decide the CCS equivalence problem for two star expressions
 ``ccs``           compile a CCS term (with optional definitions file) to a process
 
-Every command prints a human-readable verdict and uses the exit status to
-report boolean answers (0 = equivalent / success, 1 = not equivalent,
-2 = usage or input error), so the tool can be scripted.
+The ``--notion`` choices are read from the engine's notion registry, so
+notions registered by plugins are immediately available.  Every command
+prints a human-readable verdict and uses the exit status to report boolean
+answers (0 = equivalent / success, 1 = not equivalent, 2 = usage or input
+error), so the tool can be scripted; ``--version`` prints the library
+version.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro import __version__
 from repro.ccs.parser import parse_definitions, parse_process
 from repro.ccs.semantics import compile_to_fsp
 from repro.core.classify import classify
 from repro.core.errors import ReproError
 from repro.core.fsp import FSP
-from repro.equivalence.failure import failure_equivalent_processes
-from repro.equivalence.kobs import k_observational_equivalent_processes
-from repro.equivalence.language import language_equivalent_processes
-from repro.equivalence.minimize import minimize_observational, minimize_strong
-from repro.equivalence.observational import observationally_equivalent_processes
-from repro.equivalence.strong import strongly_equivalent_processes
-from repro.expressions.ccs_equivalence import (
-    ccs_equivalent,
-    failure_ccs_equivalent,
-    language_ccs_equivalent,
-    observationally_ccs_equivalent,
-)
-from repro.utils import aut_format, dot, serialization
+from repro.engine import Verdict, available_notions, default_engine, expression_notions
+from repro.utils.serialization import load_process_file, save_process_file
 
 #: Exit code used for "the answer is: not equivalent".
 EXIT_INEQUIVALENT = 1
@@ -49,41 +47,32 @@ EXIT_ERROR = 2
 
 def load_process(path: str | Path) -> FSP:
     """Load a process from a ``.json`` or ``.aut`` file (by extension)."""
-    path = Path(path)
-    if path.suffix == ".aut":
-        return aut_format.load(path, all_accepting=True)
-    return serialization.load(path)
+    return load_process_file(path)
 
 
 def save_process(process: FSP, path: str | Path) -> None:
     """Write a process to ``.json``, ``.aut`` or ``.dot`` (by extension)."""
-    path = Path(path)
-    if path.suffix == ".aut":
-        aut_format.dump(process, path, accepting_label="ACCEPTING")
-    elif path.suffix == ".dot":
-        dot.write_dot(process, path)
-    else:
-        serialization.dump(process, path)
+    save_process_file(process, path)
 
 
-def _align(first: FSP, second: FSP) -> tuple[FSP, FSP]:
-    alphabet = first.alphabet | second.alphabet
-    return first.with_alphabet(alphabet), second.with_alphabet(alphabet)
+def _notion_params(args: argparse.Namespace) -> dict:
+    return {"k": args.k} if args.notion == "k-observational" else {}
 
 
-_PROCESS_CHECKS = {
-    "strong": strongly_equivalent_processes,
-    "observational": observationally_equivalent_processes,
-    "language": language_equivalent_processes,
-    "failure": failure_equivalent_processes,
-}
+def _notion_label(args: argparse.Namespace) -> str:
+    return f"approx_{args.k}" if args.notion == "k-observational" else args.notion
 
-_EXPRESSION_CHECKS = {
-    "strong": ccs_equivalent,
-    "observational": observationally_ccs_equivalent,
-    "language": language_ccs_equivalent,
-    "failure": failure_ccs_equivalent,
-}
+
+def _print_verdict_extras(verdict: Verdict, args: argparse.Namespace) -> None:
+    if getattr(args, "explain", False) and verdict.witness is not None:
+        print(f"  witness: {verdict.witness.describe()}")
+    if getattr(args, "stats", False):
+        stats = verdict.stats
+        origin = "cache" if stats.from_cache else "computed"
+        print(
+            f"  stats: {stats.seconds * 1000:.2f} ms ({origin}); "
+            f"left {stats.left_states} states / right {stats.right_states} states"
+        )
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -96,22 +85,73 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    first, second = _align(load_process(args.first), load_process(args.second))
-    if args.notion == "k-observational":
-        answer = k_observational_equivalent_processes(first, second, args.k)
-        label = f"approx_{args.k}"
-    else:
-        answer = _PROCESS_CHECKS[args.notion](first, second)
-        label = args.notion
-    verdict = "equivalent" if answer else "NOT equivalent"
-    print(f"{args.first} and {args.second} are {verdict} under {label} equivalence")
-    return 0 if answer else EXIT_INEQUIVALENT
+    verdict = default_engine().check(
+        load_process(args.first),
+        load_process(args.second),
+        args.notion,
+        align=True,
+        witness=args.explain,
+        **_notion_params(args),
+    )
+    answer = "equivalent" if verdict.equivalent else "NOT equivalent"
+    print(f"{args.first} and {args.second} are {answer} under {_notion_label(args)} equivalence")
+    _print_verdict_extras(verdict, args)
+    return 0 if verdict.equivalent else EXIT_INEQUIVALENT
+
+
+def _load_manifest(path: str | Path) -> list[dict]:
+    """Read a ``batch`` manifest: a JSON list of checks, or ``{"checks": [...]}``.
+
+    Each check is an object with ``left`` and ``right`` process-file paths,
+    an optional ``notion`` and optional notion parameters (``k``, bounds).
+    Relative paths are resolved against the manifest's directory.
+    """
+    path = Path(path)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    checks = document.get("checks") if isinstance(document, dict) else document
+    if not isinstance(checks, list):
+        raise ValueError(
+            f"manifest {path} must be a JSON list of checks or an object with a 'checks' list"
+        )
+    base = path.parent
+    resolved: list[dict] = []
+    for index, item in enumerate(checks):
+        if not isinstance(item, dict) or "left" not in item or "right" not in item:
+            raise ValueError(f"manifest check #{index} must be an object with 'left' and 'right'")
+        spec = dict(item)
+        spec["left"] = str(base / spec["left"])
+        spec["right"] = str(base / spec["right"])
+        resolved.append(spec)
+    return resolved
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    checks = _load_manifest(args.manifest)
+    result = default_engine().check_many(
+        checks, notion=args.notion, align=True, witness=args.explain
+    )
+    for spec, verdict in zip(checks, result.verdicts):
+        answer = "equivalent" if verdict.equivalent else "NOT equivalent"
+        left = Path(spec["left"]).name
+        right = Path(spec["right"]).name
+        print(f"{left} vs {right}: {answer} under {verdict.notion} equivalence")
+        _print_verdict_extras(verdict, args)
+    summary = result.summary()
+    print(
+        f"batch: {summary['checks']} checks, {summary['equivalent']} equivalent, "
+        f"{summary['inequivalent']} not equivalent, {summary['cache_hits']} cache hits, "
+        f"{summary['seconds'] * 1000:.1f} ms"
+    )
+    if args.output:
+        payload = {"summary": summary, "results": result.to_dicts()}
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"results written to {args.output}")
+    return 0 if result.num_inequivalent == 0 else EXIT_INEQUIVALENT
 
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
     process = load_process(args.process)
-    minimiser = minimize_strong if args.notion == "strong" else minimize_observational
-    minimal = minimiser(process)
+    minimal = default_engine().minimize(process, notion=args.notion)
     save_process(minimal, args.output)
     print(
         f"minimised {args.process}: {process.num_states} -> {minimal.num_states} states "
@@ -128,10 +168,17 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 
 def _cmd_expr(args: argparse.Namespace) -> int:
-    answer = _EXPRESSION_CHECKS[args.notion](args.first, args.second)
-    verdict = "equivalent" if answer else "NOT equivalent"
-    print(f"{args.first!r} and {args.second!r} are {verdict} under {args.notion} semantics")
-    return 0 if answer else EXIT_INEQUIVALENT
+    verdict = default_engine().check_expressions(
+        args.first,
+        args.second,
+        args.notion,
+        witness=args.explain,
+        **_notion_params(args),
+    )
+    answer = "equivalent" if verdict.equivalent else "NOT equivalent"
+    print(f"{args.first!r} and {args.second!r} are {answer} under {args.notion} semantics")
+    _print_verdict_extras(verdict, args)
+    return 0 if verdict.equivalent else EXIT_INEQUIVALENT
 
 
 def _cmd_ccs(args: argparse.Namespace) -> int:
@@ -151,12 +198,24 @@ def _cmd_ccs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_verdict_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a checkable witness (formula, word or refusal pair) on inequivalence",
+    )
+    command.add_argument(
+        "--stats", action="store_true", help="print timing and cache provenance per check"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for testing and documentation)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Equivalence checking for finite state processes (Kanellakis & Smolka).",
     )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     classify_cmd = commands.add_parser("classify", help="print the model classes of a process")
@@ -166,13 +225,30 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd = commands.add_parser("check", help="decide an equivalence between two processes")
     check_cmd.add_argument("first")
     check_cmd.add_argument("second")
-    check_cmd.add_argument(
-        "--notion",
-        choices=[*sorted(_PROCESS_CHECKS), "k-observational"],
-        default="observational",
-    )
+    check_cmd.add_argument("--notion", choices=list(available_notions()), default="observational")
     check_cmd.add_argument("--k", type=int, default=1, help="level for k-observational")
+    _add_verdict_flags(check_cmd)
     check_cmd.set_defaults(handler=_cmd_check)
+
+    batch_cmd = commands.add_parser(
+        "batch", help="run a JSON manifest of checks through the shared engine caches"
+    )
+    batch_cmd.add_argument(
+        "manifest",
+        help=(
+            "JSON manifest: a list (or {'checks': [...]}) of objects with 'left' and "
+            "'right' process files, optional 'notion' and notion parameters"
+        ),
+    )
+    batch_cmd.add_argument(
+        "--notion",
+        choices=list(available_notions()),
+        default="observational",
+        help="default notion for checks that do not name one",
+    )
+    batch_cmd.add_argument("--output", help="write the structured results to this JSON file")
+    _add_verdict_flags(batch_cmd)
+    batch_cmd.set_defaults(handler=_cmd_batch)
 
     minimize_cmd = commands.add_parser("minimize", help="write the quotient of a process")
     minimize_cmd.add_argument("process")
@@ -192,7 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     expr_cmd.add_argument("first")
     expr_cmd.add_argument("second")
-    expr_cmd.add_argument("--notion", choices=sorted(_EXPRESSION_CHECKS), default="strong")
+    expr_cmd.add_argument("--notion", choices=list(expression_notions()), default="strong")
+    expr_cmd.add_argument("--k", type=int, default=1, help="level for k-observational")
+    _add_verdict_flags(expr_cmd)
     expr_cmd.set_defaults(handler=_cmd_expr)
 
     ccs_cmd = commands.add_parser("ccs", help="compile a CCS term to a process")
@@ -211,7 +289,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ReproError, FileNotFoundError, OSError, ValueError) as error:
+    except (ReproError, FileNotFoundError, OSError, ValueError, TypeError) as error:
+        # TypeError covers manifest/param mistakes surfaced by the engine's
+        # parameter validation (e.g. a notion handed a bound it does not
+        # accept), which are input errors in CLI terms.
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
 

@@ -257,11 +257,17 @@ class WeakTransitionView:
     :class:`~repro.core.weak.WeakKernel` and answers every query from its
     bitsets; the public API is unchanged from the dict era (all answers are
     ``frozenset``s of state names).
+
+    Pass an existing ``kernel`` (built over ``LTS.from_fsp(fsp,
+    include_tau=True)``) to share one interned kernel between several
+    consumers -- the engine's :class:`~repro.engine.process.Process` handle
+    does this so the view and the saturation pipeline reuse one tau-SCC
+    decomposition.
     """
 
-    def __init__(self, fsp: FSP) -> None:
+    def __init__(self, fsp: FSP, kernel: WeakKernel | None = None) -> None:
         self._fsp = fsp
-        self._kernel = WeakKernel.from_fsp(fsp)
+        self._kernel = kernel if kernel is not None else WeakKernel.from_fsp(fsp)
         self._closure: dict[State, frozenset[State]] | None = None
         self._weak_cache: dict[tuple[State, str], frozenset[State]] = {}
         self._initials_cache: dict[State, frozenset[State]] = {}

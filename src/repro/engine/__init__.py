@@ -1,0 +1,70 @@
+"""The engine facade: cached process handles, pluggable notions, verdicts.
+
+This package is the recommended entry point for repeated equivalence
+queries::
+
+    from repro.engine import Engine
+
+    engine = Engine()
+    verdict = engine.check(p, q, "observational")
+    if not verdict:
+        print(verdict.witness.describe())
+
+See :class:`Engine` (caching facade), :class:`Process` (per-process artifact
+cache), :class:`Verdict` (structured answers with checkable witnesses) and
+:mod:`repro.engine.notions` (the pluggable notion registry).
+"""
+
+from repro.engine.engine import (
+    Engine,
+    check,
+    check_expressions,
+    check_many,
+    default_engine,
+    minimize,
+    reset_default_engine,
+)
+from repro.engine.notions import (
+    Notion,
+    NotionResult,
+    available_notions,
+    expression_notions,
+    get_notion,
+    register_notion,
+    unregister_notion,
+)
+from repro.engine.process import Process
+from repro.engine.verdict import (
+    BatchResult,
+    CheckStats,
+    FormulaWitness,
+    RefusalWitness,
+    Verdict,
+    Witness,
+    WordWitness,
+)
+
+__all__ = [
+    "BatchResult",
+    "CheckStats",
+    "Engine",
+    "FormulaWitness",
+    "Notion",
+    "NotionResult",
+    "Process",
+    "RefusalWitness",
+    "Verdict",
+    "Witness",
+    "WordWitness",
+    "available_notions",
+    "check",
+    "check_expressions",
+    "check_many",
+    "default_engine",
+    "expression_notions",
+    "get_notion",
+    "minimize",
+    "register_notion",
+    "reset_default_engine",
+    "unregister_notion",
+]

@@ -1,0 +1,208 @@
+"""The :class:`Process` handle: one FSP, every derived artifact cached once.
+
+The server-style workloads the ROADMAP targets ask many questions about the
+same process -- repeated equivalence queries, minimisation, language checks.
+Each of the old free functions recompiled the full ``FSP -> LTS ->
+WeakKernel -> partition`` pipeline per call; a :class:`Process` wraps the FSP
+and materialises each derived artifact lazily, exactly once:
+
+===========================  ====================================================
+artifact                     producer
+===========================  ====================================================
+``lts()``                    :meth:`repro.core.lts.LTS.from_fsp` (CSR kernel)
+``weak_kernel()``            :class:`repro.core.weak.WeakKernel` (tau-SCC+bitsets)
+``weak_view()``              :class:`repro.core.derivatives.WeakTransitionView`
+                             sharing the same kernel
+``saturated_lts()``          :func:`repro.core.weak.saturate_lts` (``P_hat``)
+``strong_partition()``       Lemma 3.1 reduction + a partition solver
+``observational_partition``  Theorem 4.1(a): saturation + strong refinement
+``minimized_strong()``       quotient by the cached strong partition
+``minimized_observational``  quotient by the cached observational partition
+``language_dfa()``           minimal DFA of the start state's weak language
+===========================  ====================================================
+
+Handles are cheap to create; all caches fill on first use.  A handle is tied
+to one immutable FSP, so cached artifacts never go stale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.derivatives import WeakTransitionView
+from repro.core.fsp import FSP
+from repro.core.lts import LTS
+from repro.core.weak import WeakKernel, saturate_lts
+from repro.equivalence.minimize import quotient
+from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
+from repro.partition.partition import Partition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.automata.dfa import DFA
+
+
+def _solver(method: Solver | str) -> Solver:
+    return method if isinstance(method, Solver) else Solver(method)
+
+
+class Process:
+    """A handle around one FSP with lazily cached derived artifacts."""
+
+    __slots__ = (
+        "fsp",
+        "_lts",
+        "_weak_kernel",
+        "_weak_view",
+        "_saturated_lts",
+        "_strong_partitions",
+        "_observational_partitions",
+        "_minimized_strong",
+        "_minimized_observational",
+        "_language_dfa",
+    )
+
+    def __init__(self, fsp: FSP) -> None:
+        if not isinstance(fsp, FSP):
+            raise TypeError(f"Process wraps an FSP, not {type(fsp).__name__}")
+        self.fsp = fsp
+        self._lts: LTS | None = None
+        self._weak_kernel: WeakKernel | None = None
+        self._weak_view: WeakTransitionView | None = None
+        self._saturated_lts: LTS | None = None
+        self._strong_partitions: dict[Solver, Partition] = {}
+        self._observational_partitions: dict[Solver, Partition] = {}
+        self._minimized_strong: dict[Solver, FSP] = {}
+        self._minimized_observational: dict[Solver, FSP] = {}
+        self._language_dfa: DFA | None = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Process":
+        """Load a handle from a ``.json`` or ``.aut`` process file."""
+        from repro.utils.serialization import load_process_file
+
+        return cls(load_process_file(path))
+
+    @classmethod
+    def from_expression(cls, expression, alphabet=None) -> "Process":
+        """A handle on the representative FSP of a star expression."""
+        from repro.expressions.parser import parse
+        from repro.expressions.semantics import representative_fsp
+
+        parsed = parse(expression) if isinstance(expression, str) else expression
+        return cls(representative_fsp(parsed, alphabet=alphabet))
+
+    @classmethod
+    def from_ccs(cls, term: str, definitions=None, max_states: int = 10_000) -> "Process":
+        """A handle on the FSP compiled from a CCS term."""
+        from repro.ccs.parser import parse_process
+        from repro.ccs.semantics import compile_to_fsp
+
+        return cls(compile_to_fsp(parse_process(term), definitions, max_states=max_states))
+
+    # ------------------------------------------------------------------
+    # cached artifacts
+    # ------------------------------------------------------------------
+    def lts(self) -> LTS:
+        """The interned integer CSR kernel (tau kept as one more action)."""
+        if self._lts is None:
+            self._lts = LTS.from_fsp(self.fsp, include_tau=True)
+        return self._lts
+
+    def weak_kernel(self) -> WeakKernel:
+        """The tau-SCC + bitset weak-transition engine over :meth:`lts`."""
+        if self._weak_kernel is None:
+            self._weak_kernel = WeakKernel(self.lts())
+        return self._weak_kernel
+
+    def weak_view(self) -> WeakTransitionView:
+        """The string-named weak-transition view, sharing :meth:`weak_kernel`."""
+        if self._weak_view is None:
+            self._weak_view = WeakTransitionView(self.fsp, kernel=self.weak_kernel())
+        return self._weak_view
+
+    def saturated_lts(self) -> LTS:
+        """The saturated kernel ``P_hat`` of Theorem 4.1(a)."""
+        if self._saturated_lts is None:
+            self._saturated_lts = saturate_lts(self.lts())
+        return self._saturated_lts
+
+    def strong_partition(self, method: Solver | str = Solver.PAIGE_TARJAN) -> Partition:
+        """The strong-equivalence partition of the state set (cached per solver)."""
+        method = _solver(method)
+        partition = self._strong_partitions.get(method)
+        if partition is None:
+            instance = GeneralizedPartitioningInstance.from_lts(self.lts())
+            partition = solve(instance, method=method)
+            self._strong_partitions[method] = partition
+        return partition
+
+    def observational_partition(self, method: Solver | str = Solver.PAIGE_TARJAN) -> Partition:
+        """The observational-equivalence partition (cached per solver)."""
+        method = _solver(method)
+        partition = self._observational_partitions.get(method)
+        if partition is None:
+            instance = GeneralizedPartitioningInstance.from_lts(self.saturated_lts())
+            partition = solve(instance, method=method)
+            self._observational_partitions[method] = partition
+        return partition
+
+    def minimized_strong(self, method: Solver | str = Solver.PAIGE_TARJAN) -> FSP:
+        """The quotient by strong equivalence (cached per solver)."""
+        method = _solver(method)
+        minimal = self._minimized_strong.get(method)
+        if minimal is None:
+            minimal = quotient(self.fsp, self.strong_partition(method))
+            self._minimized_strong[method] = minimal
+        return minimal
+
+    def minimized_observational(self, method: Solver | str = Solver.PAIGE_TARJAN) -> FSP:
+        """The quotient by observational equivalence (cached per solver)."""
+        method = _solver(method)
+        minimal = self._minimized_observational.get(method)
+        if minimal is None:
+            minimal = quotient(self.fsp, self.observational_partition(method))
+            self._minimized_observational[method] = minimal
+        return minimal
+
+    def language_dfa(self) -> "DFA":
+        """The minimal DFA of ``L(start)`` (subset construction + Hopcroft)."""
+        if self._language_dfa is None:
+            from repro.equivalence.language import language_dfa
+
+            self._language_dfa = language_dfa(self.fsp)
+        return self._language_dfa
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return self.fsp.num_states
+
+    @property
+    def num_transitions(self) -> int:
+        return self.fsp.num_transitions
+
+    def artifact_summary(self) -> dict[str, bool | int]:
+        """Which derived artifacts have been materialised so far."""
+        return {
+            "lts": self._lts is not None,
+            "weak_kernel": self._weak_kernel is not None,
+            "weak_view": self._weak_view is not None,
+            "saturated_lts": self._saturated_lts is not None,
+            "strong_partitions": len(self._strong_partitions),
+            "observational_partitions": len(self._observational_partitions),
+            "minimized_strong": len(self._minimized_strong),
+            "minimized_observational": len(self._minimized_observational),
+            "language_dfa": self._language_dfa is not None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Process(states={self.fsp.num_states}, "
+            f"transitions={self.fsp.num_transitions}, start={self.fsp.start!r})"
+        )

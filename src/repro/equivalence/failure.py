@@ -183,10 +183,20 @@ def failure_distinguishing_string(
 def failure_equivalent_processes(
     first: FSP, second: FSP, max_macro_states: int | None = None
 ) -> bool:
-    """Decide failure equivalence of the start states of two restricted FSPs."""
-    require_same_signature(first, second)
-    combined = first.disjoint_union(second)
-    return failure_equivalent(combined, "L:" + first.start, "R:" + second.start, max_macro_states)
+    """Decide failure equivalence of the start states of two restricted FSPs.
+
+    A thin shim over the engine facade (:mod:`repro.engine`): with the
+    default unbounded search, the subset construction runs on the cached
+    observational quotients (observational equivalence refines failure
+    equivalence, so the quotients have the same failure sets); a
+    ``max_macro_states`` bound runs on the original state spaces so the
+    bound keeps its meaning.
+    """
+    from repro.engine import default_engine
+
+    return default_engine().check(
+        first, second, "failure", witness=False, max_macro_states=max_macro_states
+    ).equivalent
 
 
 # ----------------------------------------------------------------------

@@ -29,7 +29,6 @@ behaviour the PSPACE-completeness result says cannot be avoided for fixed
 from __future__ import annotations
 
 from repro.automata.equivalence import nfa_equivalent
-from repro.core.classify import require_same_signature
 from repro.core.derivatives import WeakTransitionView
 from repro.core.fsp import EPSILON, FSP
 from repro.equivalence.language import weak_language_nfa
@@ -168,12 +167,19 @@ def k_observational_equivalent(
 def k_observational_equivalent_processes(
     first: FSP, second: FSP, k: int, max_subset_states: int | None = None
 ) -> bool:
-    """Decide ``approx_k`` for the start states of two FSPs."""
-    require_same_signature(first, second)
-    combined = first.disjoint_union(second)
-    return k_observational_equivalent(
-        combined, "L:" + first.start, "R:" + second.start, k, max_subset_states
-    )
+    """Decide ``approx_k`` for the start states of two FSPs.
+
+    A thin shim over the engine facade (:mod:`repro.engine`): with the
+    default unbounded search, the per-block language comparisons run on the
+    cached observational quotients (observational equivalence refines every
+    ``approx_k``); a ``max_subset_states`` bound runs on the original state
+    spaces so the bound keeps its meaning.
+    """
+    from repro.engine import default_engine
+
+    return default_engine().check(
+        first, second, "k-observational", witness=False, k=k, max_subset_states=max_subset_states
+    ).equivalent
 
 
 def separation_level(fsp: FSP, first: str, second: str, max_level: int | None = None) -> int | None:

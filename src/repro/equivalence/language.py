@@ -38,7 +38,6 @@ from repro.automata.equivalence import (
 )
 from repro.automata.minimize import hopcroft_minimize
 from repro.automata.nfa import NFA
-from repro.core.classify import require_same_signature
 from repro.core.derivatives import WeakTransitionView
 from repro.core.errors import InvalidProcessError
 from repro.core.fsp import EPSILON, FSP, TAU
@@ -141,9 +140,18 @@ def language_equivalent(fsp: FSP, first: str, second: str, max_states: int | Non
 
 
 def language_equivalent_processes(first: FSP, second: FSP, max_states: int | None = None) -> bool:
-    """Decide ``L(p0) = L(q0)`` for the start states of two FSPs."""
-    require_same_signature(first, second)
-    return nfa_equivalent(language_nfa(first), language_nfa(second), max_states=max_states)
+    """Decide ``L(p0) = L(q0)`` for the start states of two FSPs.
+
+    A thin shim over the engine facade (:mod:`repro.engine`): with the
+    default unbounded search, each process's minimal DFA is computed once and
+    cached, so repeated checks against the same process skip the subset
+    construction; a ``max_states`` bound runs the classic NFA product search.
+    """
+    from repro.engine import default_engine
+
+    return default_engine().check(
+        first, second, "language", witness=False, max_states=max_states
+    ).equivalent
 
 
 def language_distinguishing_word(

@@ -23,7 +23,6 @@ route (experiment E13).
 
 from __future__ import annotations
 
-from repro.core.classify import require_same_signature
 from repro.core.derivatives import WeakTransitionView
 from repro.core.fsp import EPSILON, FSP
 from repro.core.lts import LTS
@@ -61,12 +60,17 @@ def observationally_equivalent_processes(
     second: FSP,
     method: Solver | str = Solver.PAIGE_TARJAN,
 ) -> bool:
-    """Decide observational equivalence of the start states of two FSPs."""
-    require_same_signature(first, second)
-    combined = first.disjoint_union(second)
-    return observationally_equivalent(
-        combined, "L:" + first.start, "R:" + second.start, method=method
-    )
+    """Decide observational equivalence of the start states of two FSPs.
+
+    A thin shim over the engine facade (:mod:`repro.engine`): repeated calls
+    against the same processes reuse cached saturations, quotients and
+    verdicts; use :meth:`repro.engine.Engine.check` for stats and witnesses.
+    """
+    from repro.engine import default_engine
+
+    return default_engine().check(
+        first, second, "observational", witness=False, method=method
+    ).equivalent
 
 
 def limited_observational_partition_reference(fsp: FSP) -> Partition:

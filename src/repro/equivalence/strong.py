@@ -24,7 +24,7 @@ speed regardless of the solver chosen.
 
 from __future__ import annotations
 
-from repro.core.classify import ModelClass, require, require_same_signature
+from repro.core.classify import ModelClass, require
 from repro.core.fsp import FSP
 from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
 from repro.partition.partition import Partition
@@ -78,19 +78,21 @@ def strongly_equivalent_processes(
     """Decide strong equivalence of the start states of two FSPs.
 
     The two processes must share ``Sigma`` and ``V`` (use
-    :meth:`~repro.core.fsp.FSP.with_alphabet` to align them); they are
-    combined into a single process by disjoint union, exactly as the paper
-    does when comparing states of distinct FSPs.
+    :meth:`~repro.core.fsp.FSP.with_alphabet` to align them).  This is a thin
+    shim over the engine facade (:mod:`repro.engine`): repeated calls against
+    the same processes reuse the cached kernels, quotients and verdicts; use
+    :meth:`repro.engine.Engine.check` directly for stats and witnesses.
     """
-    require_same_signature(first, second)
-    combined = first.disjoint_union(second)
-    return strongly_equivalent(
-        combined,
-        "L:" + first.start,
-        "R:" + second.start,
+    from repro.engine import default_engine
+
+    return default_engine().check(
+        first,
+        second,
+        "strong",
+        witness=False,
         method=method,
         require_observable=require_observable,
-    )
+    ).equivalent
 
 
 def strong_equivalence_classes(

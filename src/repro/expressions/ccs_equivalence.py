@@ -10,34 +10,25 @@ expression length -- and testing their start states for strong equivalence in
 observational, failure and classical language equivalence, so that the
 examples can show how the choice of equivalence notion changes which
 identities hold.
+
+Every function here is a thin shim over
+:meth:`repro.engine.Engine.check_expressions` on the shared default engine:
+the expression is parsed, the representative FSPs are built over the joint
+alphabet, and the notion registry decides (failure semantics reads the
+representatives as restricted processes; language equivalence answers
+directly from the regular-expression procedure).  Use the engine entry point
+directly for structured verdicts with witnesses.
 """
 
 from __future__ import annotations
 
-from repro.core.fsp import FSP
-from repro.equivalence.failure import failure_equivalent_processes
-from repro.equivalence.observational import observationally_equivalent_processes
-from repro.equivalence.strong import strongly_equivalent_processes
-from repro.expressions.parser import parse
-from repro.expressions.regular import regular_equivalent
-from repro.expressions.semantics import representative_fsp
-from repro.expressions.syntax import StarExpression, actions_of
+from repro.expressions.syntax import StarExpression
 
 
-def _as_expression(value: StarExpression | str) -> StarExpression:
-    return parse(value) if isinstance(value, str) else value
+def _check(first: StarExpression | str, second: StarExpression | str, notion: str) -> bool:
+    from repro.engine import default_engine
 
-
-def _aligned_representatives(
-    first: StarExpression | str, second: StarExpression | str
-) -> tuple[FSP, FSP]:
-    left = _as_expression(first)
-    right = _as_expression(second)
-    alphabet = actions_of(left) | actions_of(right)
-    return (
-        representative_fsp(left, alphabet=alphabet),
-        representative_fsp(right, alphabet=alphabet),
-    )
+    return default_engine().check_expressions(first, second, notion, witness=False).equivalent
 
 
 def ccs_equivalent(first: StarExpression | str, second: StarExpression | str) -> bool:
@@ -47,8 +38,7 @@ def ccs_equivalent(first: StarExpression | str, second: StarExpression | str) ->
     (Definition 2.3.1 fixes strong equivalence as the notion that makes the
     semantics independent of the representative chosen).
     """
-    left, right = _aligned_representatives(first, second)
-    return strongly_equivalent_processes(left, right)
+    return _check(first, second, "strong")
 
 
 def observationally_ccs_equivalent(
@@ -60,8 +50,7 @@ def observationally_ccs_equivalent(
     :func:`ccs_equivalent`; it is exposed separately because the general CCS
     expressions of Milner (1984) allow tau and then the two notions differ.
     """
-    left, right = _aligned_representatives(first, second)
-    return observationally_equivalent_processes(left, right)
+    return _check(first, second, "observational")
 
 
 def failure_ccs_equivalent(first: StarExpression | str, second: StarExpression | str) -> bool:
@@ -70,26 +59,12 @@ def failure_ccs_equivalent(first: StarExpression | str, second: StarExpression |
     Failure equivalence is defined on the restricted model, so the
     representative FSPs are compared after marking every state accepting --
     the standard move the paper itself makes when it reads star expressions as
-    restricted processes in the reductions of Section 4.
+    restricted processes in the reductions of Section 4 (the failure notion's
+    expression hook applies it).
     """
-    left, right = _aligned_representatives(first, second)
-    return failure_equivalent_processes(_make_restricted(left), _make_restricted(right))
+    return _check(first, second, "failure")
 
 
 def language_ccs_equivalent(first: StarExpression | str, second: StarExpression | str) -> bool:
     """Classical regular-language equivalence of the two expressions (the baseline)."""
-    left = _as_expression(first)
-    right = _as_expression(second)
-    return regular_equivalent(left, right)
-
-
-def _make_restricted(fsp: FSP) -> FSP:
-    """Return the same process with every state accepting (the restricted view)."""
-    return FSP(
-        states=fsp.states,
-        start=fsp.start,
-        alphabet=fsp.alphabet,
-        transitions=fsp.transitions,
-        variables=fsp.variables | {"x"},
-        extensions=set(fsp.extensions) | {(state, "x") for state in fsp.states},
-    )
+    return _check(first, second, "language")

@@ -1,15 +1,21 @@
-"""Lossless JSON serialisation of finite state processes.
+"""Lossless JSON serialisation of finite state processes, plus file dispatch.
 
 Unlike the Aldebaran format (:mod:`repro.utils.aut_format`) the JSON encoding
 preserves every component of Definition 2.1.1: state names, the start state,
 the alphabet, the full variable set and the extension relation.  The format is
 a plain dictionary so it can be embedded in larger experiment-description
 files.
+
+:func:`load_process_file` / :func:`save_process_file` dispatch on the file
+extension across every on-disk format the library speaks (JSON, Aldebaran
+``.aut``, Graphviz ``.dot``); unknown extensions are rejected with an error
+that lists the supported formats instead of being silently parsed as JSON.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Any
 
@@ -71,3 +77,91 @@ def dump(fsp: FSP, path: str | Path) -> None:
 def load(path: str | Path) -> FSP:
     """Read an FSP from a JSON file."""
     return loads(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# extension-dispatched process files
+# ----------------------------------------------------------------------
+#: extension -> human-readable description, for the formats processes can be
+#: *read* from / *written* to.  ``.dot`` is rendering-only: Graphviz output
+#: drops the extension relation, so reading it back would be lossy.
+LOADABLE_FORMATS = {
+    ".json": "repro JSON (lossless)",
+    ".aut": "Aldebaran .aut (accepting states via the ACCEPTING label)",
+}
+SAVABLE_FORMATS = {
+    **LOADABLE_FORMATS,
+    ".dot": "Graphviz DOT (write-only rendering)",
+}
+
+#: The self-loop label used to round-trip acceptance through ``.aut`` files
+#: (the format itself has no accepting states).  Plain ``.aut`` files without
+#: the marker load as restricted processes (every state accepting), the
+#: conventional reading of LTS interchange files.
+AUT_ACCEPTING_LABEL = "ACCEPTING"
+
+_AUT_ACCEPTING_RE = re.compile(r',\s*"?' + AUT_ACCEPTING_LABEL + r'"?\s*,')
+
+
+def _aut_has_accepting_marker(text: str) -> bool:
+    return _AUT_ACCEPTING_RE.search(text) is not None
+
+
+def _supported(formats: dict[str, str]) -> str:
+    return "; ".join(f"{ext} = {what}" for ext, what in sorted(formats.items()))
+
+
+def load_process_file(path: str | Path) -> FSP:
+    """Load a process from a file, dispatching on its extension.
+
+    Raises
+    ------
+    InvalidProcessError
+        If the extension is not a loadable process format (unknown
+        extensions are *not* guessed to be JSON).
+    """
+    from repro.utils import aut_format
+
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        return load(path)
+    if suffix == ".aut":
+        text = path.read_text(encoding="utf-8")
+        if _aut_has_accepting_marker(text):
+            return aut_format.loads(text, accepting_label=AUT_ACCEPTING_LABEL)
+        return aut_format.loads(text, all_accepting=True)
+    if suffix == ".dot":
+        raise InvalidProcessError(
+            f"cannot load {path}: .dot is a write-only rendering format; "
+            f"loadable formats: {_supported(LOADABLE_FORMATS)}"
+        )
+    raise InvalidProcessError(
+        f"cannot load {path}: unsupported extension {suffix or '(none)'!r}; "
+        f"loadable formats: {_supported(LOADABLE_FORMATS)}"
+    )
+
+
+def save_process_file(fsp: FSP, path: str | Path) -> None:
+    """Write a process to a file, dispatching on its extension.
+
+    Raises
+    ------
+    InvalidProcessError
+        If the extension is not a supported output format.
+    """
+    from repro.utils import aut_format, dot
+
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        dump(fsp, path)
+    elif suffix == ".aut":
+        aut_format.dump(fsp, path, accepting_label=AUT_ACCEPTING_LABEL)
+    elif suffix == ".dot":
+        dot.write_dot(fsp, path)
+    else:
+        raise InvalidProcessError(
+            f"cannot write {path}: unsupported extension {suffix or '(none)'!r}; "
+            f"supported formats: {_supported(SAVABLE_FORMATS)}"
+        )

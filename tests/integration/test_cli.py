@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro import __version__
 from repro.cli import EXIT_ERROR, EXIT_INEQUIVALENT, load_process, main
 from repro.core.fsp import from_transitions
 from repro.core.paper_figures import fig2_language_pair
@@ -118,3 +120,170 @@ class TestExpressionsAndCcs:
         bad.write_text("{not json", encoding="utf-8")
         assert main(["classify", str(bad)]) == EXIT_ERROR
         assert "error:" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag_prints_the_library_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestFileFormatContract:
+    """Unknown extensions are rejected with the supported-format list (exit 2)."""
+
+    def test_unknown_extension_is_rejected_on_load(self, tmp_path, capsys):
+        weird = tmp_path / "process.xml"
+        weird.write_text("<not-a-process/>", encoding="utf-8")
+        assert main(["classify", str(weird)]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "unsupported extension" in err
+        assert ".json" in err and ".aut" in err
+
+    def test_extensionless_file_is_rejected(self, tmp_path, capsys):
+        first, _ = fig2_language_pair()
+        bare = tmp_path / "process"
+        serialization.dump(first, bare)
+        assert main(["classify", str(bare)]) == EXIT_ERROR
+        assert "unsupported extension" in capsys.readouterr().err
+
+    def test_dot_is_write_only(self, tmp_path, stored_pair, capsys):
+        first, _second = stored_pair
+        dot_path = tmp_path / "graph.dot"
+        assert main(["convert", first, str(dot_path)]) == 0
+        assert main(["classify", str(dot_path)]) == EXIT_ERROR
+        assert "write-only" in capsys.readouterr().err
+
+    def test_unknown_output_extension_is_rejected(self, tmp_path, stored_pair, capsys):
+        first, _second = stored_pair
+        assert main(["convert", first, str(tmp_path / "copy.xml")]) == EXIT_ERROR
+        assert "unsupported extension" in capsys.readouterr().err
+
+
+class TestExitCodeContract:
+    """The documented 0 / 1 / 2 contract across commands."""
+
+    def test_check_contract(self, stored_pair):
+        first, second = stored_pair
+        assert main(["check", first, first, "--notion", "strong"]) == 0
+        assert main(["check", first, second, "--notion", "observational"]) == EXIT_INEQUIVALENT
+        assert main(["check", first, str(Path(first).parent / "missing.json")]) == EXIT_ERROR
+
+    def test_expr_contract(self):
+        assert main(["expr", "a + b", "b + a"]) == 0
+        assert main(["expr", "a.(b + c)", "a.b + a.c"]) == EXIT_INEQUIVALENT
+        assert main(["expr", "a + ", "a"]) == EXIT_ERROR
+
+    def test_unknown_notion_is_a_usage_error(self, stored_pair):
+        first, second = stored_pair
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", first, second, "--notion", "telepathic"])
+        assert excinfo.value.code == EXIT_ERROR
+
+    def test_explain_prints_a_witness(self, stored_pair, capsys):
+        first, second = stored_pair
+        code = main(["check", first, second, "--notion", "observational", "--explain", "--stats"])
+        assert code == EXIT_INEQUIVALENT
+        out = capsys.readouterr().out
+        assert "witness:" in out
+        assert "stats:" in out
+
+
+class TestConvertRoundTrip:
+    def test_json_aut_json_round_trip_preserves_behaviour(self, tmp_path):
+        """.aut renames states to integers but keeps structure and acceptance."""
+        from repro.equivalence.strong import strongly_equivalent_processes
+
+        original = from_transitions(
+            [("p", "a", "q"), ("q", "b", "p"), ("q", "a", "q")],
+            start="p",
+            accepting=["q"],
+        )
+        source = tmp_path / "orig.json"
+        via_aut = tmp_path / "copy.aut"
+        back = tmp_path / "back.json"
+        serialization.dump(original, source)
+        assert main(["convert", str(source), str(via_aut)]) == 0
+        assert main(["convert", str(via_aut), str(back)]) == 0
+        reloaded = load_process(back)
+        assert reloaded.num_states == original.num_states
+        assert reloaded.num_transitions == original.num_transitions
+        assert len(reloaded.accepting_states()) == len(original.accepting_states())
+        assert strongly_equivalent_processes(original, reloaded)
+
+    def test_json_to_dot_renders_all_transitions(self, tmp_path):
+        original = from_transitions(
+            [("p", "a", "q"), ("q", "b", "p")], start="p", all_accepting=True
+        )
+        source = tmp_path / "orig.json"
+        dot_path = tmp_path / "graph.dot"
+        serialization.dump(original, source)
+        assert main(["convert", str(source), str(dot_path)]) == 0
+        rendered = dot_path.read_text(encoding="utf-8")
+        assert rendered.startswith("digraph")
+        assert rendered.count("->") >= original.num_transitions
+
+
+class TestBatch:
+    @pytest.fixture
+    def manifest(self, tmp_path, stored_pair):
+        first, second = stored_pair
+        checks = [
+            {"left": Path(first).name, "right": Path(second).name, "notion": "language"},
+            {"left": Path(first).name, "right": Path(second).name, "notion": "observational"},
+            {"left": Path(first).name, "right": Path(first).name},
+        ]
+        path = Path(first).parent / "manifest.json"
+        path.write_text(json.dumps({"checks": checks}), encoding="utf-8")
+        return path
+
+    def test_batch_reports_every_check_and_exit_one_on_any_inequivalence(self, manifest, capsys):
+        assert main(["batch", str(manifest)]) == EXIT_INEQUIVALENT
+        out = capsys.readouterr().out
+        assert out.count("equivalent") >= 3
+        assert "batch: 3 checks" in out
+
+    def test_batch_all_equivalent_exits_zero(self, tmp_path, stored_pair, capsys):
+        first, _second = stored_pair
+        path = tmp_path / "ok.json"
+        path.write_text(
+            json.dumps([{"left": first, "right": first, "notion": "strong"}]),
+            encoding="utf-8",
+        )
+        assert main(["batch", str(path)]) == 0
+        assert "1 equivalent" in capsys.readouterr().out
+
+    def test_batch_writes_structured_results(self, manifest, tmp_path, capsys):
+        output = tmp_path / "results.json"
+        main(["batch", str(manifest), "--output", str(output)])
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["summary"]["checks"] == 3
+        assert [row["notion"] for row in payload["results"]] == [
+            "language",
+            "observational",
+            "observational",
+        ]
+        assert all("seconds" in row for row in payload["results"])
+
+    def test_unknown_notion_parameter_is_an_input_error(self, tmp_path, stored_pair, capsys):
+        first, _second = stored_pair
+        bad = tmp_path / "bad-param.json"
+        bad.write_text(
+            json.dumps([{"left": first, "right": first, "notion": "strong", "depth": 3}]),
+            encoding="utf-8",
+        )
+        assert main(["batch", str(bad)]) == EXIT_ERROR
+        assert "does not accept" in capsys.readouterr().err
+
+    def test_malformed_manifest_is_an_input_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"checks": [{"left": "only.json"}]}), encoding="utf-8")
+        assert main(["batch", str(bad)]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_list_manifest_is_an_input_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "a manifest"}), encoding="utf-8")
+        assert main(["batch", str(bad)]) == EXIT_ERROR
+        assert "manifest" in capsys.readouterr().err

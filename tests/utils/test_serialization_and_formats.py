@@ -21,6 +21,51 @@ def sample_process():
     )
 
 
+class TestProcessFileDispatch:
+    """Extension-dispatched loading/saving with unknown-extension rejection."""
+
+    def test_json_dispatch_round_trip(self, sample_process, tmp_path):
+        path = tmp_path / "process.json"
+        serialization.save_process_file(sample_process, path)
+        assert serialization.load_process_file(path) == sample_process
+
+    def test_aut_dispatch_preserves_acceptance(self, sample_process, tmp_path):
+        path = tmp_path / "process.aut"
+        serialization.save_process_file(sample_process, path)
+        reloaded = serialization.load_process_file(path)
+        assert len(reloaded.accepting_states()) == len(sample_process.accepting_states())
+        assert reloaded.num_transitions == sample_process.num_transitions
+
+    def test_plain_aut_loads_as_restricted(self, tmp_path):
+        path = tmp_path / "plain.aut"
+        path.write_text('des (0, 1, 2)\n(0, "a", 1)\n', encoding="utf-8")
+        reloaded = serialization.load_process_file(path)
+        assert reloaded.accepting_states() == reloaded.states
+
+    def test_dot_dispatch_writes_but_never_reads(self, sample_process, tmp_path):
+        path = tmp_path / "process.dot"
+        serialization.save_process_file(sample_process, path)
+        assert path.read_text(encoding="utf-8").startswith("digraph")
+        with pytest.raises(InvalidProcessError, match="write-only"):
+            serialization.load_process_file(path)
+
+    @pytest.mark.parametrize("name", ["process.xml", "process.yaml", "process"])
+    def test_unknown_extensions_rejected_with_format_list(self, name, tmp_path):
+        path = tmp_path / name
+        path.write_text("whatever", encoding="utf-8")
+        with pytest.raises(InvalidProcessError, match="loadable formats"):
+            serialization.load_process_file(path)
+
+    def test_unknown_save_extension_rejected(self, sample_process, tmp_path):
+        with pytest.raises(InvalidProcessError, match="supported formats"):
+            serialization.save_process_file(sample_process, tmp_path / "out.xml")
+
+    def test_extensions_are_case_insensitive(self, sample_process, tmp_path):
+        path = tmp_path / "process.JSON"
+        serialization.save_process_file(sample_process, path)
+        assert serialization.load_process_file(path) == sample_process
+
+
 class TestJsonSerialization:
     def test_round_trip(self, sample_process):
         assert serialization.loads(serialization.dumps(sample_process)) == sample_process
