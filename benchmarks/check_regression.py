@@ -17,7 +17,12 @@ the committed ``benchmarks/baseline_expectations.json``:
 * the engine-cache speedup floor (``check_many`` on a shared engine at least
   ``engine_speedup_floor`` times faster than the cold free-function loop on
   the repeated-pair manifest) fails the gate when not met, as does a
-  disagreement between the two routes.
+  disagreement between the two routes;
+* the service throughput floor (the sharded pool at least
+  ``service_speedup_floor`` times faster than one shard on the 500-check
+  mixed-notion manifest -- shard-affinity cache residency plus, on
+  multi-core hosts, parallelism) fails the gate when not met, as does any
+  disagreement between the sharded and single-shard answers.
 
 The hardware normaliser is the median of ``current / expected`` over all
 shared cells: a uniformly slower CI machine shifts every ratio equally and is
@@ -59,7 +64,7 @@ def cell_key(record: dict) -> str:
 def collect_cells(payload: dict) -> dict[str, float]:
     """Flatten all trajectory sections to ``solver|family|n -> seconds``."""
     cells: dict[str, float] = {}
-    for section in ("records", "weak_records", "engine_records"):
+    for section in ("records", "weak_records", "engine_records", "service_records"):
         for record in payload.get(section, []):
             key = cell_key(record)
             seconds = float(record["seconds"])
@@ -115,6 +120,21 @@ def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[
                 f"below the committed floor of {float(engine_floor):.1f}x"
             )
 
+    service_floor = baseline.get("service_speedup_floor")
+    if service_floor is not None:
+        if not meta.get("service_routes_agree", False):
+            failures.append(
+                "service_routes_agree is not true -- sharded answers differ from single-shard"
+            )
+        service_speedup = meta.get("speedup_service_4shards_vs_1shard")
+        if service_speedup is None:
+            failures.append("no service-throughput speedup recorded in this run")
+        elif float(service_speedup) < float(service_floor):
+            failures.append(
+                f"service sharded-throughput speedup is {float(service_speedup):.2f}x, "
+                f"below the committed floor of {float(service_floor):.1f}x"
+            )
+
     speedups = weak_speedups(payload)
     for family, rule in baseline.get("weak_speedup_floors", {}).items():
         floor, min_n = float(rule["floor"]), int(rule["min_n"])
@@ -162,6 +182,7 @@ def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
             },
         ),
         "engine_speedup_floor": previous.get("engine_speedup_floor", 5.0),
+        "service_speedup_floor": previous.get("service_speedup_floor", 2.5),
     }
     baseline_path.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {baseline_path} ({len(baseline['cells'])} cells)")

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -47,6 +48,7 @@ if str(BENCH_DIR) not in sys.path:
     sys.path.insert(0, str(BENCH_DIR))
 
 import bench_engine_cache  # noqa: E402
+import bench_service  # noqa: E402
 from seed_baseline import seed_kanellakis_smolka  # noqa: E402
 
 from repro.core.derivatives import saturate_reference  # noqa: E402
@@ -238,6 +240,28 @@ def run_engine_trajectory(repeats: int) -> tuple[list[dict], float, bool]:
     return records, speedup, agree
 
 
+def run_service_trajectory(repeats: int) -> tuple[list[dict], float, bool, dict]:
+    """The service section: the 500-check manifest at 1 vs 4 shards.
+
+    Delegates to :mod:`bench_service`; the records use the shared
+    ``solver|family|n`` schema so the regression gate covers them, and the
+    returned speedup feeds ``meta.speedup_service_4shards_vs_1shard`` (gated
+    against the committed ``service_speedup_floor``).
+    """
+    records, speedup, agree, workload = bench_service.run_cells(repeats=repeats)
+    for record in records:
+        print(
+            f"  {record['family']:18s} n={record['n']:5d} {record['solver']:28s} "
+            f"{record['seconds'] * 1000:9.2f} ms"
+        )
+    if not agree:
+        print(
+            "ERROR: sharded service answers differ from the single-shard answers",
+            file=sys.stderr,
+        )
+    return records, speedup, agree, workload
+
+
 def speedup_summary(records: list[dict]) -> dict:
     """Per (family, n): seed seconds / kernel kanellakis_smolka seconds."""
     cells: dict[tuple[str, int], dict[str, float]] = {}
@@ -306,6 +330,11 @@ def main(argv: list[str] | None = None) -> int:
     print("engine-cache trajectory: check_many (cached) vs cold free-function loop")
     engine_records, engine_speedup, engine_agree = run_engine_trajectory(repeats)
 
+    print("service trajectory: 500-check manifest, sharded pool vs single shard")
+    service_records, service_speedup, service_agree, service_workload = run_service_trajectory(
+        repeats
+    )
+
     statuses: dict[str, str] = {}
     if not args.skip_pytest:
         print("pytest benchmark modules:")
@@ -328,11 +357,16 @@ def main(argv: list[str] | None = None) -> int:
             "speedup_weak_kernel_vs_dict_saturation": weak_speedups,
             "engine_routes_agree": engine_agree,
             "speedup_engine_cached_vs_cold": engine_speedup,
+            "service_routes_agree": service_agree,
+            "speedup_service_4shards_vs_1shard": service_speedup,
+            "service_workload": service_workload,
+            "service_cpu_count": os.cpu_count(),
             "bench_modules": statuses,
         },
         "records": records,
         "weak_records": weak_records,
         "engine_records": engine_records,
+        "service_records": service_records,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
@@ -346,6 +380,10 @@ def main(argv: list[str] | None = None) -> int:
         row = "  ".join(f"n={n}: {ratio:.1f}x" for n, ratio in by_n.items())
         print(f"  {family:18s} {row}")
     print(f"engine speedup (cached check_many vs cold free-function loop): {engine_speedup:.1f}x")
+    print(
+        f"service speedup (4 shards vs 1 shard, 500-check manifest): {service_speedup:.2f}x "
+        f"on {os.cpu_count()} CPU(s)"
+    )
     skipped_all = skipped + weak_skipped
     if skipped_all:
         print(f"skipped {len(skipped_all)} trajectory cells: " + "; ".join(skipped_all))
@@ -353,7 +391,8 @@ def main(argv: list[str] | None = None) -> int:
     failed_modules = [name for name, status in statuses.items() if status == "failed"]
     if failed_modules:
         print(f"FAILED bench modules: {failed_modules}", file=sys.stderr)
-    return 0 if agree and weak_agree and engine_agree and not failed_modules else 1
+    healthy = agree and weak_agree and engine_agree and service_agree and not failed_modules
+    return 0 if healthy else 1
 
 
 if __name__ == "__main__":

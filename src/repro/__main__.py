@@ -1,4 +1,9 @@
-"""Module entry point so that ``python -m repro`` dispatches to the CLI."""
+"""Module entry point so that ``python -m repro`` dispatches to the CLI.
+
+Every subcommand of :mod:`repro.cli` is reachable this way, including the
+long-running service (``python -m repro serve``) and its client
+(``python -m repro client ...``).
+"""
 
 from __future__ import annotations
 

@@ -14,6 +14,8 @@ the list of supported formats):
 ``convert``       convert between JSON, ``.aut`` and DOT
 ``expr``          decide the CCS equivalence problem for two star expressions
 ``ccs``           compile a CCS term (with optional definitions file) to a process
+``serve``         run the sharded equivalence service (:mod:`repro.service`)
+``client``        talk to a running service (ping/store/check/stats/...)
 
 The ``--notion`` choices are read from the engine's notion registry, so
 notions registered by plugins are immediately available.  Every command
@@ -198,6 +200,117 @@ def _cmd_ccs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    # None means "use the per-shard defaults documented in repro.service.shards"
+    # (the parser cannot name them without importing the full service stack).
+    bounds = {
+        name: value
+        for name, value in (
+            ("max_processes", args.max_processes),
+            ("max_verdicts", args.max_verdicts),
+        )
+        if value is not None
+    }
+    serve(args.host, args.port, store_root=args.store, num_shards=args.shards, **bounds)
+    return 0
+
+
+def _client_source(token: str):
+    """A CLI process argument: a ``sha256:...`` digest or a process file."""
+    if token.startswith("sha256:"):
+        return token
+    return load_process(token)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service import ProtocolError, ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            return _run_client_op(client, args)
+    except (ServiceError, ProtocolError) as error:
+        # ServiceError: the server rejected the request (its code says why).
+        # ProtocolError: the peer is not speaking NDJSON or vanished
+        # mid-request.  Both are input/environment errors in CLI terms.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except FileNotFoundError as error:
+        # A missing local process file, not a network problem.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except ConnectionRefusedError:
+        print(
+            f"error: no service listening on {args.host}:{args.port} "
+            f"(start one with `repro serve`)",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    except OSError as error:
+        # Timeouts, resets, unreachable hosts: environment errors, exit 2.
+        print(f"error: cannot talk to {args.host}:{args.port}: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+def _run_client_op(client, args: argparse.Namespace) -> int:
+    if args.client_op == "ping":
+        info = client.ping()
+        print(f"service {info['version']} up, {info['shards']} shard(s)")
+        return 0
+    if args.client_op == "store":
+        digest = client.store(load_process(args.process))
+        print(digest)
+        return 0
+    if args.client_op == "check":
+        verdict = client.check(
+            _client_source(args.first),
+            _client_source(args.second),
+            args.notion,
+            witness=args.explain,
+            **_notion_params(args),
+        )
+        answer = "equivalent" if verdict["equivalent"] else "NOT equivalent"
+        print(
+            f"{args.first} and {args.second} are {answer} under {verdict['notion']} "
+            f"equivalence (shard {verdict['shard']})"
+        )
+        if args.explain and verdict.get("witness"):
+            print(f"  witness: {verdict['witness']}")
+        return 0 if verdict["equivalent"] else EXIT_INEQUIVALENT
+    if args.client_op == "minimize":
+        minimal = client.minimize(_client_source(args.process), args.notion)
+        save_process(minimal, args.output)
+        print(f"minimised to {minimal.num_states} states; written to {args.output}")
+        return 0
+    if args.client_op == "classify":
+        for name in client.classify(_client_source(args.process)):
+            print(f"  {name}")
+        return 0
+    if args.client_op == "stats":
+        stats = client.stats()
+        server = stats["server"]
+        print(
+            f"service {server['version']}: {server['shards']} shard(s), "
+            f"{server['requests']} request(s), {server['connections']} connection(s), "
+            f"{server['revivals']} worker revival(s)"
+        )
+        store = server["store"]
+        print(
+            f"  store: {store['on_disk']} process(es) on disk, "
+            f"{store['cached']}/{store['max_cached']} cached in memory"
+        )
+        for shard in stats["shards"]:
+            engine = shard["engine"]
+            print(
+                f"  shard {shard['shard']} (pid {shard['pid']}): {shard['checks']} check(s), "
+                f"{engine['processes']} process(es) / {engine['verdicts']} verdict(s) cached, "
+                f"{engine['hits']} hit(s) / {engine['misses']} miss(es)"
+            )
+        return 0
+    raise ValueError(f"unhandled client op {args.client_op!r}")  # pragma: no cover
+
+
 def _add_verdict_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--explain",
@@ -279,6 +392,79 @@ def build_parser() -> argparse.ArgumentParser:
     ccs_cmd.add_argument("--output", help="write the compiled process here")
     ccs_cmd.add_argument("--max-states", type=int, default=10_000)
     ccs_cmd.set_defaults(handler=_cmd_ccs)
+
+    # Deliberately the lightweight protocol module: pulling in the full
+    # service stack (asyncio server, process pools) at parse time would tax
+    # every CLI invocation; serve/client import it lazily in their handlers.
+    from repro.service.protocol import DEFAULT_PORT
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the sharded equivalence service (line-delimited JSON over TCP)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve_cmd.add_argument(
+        "--shards", type=int, default=None, help="worker processes (default: one per CPU)"
+    )
+    serve_cmd.add_argument(
+        "--store",
+        default=None,
+        help="directory of the content-addressed process store (default: private temp dir)",
+    )
+    serve_cmd.add_argument(
+        "--max-processes",
+        type=int,
+        default=None,
+        help="per-shard engine process-cache bound (default: the engine's)",
+    )
+    serve_cmd.add_argument(
+        "--max-verdicts",
+        type=int,
+        default=None,
+        help="per-shard engine verdict-cache bound (default: the engine's)",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    client_cmd = commands.add_parser(
+        "client", help="talk to a running service (see `repro serve`)"
+    )
+    client_cmd.add_argument("--host", default="127.0.0.1")
+    client_cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
+    client_ops = client_cmd.add_subparsers(dest="client_op", required=True)
+
+    client_ops.add_parser("ping", help="liveness probe")
+
+    client_store = client_ops.add_parser(
+        "store", help="upload a process once; prints its sha256 digest"
+    )
+    client_store.add_argument("process", help="process file (.json or .aut)")
+
+    client_check = client_ops.add_parser(
+        "check", help="decide an equivalence on the service (files or sha256: digests)"
+    )
+    client_check.add_argument("first", help="process file or sha256:... digest")
+    client_check.add_argument("second", help="process file or sha256:... digest")
+    client_check.add_argument(
+        "--notion", choices=list(available_notions()), default="observational"
+    )
+    client_check.add_argument("--k", type=int, default=1, help="level for k-observational")
+    client_check.add_argument(
+        "--explain", action="store_true", help="request and print a witness on inequivalence"
+    )
+
+    client_minimize = client_ops.add_parser("minimize", help="minimise on the service")
+    client_minimize.add_argument("process", help="process file or sha256:... digest")
+    client_minimize.add_argument("output")
+    client_minimize.add_argument(
+        "--notion", choices=["strong", "observational"], default="observational"
+    )
+
+    client_classify = client_ops.add_parser("classify", help="classify on the service")
+    client_classify.add_argument("process", help="process file or sha256:... digest")
+
+    client_ops.add_parser("stats", help="server totals and per-shard cache statistics")
+
+    client_cmd.set_defaults(handler=_cmd_client)
 
     return parser
 

@@ -20,6 +20,28 @@ solvers in :mod:`repro.partition` actually run on:
 ``LTS.from_fsp`` / ``LTS.to_fsp`` bridge between the two worlds; the
 round-trip is exact whenever tau-transitions are kept (``include_tau=True``,
 the default).
+
+Example
+-------
+
+>>> from repro.core.fsp import from_transitions
+>>> process = from_transitions(
+...     [("p", "a", "q"), ("q", "b", "p")],
+...     start="p", accepting=["q"], alphabet={"a", "b"},
+... )
+>>> from repro.core.lts import LTS
+>>> kernel = LTS.from_fsp(process)
+>>> kernel.n, kernel.num_transitions
+(2, 2)
+>>> kernel.state_names[kernel.start]
+'p'
+>>> sorted(
+...     (kernel.state_names[s], kernel.action_names[a], kernel.state_names[t])
+...     for s, a, t in kernel.arcs()
+... )
+[('p', 'a', 'q'), ('q', 'b', 'p')]
+>>> kernel.to_fsp() == process
+True
 """
 
 from __future__ import annotations

@@ -36,6 +36,30 @@ tau-dense inputs) -- compare the reference route's ``O(n * (n + m))`` hashed
 set operations *plus* an ``O(m_hat)`` pass through FSP validation and
 re-interning.  ``BENCH_partition.json``'s weak section records the measured
 gap on the tau-heavy generator families.
+
+Example
+-------
+
+On ``p -tau-> q -a-> r`` the weak layer sees through the internal move: the
+tau-closure of ``p`` contains ``q``, so ``p`` has the weak ``a``-transition
+``p =>^a r``, and saturation replaces the tau arc with explicit
+``epsilon``-arcs (one per closure pair, reflexive included):
+
+>>> from repro.core.fsp import from_transitions
+>>> process = from_transitions(
+...     [("p", "τ", "q"), ("q", "a", "r")],
+...     start="p", accepting=["p", "q", "r"], alphabet={"a"},
+... )
+>>> from repro.core.lts import LTS
+>>> from repro.core.weak import WeakKernel, saturate_lts
+>>> kernel = WeakKernel.from_fsp(process)
+>>> sorted(kernel.epsilon_closure("p"))
+['p', 'q']
+>>> sorted(kernel.weak_successors("p", "a"))
+['r']
+>>> saturated = saturate_lts(LTS.from_fsp(process, include_tau=True))
+>>> saturated.num_transitions, sorted(saturated.action_names)
+(6, ['a', 'ε'])
 """
 
 from __future__ import annotations

@@ -1,18 +1,36 @@
 """The engine facade: cached process handles, pluggable notions, verdicts.
 
 This package is the recommended entry point for repeated equivalence
-queries::
+queries.  ``quick`` below buys with one ``coin``; ``lazy`` takes an internal
+``tau`` step afterwards -- observationally the same machine, strongly not:
 
-    from repro.engine import Engine
-
-    engine = Engine()
-    verdict = engine.check(p, q, "observational")
-    if not verdict:
-        print(verdict.witness.describe())
+>>> from repro import from_transitions
+>>> quick = from_transitions(
+...     [("p0", "coin", "p1")],
+...     start="p0", accepting=["p0", "p1"], alphabet={"coin"},
+... )
+>>> lazy = from_transitions(
+...     [("q0", "coin", "q1"), ("q1", "τ", "q2")],
+...     start="q0", accepting=["q0", "q1", "q2"], alphabet={"coin"},
+... )
+>>> from repro.engine import Engine
+>>> engine = Engine()
+>>> engine.check(quick, lazy, "observational").equivalent
+True
+>>> verdict = engine.check(quick, lazy, "strong")
+>>> verdict.equivalent
+False
+>>> verdict.witness is not None  # a checkable HML certificate
+True
+>>> engine.check(quick, lazy, "strong").stats.from_cache  # repeats are O(1)
+True
+>>> engine.minimize(lazy, "observational").num_states
+2
 
 See :class:`Engine` (caching facade), :class:`Process` (per-process artifact
 cache), :class:`Verdict` (structured answers with checkable witnesses) and
-:mod:`repro.engine.notions` (the pluggable notion registry).
+:mod:`repro.engine.notions` (the pluggable notion registry); for the network
+layer on top of this facade see :mod:`repro.service`.
 """
 
 from repro.engine.engine import (

@@ -337,6 +337,29 @@ class Engine:
             "misses": self._misses,
         }
 
+    def export_stats(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot of this engine's caches.
+
+        Extends :meth:`cache_info` with the configured bounds and one row per
+        cached process handle (sizes plus which derived artifacts have been
+        materialised).  This is what a service worker ships back for the
+        ``stats`` RPC, so operators can see whether a shard's cache actually
+        stays hot for its routed processes.
+        """
+        return {
+            **self.cache_info(),
+            "max_processes": self.max_processes,
+            "max_verdicts": self.max_verdicts,
+            "process_artifacts": [
+                {
+                    "states": handle.num_states,
+                    "transitions": handle.num_transitions,
+                    "artifacts": handle.artifact_summary(),
+                }
+                for handle in self._processes.values()
+            ],
+        }
+
     def clear(self) -> None:
         """Drop all cached handles and verdicts (counters included)."""
         self._processes.clear()

@@ -177,6 +177,22 @@ class Process:
         return self._language_dfa
 
     # ------------------------------------------------------------------
+    # pickling (worker shipping)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> FSP:
+        """Pickle only the FSP: snapshots shipped to workers stay lean.
+
+        Derived artifacts (CSR arrays, bitset kernels, partitions) can dwarf
+        the FSP itself and are cheaper to rebuild in the receiving process
+        than to serialise, so a pickled handle carries just its immutable
+        FSP; every cache refills lazily on first use after unpickling.
+        """
+        return self.fsp
+
+    def __setstate__(self, fsp: FSP) -> None:
+        self.__init__(fsp)
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property

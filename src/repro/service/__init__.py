@@ -1,0 +1,69 @@
+"""The async equivalence service: shard workers behind an NDJSON socket API.
+
+This package turns the in-process :mod:`repro.engine` facade into a
+long-lived network service:
+
+* :mod:`repro.service.protocol` -- the newline-delimited-JSON wire format,
+  error vocabulary and process-reference encoding (one module shared by
+  server, client and tests; prose spec in ``docs/service-protocol.md``);
+* :mod:`repro.service.store` -- :class:`ProcessStore`, the content-addressed
+  on-disk process store (upload once, reference by ``sha256:...`` digest);
+* :mod:`repro.service.shards` -- :class:`ShardPool`, single-worker process
+  executors with digest-sticky routing, per-worker bounded engines, and
+  crash recovery;
+* :mod:`repro.service.server` -- :class:`EquivalenceServer` /
+  :func:`serve`, the asyncio front end (``repro serve`` on the CLI);
+* :mod:`repro.service.client` -- :class:`ServiceClient`, the synchronous
+  client (``repro client`` on the CLI).
+
+Quick start (two terminals)::
+
+    $ python -m repro serve --port 8319 --shards 4 --store /tmp/repro-store
+
+    >>> from repro.service import ServiceClient          # doctest: +SKIP
+    >>> client = ServiceClient(port=8319)                # doctest: +SKIP
+    >>> digest = client.store(my_process)                # doctest: +SKIP
+    >>> client.check(digest, other_process)["equivalent"]  # doctest: +SKIP
+"""
+
+import importlib
+from typing import Any
+
+__all__ = [
+    "DEFAULT_PORT",
+    "EquivalenceServer",
+    "ProcessStore",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ShardPool",
+    "serve",
+]
+
+#: Exported name -> defining submodule.  Resolution is lazy (PEP 562) so
+#: that importing the lightweight pieces -- the CLI parser only needs
+#: ``protocol.DEFAULT_PORT`` -- does not drag in the asyncio server and the
+#: multiprocessing pool machinery.
+_EXPORTS = {
+    "DEFAULT_PORT": "repro.service.protocol",
+    "ProtocolError": "repro.service.protocol",
+    "ServiceError": "repro.service.protocol",
+    "ProcessStore": "repro.service.store",
+    "ShardPool": "repro.service.shards",
+    "EquivalenceServer": "repro.service.server",
+    "serve": "repro.service.server",
+    "ServiceClient": "repro.service.client",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,174 @@
+"""A small synchronous client for the equivalence service.
+
+:class:`ServiceClient` speaks the NDJSON protocol of
+:mod:`repro.service.protocol` over one TCP connection.  It is deliberately
+synchronous -- the CLI, tests and most scripts want a blocking call per
+question -- and deliberately thin: requests go out, responses come back, and
+``ok: false`` responses are raised as
+:class:`~repro.service.protocol.ServiceError` with their error code intact.
+
+The idiomatic heavy-traffic shape is *store once, check by digest*::
+
+    with ServiceClient(port=8319) as client:
+        digest = client.store(big_process)          # upload once
+        for candidate in candidates:                # then reference forever
+            answer = client.check(digest, candidate, "observational")
+            print(answer["equivalent"], answer["shard"])
+
+Digest references keep the per-check payload tiny and -- because the server
+routes checks by the left process's digest -- every one of these checks
+lands on the shard whose engine already holds ``big_process`` hot.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.core.fsp import FSP
+from repro.service import protocol
+from repro.service.protocol import DEFAULT_PORT
+from repro.utils.serialization import from_dict
+
+#: Reference shapes accepted everywhere a process goes: an FSP (inlined), a
+#: ``sha256:...`` digest string, or an already-serialised FSP dict.
+ProcessLike = FSP | str | dict
+
+
+class ServiceClient:
+    """One connection to a running equivalence service."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float | None = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, op: str, params: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Send one request and block for its response.
+
+        Raises
+        ------
+        ServiceError
+            If the server answered ``ok: false``.
+        ProtocolError
+            If the response could not be parsed, or the connection died.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        self._socket.sendall(protocol.request_frame(request_id, op, params))
+        line = self._reader.readline(protocol.MAX_FRAME_BYTES + 2)
+        if not line:
+            raise protocol.ProtocolError("server closed the connection")
+        if not line.endswith(b"\n"):
+            raise protocol.ProtocolError("response frame exceeds the size limit")
+        response_id, result = protocol.parse_response(line)
+        if response_id != request_id:
+            raise protocol.ProtocolError(
+                f"response id {response_id!r} does not match request id {request_id!r}"
+            )
+        return result
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        """Liveness probe; returns the server's version and shard count."""
+        return self.request("ping")
+
+    def store(self, process: FSP | dict) -> str:
+        """Upload a process; returns its content digest for later references."""
+        ref = protocol.process_ref(process)
+        return self.request("store", {"process": ref["process"]})["digest"]
+
+    def check(
+        self,
+        left: ProcessLike,
+        right: ProcessLike,
+        notion: str = "observational",
+        *,
+        align: bool = True,
+        witness: bool = False,
+        **params: Any,
+    ) -> dict[str, Any]:
+        """Decide one equivalence; returns the serialised verdict dict."""
+        return self.request(
+            "check",
+            {
+                "left": protocol.process_ref(left),
+                "right": protocol.process_ref(right),
+                "notion": notion,
+                "align": align,
+                "witness": witness,
+                "params": params,
+            },
+        )
+
+    def check_many(
+        self,
+        checks: list[tuple | dict],
+        *,
+        notion: str = "observational",
+        align: bool = True,
+        witness: bool = False,
+    ) -> dict[str, Any]:
+        """Run a manifest of checks; returns ``{"results": [...], "summary": {...}}``.
+
+        Each entry is ``(left, right)``, ``(left, right, notion)``, or a dict
+        with ``left`` / ``right`` / optional ``notion`` / ``params``.
+        """
+        encoded = []
+        for index, item in enumerate(checks):
+            if isinstance(item, dict):
+                entry = dict(item)
+                entry["left"] = protocol.process_ref(entry["left"])
+                entry["right"] = protocol.process_ref(entry["right"])
+            elif isinstance(item, (tuple, list)) and len(item) in (2, 3):
+                entry = {
+                    "left": protocol.process_ref(item[0]),
+                    "right": protocol.process_ref(item[1]),
+                }
+                if len(item) == 3:
+                    entry["notion"] = item[2]
+            else:
+                raise ValueError(
+                    f"check #{index} must be (left, right[, notion]) or a mapping"
+                )
+            encoded.append(entry)
+        return self.request(
+            "check_many",
+            {"checks": encoded, "notion": notion, "align": align, "witness": witness},
+        )
+
+    def minimize(self, process: ProcessLike, notion: str = "observational") -> FSP:
+        """The quotient of a process under strong/observational equivalence."""
+        result = self.request(
+            "minimize", {"process": protocol.process_ref(process), "notion": notion}
+        )
+        return from_dict(result["process"])
+
+    def classify(self, process: ProcessLike) -> list[str]:
+        """The model classes of a process (Fig. 1a hierarchy), as strings."""
+        return self.request("classify", {"process": protocol.process_ref(process)})["classes"]
+
+    def stats(self) -> dict[str, Any]:
+        """Server totals plus per-shard engine/store cache statistics."""
+        return self.request("stats")

@@ -1,0 +1,377 @@
+"""The asyncio equivalence server: NDJSON RPCs fanned out over shard workers.
+
+:class:`EquivalenceServer` owns one :class:`~repro.service.store.ProcessStore`
+(where ``store`` uploads land) and one
+:class:`~repro.service.shards.ShardPool` (where every check, minimisation and
+classification actually runs).  The asyncio side never computes anything --
+each connection is a cheap coroutine that parses frames, routes jobs to the
+pool, and streams responses back -- so thousands of idle connections cost
+almost nothing and the CPU-bound work saturates the worker processes.
+
+Requests on one connection are answered in order (clients may pipeline);
+``check_many`` fans its specs out across shards concurrently and reassembles
+the results in manifest order, reporting per-check errors inline so one bad
+spec cannot poison a 10,000-check batch.
+
+See ``docs/service-protocol.md`` for the wire format and a copy-pasteable
+session, and :mod:`repro.service.client` for the matching client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from typing import Any
+
+from repro import __version__
+from repro.service import protocol
+from repro.service.protocol import DEFAULT_PORT
+from repro.service.shards import (
+    DEFAULT_MAX_PROCESSES,
+    DEFAULT_MAX_VERDICTS,
+    ShardPool,
+    _worker_check,
+    _worker_classify,
+    _worker_minimize,
+)
+from repro.service.store import ProcessStore
+
+
+class EquivalenceServer:
+    """A line-delimited-JSON equivalence-checking server.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; port 0 picks a free port (see :attr:`port` after
+        :meth:`start`).
+    store_root:
+        Directory of the content-addressed process store, shared with every
+        shard worker.  None creates a private temporary directory that lives
+        as long as the server object.
+    num_shards:
+        Worker count of the shard pool (default: one per CPU).
+    max_processes, max_verdicts:
+        Per-shard engine cache bounds.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        store_root: str | None = None,
+        num_shards: int | None = None,
+        max_processes: int = DEFAULT_MAX_PROCESSES,
+        max_verdicts: int = DEFAULT_MAX_VERDICTS,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        if store_root is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-service-")
+            store_root = self._tempdir.name
+        # The front-end store only ever *writes* (digest resolution happens
+        # in the shard workers against their own instances), so a large
+        # in-memory cache here would just pin dead uploads.
+        self.store = ProcessStore(store_root, max_cached=8)
+        self.pool = ShardPool(
+            num_shards,
+            store_root,
+            max_processes=max_processes,
+            max_verdicts=max_verdicts,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections = 0
+        self._requests = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (updates :attr:`port`)."""
+        # Fork all shard workers before the loop gets busy (threads + fork
+        # do not mix; see ShardPool.warm_up) -- also moves the start-up cost
+        # out of the first request's latency.  Deliberately synchronous: a
+        # helper thread here would itself widen the fork window.
+        self.pool.warm_up()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_FRAME_BYTES + 2,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro serve`` entry point)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.shutdown()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # StreamReader's limit tripped: the frame is over-long.
+                    writer.write(
+                        protocol.error_response(
+                            None, protocol.BAD_REQUEST, "frame exceeds the size limit"
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # EOF: client closed the connection
+                if line.strip() == b"":
+                    continue
+                writer.write(await self._respond(line))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client vanished
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with this connection open.  Returning normally
+            # (instead of propagating) keeps asyncio.streams' connection
+            # callback from logging a spurious traceback per connection.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                # CancelledError: server shutdown with this connection open;
+                # the socket is already closed, a traceback would be noise.
+                pass
+
+    async def _respond(self, line: bytes) -> bytes:
+        """One request line in, one response line out (never raises)."""
+        request_id: Any = None
+        try:
+            document = protocol.decode_frame(line)
+            request_id = document.get("id")
+            op, params = protocol.validate_request(document)
+            self._requests += 1
+            result = await self._dispatch(op, params)
+            return protocol.ok_response(request_id, result)
+        except protocol.ProtocolError as error:
+            return protocol.error_response(request_id, protocol.BAD_REQUEST, str(error))
+        except protocol.ServiceError as error:
+            return protocol.error_response(request_id, error.code, error.message)
+        except Exception as error:  # last-resort guard: a bug must not kill the connection
+            return protocol.error_response(request_id, protocol.INTERNAL, repr(error))
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def _dispatch(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
+        if op == "ping":
+            return {"pong": True, "version": __version__, "shards": self.pool.num_shards}
+        if op == "store":
+            return await self._op_store(params)
+        if op == "check":
+            return await self._op_check(params)
+        if op == "check_many":
+            return await self._op_check_many(params)
+        if op == "minimize":
+            return await self._op_minimize(params)
+        if op == "classify":
+            return await self._op_classify(params)
+        if op == "stats":
+            return await self._op_stats()
+        raise protocol.ServiceError(protocol.UNKNOWN_OP, f"unhandled op {op!r}")  # unreachable
+
+    async def _op_store(self, params: dict[str, Any]) -> dict[str, Any]:
+        ref = params.get("process")
+        if ref is None:
+            raise protocol.ServiceError(
+                protocol.BAD_REQUEST, "store needs a 'process' (inline serialised FSP)"
+            )
+
+        def put() -> dict[str, Any]:
+            # Validation, digesting and the disk write are CPU/IO work; run
+            # them off the event loop so a large upload cannot stall other
+            # connections (the store's cache bookkeeping is lock-protected).
+            fsp = protocol.resolve_ref({"process": ref})
+            digest = self.store.put(fsp)
+            return {
+                "digest": digest,
+                "states": fsp.num_states,
+                "transitions": fsp.num_transitions,
+            }
+
+        return await asyncio.to_thread(put)
+
+    @staticmethod
+    def _check_spec(params: dict[str, Any], defaults: dict[str, Any]) -> dict[str, Any]:
+        """Normalise one check's parameters into a worker job spec."""
+        spec = {
+            "left": params.get("left"),
+            "right": params.get("right"),
+            "notion": params.get("notion", defaults.get("notion", "observational")),
+            "align": bool(params.get("align", defaults.get("align", True))),
+            "witness": bool(params.get("witness", defaults.get("witness", False))),
+            "params": params.get("params", {}),
+        }
+        if spec["left"] is None or spec["right"] is None:
+            raise protocol.ServiceError(
+                protocol.BAD_REQUEST, "a check needs 'left' and 'right' process references"
+            )
+        if not isinstance(spec["params"], dict):
+            raise protocol.ServiceError(protocol.BAD_REQUEST, "'params' must be a JSON object")
+        return spec
+
+    async def _op_check(self, params: dict[str, Any]) -> dict[str, Any]:
+        spec = self._check_spec(params, {})
+        shard = self.pool.route_check(spec)
+        return await self.pool.run_async(shard, _worker_check, spec)
+
+    async def _op_check_many(self, params: dict[str, Any]) -> dict[str, Any]:
+        checks = params.get("checks")
+        if not isinstance(checks, list):
+            raise protocol.ServiceError(
+                protocol.BAD_REQUEST, "check_many needs a 'checks' list of check objects"
+            )
+        defaults = {
+            "notion": params.get("notion", "observational"),
+            "align": params.get("align", True),
+            "witness": params.get("witness", False),
+        }
+        specs = []
+        for index, item in enumerate(checks):
+            if not isinstance(item, dict):
+                raise protocol.ServiceError(
+                    protocol.BAD_REQUEST, f"check #{index} must be an object"
+                )
+            specs.append(self._check_spec(item, defaults))
+
+        async def one(spec: dict[str, Any]) -> dict[str, Any]:
+            from concurrent.futures.process import BrokenProcessPool
+
+            try:
+                return await self.pool.run_async(self.pool.route_check(spec), _worker_check, spec)
+            except protocol.ServiceError as error:
+                # Per-check failure: reported inline, the batch continues.
+                return {"error": {"code": error.code, "message": error.message}}
+            except BrokenProcessPool:
+                # The spec killed its worker even after the revive-and-retry:
+                # report it inline rather than poisoning the whole batch.
+                return {
+                    "error": {
+                        "code": protocol.INTERNAL,
+                        "message": "worker process crashed while serving this check",
+                    }
+                }
+            except Exception as error:
+                # Any other worker-side failure (e.g. a corrupt store entry)
+                # is also confined to its own slot of the batch.
+                return {"error": {"code": protocol.INTERNAL, "message": repr(error)}}
+
+        results = await asyncio.gather(*(one(spec) for spec in specs))
+        equivalent = sum(1 for r in results if r.get("equivalent") is True)
+        failed = sum(1 for r in results if "error" in r)
+        return {
+            "results": list(results),
+            "summary": {
+                "checks": len(results),
+                "equivalent": equivalent,
+                "inequivalent": len(results) - equivalent - failed,
+                "failed": failed,
+            },
+        }
+
+    async def _op_minimize(self, params: dict[str, Any]) -> dict[str, Any]:
+        ref = params.get("process")
+        if ref is None:
+            raise protocol.ServiceError(
+                protocol.BAD_REQUEST, "minimize needs a 'process' reference"
+            )
+        notion = params.get("notion", "observational")
+        shard = self.pool.route_check({"left": ref})
+        return await self.pool.run_async(shard, _worker_minimize, ref, notion)
+
+    async def _op_classify(self, params: dict[str, Any]) -> dict[str, Any]:
+        ref = params.get("process")
+        if ref is None:
+            raise protocol.ServiceError(
+                protocol.BAD_REQUEST, "classify needs a 'process' reference"
+            )
+        shard = self.pool.route_check({"left": ref})
+        return await self.pool.run_async(shard, _worker_classify, ref)
+
+    async def _op_stats(self) -> dict[str, Any]:
+        from repro.service.shards import _worker_stats
+
+        shard_stats = await asyncio.gather(
+            *(
+                self.pool.run_async(shard, _worker_stats)
+                for shard in range(self.pool.num_shards)
+            )
+        )
+        return {
+            "server": {
+                "version": __version__,
+                "shards": self.pool.num_shards,
+                "connections": self._connections,
+                "requests": self._requests,
+                "revivals": self.pool.revivals,
+                "store": self.store.cache_info(),
+            },
+            "shards": list(shard_stats),
+        }
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    store_root: str | None = None,
+    num_shards: int | None = None,
+    max_processes: int = DEFAULT_MAX_PROCESSES,
+    max_verdicts: int = DEFAULT_MAX_VERDICTS,
+) -> None:
+    """Blocking entry point used by ``repro serve`` (Ctrl-C to stop)."""
+
+    async def main() -> None:
+        server = EquivalenceServer(
+            host,
+            port,
+            store_root=store_root,
+            num_shards=num_shards,
+            max_processes=max_processes,
+            max_verdicts=max_verdicts,
+        )
+        await server.start()
+        print(
+            f"repro service on {server.host}:{server.port} "
+            f"({server.pool.num_shards} shard(s), store at {server.store.root})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,349 @@
+"""The sharded worker pool: one single-process executor + engine per shard.
+
+Kanellakis-Smolka checks over independent pairs are embarrassingly parallel,
+but the engine's speed on server-style traffic comes from its *caches* --
+and a naive shared pool scatters each process's checks across workers, so
+every worker pays to compile the same artifacts.  A :class:`ShardPool`
+instead owns ``num_shards`` :class:`~concurrent.futures.ProcessPoolExecutor`
+instances of one worker process each, and routes every check by the content
+digest of its left process (:func:`repro.utils.serialization.content_digest`).
+The routing is therefore *sticky*: all checks touching a given process land
+on the same worker, whose private bounded :class:`~repro.engine.Engine`
+keeps that process's quotients, kernels and verdicts hot, while the shards
+together multiply both the usable CPU and the aggregate cache capacity.
+
+Worker lifecycle
+----------------
+
+Each worker is initialised (fork start method where available, so source
+checkouts and pre-imported state carry over cheaply) with its shard index,
+the shared read-only :class:`~repro.service.store.ProcessStore` root, and
+its engine's cache bounds.  Job payloads are plain dicts and the results are
+JSON-compatible dicts, so the inter-process traffic stays small; process
+*references* resolve inside the worker against the content-addressed store,
+which is exactly what lets a client upload a process once and check it
+thousands of times without re-shipping it.
+
+A crashed worker (OOM-killed, segfaulted C extension, ``os._exit``) breaks
+its executor; :meth:`ShardPool.run` and :meth:`ShardPool.run_async` revive
+the shard with a fresh executor -- the replacement worker starts with cold
+caches but the content-addressed store still has every uploaded process --
+and retry the job once before giving up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import multiprocessing
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+from repro.service import protocol
+from repro.service.store import ProcessStore
+
+try:  # pragma: no cover - always available on the supported platforms
+    _MP_CONTEXT = multiprocessing.get_context("fork")
+except ValueError:  # pragma: no cover - non-posix fallback
+    _MP_CONTEXT = multiprocessing.get_context()
+
+#: Default per-shard engine cache bounds (deliberately modest: the point of
+#: sharding is that each worker only needs to hold *its* slice of the
+#: working set, and per-worker memory is the budget operators actually set).
+DEFAULT_MAX_PROCESSES = 64
+DEFAULT_MAX_VERDICTS = 1024
+
+
+# ----------------------------------------------------------------------
+# worker-side state and job functions (top level: they must pickle)
+# ----------------------------------------------------------------------
+_WORKER: dict[str, Any] = {}
+
+
+def _init_worker(
+    shard_index: int,
+    store_root: str | None,
+    max_processes: int,
+    max_verdicts: int,
+) -> None:
+    """Executor initializer: one engine (and store view) per worker process."""
+    from repro.engine import Engine
+
+    _WORKER["shard"] = shard_index
+    _WORKER["engine"] = Engine(max_processes=max_processes, max_verdicts=max_verdicts)
+    _WORKER["store"] = ProcessStore(store_root) if store_root is not None else None
+    _WORKER["checks"] = 0
+
+
+def _worker_resolve(ref: Any):
+    return protocol.resolve_ref(ref, _WORKER.get("store"))
+
+
+def _check_failed(error: Exception) -> protocol.ServiceError:
+    return protocol.ServiceError(protocol.CHECK_FAILED, str(error))
+
+
+def _worker_check(spec: dict[str, Any]) -> dict[str, Any]:
+    """Run one check inside the worker; returns a JSON-compatible verdict."""
+    from repro.core.errors import ReproError
+
+    left = _worker_resolve(spec["left"])
+    right = _worker_resolve(spec["right"])
+    engine = _WORKER["engine"]
+    try:
+        verdict = engine.check(
+            left,
+            right,
+            spec.get("notion", "observational"),
+            align=bool(spec.get("align", True)),
+            witness=bool(spec.get("witness", False)),
+            **spec.get("params", {}),
+        )
+    except (ReproError, ValueError, TypeError) as error:
+        raise _check_failed(error) from None
+    _WORKER["checks"] += 1
+    result = verdict.to_dict()
+    result["shard"] = _WORKER["shard"]
+    result["pid"] = os.getpid()
+    return result
+
+
+def _worker_minimize(ref: Any, notion: str) -> dict[str, Any]:
+    """Minimise one process inside the worker; returns the serialised quotient."""
+    from repro.core.errors import ReproError
+    from repro.utils.serialization import to_dict
+
+    fsp = _worker_resolve(ref)
+    try:
+        minimal = _WORKER["engine"].minimize(fsp, notion=notion)
+    except (ReproError, ValueError, TypeError) as error:
+        raise _check_failed(error) from None
+    return {
+        "process": to_dict(minimal),
+        "notion": notion,
+        "states_before": fsp.num_states,
+        "states_after": minimal.num_states,
+        "shard": _WORKER["shard"],
+    }
+
+
+def _worker_classify(ref: Any) -> dict[str, Any]:
+    """Classify one process inside the worker (Fig. 1a model hierarchy)."""
+    from repro.core.classify import classify
+
+    fsp = _worker_resolve(ref)
+    return {
+        "classes": sorted(str(model) for model in classify(fsp)),
+        "states": fsp.num_states,
+        "transitions": fsp.num_transitions,
+        "shard": _WORKER["shard"],
+    }
+
+
+def _worker_stats() -> dict[str, Any]:
+    """This worker's engine/store cache statistics (the ``stats`` RPC)."""
+    store = _WORKER.get("store")
+    return {
+        "shard": _WORKER["shard"],
+        "pid": os.getpid(),
+        "checks": _WORKER["checks"],
+        "engine": _WORKER["engine"].export_stats(),
+        "store": store.cache_info() if store is not None else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class ShardPool:
+    """``num_shards`` single-worker executors with digest-sticky routing."""
+
+    def __init__(
+        self,
+        num_shards: int | None = None,
+        store_root: str | os.PathLike | None = None,
+        *,
+        max_processes: int = DEFAULT_MAX_PROCESSES,
+        max_verdicts: int = DEFAULT_MAX_VERDICTS,
+    ) -> None:
+        if num_shards is None:
+            num_shards = max(1, os.cpu_count() or 1)
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        self.store_root = str(store_root) if store_root is not None else None
+        self.max_processes = max_processes
+        self.max_verdicts = max_verdicts
+        self._lock = threading.Lock()
+        self._generations = [0] * num_shards
+        self._executors = [self._new_executor(index) for index in range(num_shards)]
+        self._revivals = 0
+
+    def _new_executor(self, index: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=_MP_CONTEXT,
+            initializer=_init_worker,
+            initargs=(index, self.store_root, self.max_processes, self.max_verdicts),
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of(self, key: str) -> int:
+        """The shard a routing key maps to (stable across runs and hosts).
+
+        For a ``sha256:...`` content digest the hex itself is the hash; any
+        other key is SHA-256'd first, so arbitrary strings route uniformly.
+        """
+        hex_part = ""
+        if key.startswith("sha256:"):
+            hex_part = key[len("sha256:") :]
+        try:
+            return int(hex_part[:16], 16) % self.num_shards
+        except ValueError:
+            # Not (valid) digest hex -- including malformed digests a client
+            # sent: route by hashing the raw key so the worker's store lookup
+            # gets to reject it with a proper unknown_digest error.
+            hex_part = hashlib.sha256(key.encode("utf-8")).hexdigest()
+            return int(hex_part[:16], 16) % self.num_shards
+
+    def route_check(self, spec: dict[str, Any]) -> int:
+        """The shard one check spec belongs to: keyed by its left process.
+
+        Routing by the *left* reference means every manifest shaped ``one
+        process vs many candidates`` stays entirely on one worker, whose
+        engine then serves the repeated side from cache.
+
+        Inline processes route by the digest of their canonically-serialised
+        JSON, which equals the content digest whenever the dict came from
+        ``to_dict`` (every library client does).  A hand-rolled client that
+        inlines the same process with *unsorted* component lists still gets
+        a deterministic shard, just not necessarily the digest's one --
+        affinity is best-effort for non-canonical encodings, correctness is
+        unaffected.
+        """
+        ref = spec.get("left")
+        if isinstance(ref, dict):
+            if isinstance(ref.get("digest"), str):
+                return self.shard_of(ref["digest"])
+            if "process" in ref:
+                # Canonical separators match utils.serialization.canonical_bytes,
+                # so an inline copy of a stored process routes to the same
+                # shard as its digest reference (the cache-affinity promise).
+                canonical = json.dumps(ref["process"], sort_keys=True, separators=(",", ":"))
+                return self.shard_of("sha256:" + hashlib.sha256(canonical.encode()).hexdigest())
+        return 0
+
+    # ------------------------------------------------------------------
+    # submission with crash recovery
+    # ------------------------------------------------------------------
+    def submit(self, shard: int, fn, *args) -> Future:
+        """Submit a raw job to one shard (no retry -- see :meth:`run`)."""
+        return self._executors[shard].submit(fn, *args)
+
+    def revive(self, shard: int, generation: int) -> None:
+        """Replace a broken shard executor (idempotent per generation)."""
+        with self._lock:
+            if self._generations[shard] != generation:
+                return  # someone already revived this shard
+            broken = self._executors[shard]
+            self._generations[shard] += 1
+            self._executors[shard] = self._new_executor(shard)
+            self._revivals += 1
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    def run(self, shard: int, fn, *args) -> Any:
+        """Run one job on one shard, reviving the worker once if it crashed."""
+        generation = self._generations[shard]
+        try:
+            return self.submit(shard, fn, *args).result()
+        except BrokenProcessPool:
+            self.revive(shard, generation)
+            return self.submit(shard, fn, *args).result()
+
+    async def run_async(self, shard: int, fn, *args) -> Any:
+        """Awaitable :meth:`run` (used by the asyncio server)."""
+        generation = self._generations[shard]
+        try:
+            return await asyncio.wrap_future(self.submit(shard, fn, *args))
+        except BrokenProcessPool:
+            self.revive(shard, generation)
+            return await asyncio.wrap_future(self.submit(shard, fn, *args))
+
+    # ------------------------------------------------------------------
+    # the check-shaped surface (what the server and benchmarks call)
+    # ------------------------------------------------------------------
+    def check(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """Run one check spec on its routed shard."""
+        return self.run(self.route_check(spec), _worker_check, spec)
+
+    def check_many(self, specs: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Fan a manifest out across the shards; results in manifest order.
+
+        Jobs are submitted shard-sticky and collected in order; a shard that
+        crashes mid-manifest is revived and its affected specs are re-run
+        once each.
+        """
+        generations = list(self._generations)
+        futures = []
+        for spec in specs:
+            shard = self.route_check(spec)
+            futures.append((spec, shard, self.submit(shard, _worker_check, spec)))
+        results = []
+        for spec, shard, future in futures:
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                # One crash breaks every future still pending on that shard;
+                # the stale generation snapshot makes revive() a no-op for
+                # all of them but the first, so the shard restarts once per
+                # crash, not once per affected spec.
+                self.revive(shard, generations[shard])
+                results.append(self.submit(shard, _worker_check, spec).result())
+        return results
+
+    def stats(self) -> list[dict[str, Any]]:
+        """Per-shard worker statistics (engine + store cache info)."""
+        return [self.run(shard, _worker_stats) for shard in range(self.num_shards)]
+
+    def warm_up(self) -> None:
+        """Fork every worker now (a no-op job per shard, awaited together).
+
+        Executors spawn their worker lazily on first submit; forking that
+        late -- from a process that has meanwhile started an asyncio loop
+        and helper threads -- risks the classic fork-with-threads hazards.
+        The server calls this before accepting connections so the forks
+        happen while the process is still quiet (revival forks after a
+        worker crash remain lazy, the rare case).
+        """
+        for future in [self.submit(shard, _worker_stats) for shard in range(self.num_shards)]:
+            future.result()
+
+    @property
+    def revivals(self) -> int:
+        """How many crashed shard workers have been replaced so far."""
+        return self._revivals
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        for executor in self._executors:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPool(num_shards={self.num_shards}, store_root={self.store_root!r}, "
+            f"revivals={self._revivals})"
+        )

@@ -14,6 +14,7 @@ that lists the supported formats instead of being silently parsed as JSON.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from pathlib import Path
@@ -57,6 +58,29 @@ def from_dict(document: dict[str, Any]) -> FSP:
         variables=document.get("variables", ["x"]),
         extensions=[tuple(e) for e in document.get("extensions", [])],
     )
+
+
+def canonical_bytes(fsp: FSP) -> bytes:
+    """The canonical byte encoding an FSP is digested over.
+
+    Built from :func:`to_dict` -- which sorts the state set, alphabet,
+    variables, transitions and extensions -- rendered as minimal-separator
+    JSON with sorted keys, so two structurally equal FSPs (however their
+    components were ordered at construction) produce identical bytes.
+    """
+    return json.dumps(to_dict(fsp), sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def content_digest(fsp: FSP) -> str:
+    """The content address of an FSP: ``sha256:<hex>`` over :func:`canonical_bytes`.
+
+    Structurally equal processes share one digest regardless of the order
+    their states/transitions were supplied in; any semantic difference (a
+    state, arc, extension, start or alphabet change) produces a new digest.
+    This is the key of :class:`repro.service.store.ProcessStore` and the
+    shard-routing hash of :class:`repro.service.shards.ShardPool`.
+    """
+    return "sha256:" + hashlib.sha256(canonical_bytes(fsp)).hexdigest()
 
 
 def dumps(fsp: FSP, indent: int | None = 2) -> str:

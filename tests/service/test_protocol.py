@@ -1,0 +1,150 @@
+"""Protocol-layer tests: framing, request/response round-trips, references."""
+
+import json
+
+import pytest
+
+from repro.core.fsp import FSP
+from repro.service import protocol
+from repro.utils.serialization import to_dict
+
+
+def small_fsp() -> FSP:
+    return FSP(
+        states=["a", "b"],
+        start="a",
+        alphabet=["go"],
+        transitions=[("a", "go", "b")],
+        extensions=[("b", "x")],
+    )
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def test_frame_round_trip():
+    document = {"id": 7, "op": "ping", "params": {}}
+    line = protocol.encode_frame(document)
+    assert line.endswith(b"\n")
+    assert protocol.decode_frame(line) == document
+
+
+def test_frame_rejects_oversize(monkeypatch):
+    monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+    with pytest.raises(protocol.ProtocolError, match="exceeds"):
+        protocol.decode_frame(b'{"id": 1, "op": "ping", "params": {}}\n')
+
+
+def test_frame_rejects_bad_json_and_non_objects():
+    with pytest.raises(protocol.ProtocolError, match="not valid JSON"):
+        protocol.decode_frame(b"{nope}\n")
+    with pytest.raises(protocol.ProtocolError, match="must be a JSON object"):
+        protocol.decode_frame(b"[1, 2]\n")
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+def test_parse_request_round_trip():
+    line = protocol.request_frame("abc", "check", {"notion": "strong"})
+    request_id, op, params = protocol.parse_request(line)
+    assert (request_id, op, params) == ("abc", "check", {"notion": "strong"})
+
+
+def test_parse_request_rejects_unknown_op():
+    with pytest.raises(protocol.ServiceError) as info:
+        protocol.parse_request(protocol.request_frame(1, "frobnicate"))
+    assert info.value.code == protocol.UNKNOWN_OP
+
+
+def test_parse_request_rejects_missing_op_and_bad_params():
+    with pytest.raises(protocol.ServiceError) as info:
+        protocol.parse_request(protocol.encode_frame({"id": 1}))
+    assert info.value.code == protocol.BAD_REQUEST
+    with pytest.raises(protocol.ServiceError) as info:
+        protocol.parse_request(protocol.encode_frame({"id": 1, "op": "ping", "params": [1]}))
+    assert info.value.code == protocol.BAD_REQUEST
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+def test_parse_response_success():
+    line = protocol.ok_response(3, {"pong": True})
+    response_id, result = protocol.parse_response(line)
+    assert response_id == 3 and result == {"pong": True}
+
+
+def test_parse_response_error_raises_with_code():
+    line = protocol.error_response(4, protocol.UNKNOWN_DIGEST, "nothing stored")
+    with pytest.raises(protocol.ServiceError) as info:
+        protocol.parse_response(line)
+    assert info.value.code == protocol.UNKNOWN_DIGEST
+    assert "nothing stored" in info.value.message
+
+
+def test_error_codes_are_distinct():
+    assert len(set(protocol.ERROR_CODES)) == len(protocol.ERROR_CODES)
+
+
+def test_service_error_survives_pickling():
+    # Shard workers raise ServiceError across the process boundary.
+    import pickle
+
+    error = protocol.ServiceError(protocol.CHECK_FAILED, "boom")
+    clone = pickle.loads(pickle.dumps(error))
+    assert clone.code == protocol.CHECK_FAILED and clone.message == "boom"
+
+
+# ----------------------------------------------------------------------
+# process references
+# ----------------------------------------------------------------------
+def test_process_ref_shapes():
+    fsp = small_fsp()
+    assert protocol.process_ref(fsp) == {"process": to_dict(fsp)}
+    assert protocol.process_ref("sha256:" + "0" * 64) == {"digest": "sha256:" + "0" * 64}
+    assert protocol.process_ref(to_dict(fsp)) == {"process": to_dict(fsp)}
+    with pytest.raises(ValueError, match="sha256"):
+        protocol.process_ref("not-a-digest")
+    with pytest.raises(TypeError):
+        protocol.process_ref(42)
+
+
+def test_process_ref_passes_wire_shaped_dicts_through():
+    # Entries built directly in the documented wire shape must not be
+    # double-wrapped into {"process": {"digest": ...}}.
+    digest_ref = {"digest": "sha256:" + "0" * 64}
+    inline_ref = {"process": to_dict(small_fsp())}
+    assert protocol.process_ref(digest_ref) == digest_ref
+    assert protocol.process_ref(inline_ref) == inline_ref
+
+
+def test_resolve_ref_inline_round_trip():
+    fsp = small_fsp()
+    assert protocol.resolve_ref(protocol.process_ref(fsp)) == fsp
+
+
+def test_resolve_ref_rejects_malformed():
+    with pytest.raises(protocol.ServiceError) as info:
+        protocol.resolve_ref({"process": {"format": "nope"}})
+    assert info.value.code == protocol.INVALID_PROCESS
+    with pytest.raises(protocol.ServiceError) as info:
+        protocol.resolve_ref("just-a-string")
+    assert info.value.code == protocol.INVALID_PROCESS
+    with pytest.raises(protocol.ServiceError) as info:
+        protocol.resolve_ref({})
+    assert info.value.code == protocol.INVALID_PROCESS
+
+
+def test_resolve_ref_digest_without_store_is_unknown():
+    with pytest.raises(protocol.ServiceError) as info:
+        protocol.resolve_ref({"digest": "sha256:" + "0" * 64})
+    assert info.value.code == protocol.UNKNOWN_DIGEST
+
+
+def test_frames_are_single_lines():
+    # Embedded newlines would break the framing; json.dumps must not emit any.
+    fsp = small_fsp()
+    line = protocol.request_frame(1, "check", {"left": protocol.process_ref(fsp)})
+    assert line.count(b"\n") == 1 and line.endswith(b"\n")
+    assert json.loads(line.decode("utf-8"))["op"] == "check"

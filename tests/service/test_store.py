@@ -1,0 +1,89 @@
+"""ProcessStore tests: content addressing, eviction/reload, corruption."""
+
+import pytest
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import FSP
+from repro.generators.random_fsp import random_fsp
+from repro.service.store import ProcessStore
+from repro.utils.serialization import content_digest
+
+
+def build(seed: int) -> FSP:
+    return random_fsp(8, tau_probability=0.2, all_accepting=True, seed=seed)
+
+
+def test_put_get_round_trip(tmp_path):
+    store = ProcessStore(tmp_path)
+    fsp = build(1)
+    digest = store.put(fsp)
+    assert digest == content_digest(fsp)
+    assert digest in store
+    assert store.get(digest) == fsp
+
+
+def test_put_is_idempotent(tmp_path):
+    store = ProcessStore(tmp_path)
+    fsp = build(2)
+    assert store.put(fsp) == store.put(fsp)
+    assert sum(1 for _ in store.digests()) == 1
+
+
+def test_get_unknown_digest_raises_keyerror(tmp_path):
+    store = ProcessStore(tmp_path)
+    with pytest.raises(KeyError):
+        store.get("sha256:" + "0" * 64)
+    with pytest.raises(KeyError):
+        store.get("not-even-a-digest")
+    assert "not-even-a-digest" not in store
+
+
+def test_eviction_and_reload_from_disk(tmp_path):
+    store = ProcessStore(tmp_path, max_cached=2)
+    processes = [build(seed) for seed in range(5)]
+    digests = [store.put(fsp) for fsp in processes]
+    assert store.cache_info()["cached"] == 2  # LRU bound respected
+
+    # Every entry -- evicted or not -- reloads correctly from disk.
+    for digest, fsp in zip(digests, processes):
+        assert store.get(digest) == fsp
+
+    info = store.cache_info()
+    assert info["on_disk"] == 5
+    assert info["misses"] >= 3  # the evicted ones had to come from disk
+
+
+def test_second_store_sees_existing_entries(tmp_path):
+    # Workers open the same root independently; entries must be shared.
+    writer = ProcessStore(tmp_path)
+    fsp = build(3)
+    digest = writer.put(fsp)
+    reader = ProcessStore(tmp_path)
+    assert digest in reader
+    assert reader.get(digest) == fsp
+    assert list(reader.digests()) == [digest]
+
+
+def test_corrupt_entry_is_rejected(tmp_path):
+    store = ProcessStore(tmp_path)
+    fsp = build(4)
+    digest = store.put(fsp)
+    path = store.path_for(digest)
+    other = build(5)
+    from repro.utils.serialization import canonical_bytes
+
+    path.write_bytes(canonical_bytes(other))  # valid FSP, wrong address
+    fresh = ProcessStore(tmp_path)
+    with pytest.raises(InvalidProcessError, match="corrupt"):
+        fresh.get(digest)
+
+
+def test_no_temp_residue_after_put(tmp_path):
+    store = ProcessStore(tmp_path)
+    store.put(build(6))
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_max_cached_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        ProcessStore(tmp_path, max_cached=0)

@@ -175,3 +175,72 @@ class TestMatrices:
         assert closure[0][2] is True
         assert closure[2][2] is True
         assert closure[2][0] is False
+
+
+class TestContentDigest:
+    """Content addressing: digest stability under permutation, sensitivity to change."""
+
+    def test_digest_shape(self, sample_process):
+        digest = serialization.content_digest(sample_process)
+        assert digest.startswith("sha256:")
+        assert len(digest) == len("sha256:") + 64
+
+    def test_digest_stable_under_component_permutation(self, sample_process):
+        from repro.core.fsp import FSP
+
+        permuted = FSP(
+            states=sorted(sample_process.states, reverse=True),
+            start=sample_process.start,
+            alphabet=sorted(sample_process.alphabet, reverse=True),
+            transitions=sorted(sample_process.transitions, reverse=True),
+            variables=sample_process.variables,
+            extensions=sorted(sample_process.extensions, reverse=True),
+        )
+        assert serialization.content_digest(permuted) == serialization.content_digest(
+            sample_process
+        )
+
+    def test_digest_stable_across_serialisation_round_trip(self):
+        for seed in range(5):
+            process = random_fsp(12, tau_probability=0.3, all_accepting=False, seed=seed)
+            reloaded = serialization.loads(serialization.dumps(process))
+            assert serialization.content_digest(reloaded) == serialization.content_digest(process)
+
+    def test_digest_differs_on_any_semantic_change(self, sample_process):
+        from repro.core.fsp import FSP
+
+        digest = serialization.content_digest(sample_process)
+        variants = [
+            FSP(  # different start state
+                states=sample_process.states,
+                start="q",
+                alphabet=sample_process.alphabet,
+                transitions=sample_process.transitions,
+                variables=sample_process.variables,
+                extensions=sample_process.extensions,
+            ),
+            FSP(  # one extension dropped
+                states=sample_process.states,
+                start=sample_process.start,
+                alphabet=sample_process.alphabet,
+                transitions=sample_process.transitions,
+                variables=sample_process.variables,
+                extensions=[("q", "x")],
+            ),
+            FSP(  # extra observable action in the alphabet
+                states=sample_process.states,
+                start=sample_process.start,
+                alphabet=sample_process.alphabet | {"c"},
+                transitions=sample_process.transitions,
+                variables=sample_process.variables,
+                extensions=sample_process.extensions,
+            ),
+        ]
+        digests = {serialization.content_digest(variant) for variant in variants}
+        assert digest not in digests
+        assert len(digests) == len(variants)
+
+    def test_canonical_bytes_are_newline_free_and_deterministic(self, sample_process):
+        blob = serialization.canonical_bytes(sample_process)
+        assert b"\n" not in blob
+        assert blob == serialization.canonical_bytes(sample_process)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Markdown link checker: every intra-repository link must resolve.
+
+Scans the given markdown files (and directories, recursively) for inline
+links and images -- ``[text](target)`` / ``![alt](target)`` -- plus
+reference-style definitions (``[label]: target``) and verifies that every
+*repository-relative* target names an existing file or directory.
+
+Out of scope, deliberately:
+
+* absolute URLs (``http:``/``https:``/``mailto:``) -- checking the network
+  in CI is flaky and none of this repo's correctness depends on it;
+* in-page anchors (``#section``) and the fragment part of file links;
+* targets that resolve *outside* the repository root (e.g. the CI badge's
+  ``../../actions/...`` link, which is relative to the GitHub web UI, not
+  the working tree).
+
+Exit status: 0 when every checked link resolves, 1 otherwise (each broken
+link is listed as ``file:line: target``).  Used by the CI docs job over
+``README.md`` and ``docs/``, and by ``tests/docs/test_docs.py`` so the gate
+also runs in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links/images; the optional ``"title"`` part is ignored.
+INLINE_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+#: Reference-style definitions: ``[label]: target``.
+REFERENCE_LINK_RE = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(arguments: list[str]) -> list[Path]:
+    """The markdown files named by the arguments (directories recurse)."""
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def iter_links(text: str):
+    """Yield ``(line_number, target)`` for every link in a markdown text."""
+    in_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in INLINE_LINK_RE.finditer(line):
+            yield line_number, match.group(1)
+        reference = REFERENCE_LINK_RE.match(line)
+        if reference is not None:
+            yield line_number, reference.group(1)
+
+
+def broken_links(files: list[Path], root: Path) -> list[str]:
+    """All broken intra-repository links, as ``file:line: target`` strings."""
+    root = root.resolve()
+    failures: list[str] = []
+    for markdown in files:
+        if not markdown.exists():
+            failures.append(f"{markdown}: file does not exist")
+            continue
+        text = markdown.read_text(encoding="utf-8")
+        for line_number, target in iter_links(text):
+            if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (markdown.parent / file_part).resolve()
+            if not resolved.is_relative_to(root):
+                continue  # web-relative (e.g. the CI badge); not a tree path
+            if not resolved.exists():
+                failures.append(f"{markdown}:{line_number}: {target}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments:
+        print("usage: check_links.py <file-or-directory> [...]", file=sys.stderr)
+        return 2
+    files = iter_markdown_files(arguments)
+    failures = broken_links(files, Path.cwd())
+    checked = len(files)
+    if failures:
+        print(f"link check FAILED ({len(failures)} broken link(s) in {checked} file(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"link check passed: {checked} markdown file(s), all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
