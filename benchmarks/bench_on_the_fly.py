@@ -1,0 +1,222 @@
+"""On-the-fly exploration benchmark: lazy products, early exits, compositional minimisation.
+
+Three questions about the :mod:`repro.explore` layer, answered on the
+composed scenario families of :mod:`repro.generators.families`:
+
+* **Early exit** -- on an inequivalent composed family whose reachable
+  product exceeds :math:`10^5` states, the on-the-fly checker must return a
+  *verified* distinguishing trace while visiting a small fraction of the
+  product (``explore_visit_fraction``, gated by
+  ``benchmarks/check_regression.py`` against the committed ceiling).
+* **Compositional minimisation** -- ``minimize_compositionally`` (quotient
+  every component under observational equivalence before composing) must
+  agree -- be observationally equivalent -- with the eager
+  minimise-after-compose route on every scenario family, and is timed next
+  to it.
+* **Verdict agreement** -- on small composed pairs where the eager route is
+  feasible, the on-the-fly verdict must match ``Engine.check`` on the
+  materialised systems, for both the strong and the observational notion.
+
+``run_cells`` reports records in the ``solver|family|n`` schema of
+``BENCH_partition.json`` so ``benchmarks/run_all.py`` folds them into the
+trajectory (section ``explore_records``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import Engine
+from repro.equivalence.minimize import minimize_observational
+from repro.explore import build_implicit, check_implicit, compose_eager, minimize_compositionally
+from repro.generators.families import (
+    dining_philosophers_system,
+    interleaved_cycles_pair,
+    interleaved_cycles_product_size,
+    milner_scheduler_system,
+    redundant_interleaving_system,
+    token_ring_pair,
+    token_ring_system,
+)
+
+#: scenario specs for the minimisation comparison (eager route feasible).
+MINIMIZE_FAMILIES = {
+    "dining_philosophers": lambda: dining_philosophers_system(4),
+    "token_ring": lambda: token_ring_system(6),
+    "milner_scheduler": lambda: milner_scheduler_system(4),
+    "redundant_interleaving": lambda: redundant_interleaving_system(3, 4, 3),
+}
+
+#: the large inequivalent family of the early-exit gate: six interleaved
+#: 8-cycles (8^6 = 262144 reachable product states) with a local fault.
+LARGE_LENGTHS = [8] * 6
+LARGE_FAMILY = "interleaved_cycles_fault"
+
+#: small composed pairs for the verdict cross-check against the eager engine
+#: route: (name, builder of (left_spec, right_spec), expected_equivalent).
+SMALL_PAIRS = (
+    ("cycles_small_fault", lambda: interleaved_cycles_pair([4, 3, 3]), False),
+    ("token_ring_fault", lambda: token_ring_pair(4), False),
+    (
+        "cycles_small_ok",
+        lambda: (interleaved_cycles_pair([4, 3, 3])[0], interleaved_cycles_pair([4, 3, 3])[0]),
+        True,
+    ),
+)
+
+
+def _best_of(fn, repeats: int):
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - begin)
+    return best, value
+
+
+def run_minimize_cells(repeats: int, engine: Engine) -> tuple[list[dict], bool]:
+    """Eager minimise-after-compose vs compositional minimisation, per family."""
+    records: list[dict] = []
+    agree = True
+    for family, build in MINIMIZE_FAMILIES.items():
+        spec = build()
+        eager = compose_eager(spec)
+        n, m = eager.num_states, eager.num_transitions
+        eager_seconds, eager_min = _best_of(
+            lambda: minimize_observational(compose_eager(spec)), repeats
+        )
+        comp_seconds, comp_min = _best_of(lambda: minimize_compositionally(spec), repeats)
+        verdict = engine.check(eager_min, comp_min, "observational", align=True, witness=False)
+        if not verdict.equivalent:
+            agree = False
+        records.append(
+            {
+                "solver": "eager_minimize",
+                "family": family,
+                "n": n,
+                "transitions": m,
+                "blocks": eager_min.num_states,
+                "seconds": round(eager_seconds, 6),
+            }
+        )
+        records.append(
+            {
+                "solver": "compositional_minimize",
+                "family": family,
+                "n": n,
+                "transitions": m,
+                "blocks": comp_min.num_states,
+                "seconds": round(comp_seconds, 6),
+            }
+        )
+    return records, agree
+
+
+def run_verdict_cells(engine: Engine) -> bool:
+    """On-the-fly verdicts vs the eager engine route on small composed pairs."""
+    agree = True
+    for _name, build, expected in SMALL_PAIRS:
+        left_spec, right_spec = build()
+        left, right = compose_eager(left_spec), compose_eager(right_spec)
+        for notion in ("strong", "observational"):
+            eager = engine.check(left, right, notion, align=True, witness=False).equivalent
+            lazy = check_implicit(
+                build_implicit(left_spec), build_implicit(right_spec), notion
+            ).equivalent
+            if eager != lazy or eager != expected:
+                agree = False
+    return agree
+
+
+def run_large_cells(repeats: int) -> tuple[list[dict], dict, bool]:
+    """The early-exit measurement on the >= 10^5-state inequivalent family."""
+    product_states = interleaved_cycles_product_size(LARGE_LENGTHS)
+    records: list[dict] = []
+    fractions: dict[str, float] = {}
+    healthy = True
+    for notion in ("strong", "observational"):
+        left_spec, right_spec = interleaved_cycles_pair(LARGE_LENGTHS)
+        seconds, result = _best_of(
+            lambda: check_implicit(
+                build_implicit(left_spec), build_implicit(right_spec), notion
+            ),
+            repeats,
+        )
+        if result.equivalent or not result.trace_verified:
+            healthy = False
+        fractions[notion] = result.pairs_visited / product_states
+        records.append(
+            {
+                "solver": f"on_the_fly_{notion}",
+                "family": LARGE_FAMILY,
+                "n": product_states,
+                "transitions": result.pairs_visited,
+                "blocks": result.left_states + result.right_states,
+                "seconds": round(seconds, 6),
+            }
+        )
+    extras = {
+        "explore_product_states": product_states,
+        "explore_visit_fraction": round(max(fractions.values()), 8),
+        "explore_visit_fractions": {k: round(v, 8) for k, v in fractions.items()},
+        "explore_trace_verified": healthy,
+    }
+    return records, extras, healthy
+
+
+def run_cells(repeats: int = 1) -> tuple[list[dict], dict, bool]:
+    """All explore cells; returns ``(records, extras, agree)``.
+
+    ``agree`` is False when compositional minimisation disagrees with the
+    eager route, an on-the-fly verdict disagrees with the engine, the large
+    inequivalent family is not decided with a verified trace, or the visit
+    fraction is not small -- all correctness properties, which the CI gate
+    treats like solver disagreements.
+    """
+    engine = Engine()
+    minimize_records, minimize_agree = run_minimize_cells(repeats, engine)
+    verdict_agree = run_verdict_cells(engine)
+    large_records, extras, large_healthy = run_large_cells(repeats)
+    extras = {
+        **extras,
+        "explore_minimize_agree": minimize_agree,
+        "explore_verdicts_agree": verdict_agree,
+    }
+    agree = minimize_agree and verdict_agree and large_healthy
+    return minimize_records + large_records, extras, agree
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (run by benchmarks/run_all.py's suite smoke)
+# ----------------------------------------------------------------------
+def test_on_the_fly_early_exit(benchmark):
+    left_spec, right_spec = interleaved_cycles_pair(LARGE_LENGTHS)
+    result = benchmark(
+        lambda: check_implicit(build_implicit(left_spec), build_implicit(right_spec), "strong")
+    )
+    assert not result.equivalent and result.trace_verified
+    product = interleaved_cycles_product_size(LARGE_LENGTHS)
+    benchmark.extra_info["pairs_visited"] = result.pairs_visited
+    assert result.pairs_visited <= 0.10 * product
+
+
+def test_compositional_minimize(benchmark):
+    spec = dining_philosophers_system(3)
+    minimal = benchmark(lambda: minimize_compositionally(spec))
+    assert minimal.num_states <= compose_eager(spec).num_states
+
+
+def test_routes_agree():
+    records, extras, agree = run_cells()
+    assert agree, extras
+
+
+if __name__ == "__main__":
+    records, extras, agree = run_cells()
+    for record in records:
+        print(
+            f"{record['solver']:28s} {record['family']:24s} n={record['n']:7d} "
+            f"{record['seconds'] * 1000:9.2f} ms"
+        )
+    print(f"visit fraction on {LARGE_FAMILY}: {extras['explore_visit_fraction']:.6f}; "
+          f"agree={agree}")

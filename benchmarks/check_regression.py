@@ -22,7 +22,13 @@ the committed ``benchmarks/baseline_expectations.json``:
   ``service_speedup_floor`` times faster than one shard on the 500-check
   mixed-notion manifest -- shard-affinity cache residency plus, on
   multi-core hosts, parallelism) fails the gate when not met, as does any
-  disagreement between the sharded and single-shard answers.
+  disagreement between the sharded and single-shard answers;
+* the on-the-fly exploration gate: the inequivalent composed family
+  (>= 10^5 reachable product states) must be decided with a replay-verified
+  distinguishing trace while visiting at most
+  ``explore_visit_fraction_ceiling`` of the product, and the compositional /
+  on-the-fly routes must agree with the eager ones
+  (``explore_routes_agree``).
 
 The hardware normaliser is the median of ``current / expected`` over all
 shared cells: a uniformly slower CI machine shifts every ratio equally and is
@@ -64,7 +70,13 @@ def cell_key(record: dict) -> str:
 def collect_cells(payload: dict) -> dict[str, float]:
     """Flatten all trajectory sections to ``solver|family|n -> seconds``."""
     cells: dict[str, float] = {}
-    for section in ("records", "weak_records", "engine_records", "service_records"):
+    for section in (
+        "records",
+        "weak_records",
+        "engine_records",
+        "explore_records",
+        "service_records",
+    ):
         for record in payload.get(section, []):
             key = cell_key(record)
             seconds = float(record["seconds"])
@@ -135,6 +147,28 @@ def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[
                 f"below the committed floor of {float(service_floor):.1f}x"
             )
 
+    fraction_ceiling = baseline.get("explore_visit_fraction_ceiling")
+    if fraction_ceiling is not None:
+        if not meta.get("explore_routes_agree", False):
+            failures.append(
+                "explore_routes_agree is not true -- compositional minimisation or "
+                "on-the-fly verdicts disagree with the eager routes"
+            )
+        if not meta.get("explore_trace_verified", False):
+            failures.append(
+                "explore_trace_verified is not true -- the early-exit family was not "
+                "decided with a replay-verified distinguishing trace"
+            )
+        fraction = meta.get("explore_visit_fraction")
+        if fraction is None:
+            failures.append("no explore visit fraction recorded in this run")
+        elif float(fraction) > float(fraction_ceiling):
+            failures.append(
+                f"on-the-fly visit fraction is {float(fraction):.6f}, above the "
+                f"committed ceiling of {float(fraction_ceiling):.2f} (the checker is "
+                "no longer deciding the inequivalent product family locally)"
+            )
+
     speedups = weak_speedups(payload)
     for family, rule in baseline.get("weak_speedup_floors", {}).items():
         floor, min_n = float(rule["floor"]), int(rule["min_n"])
@@ -183,6 +217,9 @@ def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
         ),
         "engine_speedup_floor": previous.get("engine_speedup_floor", 5.0),
         "service_speedup_floor": previous.get("service_speedup_floor", 2.5),
+        # The acceptance bar is "a small fraction"; 0.10 leaves three orders
+        # of magnitude of headroom over the measured ~3e-5.
+        "explore_visit_fraction_ceiling": previous.get("explore_visit_fraction_ceiling", 0.10),
     }
     baseline_path.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {baseline_path} ({len(baseline['cells'])} cells)")

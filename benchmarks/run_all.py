@@ -48,6 +48,7 @@ if str(BENCH_DIR) not in sys.path:
     sys.path.insert(0, str(BENCH_DIR))
 
 import bench_engine_cache  # noqa: E402
+import bench_on_the_fly  # noqa: E402
 import bench_service  # noqa: E402
 from seed_baseline import seed_kanellakis_smolka  # noqa: E402
 
@@ -240,6 +241,29 @@ def run_engine_trajectory(repeats: int) -> tuple[list[dict], float, bool]:
     return records, speedup, agree
 
 
+def run_explore_trajectory(repeats: int) -> tuple[list[dict], dict, bool]:
+    """The on-the-fly section: early exits, compositional minimisation, agreement.
+
+    Delegates to :mod:`bench_on_the_fly`; the records use the shared
+    ``solver|family|n`` schema so the regression gate covers them, and the
+    extras feed the ``explore_*`` metadata keys (the visit-fraction ceiling
+    and route agreements are gated by ``check_regression.py``).
+    """
+    records, extras, agree = bench_on_the_fly.run_cells(repeats=repeats)
+    for record in records:
+        print(
+            f"  {record['family']:24s} n={record['n']:7d} {record['solver']:28s} "
+            f"{record['seconds'] * 1000:9.2f} ms"
+        )
+    if not agree:
+        print(
+            "ERROR: explore routes disagree (compositional minimisation, on-the-fly "
+            "verdicts, or the early-exit family was not decided with a verified trace)",
+            file=sys.stderr,
+        )
+    return records, extras, agree
+
+
 def run_service_trajectory(repeats: int) -> tuple[list[dict], float, bool, dict]:
     """The service section: the 500-check manifest at 1 vs 4 shards.
 
@@ -330,6 +354,9 @@ def main(argv: list[str] | None = None) -> int:
     print("engine-cache trajectory: check_many (cached) vs cold free-function loop")
     engine_records, engine_speedup, engine_agree = run_engine_trajectory(repeats)
 
+    print("explore trajectory: on-the-fly early exits + compositional minimisation")
+    explore_records, explore_extras, explore_agree = run_explore_trajectory(repeats)
+
     print("service trajectory: 500-check manifest, sharded pool vs single shard")
     service_records, service_speedup, service_agree, service_workload = run_service_trajectory(
         repeats
@@ -357,6 +384,8 @@ def main(argv: list[str] | None = None) -> int:
             "speedup_weak_kernel_vs_dict_saturation": weak_speedups,
             "engine_routes_agree": engine_agree,
             "speedup_engine_cached_vs_cold": engine_speedup,
+            "explore_routes_agree": explore_agree,
+            **explore_extras,
             "service_routes_agree": service_agree,
             "speedup_service_4shards_vs_1shard": service_speedup,
             "service_workload": service_workload,
@@ -366,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
         "records": records,
         "weak_records": weak_records,
         "engine_records": engine_records,
+        "explore_records": explore_records,
         "service_records": service_records,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -381,6 +411,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {family:18s} {row}")
     print(f"engine speedup (cached check_many vs cold free-function loop): {engine_speedup:.1f}x")
     print(
+        f"explore early exit: visit fraction "
+        f"{explore_extras['explore_visit_fraction']:.6f} of "
+        f"{explore_extras['explore_product_states']} product states "
+        f"(trace verified: {explore_extras['explore_trace_verified']})"
+    )
+    print(
         f"service speedup (4 shards vs 1 shard, 500-check manifest): {service_speedup:.2f}x "
         f"on {os.cpu_count()} CPU(s)"
     )
@@ -391,7 +427,14 @@ def main(argv: list[str] | None = None) -> int:
     failed_modules = [name for name, status in statuses.items() if status == "failed"]
     if failed_modules:
         print(f"FAILED bench modules: {failed_modules}", file=sys.stderr)
-    healthy = agree and weak_agree and engine_agree and service_agree and not failed_modules
+    healthy = (
+        agree
+        and weak_agree
+        and engine_agree
+        and explore_agree
+        and service_agree
+        and not failed_modules
+    )
     return 0 if healthy else 1
 
 

@@ -18,7 +18,10 @@ PODC 1983 / Information and Computation 1990):
 * a CCS term calculus compiled to processes, classical automata algorithms,
   workload generators and serialisation utilities
   (:mod:`repro.ccs`, :mod:`repro.automata`, :mod:`repro.generators`,
-  :mod:`repro.utils`).
+  :mod:`repro.utils`);
+* on-the-fly exploration of implicit and composed state spaces -- lazy
+  Section 6 products, bounded materialisation, an early-exit equivalence
+  checker and compositional minimisation (:mod:`repro.explore`).
 
 The most common entry points are re-exported here so that::
 
@@ -52,6 +55,7 @@ from repro.engine import (
     check,
     check_expressions,
     check_many,
+    check_on_the_fly,
     default_engine,
     get_notion,
     register_notion,
@@ -84,7 +88,7 @@ from repro.expressions.parser import parse as parse_star_expression
 from repro.expressions.semantics import representative_fsp
 from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ACCEPT",
@@ -106,6 +110,7 @@ __all__ = [
     "check",
     "check_expressions",
     "check_many",
+    "check_on_the_fly",
     "classify",
     "default_engine",
     "distinguishing_formula",

@@ -30,29 +30,42 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Union
 
+from repro.core.actions import CO_SUFFIX, channel_of, co_action, is_co_action
 from repro.core.errors import ExpressionError
+
+__all__ = [
+    "CO_SUFFIX",
+    "Definitions",
+    "Nil",
+    "Parallel",
+    "Prefix",
+    "Process",
+    "ProcessRef",
+    "Relabeling",
+    "Restriction",
+    "Sum",
+    "TAU_ACTION",
+    "actions_of",
+    "channel_of",
+    "co",
+    "is_co_action",
+    "validate_action",
+]
 
 #: The unobservable action of CCS, shared with :mod:`repro.core.fsp`.
 TAU_ACTION = "tau"
-#: Suffix marking a co-action (the "bar" of CCS): the co-action of ``a`` is ``a!``.
-CO_SUFFIX = "!"
 
 
 def co(action: str) -> str:
-    """The complementary action: ``co("a") == "a!"`` and ``co("a!") == "a"``."""
+    """The complementary action: ``co("a") == "a!"`` and ``co("a!") == "a"``.
+
+    The suffix convention itself lives in :mod:`repro.core.actions` (shared
+    with the state-machine composition operators); this term-level wrapper
+    adds the check that ``tau``, having no complement, is rejected.
+    """
     if action == TAU_ACTION:
         raise ExpressionError("tau has no complement")
-    return action[:-1] if action.endswith(CO_SUFFIX) else action + CO_SUFFIX
-
-
-def channel_of(action: str) -> str:
-    """The channel name of an action or co-action (``channel_of("a!") == "a"``)."""
-    return action[:-1] if action.endswith(CO_SUFFIX) else action
-
-
-def is_co_action(action: str) -> bool:
-    """Whether the action is a co-action (an output in the usual reading)."""
-    return action.endswith(CO_SUFFIX)
+    return co_action(action)
 
 
 def validate_action(action: str) -> str:

@@ -9,11 +9,16 @@ the list of supported formats):
 
 ``classify``      print the model classes of a process (Fig. 1a hierarchy)
 ``check``         decide an equivalence between two processes' start states
+                  (``--on-the-fly`` explores the pair space lazily instead of
+                  materialising quotients)
 ``batch``         run a JSON manifest of checks through the shared caches
 ``minimize``      write the strong or observational quotient of a process
 ``convert``       convert between JSON, ``.aut`` and DOT
 ``expr``          decide the CCS equivalence problem for two star expressions
 ``ccs``           compile a CCS term (with optional definitions file) to a process
+``explore``       on-the-fly operations on composed systems described by JSON
+                  system files (stats/materialize/check/minimize), see
+                  :mod:`repro.explore`
 ``serve``         run the sharded equivalence service (:mod:`repro.service`)
 ``client``        talk to a running service (ping/store/check/stats/...)
 
@@ -71,10 +76,14 @@ def _print_verdict_extras(verdict: Verdict, args: argparse.Namespace) -> None:
     if getattr(args, "stats", False):
         stats = verdict.stats
         origin = "cache" if stats.from_cache else "computed"
-        print(
+        line = (
             f"  stats: {stats.seconds * 1000:.2f} ms ({origin}); "
             f"left {stats.left_states} states / right {stats.right_states} states"
         )
+        pairs = stats.details.get("pairs_visited")
+        if pairs is not None:
+            line += f" explored; {pairs} product pairs visited"
+        print(line)
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -87,14 +96,22 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    verdict = default_engine().check(
-        load_process(args.first),
-        load_process(args.second),
-        args.notion,
-        align=True,
-        witness=args.explain,
-        **_notion_params(args),
-    )
+    if args.on_the_fly:
+        verdict = default_engine().check_on_the_fly(
+            load_process(args.first),
+            load_process(args.second),
+            args.notion,
+            witness=args.explain,
+        )
+    else:
+        verdict = default_engine().check(
+            load_process(args.first),
+            load_process(args.second),
+            args.notion,
+            align=True,
+            witness=args.explain,
+            **_notion_params(args),
+        )
     answer = "equivalent" if verdict.equivalent else "NOT equivalent"
     print(f"{args.first} and {args.second} are {answer} under {_notion_label(args)} equivalence")
     _print_verdict_extras(verdict, args)
@@ -198,6 +215,86 @@ def _cmd_ccs(args: argparse.Namespace) -> int:
         save_process(process, args.output)
         print(f"written to {args.output}")
     return 0
+
+
+def load_system(path: str | Path):
+    """Load a composed-system spec from a file.
+
+    ``.aut`` files and FSP ``.json`` files load as single-process leaves; any
+    other JSON document is parsed as a system description
+    (:func:`repro.explore.spec_from_document`) whose ``{"file": ...}``
+    leaves resolve relative to the document's directory.
+    """
+    from repro.explore import LeafSpec, spec_from_document
+    from repro.utils.serialization import from_dict
+
+    path = Path(path)
+    if path.suffix.lower() != ".json":
+        return LeafSpec(load_process(path), label=path.name)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(document, dict) and document.get("format") == "repro-fsp":
+        return LeafSpec(from_dict(document), label=path.name)
+
+    def resolve(leaf: dict):
+        if "file" in leaf:
+            return load_process(path.parent / str(leaf["file"]))
+        if "process" in leaf:
+            return from_dict(leaf["process"])
+        raise ValueError(
+            f"system leaf must carry 'file' or 'process', got keys {sorted(leaf)}"
+        )
+
+    return spec_from_document(document, resolve)
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro import explore
+
+    if args.explore_op == "stats":
+        spec = load_system(args.system)
+        stats = explore.reachable_stats(explore.build_implicit(spec), limit=args.limit)
+        shape = "at least" if not stats.complete else "exactly"
+        print(f"{args.system}: {spec.describe()}")
+        print(f"  reachable: {shape} {stats.states} states, {stats.transitions} transitions")
+        return 0
+    if args.explore_op == "materialize":
+        spec = load_system(args.system)
+        process = explore.materialize(
+            explore.build_implicit(spec),
+            limit=args.limit,
+            on_limit="truncate" if args.truncate else "raise",
+        )
+        save_process(process, args.output)
+        print(
+            f"materialised {args.system}: {process.num_states} states, "
+            f"{process.num_transitions} transitions; written to {args.output}"
+        )
+        return 0
+    if args.explore_op == "check":
+        verdict = default_engine().check_on_the_fly(
+            load_system(args.first),
+            load_system(args.second),
+            args.notion,
+            witness=args.explain,
+            max_pairs=args.max_pairs,
+        )
+        answer = "equivalent" if verdict.equivalent else "NOT equivalent"
+        print(
+            f"{args.first} and {args.second} are {answer} under {args.notion} "
+            f"equivalence (on-the-fly)"
+        )
+        _print_verdict_extras(verdict, args)
+        return 0 if verdict.equivalent else EXIT_INEQUIVALENT
+    if args.explore_op == "minimize":
+        spec = load_system(args.system)
+        minimal = explore.minimize_compositionally(spec)
+        save_process(minimal, args.output)
+        print(
+            f"compositionally minimised {args.system} to {minimal.num_states} states "
+            f"(observational congruence); written to {args.output}"
+        )
+        return 0
+    raise ValueError(f"unhandled explore op {args.explore_op!r}")  # pragma: no cover
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -340,6 +437,14 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd.add_argument("second")
     check_cmd.add_argument("--notion", choices=list(available_notions()), default="observational")
     check_cmd.add_argument("--k", type=int, default=1, help="level for k-observational")
+    check_cmd.add_argument(
+        "--on-the-fly",
+        action="store_true",
+        help=(
+            "decide by lazy pair-space exploration (strong/observational only): "
+            "returns early with a verified distinguishing trace on inequivalence"
+        ),
+    )
     _add_verdict_flags(check_cmd)
     check_cmd.set_defaults(handler=_cmd_check)
 
@@ -392,6 +497,56 @@ def build_parser() -> argparse.ArgumentParser:
     ccs_cmd.add_argument("--output", help="write the compiled process here")
     ccs_cmd.add_argument("--max-states", type=int, default=10_000)
     ccs_cmd.set_defaults(handler=_cmd_ccs)
+
+    explore_cmd = commands.add_parser(
+        "explore",
+        help="on-the-fly operations on composed systems (JSON system files)",
+    )
+    explore_ops = explore_cmd.add_subparsers(dest="explore_op", required=True)
+
+    explore_stats = explore_ops.add_parser(
+        "stats", help="count reachable states/transitions without materialising"
+    )
+    explore_stats.add_argument("system", help="system file (JSON spec, .json FSP or .aut)")
+    explore_stats.add_argument(
+        "--limit", type=int, default=None, help="stop counting after this many states"
+    )
+
+    explore_mat = explore_ops.add_parser(
+        "materialize", help="explore a composed system into an eager process file"
+    )
+    explore_mat.add_argument("system")
+    explore_mat.add_argument("output")
+    explore_mat.add_argument(
+        "--limit", type=int, default=None, help="state bound (exceeding it is an error)"
+    )
+    explore_mat.add_argument(
+        "--truncate",
+        action="store_true",
+        help="keep the explored prefix instead of erroring at the limit (lossy)",
+    )
+
+    explore_check = explore_ops.add_parser(
+        "check", help="on-the-fly equivalence of two (composed) systems"
+    )
+    explore_check.add_argument("first")
+    explore_check.add_argument("second")
+    explore_check.add_argument(
+        "--notion", choices=["strong", "observational"], default="observational"
+    )
+    explore_check.add_argument(
+        "--max-pairs", type=int, default=None, help="bound on explored product pairs"
+    )
+    _add_verdict_flags(explore_check)
+
+    explore_min = explore_ops.add_parser(
+        "minimize",
+        help="compositional minimisation: quotient every component before composing",
+    )
+    explore_min.add_argument("system")
+    explore_min.add_argument("output")
+
+    explore_cmd.set_defaults(handler=_cmd_explore)
 
     # Deliberately the lightweight protocol module: pulling in the full
     # service stack (asyncio server, process pools) at parse time would tax

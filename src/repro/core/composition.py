@@ -28,19 +28,39 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable, Mapping
 
+from repro.core.actions import CO_SUFFIX, channel_closure, co_action as _co
 from repro.core.errors import InvalidProcessError
 from repro.core.fsp import FSP, TAU
 
-#: Suffix convention for complementary (co-)actions, shared with repro.ccs.
-CO_SUFFIX = "!"
+__all__ = [
+    "CO_SUFFIX",
+    "PAIR_SEPARATOR",
+    "ccs_composition",
+    "hide",
+    "interleaving_product",
+    "pair_name",
+    "relabel",
+    "restrict",
+    "synchronous_product",
+]
+
+#: Separator used in product-state names.  Deliberately plain ASCII so that
+#: composed processes survive every serialisation path (``.aut`` headers,
+#: JSON with ``ensure_ascii``, DOT labels) without escaping.
+PAIR_SEPARATOR = "|"
 
 
-def _co(action: str) -> str:
-    return action[:-1] if action.endswith(CO_SUFFIX) else action + CO_SUFFIX
+def pair_name(left: str, right: str) -> str:
+    """The canonical name of a product state, e.g. ``(p|q)``.
+
+    Shared with the lazy products of :mod:`repro.explore` so that
+    materialising a lazy product yields a process *equal* to the eager one.
+    """
+    return f"({left}{PAIR_SEPARATOR}{right})"
 
 
-def _pair_name(left: str, right: str) -> str:
-    return f"({left}∥{right})"
+#: Backwards-compatible private alias (pre-explore callers).
+_pair_name = pair_name
 
 
 def _combine_extensions(
@@ -66,20 +86,36 @@ def _explore_product(
     triples describing the joint moves available from a product state.
     """
     start = (first.start, second.start)
+    # Pair names must stay injective on the reachable product: a component
+    # state that itself contains the separator could alias two distinct
+    # pairs to one name, silently merging behaviours.  Detect and refuse
+    # (the lazy route in repro.explore guards identically).
+    owners: dict[str, tuple[str, str]] = {}
+
+    def name_of(pair: tuple[str, str]) -> str:
+        name = _pair_name(*pair)
+        previous = owners.setdefault(name, pair)
+        if previous != pair:
+            raise InvalidProcessError(
+                f"product-state name collision: {name!r} names two distinct pairs"
+            )
+        return name
+
     seen = {start}
     queue: deque[tuple[str, str]] = deque([start])
     states: set[str] = set()
     transitions: set[tuple[str, str, str]] = set()
     extensions: set[tuple[str, str]] = set()
     while queue:
-        left, right = queue.popleft()
-        name = _pair_name(left, right)
+        pair = queue.popleft()
+        left, right = pair
+        name = name_of(pair)
         states.add(name)
         for variable in _combine_extensions(first, second, left, right, extension_mode):
             extensions.add((name, variable))
         for action, next_left, next_right in moves(left, right):
             target = (next_left, next_right)
-            transitions.add((name, action, _pair_name(next_left, next_right)))
+            transitions.add((name, action, name_of(target)))
             if target not in seen:
                 seen.add(target)
                 queue.append(target)
@@ -165,10 +201,7 @@ def ccs_composition(first: FSP, second: FSP, extension_mode: str = "union") -> F
 def restrict(fsp: FSP, channels: Iterable[str]) -> FSP:
     """CCS restriction ``P \\ L``: transitions on the listed channels (and their
     co-actions) are removed; tau-moves are unaffected."""
-    blocked = set()
-    for channel in channels:
-        blocked.add(channel)
-        blocked.add(_co(channel))
+    blocked = channel_closure(channels)
     transitions = {
         (src, action, dst)
         for src, action, dst in fsp.transitions
@@ -191,10 +224,7 @@ def hide(fsp: FSP, channels: Iterable[str]) -> FSP:
     :func:`interleaving_product` or :func:`ccs_composition` it produces the
     tau-rich processes on which observational equivalence does its work.
     """
-    hidden = set()
-    for channel in channels:
-        hidden.add(channel)
-        hidden.add(_co(channel))
+    hidden = channel_closure(channels)
     transitions = {
         (src, TAU if action in hidden else action, dst)
         for src, action, dst in fsp.transitions

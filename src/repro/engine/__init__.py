@@ -38,6 +38,7 @@ from repro.engine.engine import (
     check,
     check_expressions,
     check_many,
+    check_on_the_fly,
     default_engine,
     minimize,
     reset_default_engine,
@@ -57,6 +58,7 @@ from repro.engine.verdict import (
     CheckStats,
     FormulaWitness,
     RefusalWitness,
+    TraceWitness,
     Verdict,
     Witness,
     WordWitness,
@@ -71,6 +73,7 @@ __all__ = [
     "NotionResult",
     "Process",
     "RefusalWitness",
+    "TraceWitness",
     "Verdict",
     "Witness",
     "WordWitness",
@@ -78,6 +81,7 @@ __all__ = [
     "check",
     "check_expressions",
     "check_many",
+    "check_on_the_fly",
     "default_engine",
     "expression_notions",
     "get_notion",

@@ -102,6 +102,35 @@ class WordWitness(Witness):
 
 
 @dataclass(frozen=True)
+class TraceWitness(Witness):
+    """An action sequence admitted by exactly one side.
+
+    Produced by the on-the-fly route (:mod:`repro.explore`): the challenger's
+    path through the bisimulation game, verified by macro-state replay as a
+    genuine (strong or weak) trace of one side only.  ``weak`` selects the
+    replay semantics; ``in_left`` names the side admitting the trace.
+    """
+
+    trace: tuple[str, ...]
+    weak: bool
+    in_left: bool
+
+    def holds(self, left: FSP, right: FSP) -> bool:
+        from repro.explore.onthefly import verify_trace
+
+        verified, in_left = verify_trace(
+            left, right, self.trace, "observational" if self.weak else "strong"
+        )
+        return verified and in_left == self.in_left
+
+    def describe(self) -> str:
+        side = "left" if self.in_left else "right"
+        kind = "weak trace" if self.weak else "trace"
+        rendered = ".".join(self.trace) if self.trace else "ε"
+        return f"{kind} {rendered!r} witnesses extra behaviour of the {side} process"
+
+
+@dataclass(frozen=True)
 class RefusalWitness(Witness):
     """A failure pair ``(string, refusal)`` of exactly one side.
 
@@ -158,9 +187,11 @@ class Verdict:
 
     ``left`` / ``right`` are the (aligned) processes the check compared, kept
     so that :meth:`verify_witness` can re-check the certificate without any
-    external state.  They are None only on the direct expression route when
-    no witness was materialised (see
-    :meth:`~repro.engine.engine.Engine.check_expressions`).  ``bool(verdict)``
+    external state.  They are None when no eager process exists to store:
+    the direct expression route with no witness materialised (see
+    :meth:`~repro.engine.engine.Engine.check_expressions`) and the
+    on-the-fly route's composed/implicit operands (see
+    :meth:`~repro.engine.engine.Engine.check_on_the_fly`).  ``bool(verdict)``
     is the equivalence answer, so verdicts drop into boolean positions where
     the old free functions were used.
     """

@@ -1,0 +1,112 @@
+"""repro.explore -- on-the-fly exploration of implicit and composed state spaces.
+
+The "direct product of states" semantics of Section 6's CCS operators is
+where state explosion lives: a system of ``k`` parallel components can have
+exponentially many product states, and the eager pipeline materialises every
+one of them before any solver runs.  This layer sits between
+:mod:`repro.core` and :mod:`repro.engine` and makes the product *implicit*:
+
+* :class:`ImplicitLTS` -- a state space given by an initial state and a
+  successor function, with adapters for eager FSPs (:class:`FSPAdapter`)
+  and direct SOS exploration of CCS terms (:class:`CCSAdapter`);
+* lazy products and operators (:class:`LazyCCSProduct`,
+  :class:`LazyInterleavingProduct`, :class:`LazySynchronousProduct`,
+  :class:`LazyRestriction`, :class:`LazyHiding`, :class:`LazyRelabeling`)
+  mirroring :mod:`repro.core.composition` move for move;
+* :func:`check_implicit` -- on-the-fly strong / observational equivalence
+  (bounded-game deepening plus assumption-set depth-first search), returning
+  early with a verified distinguishing trace on inequivalence;
+* :func:`materialize` / :func:`materialize_lts` / :func:`reachable_stats`
+  -- bounded bridges back to the eager world;
+* :class:`SystemSpec` composition trees with three routes
+  (:func:`build_implicit`, :func:`compose_eager`,
+  :func:`minimize_compositionally`).
+
+A composed system can be decided without ever building its product:
+
+>>> from repro.core.fsp import from_transitions
+>>> from repro.explore import LazyInterleavingProduct, check_implicit
+>>> ping = from_transitions([("i", "ping", "i")], start="i", all_accepting=True)
+>>> pong = from_transitions([("o", "pong", "o")], start="o", all_accepting=True)
+>>> good = LazyInterleavingProduct(ping, pong)
+>>> bad = LazyInterleavingProduct(ping, from_transitions(
+...     [("o", "pong", "x")], start="o", all_accepting=True))
+>>> check_implicit(good, good, "strong").equivalent
+True
+>>> result = check_implicit(good, bad, "strong")
+>>> result.equivalent, result.trace_verified
+(False, True)
+
+and the lazy product materialises to exactly the eager construction:
+
+>>> from repro.core.composition import interleaving_product
+>>> from repro.explore import materialize
+>>> materialize(good) == interleaving_product(ping, pong)
+True
+"""
+
+from repro.explore.implicit import (
+    CCSAdapter,
+    ExplorationStats,
+    FSPAdapter,
+    ImplicitLTS,
+    as_implicit,
+    materialize,
+    materialize_lts,
+    reachable_stats,
+)
+from repro.explore.onthefly import ExploreResult, check_implicit, verify_trace
+from repro.explore.products import (
+    LazyCCSProduct,
+    LazyHiding,
+    LazyInterleavingProduct,
+    LazyRelabeling,
+    LazyRestriction,
+    LazySynchronousProduct,
+)
+from repro.explore.system import (
+    HideSpec,
+    LeafSpec,
+    ProductSpec,
+    RelabelSpec,
+    RestrictSpec,
+    SystemSpec,
+    TermSpec,
+    build_implicit,
+    compose_eager,
+    minimize_compositionally,
+    spec_from_document,
+    spec_to_document,
+)
+
+__all__ = [
+    "CCSAdapter",
+    "ExplorationStats",
+    "ExploreResult",
+    "FSPAdapter",
+    "HideSpec",
+    "ImplicitLTS",
+    "LazyCCSProduct",
+    "LazyHiding",
+    "LazyInterleavingProduct",
+    "LazyRelabeling",
+    "LazyRestriction",
+    "LazySynchronousProduct",
+    "LeafSpec",
+    "ProductSpec",
+    "RelabelSpec",
+    "RestrictSpec",
+    "SystemSpec",
+    "TermSpec",
+    "as_implicit",
+    "build_implicit",
+    "check_implicit",
+    "compose_eager",
+    "materialize",
+    "materialize_lts",
+    "minimize_compositionally",
+    "reachable_stats",
+    "spec_from_document",
+    "spec_to_document",
+    "verify_trace",
+]

@@ -1,0 +1,271 @@
+"""Lazy products and operators over implicit state spaces.
+
+These mirror the eager constructions of :mod:`repro.core.composition` --
+synchronous (intersection) product, pure interleaving, CCS parallel
+composition, restriction, hiding and relabelling -- but defer all work to
+successor queries: a product state ``(l, r)`` exists only while somebody
+holds it, and its moves are computed from the component moves on demand.
+
+The mirroring is exact: materialising a lazy product
+(:func:`repro.explore.implicit.materialize`) yields an FSP *equal* to the
+eager construction on the same components (same pair-naming via
+:func:`repro.core.composition.pair_name`, same alphabet and extension
+combination), which is what the property tests check on random process
+pairs.  The wrappers (:class:`LazyRestriction`, :class:`LazyHiding`,
+:class:`LazyRelabeling`) compose freely with the products and with each
+other, so an entire composition tree stays implicit end to end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.core.actions import channel_closure, co_action
+from repro.core.composition import pair_name
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import TAU
+from repro.explore.implicit import ImplicitLTS, Move, State, as_implicit
+
+__all__ = [
+    "LazyCCSProduct",
+    "LazyHiding",
+    "LazyInterleavingProduct",
+    "LazyRelabeling",
+    "LazyRestriction",
+    "LazySynchronousProduct",
+]
+
+
+class _LazyProduct(ImplicitLTS):
+    """Shared scaffolding of the three binary products.
+
+    Product states are ``(left_state, right_state)`` tuples; names, alphabets
+    and extension sets combine exactly as in the eager constructions
+    (:func:`repro.core.composition._explore_product`).
+    """
+
+    __slots__ = ("left", "right", "extension_mode")
+
+    def __init__(self, left, right, extension_mode: str) -> None:
+        self.left = as_implicit(left)
+        self.right = as_implicit(right)
+        if extension_mode not in ("union", "intersection"):
+            raise InvalidProcessError(f"unknown extension mode {extension_mode!r}")
+        self.extension_mode = extension_mode
+
+    def initial(self) -> tuple[State, State]:
+        return (self.left.initial(), self.right.initial())
+
+    def extension(self, state: tuple[State, State]) -> frozenset[str]:
+        left_ext = self.left.extension(state[0])
+        right_ext = self.right.extension(state[1])
+        if self.extension_mode == "union":
+            return left_ext | right_ext
+        return left_ext & right_ext
+
+    def state_name(self, state: tuple[State, State]) -> str:
+        return pair_name(self.left.state_name(state[0]), self.right.state_name(state[1]))
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.left.variables | self.right.variables
+
+    def _union_alphabet(self) -> frozenset[str] | None:
+        if self.left.alphabet is None or self.right.alphabet is None:
+            return None
+        return self.left.alphabet | self.right.alphabet
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
+
+
+class LazySynchronousProduct(_LazyProduct):
+    """The fully synchronous (intersection) product, explored lazily.
+
+    Both components must move together on shared observable actions; tau
+    moves of either side are local.  Mirrors
+    :func:`repro.core.composition.synchronous_product` (default extension
+    mode ``"intersection"``, the language-intersection reading of
+    Section 6).  Both components must declare their alphabets -- the set of
+    shared actions cannot be discovered lazily.
+    """
+
+    def __init__(self, left, right, extension_mode: str = "intersection") -> None:
+        super().__init__(left, right, extension_mode)
+        if self.left.alphabet is None or self.right.alphabet is None:
+            raise InvalidProcessError(
+                "the synchronous product needs both component alphabets declared"
+            )
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return self.left.alphabet & self.right.alphabet
+
+    def successors(self, state: tuple[State, State]) -> Iterator[Move]:
+        left_state, right_state = state
+        shared = self.alphabet
+        right_moves = list(self.right.successors(right_state))
+        by_action: dict[str, list[State]] = {}
+        for action, target in right_moves:
+            by_action.setdefault(action, []).append(target)
+        for action, target in self.left.successors(left_state):
+            if action == TAU:
+                yield TAU, (target, right_state)
+            elif action in shared:
+                for right_target in by_action.get(action, ()):
+                    yield action, (target, right_target)
+        for target in by_action.get(TAU, ()):
+            yield TAU, (left_state, target)
+
+
+class LazyInterleavingProduct(_LazyProduct):
+    """Pure asynchronous interleaving: either component moves, never both at once.
+
+    Mirrors :func:`repro.core.composition.interleaving_product`.
+    """
+
+    def __init__(self, left, right, extension_mode: str = "union") -> None:
+        super().__init__(left, right, extension_mode)
+
+    @property
+    def alphabet(self) -> frozenset[str] | None:
+        return self._union_alphabet()
+
+    def successors(self, state: tuple[State, State]) -> Iterator[Move]:
+        left_state, right_state = state
+        for action, target in self.left.successors(left_state):
+            yield action, (target, right_state)
+        for action, target in self.right.successors(right_state):
+            yield action, (left_state, target)
+
+
+class LazyCCSProduct(_LazyProduct):
+    """CCS parallel composition ``left | right``, explored lazily.
+
+    Interleaving of all moves plus a tau move whenever the components can
+    perform complementary actions (``a`` with ``a!``) simultaneously.
+    Mirrors :func:`repro.core.composition.ccs_composition` and the SOS rules
+    of :mod:`repro.ccs.semantics`.
+    """
+
+    def __init__(self, left, right, extension_mode: str = "union") -> None:
+        super().__init__(left, right, extension_mode)
+
+    @property
+    def alphabet(self) -> frozenset[str] | None:
+        return self._union_alphabet()
+
+    def successors(self, state: tuple[State, State]) -> Iterator[Move]:
+        left_state, right_state = state
+        right_moves = list(self.right.successors(right_state))
+        by_action: dict[str, list[State]] = {}
+        for action, target in right_moves:
+            by_action.setdefault(action, []).append(target)
+        for action, target in self.left.successors(left_state):
+            yield action, (target, right_state)
+            if action != TAU:
+                for right_target in by_action.get(co_action(action), ()):
+                    yield TAU, (target, right_target)
+        for action, target in right_moves:
+            yield action, (left_state, target)
+
+
+class _LazyWrapper(ImplicitLTS):
+    """Shared scaffolding of the unary operators (states pass through)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner) -> None:
+        self.inner = as_implicit(inner)
+
+    def initial(self) -> State:
+        return self.inner.initial()
+
+    def extension(self, state: State) -> frozenset[str]:
+        return self.inner.extension(state)
+
+    def state_name(self, state: State) -> str:
+        return self.inner.state_name(state)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.inner.variables
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.inner!r})"
+
+
+class LazyRestriction(_LazyWrapper):
+    """CCS restriction ``P \\ L``: moves on the listed channels (and their
+    co-actions) are pruned; tau moves pass.  Mirrors
+    :func:`repro.core.composition.restrict`."""
+
+    __slots__ = ("blocked",)
+
+    def __init__(self, inner, channels) -> None:
+        super().__init__(inner)
+        self.blocked = channel_closure(channels)
+
+    @property
+    def alphabet(self) -> frozenset[str] | None:
+        declared = self.inner.alphabet
+        return None if declared is None else declared - self.blocked
+
+    def successors(self, state: State) -> Iterator[Move]:
+        for action, target in self.inner.successors(state):
+            if action == TAU or action not in self.blocked:
+                yield action, target
+
+
+class LazyHiding(_LazyWrapper):
+    """Hiding: moves on the listed channels become tau moves.  Mirrors
+    :func:`repro.core.composition.hide` -- the step that produces the
+    tau-rich systems observational equivalence is about."""
+
+    __slots__ = ("hidden",)
+
+    def __init__(self, inner, channels) -> None:
+        super().__init__(inner)
+        self.hidden = channel_closure(channels)
+
+    @property
+    def alphabet(self) -> frozenset[str] | None:
+        declared = self.inner.alphabet
+        return None if declared is None else declared - self.hidden
+
+    def successors(self, state: State) -> Iterator[Move]:
+        for action, target in self.inner.successors(state):
+            yield (TAU if action in self.hidden else action), target
+
+
+class LazyRelabeling(_LazyWrapper):
+    """Relabelling ``P[f]``: co-actions follow their channel, tau is fixed.
+    Mirrors :func:`repro.core.composition.relabel`."""
+
+    __slots__ = ("mapping",)
+
+    def __init__(self, inner, mapping: Mapping[str, str]) -> None:
+        super().__init__(inner)
+        if TAU in mapping:
+            raise InvalidProcessError("tau cannot be relabelled")
+        full: dict[str, str] = {}
+        for old, new in mapping.items():
+            full[old] = new
+            full[co_action(old)] = co_action(new)
+        self.mapping = full
+
+    def _rename(self, action: str) -> str:
+        if action == TAU:
+            return action
+        return self.mapping.get(action, action)
+
+    @property
+    def alphabet(self) -> frozenset[str] | None:
+        declared = self.inner.alphabet
+        if declared is None:
+            return None
+        return frozenset(self._rename(action) for action in declared)
+
+    def successors(self, state: State) -> Iterator[Move]:
+        for action, target in self.inner.successors(state):
+            yield self._rename(action), target

@@ -241,3 +241,238 @@ def kanellakis_inequivalent_pair(size: int) -> tuple[FSP, FSP]:
     right_builder.add_transition("stray", "a", "stray2")
     right_builder.mark_all_accepting()
     return left, right_builder.build(start="s0_0")
+
+
+# ----------------------------------------------------------------------
+# Composed scenario families (Section 6 workloads for repro.explore)
+# ----------------------------------------------------------------------
+def _fold_ccs(specs):
+    """Left-fold a list of component specs into one CCS composition tree."""
+    from repro.explore.system import ProductSpec
+
+    tree = specs[0]
+    for spec in specs[1:]:
+        tree = ProductSpec("ccs", tree, spec)
+    return tree
+
+
+def deterministic_cycle(length: int, action: str, extra=()) -> FSP:
+    """A deterministic cycle over one action, with optional extra transitions.
+
+    ``extra`` is an iterable of ``(state_index, action, state_index)``
+    triples layered on top of the cycle -- the hook the inequivalent
+    composed families use to plant a local fault.
+    """
+    if length < 1:
+        raise ValueError("cycle length must be positive")
+    builder = FSPBuilder(alphabet={action})
+    for index in range(length):
+        builder.add_transition(f"k{index}", action, f"k{(index + 1) % length}")
+    for src, extra_action, dst in extra:
+        builder.add_transition(f"k{src % length}", extra_action, f"k{dst % length}")
+    builder.mark_all_accepting()
+    return builder.build(start="k0")
+
+
+def interleaved_cycles_system(lengths, fault_depth: int | None = None):
+    """Pure interleaving of independent cycles with disjoint alphabets.
+
+    Component ``j`` is a deterministic cycle of ``lengths[j]`` states over
+    the private action ``c<j>``, so the reachable product is exactly the
+    grid of size ``prod(lengths)`` -- the textbook exponential-product
+    family.  With ``fault_depth`` set, component 0 gains a ``snag``
+    self-loop at that depth: a *local* fault whose product-level effect is a
+    shallow trace difference, the shape the on-the-fly checker is built to
+    find without sweeping the grid.
+    """
+    from repro.explore.system import LeafSpec, ProductSpec
+
+    if not lengths:
+        raise ValueError("at least one cycle is required")
+    components = []
+    for index, length in enumerate(lengths):
+        extra = ()
+        if fault_depth is not None and index == 0:
+            extra = ((fault_depth, "snag", fault_depth),)
+        components.append(
+            LeafSpec(deterministic_cycle(length, f"c{index}", extra), label=f"cycle{index}")
+        )
+    tree = components[0]
+    for component in components[1:]:
+        tree = ProductSpec("interleave", tree, component)
+    return tree
+
+
+def interleaved_cycles_pair(lengths, fault_depth: int = 2):
+    """An (equivalent-shape, locally-faulty) pair of interleaved-cycle systems.
+
+    Both systems have exactly ``prod(lengths)`` reachable product states
+    (the fault is a self-loop, adding behaviour but no states); they are
+    inequivalent under every notion from language up, with the difference
+    reachable within ``fault_depth + 1`` moves of the start.
+    """
+    return (
+        interleaved_cycles_system(lengths),
+        interleaved_cycles_system(lengths, fault_depth=fault_depth),
+    )
+
+
+def interleaved_cycles_product_size(lengths) -> int:
+    """The exact reachable product size of :func:`interleaved_cycles_system`."""
+    size = 1
+    for length in lengths:
+        size *= length
+    return size
+
+
+def dining_philosophers_system(num_philosophers: int = 3):
+    """Dijkstra's dining philosophers as a CCS composition spec.
+
+    Philosopher ``i`` picks up fork ``i`` then fork ``i+1 mod n`` (the
+    deadlock-prone symmetric protocol), eats (``eat<i>``, observable) and
+    puts both forks back; fork ``j`` is a two-state mutex.  All handshake
+    channels are restricted, so the composed system moves on ``eat<i>`` and
+    tau only -- the classic "state explosion with a deadlock hiding in it"
+    workload for on-the-fly exploration.
+
+    Restriction is pushed *inward*: fork ``j``'s channels are closed off as
+    soon as both of its users (philosophers ``j-1`` and ``j``) are in the
+    subtree.  This is behaviour-preserving (the channels have no other
+    users) and is what lets ``minimize_compositionally`` keep intermediate
+    products small instead of dragging open handshakes to the root.
+    """
+    from repro.explore.system import LeafSpec, ProductSpec, RestrictSpec
+
+    n = num_philosophers
+    if n < 2:
+        raise ValueError("at least two philosophers are required")
+
+    def philosopher(i: int) -> LeafSpec:
+        left, right = i, (i + 1) % n
+        builder = FSPBuilder(alphabet={f"pick{left}!", f"pick{right}!", f"put{left}!",
+                                       f"put{right}!", f"eat{i}"})
+        builder.add_transition("think", f"pick{left}!", "left_held")
+        builder.add_transition("left_held", f"pick{right}!", "ready")
+        builder.add_transition("ready", f"eat{i}", "sated")
+        builder.add_transition("sated", f"put{left}!", "dropping")
+        builder.add_transition("dropping", f"put{right}!", "think")
+        builder.mark_all_accepting()
+        return LeafSpec(builder.build(start="think"), label=f"phil{i}")
+
+    def fork(j: int) -> LeafSpec:
+        builder = FSPBuilder(alphabet={f"pick{j}", f"put{j}"})
+        builder.add_transition("free", f"pick{j}", "busy")
+        builder.add_transition("busy", f"put{j}", "free")
+        builder.mark_all_accepting()
+        return LeafSpec(builder.build(start="free"), label=f"fork{j}")
+
+    tree = philosopher(0)
+    for i in range(1, n):
+        # fork i's users are philosophers i-1 and i, both now present.
+        tree = RestrictSpec(
+            ProductSpec("ccs", ProductSpec("ccs", tree, philosopher(i)), fork(i)),
+            frozenset({f"pick{i}", f"put{i}"}),
+        )
+    # fork 0 closes the ring: its users are philosophers 0 and n-1.
+    return RestrictSpec(
+        ProductSpec("ccs", tree, fork(0)), frozenset({"pick0", "put0"})
+    )
+
+
+def redundant_interleaving_system(num_components: int = 3, length: int = 4, copies: int = 3):
+    """Interleaving of duplicated chains: the compositional-minimisation showcase.
+
+    Each component is a :func:`duplicated_chain` over a private action, so it
+    carries ``copies``-fold internal redundancy that quotients away to a
+    plain chain.  The eager route builds the full ``(length * copies)``-ish
+    grid before minimising; ``minimize_compositionally`` shrinks every
+    component first and composes quotients -- the regime where minimising
+    before the product beats minimising after it.
+    """
+    from repro.explore.system import LeafSpec, ProductSpec
+
+    if num_components < 1:
+        raise ValueError("at least one component is required")
+    tree = None
+    for index in range(num_components):
+        leaf = LeafSpec(
+            duplicated_chain(length, copies, action=f"c{index}"), label=f"dup{index}"
+        )
+        tree = leaf if tree is None else ProductSpec("interleave", tree, leaf)
+    return tree
+
+
+def token_ring_system(num_stations: int = 4, faulty_station: int | None = None):
+    """A token ring: stations serve in turn, passing the token on a hidden channel.
+
+    Station ``i`` waits for ``tok<i>``, performs the observable ``serve<i>``
+    and hands the token to station ``i+1 mod n``; station 0 starts holding
+    the token.  With ``faulty_station`` set, that station can also drop into
+    a ``fault<i>`` self-loop instead of serving -- a trace-level deviation
+    used by :func:`token_ring_pair`.
+    """
+    from repro.explore.system import LeafSpec, RestrictSpec
+
+    n = num_stations
+    if n < 2:
+        raise ValueError("at least two stations are required")
+    components = []
+    for i in range(n):
+        succ = (i + 1) % n
+        alphabet = {f"tok{i}", f"tok{succ}!", f"serve{i}"}
+        builder = FSPBuilder(alphabet=alphabet)
+        builder.add_transition("wait", f"tok{i}", "holding")
+        builder.add_transition("holding", f"serve{i}", "served")
+        builder.add_transition("served", f"tok{succ}!", "wait")
+        if faulty_station == i:
+            builder.add_transition("holding", f"fault{i}", "holding")
+        builder.mark_all_accepting()
+        components.append(
+            LeafSpec(builder.build(start="holding" if i == 0 else "wait"), label=f"station{i}")
+        )
+    channels = frozenset(f"tok{i}" for i in range(n))
+    return RestrictSpec(_fold_ccs(components), channels)
+
+
+def token_ring_pair(num_stations: int = 4, faulty_station: int = 1):
+    """A (correct, faulty) token-ring pair, inequivalent under every notion."""
+    return (
+        token_ring_system(num_stations),
+        token_ring_system(num_stations, faulty_station=faulty_station),
+    )
+
+
+def milner_scheduler_system(num_cyclers: int = 3):
+    """Milner's scheduler: cyclers start tasks in round-robin order.
+
+    Cycler ``i`` receives the scheduling token, performs the observable
+    ``start<i>``, and then -- in either order -- finishes its task
+    (``finish<i>``) and hands the token to cycler ``i+1 mod n``, so distinct
+    tasks genuinely overlap.  Token channels are restricted, so every
+    hand-off appears as a synchronisation tau -- the tau-rich shape
+    observational equivalence is about.
+    """
+    from repro.explore.system import LeafSpec, RestrictSpec
+
+    n = num_cyclers
+    if n < 2:
+        raise ValueError("at least two cyclers are required")
+    components = []
+    for i in range(n):
+        succ = (i + 1) % n
+        builder = FSPBuilder(
+            alphabet={f"tok{i}", f"tok{succ}!", f"start{i}", f"finish{i}"}
+        )
+        builder.add_transition("idle", f"tok{i}", "ready")
+        builder.add_transition("ready", f"start{i}", "running")
+        # the (finish | pass-token) diamond: both interleavings
+        builder.add_transition("running", f"tok{succ}!", "finishing")
+        builder.add_transition("finishing", f"finish{i}", "idle")
+        builder.add_transition("running", f"finish{i}", "passing")
+        builder.add_transition("passing", f"tok{succ}!", "idle")
+        builder.mark_all_accepting()
+        components.append(
+            LeafSpec(builder.build(start="ready" if i == 0 else "idle"), label=f"cycler{i}")
+        )
+    channels = frozenset(f"tok{i}" for i in range(n))
+    return RestrictSpec(_fold_ccs(components), channels)

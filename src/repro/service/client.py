@@ -107,20 +107,27 @@ class ServiceClient:
         *,
         align: bool = True,
         witness: bool = False,
+        on_the_fly: bool | None = None,
         **params: Any,
     ) -> dict[str, Any]:
-        """Decide one equivalence; returns the serialised verdict dict."""
-        return self.request(
-            "check",
-            {
-                "left": protocol.process_ref(left),
-                "right": protocol.process_ref(right),
-                "notion": notion,
-                "align": align,
-                "witness": witness,
-                "params": params,
-            },
-        )
+        """Decide one equivalence; returns the serialised verdict dict.
+
+        Operands may also be composed systems
+        (:class:`~repro.explore.system.SystemSpec` values or
+        ``{"system": ...}`` documents); those default to the server's
+        on-the-fly route, and ``on_the_fly`` overrides the route either way.
+        """
+        request: dict[str, Any] = {
+            "left": protocol.process_ref(left),
+            "right": protocol.process_ref(right),
+            "notion": notion,
+            "align": align,
+            "witness": witness,
+            "params": params,
+        }
+        if on_the_fly is not None:
+            request["on_the_fly"] = on_the_fly
+        return self.request("check", request)
 
     def check_many(
         self,

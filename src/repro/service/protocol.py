@@ -21,6 +21,12 @@ Processes inside ``params`` are *references*: either an inline serialised
 FSP (``{"process": {...}}``, the :func:`repro.utils.serialization.to_dict`
 encoding) or a content address into the server's store
 (``{"digest": "sha256:..."}``) obtained from a prior ``store`` request.
+A check operand may also be a *composed system*
+(``{"system": {...}}``, the :func:`repro.explore.spec_from_document`
+grammar, with leaves that are themselves process references) -- composed
+operands run through the on-the-fly route of :mod:`repro.explore` unless the
+check sets ``on_the_fly`` to false, so the server never materialises the
+product.
 
 This module is shared by the server, the client and the protocol tests, so
 framing and error vocabulary live in exactly one place.
@@ -200,12 +206,14 @@ def parse_response(line: bytes) -> tuple[Any, dict[str, Any]]:
 # ----------------------------------------------------------------------
 # process references
 # ----------------------------------------------------------------------
-def process_ref(source: FSP | str | dict[str, Any]) -> dict[str, Any]:
+def process_ref(source) -> dict[str, Any]:
     """Encode a process reference for a request.
 
     An :class:`FSP` is inlined (``{"process": {...}}``); a ``sha256:...``
-    string becomes a digest reference; a dict that already *is* a reference
-    (has a ``digest`` or ``process`` key, the wire shapes of
+    string becomes a digest reference; a
+    :class:`~repro.explore.system.SystemSpec` becomes a composed-system
+    reference (``{"system": {...}}``); a dict that already *is* a reference
+    (has a ``digest``, ``process`` or ``system`` key, the wire shapes of
     ``docs/service-protocol.md``) passes through unchanged, and any other
     dict is assumed to be a serialised FSP and is inlined.
     """
@@ -216,10 +224,38 @@ def process_ref(source: FSP | str | dict[str, Any]) -> dict[str, Any]:
             raise ValueError(f"digest references must start with 'sha256:', got {source!r}")
         return {"digest": source}
     if isinstance(source, dict):
-        if "digest" in source or "process" in source:
+        if "digest" in source or "process" in source or "system" in source:
             return source
         return {"process": source}
+    from repro.explore.system import SystemSpec, spec_to_document
+
+    if isinstance(source, SystemSpec):
+        return {"system": spec_to_document(source)}
     raise TypeError(f"cannot encode a process reference from {type(source).__name__}")
+
+
+def resolve_operand(ref: Any, store=None):
+    """Decode a check operand: an FSP, or a composed-system spec.
+
+    ``{"system": {...}}`` references parse into a
+    :class:`~repro.explore.system.SystemSpec` whose leaves resolve through
+    :func:`resolve_ref` (inline processes and, given a ``store``, digests);
+    everything else behaves exactly like :func:`resolve_ref`.
+    """
+    if isinstance(ref, dict) and "system" in ref:
+        # ReproError covers the whole parse surface: malformed documents
+        # (InvalidProcessError) and unparsable {"term": ...} leaves
+        # (ExpressionError) are both client input errors, not server bugs.
+        from repro.core.errors import ReproError
+        from repro.explore.system import spec_from_document
+
+        try:
+            return spec_from_document(ref["system"], lambda leaf: resolve_ref(leaf, store))
+        except ServiceError:
+            raise  # a leaf's digest/process error keeps its own code
+        except ReproError as error:
+            raise ServiceError(INVALID_PROCESS, f"system reference rejected: {error}") from None
+    return resolve_ref(ref, store)
 
 
 def resolve_ref(ref: Any, store=None) -> FSP:

@@ -230,6 +230,9 @@ class EquivalenceServer:
             "notion": params.get("notion", defaults.get("notion", "observational")),
             "align": bool(params.get("align", defaults.get("align", True))),
             "witness": bool(params.get("witness", defaults.get("witness", False))),
+            # None means "decide by operand shape": composed-system operands
+            # take the lazy route, plain processes the cached eager route.
+            "on_the_fly": params.get("on_the_fly", defaults.get("on_the_fly")),
             "params": params.get("params", {}),
         }
         if spec["left"] is None or spec["right"] is None:
@@ -255,6 +258,7 @@ class EquivalenceServer:
             "notion": params.get("notion", "observational"),
             "align": params.get("align", True),
             "witness": params.get("witness", False),
+            "on_the_fly": params.get("on_the_fly"),
         }
         specs = []
         for index, item in enumerate(checks):

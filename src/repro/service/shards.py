@@ -88,25 +88,52 @@ def _check_failed(error: Exception) -> protocol.ServiceError:
 
 
 def _worker_check(spec: dict[str, Any]) -> dict[str, Any]:
-    """Run one check inside the worker; returns a JSON-compatible verdict."""
-    from repro.core.errors import ReproError
+    """Run one check inside the worker; returns a JSON-compatible verdict.
 
-    left = _worker_resolve(spec["left"])
-    right = _worker_resolve(spec["right"])
+    Composed-system operands (``{"system": ...}`` references) take the
+    on-the-fly route of :mod:`repro.explore` by default -- the product is
+    never materialised in the worker -- as does any check whose manifest
+    entry sets ``on_the_fly``; setting it to false instead composes the
+    system eagerly and runs the classic cached route.
+    """
+    from repro.core.errors import ReproError
+    from repro.explore.system import SystemSpec, compose_eager
+
+    left = protocol.resolve_operand(spec["left"], _WORKER.get("store"))
+    right = protocol.resolve_operand(spec["right"], _WORKER.get("store"))
     engine = _WORKER["engine"]
+    composed = isinstance(left, SystemSpec) or isinstance(right, SystemSpec)
+    on_the_fly = spec.get("on_the_fly")
+    lazy = bool(on_the_fly) or (on_the_fly is None and composed)
     try:
-        verdict = engine.check(
-            left,
-            right,
-            spec.get("notion", "observational"),
-            align=bool(spec.get("align", True)),
-            witness=bool(spec.get("witness", False)),
-            **spec.get("params", {}),
-        )
+        if lazy:
+            verdict = engine.check_on_the_fly(
+                left,
+                right,
+                spec.get("notion", "observational"),
+                witness=bool(spec.get("witness", False)),
+                **spec.get("params", {}),
+            )
+        else:
+            if isinstance(left, SystemSpec):
+                left = compose_eager(left)
+            if isinstance(right, SystemSpec):
+                right = compose_eager(right)
+            verdict = engine.check(
+                left,
+                right,
+                spec.get("notion", "observational"),
+                align=bool(spec.get("align", True)),
+                witness=bool(spec.get("witness", False)),
+                **spec.get("params", {}),
+            )
     except (ReproError, ValueError, TypeError) as error:
         raise _check_failed(error) from None
     _WORKER["checks"] += 1
     result = verdict.to_dict()
+    if lazy:
+        result["route"] = verdict.stats.details.get("route")
+        result["pairs_visited"] = verdict.stats.details.get("pairs_visited")
     result["shard"] = _WORKER["shard"]
     result["pid"] = os.getpid()
     return result
@@ -231,11 +258,14 @@ class ShardPool:
         if isinstance(ref, dict):
             if isinstance(ref.get("digest"), str):
                 return self.shard_of(ref["digest"])
-            if "process" in ref:
+            if "process" in ref or "system" in ref:
                 # Canonical separators match utils.serialization.canonical_bytes,
                 # so an inline copy of a stored process routes to the same
-                # shard as its digest reference (the cache-affinity promise).
-                canonical = json.dumps(ref["process"], sort_keys=True, separators=(",", ":"))
+                # shard as its digest reference (the cache-affinity promise);
+                # composed-system documents hash the same way, keeping
+                # repeated questions about one system on one worker.
+                body = ref.get("process", ref.get("system"))
+                canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
                 return self.shard_of("sha256:" + hashlib.sha256(canonical.encode()).hexdigest())
         return 0
 

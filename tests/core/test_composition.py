@@ -140,3 +140,52 @@ class TestUnaryOperators:
     def test_relabel_rejects_tau(self):
         with pytest.raises(InvalidProcessError):
             relabel(_ab_chain(), {TAU: "a"})
+
+
+class TestAsciiPairNames:
+    """Regression: composed state names must survive every serialisation path."""
+
+    def test_pair_names_are_plain_ascii(self):
+        from repro.core.composition import pair_name
+
+        product = ccs_composition(_ab_chain(), _ba_chain())
+        for state in product.states:
+            state.encode("ascii")  # raises on any non-ASCII separator
+        assert pair_name("p0", "q0") == "(p0|q0)"
+        assert pair_name("p0", "q0") in product.states
+
+    def test_composed_process_round_trips_through_aut(self, tmp_path):
+        from repro.engine import default_engine
+        from repro.utils.serialization import load_process_file, save_process_file
+
+        product = ccs_composition(_ab_chain(), _ba_chain())
+        path = tmp_path / "composed.aut"
+        save_process_file(product, path)
+        path.read_text(encoding="ascii")  # the file itself is ASCII-clean
+        reloaded = load_process_file(path)
+        verdict = default_engine().check(product, reloaded, "strong", align=True, witness=False)
+        assert verdict.equivalent
+
+    def test_composed_process_round_trips_through_json(self, tmp_path):
+        from repro.utils import serialization
+
+        product = interleaving_product(_ab_chain(), _ba_chain())
+        path = tmp_path / "composed.json"
+        serialization.dump(product, path)
+        assert serialization.load(path) == product
+
+    def test_colliding_pair_names_are_rejected_not_merged(self):
+        # component names containing the separator could alias two distinct
+        # product states to one name; both routes must refuse, not merge.
+        left = from_transitions(
+            [("a|b", "go", "a")], start="a|b", all_accepting=True, alphabet={"go", "hop"}
+        )
+        right = from_transitions(
+            [("c", "hop", "b|c")], start="c", all_accepting=True, alphabet={"go", "hop"}
+        )
+        with pytest.raises(InvalidProcessError, match="collision"):
+            interleaving_product(left, right)
+        from repro.explore import LazyInterleavingProduct, materialize
+
+        with pytest.raises(InvalidProcessError, match="collision"):
+            materialize(LazyInterleavingProduct(left, right))

@@ -18,7 +18,7 @@ ROOT = Path(__file__).resolve().parents[2]
 
 #: The modules whose docstrings promise runnable examples (gated in CI with
 #: ``pytest --doctest-modules`` over exactly this list).
-DOCTEST_MODULES = ("repro.engine", "repro.core.lts", "repro.core.weak")
+DOCTEST_MODULES = ("repro.engine", "repro.core.lts", "repro.core.weak", "repro.explore")
 
 
 @pytest.mark.parametrize("module_name", DOCTEST_MODULES)

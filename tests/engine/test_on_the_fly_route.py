@@ -1,0 +1,88 @@
+"""Engine.check_on_the_fly: verdicts, witnesses and stats for the lazy route."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StateSpaceLimitError
+from repro.core.fsp import from_transitions
+from repro.engine import Engine, TraceWitness, check_on_the_fly
+from repro.explore import build_implicit
+from repro.generators.families import (
+    interleaved_cycles_pair,
+    interleaved_cycles_product_size,
+    token_ring_system,
+)
+
+
+@pytest.fixture()
+def engine():
+    return Engine()
+
+
+def test_composed_specs_are_accepted_directly(engine):
+    ok, bad = interleaved_cycles_pair([4, 3, 3])
+    verdict = engine.check_on_the_fly(ok, bad, "strong")
+    assert not verdict.equivalent
+    assert verdict.stats.details["route"].startswith("on-the-fly")
+    assert verdict.stats.details["pairs_visited"] <= interleaved_cycles_product_size([4, 3, 3])
+
+
+def test_verified_trace_becomes_a_checkable_witness(engine):
+    ok, bad = interleaved_cycles_pair([3, 3])
+    verdict = engine.check_on_the_fly(ok, bad, "strong", witness=True)
+    assert isinstance(verdict.witness, TraceWitness)
+    from repro.explore import compose_eager
+
+    assert verdict.witness.holds(compose_eager(ok), compose_eager(bad))
+    assert "snag" in verdict.witness.describe()
+
+
+def test_witness_false_suppresses_the_certificate(engine):
+    ok, bad = interleaved_cycles_pair([3, 3])
+    assert engine.check_on_the_fly(ok, bad, "strong", witness=False).witness is None
+
+
+def test_process_handles_and_implicits_are_accepted(engine):
+    fsp = from_transitions([("p", "a", "p")], start="p", all_accepting=True)
+    handle = engine.process(fsp)
+    implicit = build_implicit(token_ring_system(3))
+    assert engine.check_on_the_fly(handle, fsp, "strong").equivalent
+    assert engine.check_on_the_fly(implicit, implicit, "observational").equivalent
+
+
+def test_max_pairs_bound_is_honoured(engine):
+    ok, _bad = interleaved_cycles_pair([5, 5, 5])
+    with pytest.raises(StateSpaceLimitError):
+        engine.check_on_the_fly(ok, ok, "strong", max_pairs=3)
+
+
+def test_unsupported_notion_raises(engine):
+    fsp = from_transitions([("p", "a", "p")], start="p", all_accepting=True)
+    with pytest.raises(ValueError, match="strong"):
+        engine.check_on_the_fly(fsp, fsp, "language")
+
+
+def test_module_level_function_uses_the_default_engine():
+    fsp = from_transitions([("p", "a", "p")], start="p", all_accepting=True)
+    assert check_on_the_fly(fsp, fsp, "strong").equivalent
+
+
+def test_fsp_operands_keep_verify_witness_working(engine):
+    from repro.core.fsp import from_transitions
+
+    left = from_transitions(
+        [("s0", "a", "s1"), ("s1", "a", "s0")], start="s0", all_accepting=True
+    )
+    right = from_transitions([("s0", "a", "s1")], start="s0", all_accepting=True)
+    verdict = engine.check_on_the_fly(left, right, "strong", witness=True)
+    assert not verdict.equivalent
+    assert verdict.left is left and verdict.right is right
+    assert verdict.verify_witness() is True
+
+
+def test_composed_operands_leave_processes_unset(engine):
+    ok, bad = interleaved_cycles_pair([3, 3])
+    verdict = engine.check_on_the_fly(ok, bad, "strong", witness=True)
+    assert verdict.left is None and verdict.right is None
+    assert verdict.verify_witness() is None  # nothing materialised to re-check

@@ -1,0 +1,137 @@
+"""Tests for the ImplicitLTS protocol, adapters and bounded materialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccs.parser import parse_definitions, parse_process
+from repro.ccs.semantics import compile_to_fsp
+from repro.core.errors import InvalidProcessError, StateSpaceLimitError
+from repro.core.fsp import TAU, from_transitions
+from repro.explore import (
+    CCSAdapter,
+    FSPAdapter,
+    ImplicitLTS,
+    as_implicit,
+    materialize,
+    materialize_lts,
+    reachable_stats,
+)
+
+
+def chain(n=3):
+    return from_transitions(
+        [(f"s{i}", "a", f"s{i + 1}") for i in range(n)], start="s0", all_accepting=True
+    )
+
+
+class TestFSPAdapter:
+    def test_round_trips_identically(self):
+        fsp = from_transitions(
+            [("p", "a", "q"), ("q", TAU, "p")], start="p", accepting=["q"]
+        )
+        assert materialize(FSPAdapter(fsp)) == fsp
+
+    def test_as_implicit_wraps_and_passes_through(self):
+        fsp = chain()
+        adapter = as_implicit(fsp)
+        assert isinstance(adapter, FSPAdapter)
+        assert as_implicit(adapter) is adapter
+
+    def test_as_implicit_rejects_other_types(self):
+        with pytest.raises(InvalidProcessError, match="implicit"):
+            as_implicit("not a process")
+
+    def test_unreachable_states_are_dropped(self):
+        fsp = from_transitions(
+            [("p", "a", "q"), ("island", "a", "island")], start="p", all_accepting=True
+        )
+        assert materialize(fsp).states == frozenset({"p", "q"})
+
+
+class TestCCSAdapter:
+    def test_matches_compile_to_fsp(self):
+        definitions = parse_definitions("LEFT := in.mid!.LEFT\nRIGHT := mid.out!.RIGHT")
+        term = parse_process("(LEFT | RIGHT) \\ {mid}")
+        assert materialize(CCSAdapter(term, definitions)) == compile_to_fsp(term, definitions)
+
+    def test_lazy_exploration_ignores_global_bounds(self):
+        # compile_to_fsp would need max_states up front; the adapter only
+        # pays for the states a bounded sweep actually touches.
+        definitions = parse_definitions("P := a.P")
+        adapter = CCSAdapter(parse_process("P"), definitions)
+        stats = reachable_stats(adapter, limit=10)
+        assert stats.complete and stats.states == 1
+
+    def test_tau_is_translated_to_the_kernel_marker(self):
+        adapter = CCSAdapter(parse_process("tau.0"))
+        moves = list(adapter.successors(adapter.initial()))
+        assert moves[0][0] == TAU
+
+
+class TestMaterialize:
+    def test_limit_raises_by_default(self):
+        with pytest.raises(StateSpaceLimitError, match="exceeded 2"):
+            materialize(chain(5), limit=2)
+
+    def test_limit_truncate_keeps_a_valid_prefix(self):
+        truncated = materialize(chain(5), limit=3, on_limit="truncate")
+        assert truncated.num_states == 3
+        # no dangling transitions into unexplored states
+        assert all(dst in truncated.states for _s, _a, dst in truncated.transitions)
+
+    def test_bad_on_limit_value(self):
+        with pytest.raises(ValueError, match="on_limit"):
+            materialize(chain(), limit=1, on_limit="explode")
+
+    def test_name_collisions_are_rejected(self):
+        class Colliding(ImplicitLTS):
+            def initial(self):
+                return 0
+
+            def successors(self, state):
+                if state == 0:
+                    yield "a", 1
+                    yield "a", 2
+
+            def state_name(self, state):
+                return "same" if state else "start"
+
+        with pytest.raises(InvalidProcessError, match="collision"):
+            materialize(Colliding())
+
+    def test_materialize_lts_reaches_the_kernel(self):
+        lts = materialize_lts(chain(3))
+        assert lts.to_fsp().num_states == 4
+
+
+class TestReachableStats:
+    def test_exact_counts(self):
+        stats = reachable_stats(chain(4))
+        assert (stats.states, stats.transitions, stats.complete) == (5, 4, True)
+
+    def test_limit_marks_incomplete(self):
+        stats = reachable_stats(chain(10), limit=4)
+        assert not stats.complete
+        assert stats.states == 4
+
+
+class TestCCSAdapterBound:
+    def test_infinite_state_terms_are_cut_off(self):
+        from repro.ccs.parser import parse_definitions, parse_process
+        from repro.explore import check_implicit
+
+        definitions = parse_definitions("A := a.(A | A)")
+        adapter = CCSAdapter(parse_process("A"), definitions, max_states=50)
+        with pytest.raises(StateSpaceLimitError, match="exceeded 50"):
+            check_implicit(adapter, CCSAdapter(parse_process("A"), definitions, max_states=50))
+
+    def test_spec_max_states_reaches_the_lazy_route(self):
+        from repro.ccs.parser import parse_definitions, parse_process
+        from repro.explore import TermSpec, build_implicit
+
+        spec = TermSpec(
+            parse_process("A"), parse_definitions("A := a.(A | A)"), max_states=30
+        )
+        with pytest.raises(StateSpaceLimitError, match="exceeded 30"):
+            reachable_stats(build_implicit(spec))

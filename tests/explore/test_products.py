@@ -1,0 +1,110 @@
+"""Lazy products and wrappers mirror the eager composition operators exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composition import (
+    ccs_composition,
+    hide,
+    interleaving_product,
+    relabel,
+    restrict,
+    synchronous_product,
+)
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import TAU, from_transitions
+from repro.explore import (
+    CCSAdapter,
+    LazyCCSProduct,
+    LazyHiding,
+    LazyInterleavingProduct,
+    LazyRelabeling,
+    LazyRestriction,
+    LazySynchronousProduct,
+    materialize,
+)
+from repro.generators.random_fsp import random_fsp
+
+
+def sender():
+    return from_transitions(
+        [("s0", "send!", "s1"), ("s1", TAU, "s0")], start="s0", all_accepting=True
+    )
+
+
+def receiver():
+    return from_transitions(
+        [("r0", "send", "r1"), ("r1", "deliver", "r0")], start="r0", all_accepting=True
+    )
+
+
+class TestLazyMirrorsEager:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_ccs_product_on_random_pairs(self, seed):
+        left = random_fsp(4, alphabet=("a", "b"), tau_probability=0.2, seed=seed)
+        right = random_fsp(4, alphabet=("a", "a!", "b"), tau_probability=0.2, seed=seed + 50)
+        assert materialize(LazyCCSProduct(left, right)) == ccs_composition(left, right)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_interleaving_on_random_pairs(self, seed):
+        left = random_fsp(4, alphabet=("a", "b"), seed=seed)
+        right = random_fsp(4, alphabet=("b", "c"), seed=seed + 50)
+        assert materialize(LazyInterleavingProduct(left, right)) == interleaving_product(
+            left, right
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_synchronous_on_random_pairs(self, seed):
+        left = random_fsp(4, alphabet=("a", "b"), tau_probability=0.2, seed=seed)
+        right = random_fsp(4, alphabet=("a", "b"), tau_probability=0.2, seed=seed + 50)
+        assert materialize(LazySynchronousProduct(left, right)) == synchronous_product(
+            left, right
+        )
+
+    def test_synchronisation_appears_as_tau(self):
+        product = materialize(LazyCCSProduct(sender(), receiver()))
+        assert product == ccs_composition(sender(), receiver())
+        assert any(action == TAU for _s, action, _d in product.transitions)
+
+    def test_extension_modes_match_eager(self):
+        left = random_fsp(3, accepting_probability=0.5, seed=1)
+        right = random_fsp(3, accepting_probability=0.5, seed=2)
+        for mode in ("union", "intersection"):
+            assert materialize(LazyInterleavingProduct(left, right, mode)) == (
+                interleaving_product(left, right, mode)
+            )
+
+    def test_bad_extension_mode_rejected(self):
+        with pytest.raises(InvalidProcessError, match="extension mode"):
+            LazyCCSProduct(sender(), receiver(), "both")
+
+
+class TestWrappers:
+    def test_restriction_matches_eager(self):
+        composed = ccs_composition(sender(), receiver())
+        assert materialize(LazyRestriction(composed, ["send"])) == restrict(composed, ["send"])
+
+    def test_hiding_matches_eager_on_reachable(self):
+        composed = ccs_composition(sender(), receiver())
+        eager = hide(composed, ["send"]).restrict_to_reachable()
+        assert materialize(LazyHiding(composed, ["send"])) == eager
+
+    def test_relabeling_matches_eager_on_reachable(self):
+        eager = relabel(sender(), {"send": "emit"}).restrict_to_reachable()
+        assert materialize(LazyRelabeling(sender(), {"send": "emit"})) == eager
+
+    def test_relabeling_rejects_tau(self):
+        with pytest.raises(InvalidProcessError, match="tau"):
+            LazyRelabeling(sender(), {TAU: "x"})
+
+    def test_wrappers_compose_with_products(self):
+        lazy = LazyRestriction(LazyCCSProduct(sender(), receiver()), ["send"])
+        eager = restrict(ccs_composition(sender(), receiver()), ["send"])
+        assert materialize(lazy) == eager
+
+    def test_synchronous_product_requires_alphabets(self):
+        from repro.ccs.parser import parse_process
+
+        with pytest.raises(InvalidProcessError, match="alphabet"):
+            LazySynchronousProduct(CCSAdapter(parse_process("a.0")), sender())

@@ -1,0 +1,133 @@
+"""Composition specs: three routes, JSON documents, compositional minimisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import from_transitions
+from repro.engine import Engine
+from repro.equivalence.minimize import minimize_observational
+from repro.explore import (
+    HideSpec,
+    LeafSpec,
+    ProductSpec,
+    RelabelSpec,
+    RestrictSpec,
+    build_implicit,
+    compose_eager,
+    materialize,
+    minimize_compositionally,
+    spec_from_document,
+    spec_to_document,
+)
+from repro.generators.families import (
+    dining_philosophers_system,
+    milner_scheduler_system,
+    redundant_interleaving_system,
+    token_ring_system,
+)
+
+
+def leaf(seed=0):
+    from repro.generators.random_fsp import random_fsp
+
+    return LeafSpec(random_fsp(4, alphabet=("a", "a!", "b"), all_accepting=True, seed=seed))
+
+
+def sample_spec():
+    return HideSpec(ProductSpec("ccs", leaf(1), leaf(2)), frozenset({"a"}))
+
+
+class TestRoutes:
+    def test_lazy_route_materialises_to_the_eager_route(self):
+        spec = sample_spec()
+        assert materialize(build_implicit(spec)) == (
+            compose_eager(spec).restrict_to_reachable()
+        )
+
+    def test_operator_specs_cover_all_constructors(self):
+        spec = RelabelSpec(
+            RestrictSpec(ProductSpec("interleave", leaf(3), leaf(4)), frozenset({"b"})),
+            {"a": "c"},
+        )
+        assert materialize(build_implicit(spec)) == (
+            compose_eager(spec).restrict_to_reachable()
+        )
+
+    def test_unknown_product_operator_rejected(self):
+        with pytest.raises(InvalidProcessError, match="operator"):
+            ProductSpec("tensor", leaf(), leaf())
+
+
+class TestMinimizeCompositionally:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: dining_philosophers_system(3),
+            lambda: token_ring_system(4),
+            lambda: milner_scheduler_system(3),
+            lambda: redundant_interleaving_system(2, 3, 2),
+        ],
+    )
+    def test_agrees_with_eager_minimise_after_compose(self, build):
+        spec = build()
+        compositional = minimize_compositionally(spec)
+        eager = minimize_observational(compose_eager(spec))
+        verdict = Engine().check(
+            compositional, eager, "observational", align=True, witness=False
+        )
+        assert verdict.equivalent
+        # both are minimal, so the quotients have the same size
+        assert compositional.num_states == eager.num_states
+
+    def test_redundancy_is_removed_before_the_product(self):
+        spec = redundant_interleaving_system(2, 3, 3)
+        assert minimize_compositionally(spec).num_states < compose_eager(spec).num_states
+
+
+class TestDocuments:
+    def test_round_trip_preserves_the_composition(self):
+        spec = sample_spec()
+        document = spec_to_document(spec)
+        assert compose_eager(spec_from_document(document)) == compose_eager(spec)
+
+    def test_term_leaves_round_trip(self):
+        document = {
+            "op": "restrict",
+            "of": {
+                "op": "ccs",
+                "left": {"term": "LEFT", "definitions": "LEFT := in.mid!.LEFT"},
+                "right": {"term": "RIGHT", "definitions": "RIGHT := mid.out!.RIGHT"},
+            },
+            "channels": ["mid"],
+        }
+        spec = spec_from_document(document)
+        rebuilt = spec_from_document(spec_to_document(spec))
+        assert compose_eager(rebuilt) == compose_eager(spec)
+
+    def test_default_resolver_accepts_inline_processes_only(self):
+        fsp = from_transitions([("p", "a", "q")], start="p", all_accepting=True)
+        document = spec_to_document(LeafSpec(fsp))
+        assert compose_eager(spec_from_document(document)) == fsp
+        with pytest.raises(InvalidProcessError, match="inline"):
+            spec_from_document({"file": "nope.json"})
+
+    @pytest.mark.parametrize(
+        "document, message",
+        [
+            ({"op": "ccs", "left": {"term": "0"}}, "missing 'right'"),
+            ({"op": "restrict", "of": {"term": "0"}}, "channels"),
+            ({"op": "hide", "channels": ["a"]}, "missing 'of'"),
+            ({"op": "relabel", "of": {"term": "0"}}, "mapping"),
+            ({"op": "quotient", "of": {"term": "0"}}, "unknown system operator"),
+            ([1, 2], "JSON object"),
+        ],
+    )
+    def test_malformed_documents_are_rejected(self, document, message):
+        with pytest.raises(InvalidProcessError, match=message):
+            spec_from_document(document)
+
+    def test_describe_renders_the_shape(self):
+        assert "ccs" in sample_spec().of.describe()
+        assert dining_philosophers_system(2).describe().startswith("(")

@@ -287,3 +287,102 @@ class TestBatch:
         bad.write_text(json.dumps({"not": "a manifest"}), encoding="utf-8")
         assert main(["batch", str(bad)]) == EXIT_ERROR
         assert "manifest" in capsys.readouterr().err
+
+
+class TestOnTheFlyFlag:
+    def test_check_on_the_fly_agrees_with_the_eager_route(self, stored_pair, capsys):
+        first, second = stored_pair
+        assert (
+            main(["check", first, second, "--notion", "observational", "--on-the-fly"])
+            == EXIT_INEQUIVALENT
+        )
+        assert main(["check", first, first, "--notion", "strong", "--on-the-fly"]) == 0
+
+    def test_stats_report_pairs_visited(self, stored_pair, capsys):
+        first, _second = stored_pair
+        assert main(["check", first, first, "--on-the-fly", "--stats"]) == 0
+        assert "product pairs visited" in capsys.readouterr().out
+
+    def test_unsupported_notion_is_a_usage_error(self, stored_pair, capsys):
+        first, second = stored_pair
+        assert main(["check", first, second, "--notion", "language", "--on-the-fly"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplore:
+    @pytest.fixture
+    def ring_pair(self, tmp_path: Path) -> tuple[str, str]:
+        from repro.explore import spec_to_document
+        from repro.generators.families import token_ring_pair
+
+        ok, bad = token_ring_pair(4)
+        ok_path = tmp_path / "ring_ok.json"
+        bad_path = tmp_path / "ring_bad.json"
+        ok_path.write_text(json.dumps(spec_to_document(ok)), encoding="utf-8")
+        bad_path.write_text(json.dumps(spec_to_document(bad)), encoding="utf-8")
+        return str(ok_path), str(bad_path)
+
+    def test_stats_counts_without_materialising(self, ring_pair, capsys):
+        ok, _bad = ring_pair
+        assert main(["explore", "stats", ok]) == 0
+        output = capsys.readouterr().out
+        assert "reachable: exactly" in output and "states" in output
+
+    def test_stats_limit_reports_a_lower_bound(self, ring_pair, capsys):
+        ok, _bad = ring_pair
+        assert main(["explore", "stats", ok, "--limit", "2"]) == 0
+        assert "at least 2 states" in capsys.readouterr().out
+
+    def test_check_finds_the_fault_with_a_witness(self, ring_pair, capsys):
+        ok, bad = ring_pair
+        assert main(["explore", "check", ok, bad, "--explain", "--stats"]) == EXIT_INEQUIVALENT
+        output = capsys.readouterr().out
+        assert "NOT equivalent" in output and "fault1" in output
+        assert "product pairs visited" in output
+
+    def test_check_equivalent_systems_exit_zero(self, ring_pair):
+        ok, _bad = ring_pair
+        assert main(["explore", "check", ok, ok, "--notion", "strong"]) == 0
+
+    def test_materialize_writes_a_loadable_process(self, ring_pair, tmp_path, capsys):
+        ok, _bad = ring_pair
+        out = tmp_path / "ring.json"
+        assert main(["explore", "materialize", ok, str(out)]) == 0
+        assert load_process(out).num_states == 8
+
+    def test_materialize_limit_is_enforced(self, ring_pair, tmp_path, capsys):
+        ok, _bad = ring_pair
+        out = tmp_path / "ring.json"
+        assert main(["explore", "materialize", ok, str(out), "--limit", "2"]) == EXIT_ERROR
+        assert "exceeded" in capsys.readouterr().err
+        assert main(["explore", "materialize", ok, str(out), "--limit", "2", "--truncate"]) == 0
+        assert load_process(out).num_states == 2
+
+    def test_minimize_is_compositional(self, ring_pair, tmp_path, capsys):
+        ok, _bad = ring_pair
+        out = tmp_path / "ring_min.json"
+        assert main(["explore", "minimize", ok, str(out)]) == 0
+        assert "compositionally minimised" in capsys.readouterr().out
+        assert load_process(out).num_states == 4
+
+    def test_file_leaves_resolve_relative_to_the_document(self, stored_pair, tmp_path, capsys):
+        first, _second = stored_pair
+        system = tmp_path / "system.json"
+        leaf = Path(first).name
+        (tmp_path / leaf).write_text(Path(first).read_text(encoding="utf-8"), encoding="utf-8")
+        system.write_text(
+            json.dumps({"op": "interleave", "left": {"file": leaf}, "right": {"file": leaf}}),
+            encoding="utf-8",
+        )
+        assert main(["explore", "stats", str(system)]) == 0
+        assert "reachable" in capsys.readouterr().out
+
+    def test_plain_process_files_are_leaves(self, stored_pair):
+        first, second = stored_pair
+        assert main(["explore", "check", first, second]) == EXIT_INEQUIVALENT
+
+    def test_malformed_system_document_is_an_input_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"op": "tensor", "of": {}}), encoding="utf-8")
+        assert main(["explore", "stats", str(bad)]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err

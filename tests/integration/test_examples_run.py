@@ -56,3 +56,11 @@ def test_minimization_pipeline_output():
     output = run_example("minimization_pipeline.py")
     assert "observational quotient" in output
     assert "paige-tarjan" in output
+
+
+@pytest.mark.slow
+def test_dining_philosophers_output():
+    output = run_example("dining_philosophers.py")
+    assert "reachable deadlocks: 1" in output
+    assert "routes agree: True" in output
+    assert "equivalent=False" in output

@@ -317,3 +317,22 @@ def test_digest_survives_server_store_round_trip(service, pool_processes):
         first = client.store(base)
         second = client.store(from_dict(json.loads(json.dumps(to_dict(base)))))
     assert first == second
+
+
+def test_composed_system_checks_take_the_lazy_route(service):
+    """A manifest carrying {"system": ...} operands runs on-the-fly server-side."""
+    from repro.explore import spec_to_document
+    from repro.generators.families import interleaved_cycles_pair
+
+    ok, bad = interleaved_cycles_pair([4, 4, 4])
+    ok_ref = {"system": spec_to_document(ok)}
+    bad_ref = {"system": spec_to_document(bad)}
+    with client_for(service) as client:
+        unequal = client.check(ok_ref, bad_ref, "strong", witness=True)
+        equal = client.check(ok_ref, ok_ref, "strong")
+        batch = client.check_many([(ok_ref, bad_ref), (ok_ref, ok_ref)], notion="strong")
+    assert unequal["equivalent"] is False
+    assert unequal["route"].startswith("on-the-fly") and unequal["pairs_visited"] > 0
+    assert "snag" in unequal["witness"]
+    assert equal["equivalent"] is True
+    assert [r["equivalent"] for r in batch["results"]] == [False, True]
