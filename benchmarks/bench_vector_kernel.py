@@ -1,0 +1,95 @@
+"""Vector-kernel benchmarks: numpy array refinement vs the python solvers.
+
+The vectorized kernel (:mod:`repro.partition.vectorized`) recomputes whole
+splitter-signature rounds with numpy sorts instead of walking arcs in the
+interpreter; its home turf is wide-and-shallow families such as the
+``shift_register`` de Bruijn process (``O(log n)`` refinement depth), where
+the per-round constant is paid ``log n`` times instead of ``n`` times.  These
+benchmarks time the kernel -- in-memory CSR, memory-mapped CSR, and the
+packed-bitset weak-saturation backend -- next to the python solvers at
+CI-friendly sizes.  The scale tiers (``10^5``/``10^6`` states) live in the
+``vector_records`` section of ``BENCH_partition.json``
+(``benchmarks/run_all.py --scale``), gated by ``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.core.lts import LTS  # noqa: E402
+from repro.core.weak import saturate_lts  # noqa: E402
+from repro.generators.families import (  # noqa: E402
+    shift_register,
+    shift_register_csr,
+    tau_ladder,
+    tau_mesh,
+)
+from repro.partition.generalized import (  # noqa: E402
+    GeneralizedPartitioningInstance,
+    Solver,
+    solve,
+)
+from repro.partition.vectorized import vector_refine, vector_refine_csr  # noqa: E402
+from repro.utils.matrices import MmapCSR  # noqa: E402
+
+BITS = [8, 11]
+
+
+@pytest.mark.parametrize("bits", BITS)
+def test_vector_refine_csr(benchmark, bits):
+    """The inner kernel on CSR arrays built without an FSP in between."""
+    csr, block_of = shift_register_csr(bits)
+    refined = benchmark(lambda: vector_refine_csr(csr, block_of))
+    benchmark.extra_info["states"] = csr.n
+    benchmark.extra_info["blocks"] = int(refined.max()) + 1
+
+
+@pytest.mark.parametrize("bits", BITS)
+def test_vector_refine_mmap(benchmark, bits, tmp_path):
+    """The same kernel with the edge arrays memory-mapped from disk."""
+    _, block_of = shift_register_csr(bits, mmap_dir=tmp_path)
+    store = MmapCSR.open(tmp_path)
+    refined = benchmark(lambda: vector_refine_csr(store, block_of))
+    benchmark.extra_info["states"] = store.n
+    benchmark.extra_info["blocks"] = int(refined.max()) + 1
+
+
+@pytest.mark.parametrize("bits", BITS)
+@pytest.mark.parametrize(
+    "solver",
+    [Solver.KANELLAKIS_SMOLKA, Solver.PAIGE_TARJAN],
+    ids=lambda solver: solver.value,
+)
+def test_python_solver_baseline(benchmark, solver, bits):
+    """The python solvers on the identical instance, via the FSP pipeline."""
+    process = shift_register(bits)
+    instance = GeneralizedPartitioningInstance.from_fsp(process, include_tau=False)
+    partition = benchmark(lambda: solve(instance, solver))
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["blocks"] = len(partition)
+
+
+@pytest.mark.parametrize("bits", BITS)
+def test_vector_backend_pipeline(benchmark, bits):
+    """End-to-end ``solve(..., backend="vector")`` including the name round-trip."""
+    process = shift_register(bits)
+    instance = GeneralizedPartitioningInstance.from_fsp(process, include_tau=False)
+    vectorized = benchmark(lambda: vector_refine(instance))
+    assert vectorized.as_frozen() == solve(instance, Solver.PAIGE_TARJAN).as_frozen()
+    benchmark.extra_info["states"] = process.num_states
+    benchmark.extra_info["blocks"] = len(vectorized)
+
+
+@pytest.mark.parametrize("size", [60, 150])
+@pytest.mark.parametrize("family", ["tau_ladder", "tau_mesh"])
+def test_vector_saturation(benchmark, family, size):
+    """The packed-uint64 closure backend of ``saturate_lts`` vs the python path."""
+    builder = {"tau_ladder": lambda n: tau_ladder(max(1, n // 2)), "tau_mesh": tau_mesh}[family]
+    lts = LTS.from_fsp(builder(size), include_tau=True)
+    saturated = benchmark(lambda: saturate_lts(lts, backend="vector"))
+    assert saturated.num_transitions == saturate_lts(lts).num_transitions
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["states"] = lts.n
+    benchmark.extra_info["saturated_transitions"] = saturated.num_transitions

@@ -14,6 +14,13 @@ the committed ``benchmarks/baseline_expectations.json``:
 * the weak-engine speedup floors (kernel saturation route at least ``floor``
   times faster than the dict route on the named families at ``n >= min_n``)
   fail the gate when not met;
+* the vector-kernel gates: ``vector_solvers_agree`` being false fails (the
+  numpy kernel must compute the python solvers' partition up to
+  renumbering); on ``--scale`` runs the recorded
+  ``speedup_vector_vs_python`` must reach the committed floor at
+  ``n >= min_n`` (default: 10x at 10^5 states) and a ``vector_mmap`` cell at
+  ``n >= vector_scale_n`` (default 10^6) must be present -- the out-of-core
+  tier actually ran;
 * the engine-cache speedup floor (``check_many`` on a shared engine at least
   ``engine_speedup_floor`` times faster than the cold free-function loop on
   the repeated-pair manifest) fails the gate when not met, as does a
@@ -37,6 +44,10 @@ Pass ``--absolute`` to compare raw seconds instead, and ``--update`` to
 rewrite the baseline from the current run (review the diff before
 committing).
 
+Besides the pass/fail verdict the script prints a per-cell before/after
+table, and -- when ``$GITHUB_STEP_SUMMARY`` is set (any GitHub Actions job)
+-- appends the same report as a markdown table to the job summary.
+
 Usage::
 
     python benchmarks/run_all.py --quick --skip-pytest
@@ -48,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 from pathlib import Path
@@ -73,6 +85,7 @@ def collect_cells(payload: dict) -> dict[str, float]:
     for section in (
         "records",
         "weak_records",
+        "vector_records",
         "engine_records",
         "explore_records",
         "service_records",
@@ -88,11 +101,18 @@ def weak_speedups(payload: dict) -> dict[str, dict[str, float]]:
     return payload.get("meta", {}).get("speedup_weak_kernel_vs_dict_saturation", {})
 
 
+def hardware_normaliser(ratios: dict[str, float], absolute: bool) -> float:
+    """Median current/expected ratio over shared cells (1.0 when --absolute)."""
+    if absolute or len(ratios) < 3:
+        return 1.0
+    return max(statistics.median(ratios.values()), 0.1)
+
+
 def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[str]:
     """All gate violations for this run (empty means the gate passes)."""
     failures: list[str] = []
     meta = payload.get("meta", {})
-    for flag in ("solvers_agree", "weak_solvers_agree"):
+    for flag in ("solvers_agree", "weak_solvers_agree", "vector_solvers_agree"):
         if not meta.get(flag, False):
             failures.append(f"{flag} is not true -- solver disagreement or missing section")
 
@@ -106,9 +126,7 @@ def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[
     ratios = {
         key: current[key] / max(expected[key], MIN_EXPECTED_SECONDS) for key in shared
     }
-    normaliser = 1.0
-    if not absolute and len(ratios) >= 3:
-        normaliser = max(statistics.median(ratios.values()), 0.1)
+    normaliser = hardware_normaliser(ratios, absolute)
     for key in shared:
         if ratios[key] > factor * normaliser:
             failures.append(
@@ -186,7 +204,140 @@ def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[
                     f"weak-engine speedup on {family} is {best:.1f}x at n={best_n}, "
                     f"below the committed floor of {floor:.1f}x"
                 )
+
+    # Vector-kernel speedup floor and out-of-core scale cell.  The 10^5/10^6
+    # tiers only run under ``run_all.py --scale`` (the bench-scale CI lane);
+    # ordinary quick runs are exempt from the two scale gates but still carry
+    # the agreement flag and the small vector cells above.
+    vector_rule = baseline.get("vector_speedup_floor")
+    scale_run = bool(meta.get("vector_scale", False))
+    if vector_rule is not None:
+        floor, min_n = float(vector_rule["floor"]), int(vector_rule["min_n"])
+        eligible = {
+            (family, int(n)): float(ratio)
+            for family, by_n in meta.get("speedup_vector_vs_python", {}).items()
+            for n, ratio in by_n.items()
+            if int(n) >= min_n
+        }
+        if eligible:
+            (best_family, best_n), best = max(eligible.items(), key=lambda item: item[1])
+            if best < floor:
+                failures.append(
+                    f"vector-kernel speedup on {best_family} is {best:.1f}x at "
+                    f"n={best_n}, below the committed floor of {floor:.1f}x over "
+                    "the default python backend"
+                )
+        elif scale_run:
+            failures.append(
+                f"no vector-vs-python speedup cell at n >= {min_n} in this --scale run"
+            )
+    scale_n = baseline.get("vector_scale_n")
+    if scale_n is not None and scale_run:
+        mmap_cells = [
+            record
+            for record in payload.get("vector_records", [])
+            if record["solver"] == "vector_mmap" and int(record["n"]) >= int(scale_n)
+        ]
+        if not mmap_cells:
+            failures.append(
+                f"no vector_mmap cell at n >= {int(scale_n)} in this --scale run -- "
+                "the out-of-core tier did not complete"
+            )
     return failures
+
+
+def cell_report(
+    payload: dict, baseline: dict, factor: float, absolute: bool
+) -> tuple[list[tuple], float]:
+    """Per-cell before/after rows: (key, expected, current, ratio, status)."""
+    current = collect_cells(payload)
+    expected: dict[str, float] = baseline.get("cells", {})
+    shared = set(current) & set(expected)
+    ratios = {
+        key: current[key] / max(expected[key], MIN_EXPECTED_SECONDS) for key in shared
+    }
+    normaliser = hardware_normaliser(ratios, absolute)
+    rows: list[tuple] = []
+    for key in sorted(set(current) | set(expected)):
+        before = expected.get(key)
+        after = current.get(key)
+        if before is None:
+            rows.append((key, None, after, None, "new"))
+        elif after is None:
+            rows.append((key, before, None, None, "MISSING"))
+        else:
+            ratio = ratios[key]
+            status = "REGRESSED" if ratio > factor * normaliser else "ok"
+            rows.append((key, before, after, ratio, status))
+    return rows, normaliser
+
+
+def _format_row(value, template: str) -> str:
+    return template.format(value) if value is not None else "-"
+
+
+def print_cell_table(rows: list[tuple], normaliser: float, factor: float) -> None:
+    print(
+        f"per-cell trajectory ({len(rows)} cells, hardware factor {normaliser:.2f}, "
+        f"allowed {factor:.1f}x):"
+    )
+    print(f"  {'cell':<46} {'expected':>10} {'current':>10} {'ratio':>8}  status")
+    for key, before, after, ratio, status in rows:
+        print(
+            f"  {key:<46} {_format_row(before, '{:.4f}s'):>10} "
+            f"{_format_row(after, '{:.4f}s'):>10} {_format_row(ratio, '{:.2f}x'):>8}  {status}"
+        )
+
+
+def write_step_summary(
+    payload: dict,
+    rows: list[tuple],
+    normaliser: float,
+    factor: float,
+    failures: list[str],
+) -> None:
+    """Append the markdown report to ``$GITHUB_STEP_SUMMARY`` when set."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    meta = payload.get("meta", {})
+    verdict = "FAILED" if failures else "passed"
+    lines = [
+        "## Bench gate: " + verdict,
+        "",
+        f"{len(rows)} cells compared, hardware factor {normaliser:.2f}, "
+        f"allowed slowdown {factor:.1f}x per cell.",
+        "",
+    ]
+    if failures:
+        lines += ["### Violations", ""]
+        lines += [f"- {failure}" for failure in failures]
+        lines.append("")
+    lines += [
+        "| cell | expected | current | ratio | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for key, before, after, ratio, status in rows:
+        lines.append(
+            f"| `{key}` | {_format_row(before, '{:.4f}s')} "
+            f"| {_format_row(after, '{:.4f}s')} | {_format_row(ratio, '{:.2f}x')} | {status} |"
+        )
+    lines.append("")
+    speedup_tables = (
+        ("vector kernel vs default python backend", "speedup_vector_vs_python"),
+        ("weak kernel vs dict saturation", "speedup_weak_kernel_vs_dict_saturation"),
+    )
+    for title, meta_key in speedup_tables:
+        speedups = meta.get(meta_key) or {}
+        if not speedups:
+            continue
+        lines += [f"### Speedup: {title}", "", "| family | n | speedup |", "| --- | ---: | ---: |"]
+        for family, by_n in sorted(speedups.items()):
+            for n, ratio in sorted(by_n.items(), key=lambda item: int(item[0])):
+                lines.append(f"| {family} | {n} | {float(ratio):.1f}x |")
+        lines.append("")
+    with open(summary_path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
@@ -217,6 +368,13 @@ def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
         ),
         "engine_speedup_floor": previous.get("engine_speedup_floor", 5.0),
         "service_speedup_floor": previous.get("service_speedup_floor", 2.5),
+        # The vector-kernel floor is measured on the --scale tier (10^5
+        # states, where paige_tarjan costs ~80 s and the kernel ~0.6 s); the
+        # scale-cell requirement keeps the 10^6-state mmap tier alive.
+        "vector_speedup_floor": previous.get(
+            "vector_speedup_floor", {"min_n": 100_000, "floor": 10.0}
+        ),
+        "vector_scale_n": previous.get("vector_scale_n", 1_000_000),
         # The acceptance bar is "a small fraction"; 0.10 leaves three orders
         # of magnitude of headroom over the measured ~3e-5.
         "explore_visit_fraction_ceiling": previous.get("explore_visit_fraction_ceiling", 0.10),
@@ -262,6 +420,9 @@ def main(argv: list[str] | None = None) -> int:
     factor = args.factor if args.factor is not None else float(baseline.get("factor", 2.0))
 
     failures = check(payload, baseline, factor, args.absolute)
+    rows, normaliser = cell_report(payload, baseline, factor, args.absolute)
+    print_cell_table(rows, normaliser, factor)
+    write_step_summary(payload, rows, normaliser, factor, failures)
     shared = len(set(collect_cells(payload)) & set(baseline.get("cells", {})))
     if failures:
         print(f"bench-gate FAILED ({len(failures)} violation(s), {shared} cells compared):")

@@ -13,6 +13,11 @@ Two jobs in one entry point:
    on tau-heavy families: the kernel weak-transition engine
    (``repro.core.weak``) is timed next to the retained dict-saturation route,
    and the ``speedup_weak_kernel_vs_dict_saturation`` cells record the gap.
+   A third, *vector-kernel* section times the numpy array kernel
+   (``repro.partition.vectorized``, in-memory and memory-mapped) against the
+   python solvers on the ``shift_register`` scaling family; ``--scale`` adds
+   the 10^5- and 10^6-state tiers, and ``speedup_vector_vs_python`` records
+   the kernel's gap to the default python backend.
 
 2. **Suite smoke** -- executes every ``bench_*.py`` module via pytest
    (``--benchmark-disable`` in ``--quick`` mode so each workload runs once;
@@ -37,6 +42,7 @@ import os
 import platform
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -58,6 +64,8 @@ from repro.equivalence.observational import observational_partition  # noqa: E40
 from repro.generators.families import (  # noqa: E402
     comb,
     duplicated_chain,
+    shift_register,
+    shift_register_csr,
     tau_diamond_tower,
     tau_ladder,
     tau_mesh,
@@ -67,6 +75,8 @@ from repro.partition.generalized import (  # noqa: E402
     Solver,
     solve,
 )
+from repro.partition.vectorized import vector_refine_csr  # noqa: E402
+from repro.utils.matrices import HAVE_NUMPY, MmapCSR, require_numpy  # noqa: E402
 
 #: family name -> (process builder for ~n states, include_tau flag).  These are
 #: the structured scaling families of the partition benchmarks: refinement
@@ -99,6 +109,21 @@ WEAK_FAMILIES: dict[str, tuple] = {
 
 QUICK_SIZES = [400, 2000]
 FULL_SIZES = [400, 1000, 2000, 4000]
+
+#: ``shift_register`` tiers for the vector-kernel section, as ``bits`` (the
+#: family has ``2^bits`` states).  The quick/full tiers keep the vector cells
+#: in every CI bench run; ``--scale`` adds the 10^5 tier (where the python
+#: solvers are still timed next to the kernel and the committed speedup floor
+#: is measured) and the 10^6 tier (vector-only: the default python backend
+#: would take ~15 minutes there, which is the point of the kernel).
+VECTOR_QUICK_BITS = [12]
+VECTOR_FULL_BITS = [12, 14]
+VECTOR_SCALE_BITS = [17, 20]
+
+#: the python solvers are only timed on shift_register up to this state count
+#: (paige_tarjan already costs ~80 s at 2^17); above it the vector cells run
+#: alone and dropped python cells are recorded in the metadata.
+VECTOR_PY_MAX_N = 1 << 17
 
 
 def _pipeline(process: FSP, include_tau: bool, method: Solver):
@@ -219,6 +244,118 @@ def run_weak_trajectory(sizes: list[int], repeats: int) -> tuple[list[dict], lis
     return records, skipped, agree
 
 
+def _assignment_of(np, partition, n: int):
+    """Flatten a name-keyed ``Partition`` over ``s0..s{n-1}`` to an int64 array."""
+    assignment = np.empty(n, dtype=np.int64)
+    for index, block in enumerate(partition):
+        for name in block:
+            assignment[int(name[1:])] = index
+    return assignment
+
+
+def _canonical_assignment(np, assignment):
+    """Relabel block ids by first occurrence so partitions compare up to renumbering."""
+    _, first_index, inverse = np.unique(assignment, return_index=True, return_inverse=True)
+    order = np.argsort(first_index)
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order), dtype=np.int64)
+    return rank[inverse]
+
+
+def run_vector_trajectory(
+    bits_list: list[int], repeats: int
+) -> tuple[list[dict], list[str], bool, dict, dict]:
+    """The vector-kernel section: shift_register, python solvers vs numpy kernel.
+
+    Every tier times the in-memory numpy kernel (``vector``) and the
+    memory-mapped out-of-core route (``vector_mmap``); tiers up to
+    ``VECTOR_PY_MAX_N`` also time the python solvers on the same instance via
+    the FSP pipeline.  All routes must agree up to block renumbering.  The
+    ``speedup_vector_vs_python`` cells divide the *default* python backend's
+    seconds (paige_tarjan -- what ``solve(backend="python")`` runs with the
+    default method) by the vector kernel's; the ratio against the faster
+    kanellakis_smolka worklist is recorded separately for transparency.
+    """
+    records: list[dict] = []
+    skipped: list[str] = []
+    agree = True
+    if not HAVE_NUMPY:
+        skipped.append("vector trajectory (numpy unavailable)")
+        return records, skipped, agree, {}, {}
+    np = require_numpy()
+
+    family = "shift_register"
+    py_speedups: dict[str, dict[str, float]] = {}
+    ks_speedups: dict[str, dict[str, float]] = {}
+    for bits in bits_list:
+        n = 1 << bits
+        m = 2 * n
+        timings: dict[str, float] = {}
+        reference = None
+
+        def note(solver: str, seconds: float, assignment) -> None:
+            nonlocal agree, reference
+            canonical = _canonical_assignment(np, assignment)
+            if reference is None:
+                reference = canonical
+            elif not np.array_equal(canonical, reference):
+                agree = False
+                print(f"ERROR: {solver} disagrees on {family} n={n}", file=sys.stderr)
+            blocks = int(canonical.max()) + 1 if n else 0
+            timings[solver] = seconds
+            records.append(
+                {
+                    "solver": solver,
+                    "family": family,
+                    "n": n,
+                    "transitions": m,
+                    "blocks": blocks,
+                    "seconds": round(seconds, 6),
+                }
+            )
+            print(
+                f"  {family:18s} n={n:7d} m={m:8d} {solver:28s} "
+                f"{seconds * 1000:9.2f} ms  blocks={blocks}"
+            )
+
+        if n <= VECTOR_PY_MAX_N:
+            process = shift_register(bits)
+            for solver, method in (
+                ("paige_tarjan", Solver.PAIGE_TARJAN),
+                ("kanellakis_smolka", Solver.KANELLAKIS_SMOLKA),
+            ):
+                seconds, partition = _best_of(
+                    lambda method=method: _pipeline(process, False, method), repeats
+                )
+                note(solver, seconds, _assignment_of(np, partition, n))
+        else:
+            skipped.append(f"python solvers on {family} n={n} (> {VECTOR_PY_MAX_N} states)")
+
+        def memory_cell():
+            csr, block_of = shift_register_csr(bits)
+            return vector_refine_csr(csr, block_of)
+
+        seconds, assignment = _best_of(memory_cell, repeats)
+        note("vector", seconds, assignment)
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-mmap-") as tmp:
+            _, block_of = shift_register_csr(bits, mmap_dir=Path(tmp))
+            store = MmapCSR.open(Path(tmp))
+            seconds, assignment = _best_of(lambda: vector_refine_csr(store, block_of), repeats)
+            note("vector_mmap", seconds, assignment)
+
+        vector_seconds = timings.get("vector")
+        if timings.get("paige_tarjan") and vector_seconds:
+            py_speedups.setdefault(family, {})[str(n)] = round(
+                timings["paige_tarjan"] / vector_seconds, 2
+            )
+        if timings.get("kanellakis_smolka") and vector_seconds:
+            ks_speedups.setdefault(family, {})[str(n)] = round(
+                timings["kanellakis_smolka"] / vector_seconds, 2
+            )
+    return records, skipped, agree, py_speedups, ks_speedups
+
+
 def run_engine_trajectory(repeats: int) -> tuple[list[dict], float, bool]:
     """The engine-cache section: ``check_many`` on one engine vs the cold loop.
 
@@ -336,12 +473,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--skip-pytest", action="store_true", help="only run the trajectory")
     parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="add the 10^5/10^6-state shift_register tiers to the vector section",
+    )
+    parser.add_argument(
         "--output", type=Path, default=Path("BENCH_partition.json"), help="JSON output path"
     )
     args = parser.parse_args(argv)
 
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
     repeats = 1 if args.quick else 3
+    vector_bits = list(VECTOR_QUICK_BITS if args.quick else VECTOR_FULL_BITS)
+    if args.scale:
+        vector_bits += VECTOR_SCALE_BITS
 
     print(f"partition trajectory: families={list(FAMILIES)} sizes={sizes}")
     records, skipped, agree = run_trajectory(sizes, repeats)
@@ -350,6 +495,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"weak-equivalence trajectory: families={list(WEAK_FAMILIES)} sizes={sizes}")
     weak_records, weak_skipped, weak_agree = run_weak_trajectory(sizes, repeats)
     weak_speedups = weak_speedup_summary(weak_records)
+
+    print(f"vector-kernel trajectory: shift_register bits={vector_bits} (scale={args.scale})")
+    (
+        vector_records,
+        vector_skipped,
+        vector_agree,
+        vector_speedups,
+        vector_ks_speedups,
+    ) = run_vector_trajectory(vector_bits, repeats)
 
     print("engine-cache trajectory: check_many (cached) vs cold free-function loop")
     engine_records, engine_speedup, engine_agree = run_engine_trajectory(repeats)
@@ -382,6 +536,12 @@ def main(argv: list[str] | None = None) -> int:
             "weak_solvers_agree": weak_agree,
             "weak_skipped_cells": weak_skipped,
             "speedup_weak_kernel_vs_dict_saturation": weak_speedups,
+            "vector_scale": args.scale,
+            "vector_bits": vector_bits,
+            "vector_solvers_agree": vector_agree,
+            "vector_skipped_cells": vector_skipped,
+            "speedup_vector_vs_python": vector_speedups,
+            "speedup_vector_vs_kanellakis_smolka": vector_ks_speedups,
             "engine_routes_agree": engine_agree,
             "speedup_engine_cached_vs_cold": engine_speedup,
             "explore_routes_agree": explore_agree,
@@ -394,6 +554,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "records": records,
         "weak_records": weak_records,
+        "vector_records": vector_records,
         "engine_records": engine_records,
         "explore_records": explore_records,
         "service_records": service_records,
@@ -409,6 +570,10 @@ def main(argv: list[str] | None = None) -> int:
     for family, by_n in weak_speedups.items():
         row = "  ".join(f"n={n}: {ratio:.1f}x" for n, ratio in by_n.items())
         print(f"  {family:18s} {row}")
+    print("vector speedup (numpy kernel vs default python backend, paige_tarjan):")
+    for family, by_n in vector_speedups.items():
+        row = "  ".join(f"n={n}: {ratio:.1f}x" for n, ratio in by_n.items())
+        print(f"  {family:18s} {row}")
     print(f"engine speedup (cached check_many vs cold free-function loop): {engine_speedup:.1f}x")
     print(
         f"explore early exit: visit fraction "
@@ -420,7 +585,7 @@ def main(argv: list[str] | None = None) -> int:
         f"service speedup (4 shards vs 1 shard, 500-check manifest): {service_speedup:.2f}x "
         f"on {os.cpu_count()} CPU(s)"
     )
-    skipped_all = skipped + weak_skipped
+    skipped_all = skipped + weak_skipped + vector_skipped
     if skipped_all:
         print(f"skipped {len(skipped_all)} trajectory cells: " + "; ".join(skipped_all))
 
@@ -430,6 +595,7 @@ def main(argv: list[str] | None = None) -> int:
     healthy = (
         agree
         and weak_agree
+        and vector_agree
         and engine_agree
         and explore_agree
         and service_agree

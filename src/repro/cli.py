@@ -44,6 +44,7 @@ from repro.core.classify import classify
 from repro.core.errors import ReproError
 from repro.core.fsp import FSP
 from repro.engine import Verdict, available_notions, default_engine, expression_notions
+from repro.partition.generalized import BACKENDS
 from repro.utils.serialization import load_process_file, save_process_file
 
 #: Exit code used for "the answer is: not equivalent".
@@ -62,8 +63,21 @@ def save_process(process: FSP, path: str | Path) -> None:
     save_process_file(process, path)
 
 
+#: notions whose pipeline honours a partition ``backend`` parameter.
+_BACKEND_NOTIONS = frozenset({"strong", "bisimulation", "observational", "weak"})
+
+
 def _notion_params(args: argparse.Namespace) -> dict:
-    return {"k": args.k} if args.notion == "k-observational" else {}
+    params = {"k": args.k} if args.notion == "k-observational" else {}
+    backend = getattr(args, "backend", "python")
+    if backend != "python":
+        if args.notion not in _BACKEND_NOTIONS:
+            raise SystemExit(
+                f"--backend {backend} only applies to the strong/observational "
+                f"notions, not {args.notion!r}"
+            )
+        params["backend"] = backend
+    return params
 
 
 def _notion_label(args: argparse.Namespace) -> str:
@@ -170,7 +184,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
     process = load_process(args.process)
-    minimal = default_engine().minimize(process, notion=args.notion)
+    minimal = default_engine().minimize(process, notion=args.notion, backend=args.backend)
     save_process(minimal, args.output)
     print(
         f"minimised {args.process}: {process.num_states} -> {minimal.num_states} states "
@@ -438,6 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd.add_argument("--notion", choices=list(available_notions()), default="observational")
     check_cmd.add_argument("--k", type=int, default=1, help="level for k-observational")
     check_cmd.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="python",
+        help=(
+            "partition backend for strong/observational checks: the Python "
+            "worklist solvers or the vectorized numpy kernel"
+        ),
+    )
+    check_cmd.add_argument(
         "--on-the-fly",
         action="store_true",
         help=(
@@ -473,6 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
     minimize_cmd.add_argument("output")
     minimize_cmd.add_argument(
         "--notion", choices=["strong", "observational"], default="observational"
+    )
+    minimize_cmd.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="python",
+        help="partition backend used to compute the quotient",
     )
     minimize_cmd.set_defaults(handler=_cmd_minimize)
 

@@ -388,13 +388,14 @@ class Engine:
         source: FSP | Process,
         notion: str = "observational",
         method: Solver | str = Solver.PAIGE_TARJAN,
+        backend: str = "python",
     ) -> FSP:
         """The cached quotient of a process under strong or observational equivalence."""
         handle = self.process(source)
         if notion == "strong":
-            return handle.minimized_strong(method)
+            return handle.minimized_strong(method, backend)
         if notion == "observational":
-            return handle.minimized_observational(method)
+            return handle.minimized_observational(method, backend)
         raise ValueError(
             f"minimisation is defined for 'strong' and 'observational', not {notion!r}"
         )

@@ -137,7 +137,11 @@ class StrongNotion(Notion):
     name = "strong"
     aliases = ("bisimulation",)
     description = "strong (bisimulation) equivalence; tau treated as a label"
-    param_defaults = {"method": Solver.PAIGE_TARJAN, "require_observable": False}
+    param_defaults = {
+        "method": Solver.PAIGE_TARJAN,
+        "require_observable": False,
+        "backend": "python",
+    }
 
     def normalize_params(self, params: dict[str, Any]) -> dict[str, Any]:
         return _normalize_method(params)
@@ -149,15 +153,20 @@ class StrongNotion(Notion):
         want_witness: bool,
         method: Solver | str = Solver.PAIGE_TARJAN,
         require_observable: bool = False,
+        backend: str = "python",
     ) -> NotionResult:
         if require_observable:
             require(left.fsp, ModelClass.OBSERVABLE, context="strong equivalence")
             require(right.fsp, ModelClass.OBSERVABLE, context="strong equivalence")
-        left_min = left.minimized_strong(method)
-        right_min = right.minimized_strong(method)
+        left_min = left.minimized_strong(method, backend)
+        right_min = right.minimized_strong(method, backend)
         combined = left_min.disjoint_union(right_min)
         equivalent = strongly_equivalent(
-            combined, _LEFT + left_min.start, _RIGHT + right_min.start, method=method
+            combined,
+            _LEFT + left_min.start,
+            _RIGHT + right_min.start,
+            method=method,
+            backend=backend,
         )
         witness: Witness | None = None
         if want_witness and not equivalent:
@@ -179,7 +188,7 @@ class ObservationalNotion(Notion):
     name = "observational"
     aliases = ("weak",)
     description = "observational (weak bisimulation) equivalence"
-    param_defaults = {"method": Solver.PAIGE_TARJAN}
+    param_defaults = {"method": Solver.PAIGE_TARJAN, "backend": "python"}
 
     def normalize_params(self, params: dict[str, Any]) -> dict[str, Any]:
         return _normalize_method(params)
@@ -190,12 +199,17 @@ class ObservationalNotion(Notion):
         right: Process,
         want_witness: bool,
         method: Solver | str = Solver.PAIGE_TARJAN,
+        backend: str = "python",
     ) -> NotionResult:
-        left_min = left.minimized_observational(method)
-        right_min = right.minimized_observational(method)
+        left_min = left.minimized_observational(method, backend)
+        right_min = right.minimized_observational(method, backend)
         combined = left_min.disjoint_union(right_min)
         equivalent = observationally_equivalent(
-            combined, _LEFT + left_min.start, _RIGHT + right_min.start, method=method
+            combined,
+            _LEFT + left_min.start,
+            _RIGHT + right_min.start,
+            method=method,
+            backend=backend,
         )
         witness: Witness | None = None
         if want_witness and not equivalent:

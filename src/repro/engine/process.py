@@ -35,7 +35,13 @@ from repro.core.fsp import FSP
 from repro.core.lts import LTS
 from repro.core.weak import WeakKernel, saturate_lts
 from repro.equivalence.minimize import quotient
-from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
+from repro.partition.generalized import (
+    BACKENDS,
+    GeneralizedPartitioningError,
+    GeneralizedPartitioningInstance,
+    Solver,
+    solve,
+)
 from repro.partition.partition import Partition
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -44,6 +50,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 def _solver(method: Solver | str) -> Solver:
     return method if isinstance(method, Solver) else Solver(method)
+
+
+def _backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise GeneralizedPartitioningError(
+            f"unknown partition backend {backend!r}; choose from {', '.join(BACKENDS)}"
+        )
+    return backend
 
 
 class Process:
@@ -69,11 +83,11 @@ class Process:
         self._lts: LTS | None = None
         self._weak_kernel: WeakKernel | None = None
         self._weak_view: WeakTransitionView | None = None
-        self._saturated_lts: LTS | None = None
-        self._strong_partitions: dict[Solver, Partition] = {}
-        self._observational_partitions: dict[Solver, Partition] = {}
-        self._minimized_strong: dict[Solver, FSP] = {}
-        self._minimized_observational: dict[Solver, FSP] = {}
+        self._saturated_lts: dict[str, LTS] = {}
+        self._strong_partitions: dict[tuple[Solver, str], Partition] = {}
+        self._observational_partitions: dict[tuple[Solver, str], Partition] = {}
+        self._minimized_strong: dict[tuple[Solver, str], FSP] = {}
+        self._minimized_observational: dict[tuple[Solver, str], FSP] = {}
         self._language_dfa: DFA | None = None
 
     # ------------------------------------------------------------------
@@ -124,48 +138,69 @@ class Process:
             self._weak_view = WeakTransitionView(self.fsp, kernel=self.weak_kernel())
         return self._weak_view
 
-    def saturated_lts(self) -> LTS:
-        """The saturated kernel ``P_hat`` of Theorem 4.1(a)."""
-        if self._saturated_lts is None:
-            self._saturated_lts = saturate_lts(self.lts())
-        return self._saturated_lts
+    def saturated_lts(self, backend: str = "python") -> LTS:
+        """The saturated kernel ``P_hat`` of Theorem 4.1(a) (cached per backend).
 
-    def strong_partition(self, method: Solver | str = Solver.PAIGE_TARJAN) -> Partition:
-        """The strong-equivalence partition of the state set (cached per solver)."""
+        Both backends produce byte-identical CSR arrays; they are cached
+        separately only so a vector-backend pipeline never silently reuses an
+        artifact the Python oracle produced (and vice versa) when the two are
+        being cross-checked against each other.
+        """
+        backend = _backend(backend)
+        saturated = self._saturated_lts.get(backend)
+        if saturated is None:
+            saturated = saturate_lts(self.lts(), backend=backend)
+            self._saturated_lts[backend] = saturated
+        return saturated
+
+    def strong_partition(
+        self, method: Solver | str = Solver.PAIGE_TARJAN, backend: str = "python"
+    ) -> Partition:
+        """The strong-equivalence partition (cached per solver and backend)."""
         method = _solver(method)
-        partition = self._strong_partitions.get(method)
+        key = (method, _backend(backend))
+        partition = self._strong_partitions.get(key)
         if partition is None:
             instance = GeneralizedPartitioningInstance.from_lts(self.lts())
-            partition = solve(instance, method=method)
-            self._strong_partitions[method] = partition
+            partition = solve(instance, method=method, backend=backend)
+            self._strong_partitions[key] = partition
         return partition
 
-    def observational_partition(self, method: Solver | str = Solver.PAIGE_TARJAN) -> Partition:
-        """The observational-equivalence partition (cached per solver)."""
+    def observational_partition(
+        self, method: Solver | str = Solver.PAIGE_TARJAN, backend: str = "python"
+    ) -> Partition:
+        """The observational-equivalence partition (cached per solver and backend)."""
         method = _solver(method)
-        partition = self._observational_partitions.get(method)
+        key = (method, _backend(backend))
+        partition = self._observational_partitions.get(key)
         if partition is None:
-            instance = GeneralizedPartitioningInstance.from_lts(self.saturated_lts())
-            partition = solve(instance, method=method)
-            self._observational_partitions[method] = partition
+            instance = GeneralizedPartitioningInstance.from_lts(self.saturated_lts(backend))
+            partition = solve(instance, method=method, backend=backend)
+            self._observational_partitions[key] = partition
         return partition
 
-    def minimized_strong(self, method: Solver | str = Solver.PAIGE_TARJAN) -> FSP:
-        """The quotient by strong equivalence (cached per solver)."""
+    def minimized_strong(
+        self, method: Solver | str = Solver.PAIGE_TARJAN, backend: str = "python"
+    ) -> FSP:
+        """The quotient by strong equivalence (cached per solver and backend)."""
         method = _solver(method)
-        minimal = self._minimized_strong.get(method)
+        key = (method, _backend(backend))
+        minimal = self._minimized_strong.get(key)
         if minimal is None:
-            minimal = quotient(self.fsp, self.strong_partition(method))
-            self._minimized_strong[method] = minimal
+            minimal = quotient(self.fsp, self.strong_partition(method, backend))
+            self._minimized_strong[key] = minimal
         return minimal
 
-    def minimized_observational(self, method: Solver | str = Solver.PAIGE_TARJAN) -> FSP:
-        """The quotient by observational equivalence (cached per solver)."""
+    def minimized_observational(
+        self, method: Solver | str = Solver.PAIGE_TARJAN, backend: str = "python"
+    ) -> FSP:
+        """The quotient by observational equivalence (cached per solver and backend)."""
         method = _solver(method)
-        minimal = self._minimized_observational.get(method)
+        key = (method, _backend(backend))
+        minimal = self._minimized_observational.get(key)
         if minimal is None:
-            minimal = quotient(self.fsp, self.observational_partition(method))
-            self._minimized_observational[method] = minimal
+            minimal = quotient(self.fsp, self.observational_partition(method, backend))
+            self._minimized_observational[key] = minimal
         return minimal
 
     def language_dfa(self) -> "DFA":
@@ -209,7 +244,7 @@ class Process:
             "lts": self._lts is not None,
             "weak_kernel": self._weak_kernel is not None,
             "weak_view": self._weak_view is not None,
-            "saturated_lts": self._saturated_lts is not None,
+            "saturated_lts": bool(self._saturated_lts),
             "strong_partitions": len(self._strong_partitions),
             "observational_partitions": len(self._observational_partitions),
             "minimized_strong": len(self._minimized_strong),

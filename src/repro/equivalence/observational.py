@@ -31,7 +31,11 @@ from repro.partition.generalized import GeneralizedPartitioningInstance, Solver,
 from repro.partition.partition import Partition
 
 
-def observational_partition(fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN) -> Partition:
+def observational_partition(
+    fsp: FSP,
+    method: Solver | str = Solver.PAIGE_TARJAN,
+    backend: str = "python",
+) -> Partition:
     """The partition of the state set into observational-equivalence classes.
 
     Implements the algorithm of Theorem 4.1(a): saturation followed by strong
@@ -39,10 +43,15 @@ def observational_partition(fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN
     ``FSP -> LTS -> saturated LTS -> RefinablePartition`` -- via
     :func:`repro.core.weak.saturate_lts` and
     :meth:`~repro.partition.generalized.GeneralizedPartitioningInstance.from_lts`;
-    no dict-of-frozensets saturated FSP is ever materialised.
+    no dict-of-frozensets saturated FSP is ever materialised.  With
+    ``backend="vector"`` both stages vectorize: the tau-closure runs on packed
+    bitset matrices (:func:`repro.core.weak.saturate_lts` with
+    ``backend="vector"``) and the refinement on the numpy kernel.
     """
-    saturated = saturate_lts(LTS.from_fsp(fsp, include_tau=True))
-    return solve(GeneralizedPartitioningInstance.from_lts(saturated), method=method)
+    saturated = saturate_lts(LTS.from_fsp(fsp, include_tau=True), backend=backend)
+    return solve(
+        GeneralizedPartitioningInstance.from_lts(saturated), method=method, backend=backend
+    )
 
 
 def observationally_equivalent(
@@ -50,9 +59,10 @@ def observationally_equivalent(
     first: str,
     second: str,
     method: Solver | str = Solver.PAIGE_TARJAN,
+    backend: str = "python",
 ) -> bool:
     """Decide ``first approx second`` for two states of the same FSP."""
-    return observational_partition(fsp, method=method).same_block(first, second)
+    return observational_partition(fsp, method=method, backend=backend).same_block(first, second)
 
 
 def observationally_equivalent_processes(

@@ -34,6 +34,7 @@ def strong_bisimulation_partition(
     fsp: FSP,
     method: Solver | str = Solver.PAIGE_TARJAN,
     require_observable: bool = False,
+    backend: str = "python",
 ) -> Partition:
     """The partition of the state set into strong-equivalence classes.
 
@@ -48,11 +49,15 @@ def strong_bisimulation_partition(
         Enforce the paper's precondition that the process has no
         tau-transitions.  When False (the default) tau is treated as an
         ordinary action.
+    backend:
+        ``"python"`` for the sequential worklist solvers (the oracles) or
+        ``"vector"`` for the numpy whole-array kernel
+        (:mod:`repro.partition.vectorized`); both compute the same partition.
     """
     if require_observable:
         require(fsp, ModelClass.OBSERVABLE, context="strong equivalence")
     instance = GeneralizedPartitioningInstance.from_fsp(fsp, include_tau=True)
-    return solve(instance, method=method)
+    return solve(instance, method=method, backend=backend)
 
 
 def strongly_equivalent(
@@ -61,10 +66,11 @@ def strongly_equivalent(
     second: str,
     method: Solver | str = Solver.PAIGE_TARJAN,
     require_observable: bool = False,
+    backend: str = "python",
 ) -> bool:
     """Decide ``first ~ second`` for two states of the same FSP."""
     partition = strong_bisimulation_partition(
-        fsp, method=method, require_observable=require_observable
+        fsp, method=method, require_observable=require_observable, backend=backend
     )
     return partition.same_block(first, second)
 
@@ -96,7 +102,7 @@ def strongly_equivalent_processes(
 
 
 def strong_equivalence_classes(
-    fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN
+    fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN, backend: str = "python"
 ) -> frozenset[frozenset[str]]:
     """The set of strong-equivalence classes of the process's states."""
-    return strong_bisimulation_partition(fsp, method=method).as_frozen()
+    return strong_bisimulation_partition(fsp, method=method, backend=backend).as_frozen()

@@ -157,6 +157,73 @@ def tau_diamond_tower(levels: int, actions: tuple[str, str] = ("a", "b")) -> FSP
     return builder.build(start="t0")
 
 
+def shift_register(bits: int, actions: tuple[str, str] = ("a", "b")) -> FSP:
+    """A de Bruijn shift register: ``2^bits`` states, refinement depth ``bits``.
+
+    State ``i`` encodes the register contents; shifting in a ``0`` (action
+    ``a``) moves to ``i >> 1`` and shifting in a ``1`` (action ``b``) to
+    ``(i >> 1) | 2^(bits-1)``.  Only odd states (low bit set) are accepting,
+    so the initial partition splits on bit 0, round ``r`` of signature
+    refinement splits on bit ``r``, and the coarsest stable partition is
+    discrete after exactly ``bits`` rounds.
+
+    The family is deterministic with fanout 2 and ``O(log n)`` refinement
+    depth -- the wide-and-shallow regime where the round-synchronous
+    vectorized kernel dominates the sequential worklist solvers (contrast
+    :func:`comb` and :func:`duplicated_chain`, whose ``Theta(n)`` depth is
+    worklist territory).  :func:`shift_register_csr` builds the same system
+    straight into CSR arrays for sizes where a dict FSP cannot be
+    materialised.
+    """
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    n = 1 << bits
+    half = n >> 1
+    builder = FSPBuilder(alphabet=set(actions))
+    for i in range(n):
+        builder.add_transition(f"s{i}", actions[0], f"s{i >> 1}")
+        builder.add_transition(f"s{i}", actions[1], f"s{(i >> 1) | half}")
+    builder.mark_accepting(*(f"s{i}" for i in range(1, n, 2)))
+    return builder.build(start="s0")
+
+
+def shift_register_csr(bits: int, mmap_dir=None):
+    """:func:`shift_register` built directly as CSR arrays, no FSP in between.
+
+    Returns ``(csr, block_of)`` where ``csr`` is a
+    :class:`~repro.utils.matrices.CSRArrays` (or a
+    :class:`~repro.utils.matrices.MmapCSR` when ``mmap_dir`` is given, the
+    out-of-core route for the ``10^6``-state tier) and ``block_of`` is the
+    initial assignment by acceptance parity -- the same instance the FSP
+    route produces, expressed on integers.
+    """
+    from repro.utils.matrices import CSRArrays, MmapCSR, require_numpy
+
+    np = require_numpy()
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    n = 1 << bits
+    half = n >> 1
+    states = np.arange(n, dtype=np.int64)
+    if mmap_dir is not None:
+        store = MmapCSR.create(mmap_dir, n, 2, 2 * n)
+        store.offsets[:] = np.arange(0, 2 * n + 1, 2, dtype=np.int64)
+        store.actions[0::2] = 0
+        store.actions[1::2] = 1
+        store.targets[0::2] = states >> 1
+        store.targets[1::2] = (states >> 1) | half
+        store.flush()
+        csr = store
+    else:
+        targets = np.empty(2 * n, dtype=np.int64)
+        targets[0::2] = states >> 1
+        targets[1::2] = (states >> 1) | half
+        actions = np.tile(np.array([0, 1], dtype=np.int64), n)
+        offsets = np.arange(0, 2 * n + 1, 2, dtype=np.int64)
+        csr = CSRArrays(n, 2, offsets, actions, targets)
+    return csr, (states & 1)
+
+
 def nondeterministic_counter(bits: int) -> FSP:
     """A standard observable process whose determinisation has ~2^bits states.
 

@@ -5,9 +5,16 @@ the ``*_refine_lts`` variants expose the raw integer interface for callers
 that already hold an interned system (e.g. DFA minimisation), while the
 ``*_refine`` functions accept a :class:`GeneralizedPartitioningInstance` and
 return a string-keyed :class:`Partition`.
+
+Two execution backends solve every instance (``solve(..., backend=...)``):
+``"python"`` -- the sequential worklist solvers (naive / Kanellakis-Smolka /
+Paige-Tarjan), which remain the cross-check oracles -- and ``"vector"`` --
+the numpy whole-array kernel of :mod:`repro.partition.vectorized`, which
+also accepts memory-mapped CSR stores for out-of-core refinement.
 """
 
 from repro.partition.generalized import (
+    BACKENDS,
     GeneralizedPartitioningError,
     GeneralizedPartitioningInstance,
     Solver,
@@ -23,8 +30,15 @@ from repro.partition.naive import naive_refine, naive_refine_lts
 from repro.partition.paige_tarjan import paige_tarjan_refine, paige_tarjan_refine_lts
 from repro.partition.partition import Partition, PartitionError
 from repro.partition.refinable import RefinablePartition, partition_from_refinable
+from repro.partition.vectorized import (
+    vector_refine,
+    vector_refine_arrays,
+    vector_refine_csr,
+    vector_refine_lts,
+)
 
 __all__ = [
+    "BACKENDS",
     "GeneralizedPartitioningError",
     "GeneralizedPartitioningInstance",
     "Partition",
@@ -41,4 +55,8 @@ __all__ = [
     "paige_tarjan_refine_lts",
     "partition_from_refinable",
     "solve",
+    "vector_refine",
+    "vector_refine_arrays",
+    "vector_refine_csr",
+    "vector_refine_lts",
 ]

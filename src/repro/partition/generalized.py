@@ -322,9 +322,16 @@ def is_valid_solution(
     return True
 
 
+#: valid values for the ``backend`` parameter of :func:`solve` (and of every
+#: caller that threads it down here: the equivalence layer, the engine's
+#: notion registry, the CLI's ``--backend`` flag).
+BACKENDS = ("python", "vector")
+
+
 def solve(
     instance: GeneralizedPartitioningInstance,
     method: Solver | str = Solver.PAIGE_TARJAN,
+    backend: str = "python",
 ) -> Partition:
     """Solve a generalized partitioning instance with the chosen method.
 
@@ -338,7 +345,22 @@ def solve(
       algorithm of Paige and Tarjan (1987), the default.
 
     All three run on the instance's integer :attr:`~GeneralizedPartitioningInstance.kernel`.
+
+    ``backend`` selects the execution engine: ``"python"`` (default) runs the
+    sequential worklist solver named by ``method``; ``"vector"`` runs the
+    numpy whole-array kernel (:mod:`repro.partition.vectorized`), which
+    computes the same unique partition -- ``method`` is then irrelevant to
+    the result and ignored.  The Python solvers double as the vector
+    kernel's cross-check oracles.
     """
+    if backend not in BACKENDS:
+        raise GeneralizedPartitioningError(
+            f"unknown partition backend {backend!r}; choose from {', '.join(BACKENDS)}"
+        )
+    if backend == "vector":
+        from repro.partition.vectorized import vector_refine
+
+        return vector_refine(instance)
     method = Solver(method)
     if method is Solver.NAIVE:
         from repro.partition.naive import naive_refine
