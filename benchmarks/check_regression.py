@@ -30,6 +30,13 @@ the committed ``benchmarks/baseline_expectations.json``:
   mixed-notion manifest -- shard-affinity cache residency plus, on
   multi-core hosts, parallelism) fails the gate when not met, as does any
   disagreement between the sharded and single-shard answers;
+* the service-soak gates (only on ``run_all.py --soak`` runs, i.e. the
+  ``service-soak`` CI lane): the open-loop ``service_load_records`` cell
+  must reach ``throughput_ratio_floor`` (answered / offered requests), stay
+  under ``p99_ms_ceiling`` (99th-percentile open-loop latency), leave at
+  most ``max_wedged_shards`` shards unresponsive, and record **zero** worker
+  revivals -- the slow-poison tail must be shed by deadlines, not by
+  crashing and replacing workers;
 * the on-the-fly exploration gate: the inequivalent composed family
   (>= 10^5 reachable product states) must be decided with a replay-verified
   distinguishing trace while visiting at most
@@ -164,6 +171,43 @@ def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[
                 f"service sharded-throughput speedup is {float(service_speedup):.2f}x, "
                 f"below the committed floor of {float(service_floor):.1f}x"
             )
+
+    # Service-soak gates.  The open-loop section only exists on
+    # ``run_all.py --soak`` runs (the service-soak CI lane); ordinary bench
+    # runs are exempt, mirroring the --scale-only vector gates above.
+    load_gates = baseline.get("service_load_gates")
+    if load_gates is not None and bool(meta.get("service_soak", False)):
+        load_records = payload.get("service_load_records", [])
+        if not load_records:
+            failures.append("no service_load_records in this --soak run")
+        for record in load_records:
+            cell = f"{record['solver']}|{record['family']}|{record['n']}"
+            ratio_floor = float(load_gates.get("throughput_ratio_floor", 0.0))
+            if float(record.get("throughput_ratio", 0.0)) < ratio_floor:
+                failures.append(
+                    f"soak cell {cell}: throughput ratio "
+                    f"{float(record.get('throughput_ratio', 0.0)):.3f} is below the "
+                    f"committed floor of {ratio_floor:.2f}"
+                )
+            p99_ceiling = load_gates.get("p99_ms_ceiling")
+            if p99_ceiling is not None and float(record.get("p99_ms", 0.0)) > float(p99_ceiling):
+                failures.append(
+                    f"soak cell {cell}: p99 open-loop latency "
+                    f"{float(record.get('p99_ms', 0.0)):.1f} ms is above the committed "
+                    f"ceiling of {float(p99_ceiling):.0f} ms"
+                )
+            max_wedged = int(load_gates.get("max_wedged_shards", 0))
+            if int(record.get("wedged_shards", 0)) > max_wedged:
+                failures.append(
+                    f"soak cell {cell}: {int(record.get('wedged_shards', 0))} wedged "
+                    f"shard(s) after the run (allowed {max_wedged})"
+                )
+            if int(record.get("revivals", 0)) != 0:
+                failures.append(
+                    f"soak cell {cell}: {int(record.get('revivals', 0))} worker "
+                    "revival(s) -- the poison tail crashed workers instead of being "
+                    "shed by deadlines"
+                )
 
     fraction_ceiling = baseline.get("explore_visit_fraction_ceiling")
     if fraction_ceiling is not None:
@@ -336,6 +380,28 @@ def write_step_summary(
             for n, ratio in sorted(by_n.items(), key=lambda item: int(item[0])):
                 lines.append(f"| {family} | {n} | {float(ratio):.1f}x |")
         lines.append("")
+    load_records = payload.get("service_load_records") or []
+    if load_records:
+        capacity = (meta.get("service_load") or {}).get("calibrated_capacity_rps")
+        lines += [
+            "### Service soak: open-loop sustained throughput",
+            "",
+            f"Calibrated capacity {capacity} rps." if capacity is not None else "",
+            "",
+            "| cell | offered rps | ratio | p50 | p95 | p99 | deadline-shed | "
+            "overloaded | steals | revivals | wedged |",
+            "| --- | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: |",
+        ]
+        for record in load_records:
+            lines.append(
+                f"| `{record['solver']}|{record['family']}|{record['n']}` "
+                f"| {record['offered_rps']:.0f} | {record['throughput_ratio']:.3f} "
+                f"| {record['p50_ms']:.1f} ms | {record['p95_ms']:.1f} ms "
+                f"| {record['p99_ms']:.1f} ms | {record['deadline_exceeded']} "
+                f"| {record['overloaded']} | {record['steals']} "
+                f"| {record['revivals']} | {record['wedged_shards']} |"
+            )
+        lines.append("")
     with open(summary_path, "a", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
 
@@ -378,6 +444,17 @@ def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
         # The acceptance bar is "a small fraction"; 0.10 leaves three orders
         # of magnitude of headroom over the measured ~3e-5.
         "explore_visit_fraction_ceiling": previous.get("explore_visit_fraction_ceiling", 0.10),
+        # Soak gates are ratios/ceilings against the run's own calibrated
+        # capacity, so they transfer across hosts; they only apply to
+        # ``run_all.py --soak`` runs (the service-soak lane).
+        "service_load_gates": previous.get(
+            "service_load_gates",
+            {
+                "throughput_ratio_floor": 0.7,
+                "p99_ms_ceiling": 1000.0,
+                "max_wedged_shards": 0,
+            },
+        ),
     }
     baseline_path.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {baseline_path} ({len(baseline['cells'])} cells)")

@@ -29,6 +29,7 @@ Usage::
     python benchmarks/run_all.py --quick            # CI smoke: seconds, not minutes
     python benchmarks/run_all.py                    # full trajectory + benchmarks
     python benchmarks/run_all.py --skip-pytest      # trajectory only
+    python benchmarks/run_all.py --soak             # + the open-loop service soak
 
 The script exits non-zero if any solver disagrees with the reference result
 or any pytest bench module fails, so CI can gate on it directly.
@@ -56,6 +57,7 @@ if str(BENCH_DIR) not in sys.path:
 import bench_engine_cache  # noqa: E402
 import bench_on_the_fly  # noqa: E402
 import bench_service  # noqa: E402
+import bench_service_load  # noqa: E402
 from seed_baseline import seed_kanellakis_smolka  # noqa: E402
 
 from repro.core.derivatives import saturate_reference  # noqa: E402
@@ -423,6 +425,37 @@ def run_service_trajectory(repeats: int) -> tuple[list[dict], float, bool, dict]
     return records, speedup, agree, workload
 
 
+def run_service_load_trajectory() -> tuple[list[dict], dict, bool]:
+    """The soak section: the open-loop sustained-throughput run (``--soak``).
+
+    Delegates to :mod:`bench_service_load`; the records land in the
+    ``service_load_records`` section (hardware-independent ratios and latency
+    quantiles, not per-cell seconds) and the meta summary feeds
+    ``meta.service_load``.  The full 10k-request manifest runs even under
+    ``--quick``: the offered rate is calibrated to the host, so the open
+    loop itself is seconds of wall clock.  The ``service_load_gates`` in
+    ``check_regression.py`` only apply when ``meta.service_soak`` is true,
+    so ordinary bench runs without ``--soak`` are exempt.
+    """
+    records, extras = bench_service_load.run_cells(bench_service_load.DEFAULT_NUM_REQUESTS)
+    healthy = True
+    for record in records:
+        print(
+            f"  {record['family']:18s} n={record['n']:5d} {record['solver']:28s} "
+            f"offered {record['offered_rps']:.0f} rps, ratio {record['throughput_ratio']:.3f}, "
+            f"p99 {record['p99_ms']:.1f} ms, deadline_exceeded={record['deadline_exceeded']}, "
+            f"steals={record['steals']}, wedged={record['wedged_shards']}"
+        )
+        if record["wedged_shards"] or record["revivals"]:
+            healthy = False
+            print(
+                f"ERROR: soak run left {record['wedged_shards']} wedged shard(s) and "
+                f"{record['revivals']} revival(s) -- poison must be shed, not crash workers",
+                file=sys.stderr,
+            )
+    return records, extras, healthy
+
+
 def speedup_summary(records: list[dict]) -> dict:
     """Per (family, n): seed seconds / kernel kanellakis_smolka seconds."""
     cells: dict[tuple[str, int], dict[str, float]] = {}
@@ -478,6 +511,11 @@ def main(argv: list[str] | None = None) -> int:
         help="add the 10^5/10^6-state shift_register tiers to the vector section",
     )
     parser.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the open-loop service soak (bench_service_load) and record its section",
+    )
+    parser.add_argument(
         "--output", type=Path, default=Path("BENCH_partition.json"), help="JSON output path"
     )
     args = parser.parse_args(argv)
@@ -516,6 +554,13 @@ def main(argv: list[str] | None = None) -> int:
         repeats
     )
 
+    service_load_records: list[dict] = []
+    service_load_meta: dict = {}
+    soak_healthy = True
+    if args.soak:
+        print("service-soak trajectory: open-loop mixed manifest with slow-poison tail")
+        service_load_records, service_load_meta, soak_healthy = run_service_load_trajectory()
+
     statuses: dict[str, str] = {}
     if not args.skip_pytest:
         print("pytest benchmark modules:")
@@ -550,6 +595,8 @@ def main(argv: list[str] | None = None) -> int:
             "speedup_service_4shards_vs_1shard": service_speedup,
             "service_workload": service_workload,
             "service_cpu_count": os.cpu_count(),
+            "service_soak": args.soak,
+            "service_load": service_load_meta,
             "bench_modules": statuses,
         },
         "records": records,
@@ -558,6 +605,7 @@ def main(argv: list[str] | None = None) -> int:
         "engine_records": engine_records,
         "explore_records": explore_records,
         "service_records": service_records,
+        "service_load_records": service_load_records,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
@@ -585,6 +633,13 @@ def main(argv: list[str] | None = None) -> int:
         f"service speedup (4 shards vs 1 shard, 500-check manifest): {service_speedup:.2f}x "
         f"on {os.cpu_count()} CPU(s)"
     )
+    for record in service_load_records:
+        print(
+            f"service soak ({record['n']} requests open loop): throughput ratio "
+            f"{record['throughput_ratio']:.3f} at {record['offered_rps']:.0f} rps offered, "
+            f"p99 {record['p99_ms']:.1f} ms, {record['deadline_exceeded']} deadline-shed, "
+            f"{record['wedged_shards']} wedged shard(s)"
+        )
     skipped_all = skipped + weak_skipped + vector_skipped
     if skipped_all:
         print(f"skipped {len(skipped_all)} trajectory cells: " + "; ".join(skipped_all))
@@ -599,6 +654,7 @@ def main(argv: list[str] | None = None) -> int:
         and engine_agree
         and explore_agree
         and service_agree
+        and soak_healthy
         and not failed_modules
     )
     return 0 if healthy else 1

@@ -324,7 +324,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if value is not None
     }
-    serve(args.host, args.port, store_root=args.store, num_shards=args.shards, **bounds)
+    serve(
+        args.host,
+        args.port,
+        store_root=args.store,
+        num_shards=args.shards,
+        max_queue=args.max_queue,
+        steal_threshold=args.steal_threshold,
+        quota_rps=args.quota_rps,
+        quota_burst=args.quota_burst,
+        metrics_port=args.metrics_port,
+        trace_stream=sys.stderr if args.trace else None,
+        **bounds,
+    )
     return 0
 
 
@@ -379,6 +391,7 @@ def _run_client_op(client, args: argparse.Namespace) -> int:
             _client_source(args.second),
             args.notion,
             witness=args.explain,
+            deadline_ms=args.deadline_ms,
             **_notion_params(args),
         )
         answer = "equivalent" if verdict["equivalent"] else "NOT equivalent"
@@ -398,13 +411,17 @@ def _run_client_op(client, args: argparse.Namespace) -> int:
         for name in client.classify(_client_source(args.process)):
             print(f"  {name}")
         return 0
+    if args.client_op == "metrics":
+        print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
     if args.client_op == "stats":
         stats = client.stats()
         server = stats["server"]
         print(
             f"service {server['version']}: {server['shards']} shard(s), "
             f"{server['requests']} request(s), {server['connections']} connection(s), "
-            f"{server['revivals']} worker revival(s)"
+            f"{server['revivals']} worker revival(s), {server.get('steals', 0)} steal(s), "
+            f"{server.get('overloads', 0)} overload refusal(s)"
         )
         store = server["store"]
         print(
@@ -607,6 +624,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-shard engine verdict-cache bound (default: the engine's)",
     )
+    serve_cmd.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="per-shard queue bound; beyond it checks are refused with 'overloaded' "
+        "(default: unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--steal-threshold",
+        type=int,
+        default=None,
+        help="queue depth at which cache-cold digest checks migrate to idle shards "
+        "(default: stealing off)",
+    )
+    serve_cmd.add_argument(
+        "--quota-rps",
+        type=float,
+        default=None,
+        help="per-client request rate (tokens/second; check_many costs one per check; "
+        "default: no quotas)",
+    )
+    serve_cmd.add_argument(
+        "--quota-burst",
+        type=float,
+        default=None,
+        help="per-client burst capacity (default: twice --quota-rps)",
+    )
+    serve_cmd.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve Prometheus-text metrics over HTTP on this port (0 picks one; "
+        "default: off)",
+    )
+    serve_cmd.add_argument(
+        "--trace",
+        action="store_true",
+        help="log one JSON trace record per request to stderr",
+    )
     serve_cmd.set_defaults(handler=_cmd_serve)
 
     client_cmd = commands.add_parser(
@@ -635,6 +691,12 @@ def build_parser() -> argparse.ArgumentParser:
     client_check.add_argument(
         "--explain", action="store_true", help="request and print a witness on inequivalence"
     )
+    client_check.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="abort the check past this many milliseconds (error: deadline_exceeded)",
+    )
 
     client_minimize = client_ops.add_parser("minimize", help="minimise on the service")
     client_minimize.add_argument("process", help="process file or sha256:... digest")
@@ -647,6 +709,8 @@ def build_parser() -> argparse.ArgumentParser:
     client_classify.add_argument("process", help="process file or sha256:... digest")
 
     client_ops.add_parser("stats", help="server totals and per-shard cache statistics")
+
+    client_ops.add_parser("metrics", help="dump the server's metrics snapshot as JSON")
 
     client_cmd.set_defaults(handler=_cmd_client)
 

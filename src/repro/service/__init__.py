@@ -11,6 +11,11 @@ long-lived network service:
 * :mod:`repro.service.shards` -- :class:`ShardPool`, single-worker process
   executors with digest-sticky routing, per-worker bounded engines, and
   crash recovery;
+* :mod:`repro.service.flow` -- request deadlines (cooperative cancellation
+  inside the workers) and :class:`TokenBucket` client quotas;
+* :mod:`repro.service.metrics` -- :class:`MetricsRegistry` (counters,
+  gauges, latency histograms; JSON and Prometheus-text exports) and the
+  per-request :class:`~repro.service.metrics.TraceLog`;
 * :mod:`repro.service.server` -- :class:`EquivalenceServer` /
   :func:`serve`, the asyncio front end (``repro serve`` on the CLI);
 * :mod:`repro.service.client` -- :class:`ServiceClient`, the synchronous
@@ -32,11 +37,13 @@ from typing import Any
 __all__ = [
     "DEFAULT_PORT",
     "EquivalenceServer",
+    "MetricsRegistry",
     "ProcessStore",
     "ProtocolError",
     "ServiceClient",
     "ServiceError",
     "ShardPool",
+    "TokenBucket",
     "serve",
 ]
 
@@ -49,6 +56,8 @@ _EXPORTS = {
     "ProtocolError": "repro.service.protocol",
     "ServiceError": "repro.service.protocol",
     "ProcessStore": "repro.service.store",
+    "TokenBucket": "repro.service.flow",
+    "MetricsRegistry": "repro.service.metrics",
     "ShardPool": "repro.service.shards",
     "EquivalenceServer": "repro.service.server",
     "serve": "repro.service.server",

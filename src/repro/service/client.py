@@ -108,6 +108,7 @@ class ServiceClient:
         align: bool = True,
         witness: bool = False,
         on_the_fly: bool | None = None,
+        deadline_ms: float | None = None,
         **params: Any,
     ) -> dict[str, Any]:
         """Decide one equivalence; returns the serialised verdict dict.
@@ -116,6 +117,9 @@ class ServiceClient:
         (:class:`~repro.explore.system.SystemSpec` values or
         ``{"system": ...}`` documents); those default to the server's
         on-the-fly route, and ``on_the_fly`` overrides the route either way.
+        ``deadline_ms`` bounds the check: past it, the worker aborts
+        cooperatively and the call raises a ``deadline_exceeded``
+        :class:`~repro.service.protocol.ServiceError`.
         """
         request: dict[str, Any] = {
             "left": protocol.process_ref(left),
@@ -127,6 +131,8 @@ class ServiceClient:
         }
         if on_the_fly is not None:
             request["on_the_fly"] = on_the_fly
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
         return self.request("check", request)
 
     def check_many(
@@ -136,11 +142,14 @@ class ServiceClient:
         notion: str = "observational",
         align: bool = True,
         witness: bool = False,
+        deadline_ms: float | None = None,
     ) -> dict[str, Any]:
         """Run a manifest of checks; returns ``{"results": [...], "summary": {...}}``.
 
         Each entry is ``(left, right)``, ``(left, right, notion)``, or a dict
         with ``left`` / ``right`` / optional ``notion`` / ``params``.
+        ``deadline_ms`` applies one absolute deadline to the whole batch;
+        checks that miss it report ``deadline_exceeded`` inline.
         """
         encoded = []
         for index, item in enumerate(checks):
@@ -160,10 +169,15 @@ class ServiceClient:
                     f"check #{index} must be (left, right[, notion]) or a mapping"
                 )
             encoded.append(entry)
-        return self.request(
-            "check_many",
-            {"checks": encoded, "notion": notion, "align": align, "witness": witness},
-        )
+        params: dict[str, Any] = {
+            "checks": encoded,
+            "notion": notion,
+            "align": align,
+            "witness": witness,
+        }
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return self.request("check_many", params)
 
     def minimize(self, process: ProcessLike, notion: str = "observational") -> FSP:
         """The quotient of a process under strong/observational equivalence."""
@@ -179,3 +193,7 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         """Server totals plus per-shard engine/store cache statistics."""
         return self.request("stats")
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's metrics registry snapshot (the ``metrics`` RPC)."""
+        return self.request("metrics")["metrics"]

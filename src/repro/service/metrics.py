@@ -1,0 +1,341 @@
+"""The service metrics layer: counters, gauges, histograms, trace records.
+
+A deliberately small, stdlib-only metrics registry in the Prometheus data
+model: monotonic :class:`Counter` families, :class:`Gauge` families (direct
+``set`` or callback-backed, so queue depths can be read at scrape time), and
+cumulative-bucket :class:`Histogram` families for latencies.  Families are
+keyed by a fixed label schema (``("op",)``, ``("shard",)``, ...) and child
+series are created on first use, so instrumentation sites stay one-liners::
+
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_requests_total", "requests by op", ("op",))
+    requests.labels("check").inc()
+
+Two export surfaces, both fed from one :meth:`MetricsRegistry.snapshot`:
+
+* the ``metrics`` RPC returns the snapshot as JSON (machine-readable, same
+  transport as every other op);
+* :meth:`MetricsRegistry.render` produces the Prometheus text exposition
+  format (version 0.0.4) served by the server's ``--metrics-port`` HTTP
+  endpoint.
+
+:class:`TraceLog` is the structured per-request trace sink behind the
+server's ``--trace`` flag: one JSON object per line with the request id,
+op, client, shard, queue wait, engine time and cache provenance -- the
+record an operator greps when a p99 regression needs explaining.
+
+All mutation is guarded by one registry lock; the server touches metrics
+from the event loop, ``asyncio.to_thread`` workers and executor done-
+callbacks, so thread safety is part of the contract (the monotonicity test
+in ``tests/service/test_metrics.py`` hammers exactly this).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, IO
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceLog",
+]
+
+#: Latency buckets in seconds: sub-millisecond cache hits through the
+#: multi-second poison checks the deadline layer exists to bound.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _label_key(label_names: tuple[str, ...], values: tuple) -> tuple[str, ...]:
+    if len(values) != len(label_names):
+        raise ValueError(f"expected labels {label_names}, got {len(values)} value(s)")
+    return tuple(str(value) for value in values)
+
+
+class Counter:
+    """One monotonic counter series (a child of a counter family)."""
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """One gauge series: a settable value or a scrape-time callback."""
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Read the gauge from ``fn`` at snapshot/render time."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            if self._fn is not None:
+                return float(self._fn())
+            return self._value
+
+
+class Histogram:
+    """One cumulative-bucket histogram series (Prometheus semantics)."""
+
+    def __init__(self, lock: threading.Lock, buckets: tuple[float, ...]) -> None:
+        self._lock = lock
+        self.buckets = buckets
+        self._counts = [0] * (len(buckets) + 1)  # +inf is the last slot
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            cumulative: list[int] = []
+            running = 0
+            for count in self._counts:
+                running += count
+                cumulative.append(running)
+            return {
+                "buckets": {
+                    **{str(bound): cumulative[i] for i, bound in enumerate(self.buckets)},
+                    "+Inf": cumulative[-1],
+                },
+                "sum": round(self._sum, 6),
+                "count": self._count,
+            }
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket)."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            running = 0
+            for index, count in enumerate(self._counts):
+                running += count
+                if running >= target:
+                    if index < len(self.buckets):
+                        return self.buckets[index]
+                    return float("inf")
+            return float("inf")
+
+
+class _Family:
+    """A named metric family: one child series per label-value tuple."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.kind = kind
+        self.label_names = label_names
+        self.buckets = buckets
+        self._lock = lock
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    def labels(self, *values) -> Any:
+        key = _label_key(self.label_names, values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "counter":
+                    child = Counter(self._lock)
+                elif self.kind == "gauge":
+                    child = Gauge(self._lock)
+                else:
+                    child = Histogram(self._lock, self.buckets)
+                self._children[key] = child
+        return child
+
+    def series(self) -> list[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """All metric families of one server, with JSON and Prometheus exports."""
+
+    def __init__(self) -> None:
+        # One reentrant lock for the whole registry: metric updates are
+        # nanosecond-cheap increments, and a single lock keeps snapshot()
+        # internally consistent without per-series juggling.
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+
+    def _family(self, name: str, help_text: str, kind: str, label_names, buckets=None) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(
+                    name,
+                    help_text,
+                    kind,
+                    tuple(label_names),
+                    self._lock,
+                    tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+                )
+                self._families[name] = family
+            elif family.kind != kind or family.label_names != tuple(label_names):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind} "
+                    f"with labels {family.label_names}"
+                )
+        return family
+
+    def counter(self, name: str, help_text: str, label_names=()) -> _Family:
+        return self._family(name, help_text, "counter", label_names)
+
+    def gauge(self, name: str, help_text: str, label_names=()) -> _Family:
+        return self._family(name, help_text, "gauge", label_names)
+
+    def histogram(self, name: str, help_text: str, label_names=(), buckets=None) -> _Family:
+        return self._family(name, help_text, "histogram", label_names, buckets)
+
+    # ------------------------------------------------------------------
+    # export surfaces
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-compatible dump of every series (the ``metrics`` RPC)."""
+        out: dict[str, Any] = {}
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            series = []
+            for key, child in family.series():
+                labels = dict(zip(family.label_names, key))
+                if family.kind == "histogram":
+                    series.append({"labels": labels, **child.snapshot()})
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help_text,
+                "series": series,
+            }
+        return out
+
+    def render(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            lines.append(f"# HELP {family.name} {family.help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in family.series():
+                labels = dict(zip(family.label_names, key))
+                if family.kind == "histogram":
+                    snap = child.snapshot()
+                    for bound, count in snap["buckets"].items():
+                        bucket_labels = _render_labels({**labels, "le": bound})
+                        lines.append(f"{family.name}_bucket{bucket_labels} {count}")
+                    rendered = _render_labels(labels)
+                    lines.append(f"{family.name}_sum{rendered} {_format_value(snap['sum'])}")
+                    lines.append(f"{family.name}_count{rendered} {snap['count']}")
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class TraceLog:
+    """Structured per-request trace records: one JSON object per line.
+
+    Enabled by ``repro serve --trace``.  Records are written with a lock so
+    concurrent connections interleave whole lines, never fragments; the
+    wall-clock timestamp is recorded (monotonic readings are meaningless
+    across processes reading the log).
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def record(self, **fields: Any) -> None:
+        entry = {"ts": round(time.time(), 6), **fields}
+        line = json.dumps(entry, separators=(",", ":"), default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()

@@ -49,7 +49,7 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 DEFAULT_PORT = 8319
 
 #: The operations the server understands (``docs/service-protocol.md``).
-OPERATIONS = ("ping", "store", "check", "check_many", "minimize", "classify", "stats")
+OPERATIONS = ("ping", "store", "check", "check_many", "minimize", "classify", "stats", "metrics")
 
 # -- error codes -------------------------------------------------------
 #: request line was not valid JSON, not an object, or missing/over-long.
@@ -63,6 +63,12 @@ UNKNOWN_DIGEST = "unknown_digest"
 #: the check itself was rejected (unknown notion, bad parameter, signature
 #: mismatch, state-space bound exceeded).
 CHECK_FAILED = "check_failed"
+#: the request's deadline passed before (or while) the worker served it.
+DEADLINE_EXCEEDED = "deadline_exceeded"
+#: the server is shedding load: a shard queue is full or the client has
+#: outrun its token-bucket quota (``error.data.retry_after_ms`` hints when
+#: to try again).
+OVERLOADED = "overloaded"
 #: unexpected server-side failure (a bug; the message carries the repr).
 INTERNAL = "internal"
 
@@ -72,6 +78,8 @@ ERROR_CODES = (
     INVALID_PROCESS,
     UNKNOWN_DIGEST,
     CHECK_FAILED,
+    DEADLINE_EXCEEDED,
+    OVERLOADED,
     INTERNAL,
 )
 
@@ -83,19 +91,22 @@ class ProtocolError(Exception):
 class ServiceError(Exception):
     """A structured error response, as raised client-side.
 
-    ``code`` is one of :data:`ERROR_CODES`; ``message`` is human-readable.
+    ``code`` is one of :data:`ERROR_CODES`; ``message`` is human-readable;
+    ``data`` carries optional machine-readable context (e.g. the
+    ``retry_after_ms`` backpressure hint on :data:`OVERLOADED`).
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str, data: dict[str, Any] | None = None) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        self.data = data
 
     def __reduce__(self):
         # Default exception pickling replays ``args`` (the joined string)
-        # into the two-parameter __init__; shard workers raise these across
+        # into the three-parameter __init__; shard workers raise these across
         # the process boundary, so spell the constructor call out.
-        return (ServiceError, (self.code, self.message))
+        return (ServiceError, (self.code, self.message, self.data))
 
 
 # ----------------------------------------------------------------------
@@ -139,9 +150,13 @@ def ok_response(request_id: Any, result: dict[str, Any]) -> bytes:
     return encode_frame({"id": request_id, "ok": True, "result": result})
 
 
-def error_response(request_id: Any, code: str, message: str) -> bytes:
-    """Encode one error response line."""
-    error = {"code": code, "message": message}
+def error_response(
+    request_id: Any, code: str, message: str, data: dict[str, Any] | None = None
+) -> bytes:
+    """Encode one error response line (``data`` is optional extra context)."""
+    error: dict[str, Any] = {"code": code, "message": message}
+    if data:
+        error["data"] = data
     return encode_frame({"id": request_id, "ok": False, "error": error})
 
 
@@ -198,8 +213,11 @@ def parse_response(line: bytes) -> tuple[Any, dict[str, Any]]:
     error = document.get("error")
     if not isinstance(error, dict):
         raise ProtocolError("response is neither ok nor carries an 'error' object")
+    data = error.get("data")
     raise ServiceError(
-        str(error.get("code", INTERNAL)), str(error.get("message", "unspecified error"))
+        str(error.get("code", INTERNAL)),
+        str(error.get("message", "unspecified error")),
+        data if isinstance(data, dict) else None,
     )
 
 

@@ -28,7 +28,32 @@ A crashed worker (OOM-killed, segfaulted C extension, ``os._exit``) breaks
 its executor; :meth:`ShardPool.run` and :meth:`ShardPool.run_async` revive
 the shard with a fresh executor -- the replacement worker starts with cold
 caches but the content-addressed store still has every uploaded process --
-and retry the job once before giving up.
+and retry the job once before giving up.  Only genuine worker death
+(:class:`~concurrent.futures.process.BrokenProcessPool`) takes that path:
+every job submitted to a shard runs under :func:`_guarded`, which converts
+*job-level* failures -- including exceptions that would not survive the
+pickle trip home and would otherwise poison the executor -- into structured
+:class:`~repro.service.protocol.ServiceError` replies, so a deterministic
+bad job answers once instead of being replayed against a fresh worker.
+
+Service hardening (deadlines, backpressure, work-stealing)
+----------------------------------------------------------
+
+* Check specs may carry an absolute monotonic ``deadline``; the worker
+  aborts cooperatively (:func:`repro.service.flow.deadline_scope`) with a
+  ``deadline_exceeded`` error -- before computing if the job out-queued its
+  deadline, preemptively mid-refinement otherwise -- so slow-poison jobs
+  cannot wedge a shard.
+* ``max_queue`` bounds each shard's submitted-but-unfinished depth; the
+  pool answers ``overloaded`` (with a retry hint) instead of queueing
+  unboundedly.
+* ``steal_threshold`` enables digest-affinity-preserving work-stealing:
+  when a job's home shard is backed up, the job migrates to the least
+  loaded shard *only if* it is store-referenced (any worker can resolve it
+  against the shared store) and cache-cold on its home shard (its routing
+  key has not been dispatched there recently -- stealing a cache-hot job
+  would squander exactly the affinity the routing exists to build).  A
+  stolen job whose host crashes falls back to its home shard once.
 """
 
 from __future__ import annotations
@@ -39,11 +64,13 @@ import json
 import multiprocessing
 import os
 import threading
+import time
+from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
-from repro.service import protocol
+from repro.service import flow, protocol
 from repro.service.store import ProcessStore
 
 try:  # pragma: no cover - always available on the supported platforms
@@ -56,6 +83,17 @@ except ValueError:  # pragma: no cover - non-posix fallback
 #: working set, and per-worker memory is the budget operators actually set).
 DEFAULT_MAX_PROCESSES = 64
 DEFAULT_MAX_VERDICTS = 1024
+
+#: Per-shard LRU of recently dispatched routing keys -- the pool-side proxy
+#: for "this digest is hot in that worker's engine cache" that work-stealing
+#: consults.  Sized above the per-shard engine bounds so the proxy errs
+#: toward keeping affinity.
+RECENT_KEYS_PER_SHARD = 128
+
+#: Extra seconds the server waits past a request's deadline for the worker's
+#: own structured ``deadline_exceeded`` reply (which carries shard/queue
+#: telemetry) before answering on its behalf.
+DEADLINE_GRACE_SECONDS = 0.5
 
 
 # ----------------------------------------------------------------------
@@ -87,6 +125,38 @@ def _check_failed(error: Exception) -> protocol.ServiceError:
     return protocol.ServiceError(protocol.CHECK_FAILED, str(error))
 
 
+def _guarded(fn, *args) -> Any:
+    """Run one job, converting every job-level failure to a ServiceError.
+
+    This is the worker-side half of the crash-recovery contract: the parent
+    retries a shard's job on a fresh executor *only* for
+    :class:`BrokenProcessPool`, i.e. genuine worker death.  For that to be
+    sound, no mere job exception may ever break the executor -- and an
+    exception that fails to unpickle in the parent (third-party classes with
+    required constructor arguments are the classic case) does exactly that:
+    it kills the executor's result-handler thread, and the old code then
+    replayed the deterministic poison job against a brand-new worker.
+    Wrapping every submission here turns any such failure into a
+    :class:`~repro.service.protocol.ServiceError`, whose ``__reduce__``
+    guarantees the pickle round-trip, so a bad job answers once with a
+    structured error and the worker lives on.
+    """
+    try:
+        return fn(*args)
+    except protocol.ServiceError:
+        raise
+    except flow.DeadlineExceeded:
+        raise protocol.ServiceError(
+            protocol.DEADLINE_EXCEEDED,
+            "job deadline expired in the worker",
+            {"shard": _WORKER.get("shard")},
+        ) from None
+    except Exception as error:
+        raise protocol.ServiceError(
+            protocol.INTERNAL, f"job raised {type(error).__name__}: {error}"
+        ) from None
+
+
 def _worker_check(spec: dict[str, Any]) -> dict[str, Any]:
     """Run one check inside the worker; returns a JSON-compatible verdict.
 
@@ -99,36 +169,43 @@ def _worker_check(spec: dict[str, Any]) -> dict[str, Any]:
     from repro.core.errors import ReproError
     from repro.explore.system import SystemSpec, compose_eager
 
-    left = protocol.resolve_operand(spec["left"], _WORKER.get("store"))
-    right = protocol.resolve_operand(spec["right"], _WORKER.get("store"))
-    engine = _WORKER["engine"]
-    composed = isinstance(left, SystemSpec) or isinstance(right, SystemSpec)
-    on_the_fly = spec.get("on_the_fly")
-    lazy = bool(on_the_fly) or (on_the_fly is None and composed)
-    try:
-        if lazy:
-            verdict = engine.check_on_the_fly(
-                left,
-                right,
-                spec.get("notion", "observational"),
-                witness=bool(spec.get("witness", False)),
-                **spec.get("params", {}),
-            )
-        else:
-            if isinstance(left, SystemSpec):
-                left = compose_eager(left)
-            if isinstance(right, SystemSpec):
-                right = compose_eager(right)
-            verdict = engine.check(
-                left,
-                right,
-                spec.get("notion", "observational"),
-                align=bool(spec.get("align", True)),
-                witness=bool(spec.get("witness", False)),
-                **spec.get("params", {}),
-            )
-    except (ReproError, ValueError, TypeError) as error:
-        raise _check_failed(error) from None
+    enqueued = spec.get("enqueued")
+    queue_wait = max(0.0, time.monotonic() - enqueued) if enqueued is not None else None
+    # The scope covers operand resolution too: a store read for a job that
+    # already out-queued its deadline is work the client will never see.
+    with flow.deadline_scope(spec.get("deadline")):
+        left = protocol.resolve_operand(spec["left"], _WORKER.get("store"))
+        right = protocol.resolve_operand(spec["right"], _WORKER.get("store"))
+        engine = _WORKER["engine"]
+        composed = isinstance(left, SystemSpec) or isinstance(right, SystemSpec)
+        on_the_fly = spec.get("on_the_fly")
+        lazy = bool(on_the_fly) or (on_the_fly is None and composed)
+        try:
+            if lazy:
+                verdict = engine.check_on_the_fly(
+                    left,
+                    right,
+                    spec.get("notion", "observational"),
+                    witness=bool(spec.get("witness", False)),
+                    **spec.get("params", {}),
+                )
+            else:
+                if isinstance(left, SystemSpec):
+                    left = compose_eager(left)
+                if isinstance(right, SystemSpec):
+                    right = compose_eager(right)
+                verdict = engine.check(
+                    left,
+                    right,
+                    spec.get("notion", "observational"),
+                    align=bool(spec.get("align", True)),
+                    witness=bool(spec.get("witness", False)),
+                    **spec.get("params", {}),
+                )
+        except flow.DeadlineExceeded:
+            raise
+        except (ReproError, ValueError, TypeError) as error:
+            raise _check_failed(error) from None
     _WORKER["checks"] += 1
     result = verdict.to_dict()
     if lazy:
@@ -136,6 +213,8 @@ def _worker_check(spec: dict[str, Any]) -> dict[str, Any]:
         result["pairs_visited"] = verdict.stats.details.get("pairs_visited")
     result["shard"] = _WORKER["shard"]
     result["pid"] = os.getpid()
+    if queue_wait is not None:
+        result["queue_wait"] = round(queue_wait, 6)
     return result
 
 
@@ -196,19 +275,35 @@ class ShardPool:
         *,
         max_processes: int = DEFAULT_MAX_PROCESSES,
         max_verdicts: int = DEFAULT_MAX_VERDICTS,
+        max_queue: int | None = None,
+        steal_threshold: int | None = None,
     ) -> None:
         if num_shards is None:
             num_shards = max(1, os.cpu_count() or 1)
         if num_shards < 1:
             raise ValueError("num_shards must be positive")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be positive (or None for unbounded)")
+        if steal_threshold is not None and steal_threshold < 1:
+            raise ValueError("steal_threshold must be positive (or None to disable)")
         self.num_shards = num_shards
         self.store_root = str(store_root) if store_root is not None else None
         self.max_processes = max_processes
         self.max_verdicts = max_verdicts
+        #: Backpressure bound: a shard refuses new checks (``overloaded``)
+        #: once this many of its jobs are submitted-but-unfinished.
+        self.max_queue = max_queue
+        #: Work-stealing trigger: a stealable check leaves a home shard whose
+        #: depth reached this bound for the least loaded shard.
+        self.steal_threshold = steal_threshold
         self._lock = threading.Lock()
         self._generations = [0] * num_shards
+        self._depths = [0] * num_shards
+        self._recent: list[OrderedDict[str, None]] = [OrderedDict() for _ in range(num_shards)]
         self._executors = [self._new_executor(index) for index in range(num_shards)]
         self._revivals = 0
+        self._steals = 0
+        self._overloads = 0
 
     def _new_executor(self, index: int) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -254,27 +349,54 @@ class ShardPool:
         affinity is best-effort for non-canonical encodings, correctness is
         unaffected.
         """
+        key = self.routing_key(spec)
+        return self.shard_of(key) if key is not None else 0
+
+    def routing_key(self, spec: dict[str, Any]) -> str | None:
+        """The affinity key of one check spec (``None`` = unroutable, shard 0).
+
+        A digest reference is its own key; an inline process or composed
+        system is keyed by the digest of its canonically-serialised JSON.
+        The canonical separators match ``utils.serialization.canonical_bytes``,
+        so an inline copy of a stored process routes to the same shard as
+        its digest reference (the cache-affinity promise); composed-system
+        documents hash the same way, keeping repeated questions about one
+        system on one worker.
+        """
         ref = spec.get("left")
         if isinstance(ref, dict):
             if isinstance(ref.get("digest"), str):
-                return self.shard_of(ref["digest"])
+                return ref["digest"]
             if "process" in ref or "system" in ref:
-                # Canonical separators match utils.serialization.canonical_bytes,
-                # so an inline copy of a stored process routes to the same
-                # shard as its digest reference (the cache-affinity promise);
-                # composed-system documents hash the same way, keeping
-                # repeated questions about one system on one worker.
                 body = ref.get("process", ref.get("system"))
                 canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
-                return self.shard_of("sha256:" + hashlib.sha256(canonical.encode()).hexdigest())
-        return 0
+                return "sha256:" + hashlib.sha256(canonical.encode()).hexdigest()
+        return None
 
     # ------------------------------------------------------------------
     # submission with crash recovery
     # ------------------------------------------------------------------
     def submit(self, shard: int, fn, *args) -> Future:
-        """Submit a raw job to one shard (no retry -- see :meth:`run`)."""
-        return self._executors[shard].submit(fn, *args)
+        """Submit a raw job to one shard (no retry -- see :meth:`run`).
+
+        Every job runs under :func:`_guarded` (so only worker death breaks
+        the executor) and is counted against the shard's queue depth until
+        its future resolves.
+        """
+        with self._lock:
+            self._depths[shard] += 1
+        try:
+            future = self._executors[shard].submit(_guarded, fn, *args)
+        except BaseException:
+            self._job_done(shard)
+            raise
+        future.add_done_callback(lambda _future, shard=shard: self._job_done(shard))
+        return future
+
+    def _job_done(self, shard: int) -> None:
+        with self._lock:
+            if self._depths[shard] > 0:
+                self._depths[shard] -= 1
 
     def revive(self, shard: int, generation: int) -> None:
         """Replace a broken shard executor (idempotent per generation)."""
@@ -308,9 +430,127 @@ class ShardPool:
     # ------------------------------------------------------------------
     # the check-shaped surface (what the server and benchmarks call)
     # ------------------------------------------------------------------
-    def check(self, spec: dict[str, Any]) -> dict[str, Any]:
-        """Run one check spec on its routed shard."""
-        return self.run(self.route_check(spec), _worker_check, spec)
+    def plan_check(self, spec: dict[str, Any]) -> tuple[int, int]:
+        """``(home, dispatch)`` shards for one spec, after flow control.
+
+        The dispatch shard is the home shard unless work-stealing moves the
+        job: with ``steal_threshold`` set, a *store-referenced* check (its
+        left operand is a digest any worker resolves against the shared
+        store) that is *cache-cold* on a backed-up home shard (its routing
+        key was not dispatched there recently) migrates to the least loaded
+        shard.  Hot or inline jobs stay home -- stealing them would squander
+        exactly the affinity the digest routing exists to build.
+
+        Raises
+        ------
+        ServiceError
+            :data:`~repro.service.protocol.OVERLOADED` when ``max_queue`` is
+            set and the chosen shard's queue is full; ``error.data`` carries
+            a ``retry_after_ms`` hint.
+        """
+        home = self.route_check(spec)
+        key = self.routing_key(spec)
+        left = spec.get("left")
+        store_referenced = isinstance(left, dict) and isinstance(left.get("digest"), str)
+        with self._lock:
+            shard = home
+            if (
+                self.steal_threshold is not None
+                and store_referenced
+                and self._depths[home] >= self.steal_threshold
+                and key not in self._recent[home]
+            ):
+                target = min(range(self.num_shards), key=self._depths.__getitem__)
+                if self._depths[target] < self._depths[home]:
+                    shard = target
+                    self._steals += 1
+            if self.max_queue is not None and self._depths[shard] >= self.max_queue:
+                self._overloads += 1
+                depth = self._depths[shard]
+                raise protocol.ServiceError(
+                    protocol.OVERLOADED,
+                    f"shard {shard} queue is full ({depth} jobs, max_queue={self.max_queue})",
+                    {"retry_after_ms": 100, "shard": shard, "queue_depth": depth},
+                )
+            if key is not None:
+                recent = self._recent[shard]
+                recent[key] = None
+                recent.move_to_end(key)
+                if len(recent) > RECENT_KEYS_PER_SHARD:
+                    recent.popitem(last=False)
+        return home, shard
+
+    def submit_check(
+        self, spec: dict[str, Any], *, deadline: float | None = None
+    ) -> tuple[int, int, dict[str, Any], Future]:
+        """Plan and submit one check; ``(home, dispatch, job, future)``.
+
+        The submitted job is a copy of ``spec`` stamped with its enqueue
+        instant (for the worker's ``queue_wait`` telemetry) and, when given,
+        the absolute monotonic ``deadline`` the worker enforces.
+        """
+        home, shard = self.plan_check(spec)
+        job = dict(spec)
+        job["enqueued"] = time.monotonic()
+        if deadline is not None:
+            job["deadline"] = deadline
+        generation = self._generations[shard]
+        try:
+            future = self.submit(shard, _worker_check, job)
+        except BrokenProcessPool:
+            # The dispatch shard broke before accepting this job (a crash
+            # left its executor unusable): revive it and fall back to the
+            # home shard right away.
+            self.revive(shard, generation)
+            future = self.submit(home, _worker_check, job)
+        return home, shard, job, future
+
+    def check(self, spec: dict[str, Any], *, deadline: float | None = None) -> dict[str, Any]:
+        """Run one check spec on its planned shard (blocking).
+
+        A crashed dispatch shard is revived and the job retried once -- on
+        its *home* shard, so a stolen job's fallback lands where its store
+        reference is routed.
+        """
+        home, shard, job, future = self.submit_check(spec, deadline=deadline)
+        generation = self._generations[shard]
+        try:
+            return future.result()
+        except BrokenProcessPool:
+            self.revive(shard, generation)
+            return self.submit(home, _worker_check, job).result()
+
+    async def run_async_check(
+        self, spec: dict[str, Any], *, deadline: float | None = None
+    ) -> dict[str, Any]:
+        """Awaitable :meth:`check` with a deadline-bounded wait.
+
+        The worker's own cooperative abort normally answers first (its
+        ``deadline_exceeded`` error carries shard telemetry); the server-side
+        :func:`asyncio.wait_for` at deadline + grace is the backstop for a
+        worker stuck somewhere signals cannot reach.
+        """
+        home, shard, job, future = self.submit_check(spec, deadline=deadline)
+        generation = self._generations[shard]
+        try:
+            return await self._await_job(future, deadline)
+        except BrokenProcessPool:
+            self.revive(shard, generation)
+            return await self._await_job(self.submit(home, _worker_check, job), deadline)
+
+    @staticmethod
+    async def _await_job(future: Future, deadline: float | None) -> Any:
+        wrapped = asyncio.wrap_future(future)
+        remaining = flow.remaining_seconds(deadline)
+        if remaining is None:
+            return await wrapped
+        try:
+            return await asyncio.wait_for(wrapped, timeout=remaining + DEADLINE_GRACE_SECONDS)
+        except asyncio.TimeoutError:
+            raise protocol.ServiceError(
+                protocol.DEADLINE_EXCEEDED,
+                "deadline expired before the worker answered",
+            ) from None
 
     def check_many(self, specs: list[dict[str, Any]]) -> list[dict[str, Any]]:
         """Fan a manifest out across the shards; results in manifest order.
@@ -359,6 +599,21 @@ class ShardPool:
         """How many crashed shard workers have been replaced so far."""
         return self._revivals
 
+    @property
+    def steals(self) -> int:
+        """How many checks migrated off their home shard so far."""
+        return self._steals
+
+    @property
+    def overloads(self) -> int:
+        """How many checks were refused with ``overloaded`` so far."""
+        return self._overloads
+
+    def queue_depths(self) -> list[int]:
+        """Submitted-but-unfinished jobs per shard (a point-in-time read)."""
+        with self._lock:
+            return list(self._depths)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -375,5 +630,6 @@ class ShardPool:
     def __repr__(self) -> str:
         return (
             f"ShardPool(num_shards={self.num_shards}, store_root={self.store_root!r}, "
-            f"revivals={self._revivals})"
+            f"max_queue={self.max_queue}, steal_threshold={self.steal_threshold}, "
+            f"revivals={self._revivals}, steals={self._steals})"
         )

@@ -59,6 +59,24 @@ def test_link_checker_catches_breakage(tmp_path):
     assert len(failures) == 1 and "missing.md" in failures[0]
 
 
+def test_link_checker_validates_heading_anchors(tmp_path):
+    check_links = _load_check_links()
+    markdown = tmp_path / "doc.md"
+    markdown.write_text(
+        "# Operating the Service\n\n"
+        "[good](#operating-the-service)\n[bad](#no-such-heading)\n"
+        "[good](other.md#real-one)\n[bad](other.md#fake-one)\n"
+        "[ignored](script.py#L12)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "other.md").write_text("## Real One\n", encoding="utf-8")
+    (tmp_path / "script.py").write_text("pass\n", encoding="utf-8")
+    failures = check_links.broken_links([markdown], tmp_path)
+    assert len(failures) == 2
+    assert any("#no-such-heading" in failure for failure in failures)
+    assert any("other.md#fake-one" in failure for failure in failures)
+
+
 def test_paper_map_names_module_and_test_for_every_result():
     """Every theorem/lemma row of docs/paper-map.md links code *and* a test."""
     text = (ROOT / "docs" / "paper-map.md").read_text(encoding="utf-8")

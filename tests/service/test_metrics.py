@@ -1,0 +1,163 @@
+"""Metrics registry tests: semantics, export formats, thread safety."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import DEFAULT_BUCKETS, MetricsRegistry, TraceLog
+
+
+# ----------------------------------------------------------------------
+# counter / gauge / histogram semantics
+# ----------------------------------------------------------------------
+def test_counter_counts_and_refuses_to_go_down():
+    registry = MetricsRegistry()
+    requests = registry.counter("requests_total", "requests", ("op",))
+    requests.labels("check").inc()
+    requests.labels("check").inc(2.5)
+    requests.labels("ping").inc()
+    assert requests.labels("check").value == pytest.approx(3.5)
+    assert requests.labels("ping").value == 1.0
+    with pytest.raises(ValueError):
+        requests.labels("check").inc(-1)
+
+
+def test_label_arity_is_enforced():
+    registry = MetricsRegistry()
+    errors = registry.counter("errors_total", "errors", ("op", "code"))
+    with pytest.raises(ValueError):
+        errors.labels("check")
+
+
+def test_gauge_set_inc_dec_and_callback():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth", "queue depth", ("shard",))
+    gauge.labels("0").set(7)
+    gauge.labels("0").inc()
+    gauge.labels("0").dec(3)
+    assert gauge.labels("0").value == 5.0
+    backing = {"value": 11}
+    gauge.labels("1").set_function(lambda: backing["value"])
+    assert gauge.labels("1").value == 11.0
+    backing["value"] = 13
+    assert gauge.labels("1").value == 13.0  # read at scrape time, not set time
+
+
+def test_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    latency = registry.histogram("seconds", "latency", (), buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        latency.labels().observe(value)
+    snap = latency.labels().snapshot()
+    assert snap["buckets"] == {"0.1": 1, "1.0": 3, "10.0": 4, "+Inf": 5}
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(56.05)
+    assert latency.labels().quantile(0.5) == 1.0
+    assert latency.labels().quantile(0.99) == float("inf")
+
+
+def test_registry_rejects_conflicting_redefinition():
+    registry = MetricsRegistry()
+    registry.counter("thing_total", "things", ("op",))
+    # Same definition: fine (idempotent lookup).
+    registry.counter("thing_total", "things", ("op",))
+    with pytest.raises(ValueError):
+        registry.gauge("thing_total", "things", ("op",))
+    with pytest.raises(ValueError):
+        registry.counter("thing_total", "things", ("other",))
+
+
+# ----------------------------------------------------------------------
+# export surfaces
+# ----------------------------------------------------------------------
+def test_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "requests", ("op",)).labels("check").inc(3)
+    registry.histogram("seconds", "latency").labels().observe(0.02)
+    snap = registry.snapshot()
+    assert snap["requests_total"]["type"] == "counter"
+    assert snap["requests_total"]["series"] == [{"labels": {"op": "check"}, "value": 3.0}]
+    histogram = snap["seconds"]["series"][0]
+    assert histogram["count"] == 1 and histogram["sum"] == pytest.approx(0.02)
+    assert histogram["buckets"]["+Inf"] == 1
+    # The snapshot is JSON-clean (the metrics RPC returns it verbatim).
+    json.dumps(snap)
+
+
+def test_prometheus_rendering():
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", "Requests by op", ("op",)).labels("check").inc(2)
+    registry.gauge("repro_depth", "Depth", ("shard",)).labels("0").set(4)
+    registry.histogram("repro_seconds", "Latency", (), buckets=(0.5,)).labels().observe(0.1)
+    text = registry.render()
+    assert "# HELP repro_requests_total Requests by op" in text
+    assert "# TYPE repro_requests_total counter" in text
+    assert 'repro_requests_total{op="check"} 2' in text
+    assert 'repro_depth{shard="0"} 4' in text
+    assert 'repro_seconds_bucket{le="0.5"} 1' in text
+    assert 'repro_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_seconds_sum 0.1" in text
+    assert "repro_seconds_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_label_escaping():
+    registry = MetricsRegistry()
+    registry.counter("odd_total", "odd", ("msg",)).labels('a"b\\c\nd').inc()
+    assert 'odd_total{msg="a\\"b\\\\c\\nd"} 1' in registry.render()
+
+
+def test_default_buckets_are_sorted_and_span_the_latency_range():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert DEFAULT_BUCKETS[0] <= 0.001 and DEFAULT_BUCKETS[-1] >= 10.0
+
+
+# ----------------------------------------------------------------------
+# thread safety: the monotonicity contract
+# ----------------------------------------------------------------------
+def test_counter_monotonicity_under_concurrent_writers_and_readers():
+    registry = MetricsRegistry()
+    requests = registry.counter("requests_total", "requests", ("op",))
+    threads, increments = 8, 500
+    stop_reading = threading.Event()
+    observed: list[float] = []
+
+    def writer() -> None:
+        child = requests.labels("check")
+        for _ in range(increments):
+            child.inc()
+
+    def reader() -> None:
+        while not stop_reading.is_set():
+            snap = registry.snapshot()
+            series = snap["requests_total"]["series"]
+            observed.append(series[0]["value"] if series else 0.0)
+
+    reader_thread = threading.Thread(target=reader)
+    reader_thread.start()
+    workers = [threading.Thread(target=writer) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=30)
+    stop_reading.set()
+    reader_thread.join(timeout=30)
+    # No lost updates, and every mid-flight snapshot was non-decreasing.
+    assert requests.labels("check").value == threads * increments
+    assert observed == sorted(observed)
+
+
+# ----------------------------------------------------------------------
+# trace records
+# ----------------------------------------------------------------------
+def test_trace_log_writes_one_json_object_per_line():
+    stream = io.StringIO()
+    log = TraceLog(stream)
+    log.record(id=1, op="check", status="ok", seconds=0.01)
+    log.record(id=2, op="ping", status="ok")
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["id"] == 1 and first["op"] == "check" and "ts" in first

@@ -4,13 +4,17 @@
 Scans the given markdown files (and directories, recursively) for inline
 links and images -- ``[text](target)`` / ``![alt](target)`` -- plus
 reference-style definitions (``[label]: target``) and verifies that every
-*repository-relative* target names an existing file or directory.
+*repository-relative* target names an existing file or directory.  When a
+link carries a fragment into a markdown file -- ``#section`` in-page, or
+``other.md#section`` -- the fragment must match the GitHub-style anchor
+slug of a heading in the target document.
 
 Out of scope, deliberately:
 
 * absolute URLs (``http:``/``https:``/``mailto:``) -- checking the network
   in CI is flaky and none of this repo's correctness depends on it;
-* in-page anchors (``#section``) and the fragment part of file links;
+* fragments into non-markdown files (source links with ``#L123`` line
+  anchors render on the web UI, not from the tree);
 * targets that resolve *outside* the repository root (e.g. the CI badge's
   ``../../actions/...`` link, which is relative to the GitHub web UI, not
   the working tree).
@@ -31,8 +35,39 @@ from pathlib import Path
 INLINE_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
 #: Reference-style definitions: ``[label]: target``.
 REFERENCE_LINK_RE = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$")
+#: ATX headings (``## Title``) -- the anchor targets GitHub generates.
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 
 _SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def heading_slugs(text: str) -> set[str]:
+    """GitHub-style anchor slugs for every heading in a markdown text."""
+    slugs: set[str] = set()
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match is None:
+            continue
+        title = match.group(2)
+        # Strip inline markup the slugger ignores: link targets, emphasis
+        # and code backticks survive as their visible text.
+        title = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", title)
+        title = title.replace("`", "").replace("*", "").strip()
+        slug = re.sub(r"[^\w\- ]", "", title.lower(), flags=re.UNICODE)
+        slug = slug.replace(" ", "-")
+        base = slug
+        suffix = 0
+        while slug in slugs:  # duplicate headings get -1, -2, ... suffixes
+            suffix += 1
+            slug = f"{base}-{suffix}"
+        slugs.add(slug)
+    return slugs
 
 
 def iter_markdown_files(arguments: list[str]) -> list[Path]:
@@ -67,22 +102,35 @@ def broken_links(files: list[Path], root: Path) -> list[str]:
     """All broken intra-repository links, as ``file:line: target`` strings."""
     root = root.resolve()
     failures: list[str] = []
+    slug_cache: dict[Path, set[str]] = {}
+
+    def slugs_of(path: Path, text: str | None = None) -> set[str]:
+        if path not in slug_cache:
+            slug_cache[path] = heading_slugs(
+                text if text is not None else path.read_text(encoding="utf-8")
+            )
+        return slug_cache[path]
+
     for markdown in files:
         if not markdown.exists():
             failures.append(f"{markdown}: file does not exist")
             continue
         text = markdown.read_text(encoding="utf-8")
         for line_number, target in iter_links(text):
-            if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+            if target.startswith(_SKIP_PREFIXES):
                 continue
-            file_part = target.split("#", 1)[0]
-            if not file_part:
+            file_part, _, fragment = target.partition("#")
+            if not file_part:  # in-page anchor: check against this file
+                if fragment and fragment not in slugs_of(markdown.resolve(), text):
+                    failures.append(f"{markdown}:{line_number}: {target} (no such heading)")
                 continue
             resolved = (markdown.parent / file_part).resolve()
             if not resolved.is_relative_to(root):
                 continue  # web-relative (e.g. the CI badge); not a tree path
             if not resolved.exists():
                 failures.append(f"{markdown}:{line_number}: {target}")
+            elif fragment and resolved.suffix == ".md" and fragment not in slugs_of(resolved):
+                failures.append(f"{markdown}:{line_number}: {target} (no such heading)")
     return failures
 
 
