@@ -1,0 +1,215 @@
+"""Protocol frontend benchmark: conformance, fault sweeps, deadlock search.
+
+Three questions about the :mod:`repro.protocols` frontend, answered on the
+library scenarios at ``n >= 5`` validators:
+
+* **Conformance stays on the fly** -- two-phase commit and quorum voting at
+  ``n = 5`` must be decided equivalent to their one-leaf specs while the
+  product game visits no more than a small multiple of the reachable
+  composed states (``protocol_visit_fraction``, gated by
+  ``benchmarks/check_regression.py`` against the committed ceiling).
+* **Faults break checkably** -- applying ``f + 1`` crash faults must flip
+  the verdict with a *replay-verified* distinguishing trace, and the full
+  crash sweep must confirm each scenario's declared tolerance.
+* **Crashes wedge detectably** -- crashing the 2PC coordinator must produce
+  a deadlock that breadth-first search over the lazy product reports with a
+  shortest trace that never reaches ``commit``.
+
+``run_cells`` reports records in the ``solver|family|n`` schema of
+``BENCH_partition.json`` so ``benchmarks/run_all.py`` folds them into the
+trajectory (section ``protocol_records``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.explore import build_implicit, reachable_stats
+from repro.protocols import (
+    Crash,
+    apply_fault,
+    apply_faults,
+    build_scenario,
+    check_conformance,
+    find_stuck,
+    sweep_crashes,
+)
+
+#: conformance scenarios: name -> instantiation kwargs (all at n >= 5).
+CONFORMANCE_SCENARIOS = {
+    "two_phase_commit": {"n": 5},
+    "quorum_voting": {"n": 5, "f": 2},
+}
+
+
+def _best_of(fn, repeats: int):
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - begin)
+    return best, value
+
+
+def run_conformance_cells(repeats: int) -> tuple[list[dict], dict, bool]:
+    """On-the-fly spec conformance at n = 5, with visit-fraction measurement."""
+    records: list[dict] = []
+    fractions: dict[str, float] = {}
+    healthy = True
+    for family, kwargs in CONFORMANCE_SCENARIOS.items():
+        scenario = build_scenario(family, **kwargs)
+        stats = reachable_stats(build_implicit(scenario.system))
+        seconds, verdict = _best_of(
+            lambda scenario=scenario: check_conformance(scenario.spec, scenario.system),
+            repeats,
+        )
+        details = verdict.stats.details
+        pairs = details["pairs_visited"]
+        if not verdict.equivalent:
+            healthy = False
+        fractions[family] = pairs / stats.states
+        records.append(
+            {
+                "solver": "protocol_conformance",
+                "family": family,
+                "n": stats.states,
+                "transitions": pairs,
+                "blocks": stats.transitions,
+                "seconds": round(seconds, 6),
+            }
+        )
+    return records, fractions, healthy
+
+
+def run_fault_cells(repeats: int) -> tuple[list[dict], bool, bool]:
+    """f + 1 crash faults flip the verdict with a verified trace; sweeps confirm."""
+    records: list[dict] = []
+    traces_verified = True
+    sweeps_confirmed = True
+    for family, kwargs in CONFORMANCE_SCENARIOS.items():
+        scenario = build_scenario(family, **kwargs)
+        broken = apply_faults(scenario.system, scenario.crash_slots[: scenario.f + 1])
+        seconds, verdict = _best_of(
+            lambda scenario=scenario, broken=broken: check_conformance(
+                scenario.spec, broken
+            ),
+            repeats,
+        )
+        details = verdict.stats.details
+        if verdict.equivalent or not details.get("trace_verified", False):
+            traces_verified = False
+        records.append(
+            {
+                "solver": "protocol_fault_exit",
+                "family": family,
+                "n": scenario.f + 1,
+                "transitions": details["pairs_visited"],
+                "blocks": scenario.n,
+                "seconds": round(seconds, 6),
+            }
+        )
+        sweep_seconds, result = _best_of(
+            lambda scenario=scenario: sweep_crashes(scenario), repeats
+        )
+        if not result.confirmed or result.breaks_at != scenario.f + 1:
+            sweeps_confirmed = False
+        records.append(
+            {
+                "solver": "protocol_crash_sweep",
+                "family": family,
+                "n": len(result.points),
+                "transitions": sum(point.pairs_visited for point in result.points),
+                "blocks": scenario.n,
+                "seconds": round(sweep_seconds, 6),
+            }
+        )
+    return records, traces_verified, sweeps_confirmed
+
+
+def run_deadlock_cells(repeats: int) -> tuple[list[dict], bool]:
+    """Coordinator crash wedges 2PC: lazy BFS must report the deadlock."""
+    scenario = build_scenario("two_phase_commit", n=5)
+    crashed = apply_fault(scenario.system, Crash("coordinator", 0))
+    seconds, report = _best_of(lambda: find_stuck(crashed), repeats)
+    found = (
+        report is not None
+        and report.kind == "deadlock"
+        and "commit" not in report.trace
+    )
+    record = {
+        "solver": "protocol_deadlock_bfs",
+        "family": "two_phase_commit_crash",
+        "n": report.states_explored if report is not None else 0,
+        "transitions": len(report.trace) if report is not None else 0,
+        "blocks": scenario.n,
+        "seconds": round(seconds, 6),
+    }
+    return [record], found
+
+
+def run_cells(repeats: int = 1) -> tuple[list[dict], dict, bool]:
+    """All protocol cells; returns ``(records, extras, agree)``.
+
+    ``agree`` is False when a scenario fails conformance against its spec,
+    an ``f + 1``-fault mutant is not caught with a replay-verified trace, a
+    crash sweep does not confirm the declared tolerance, or the coordinator
+    crash deadlock goes unreported -- all correctness properties, which the
+    CI gate treats like solver disagreements.
+    """
+    conformance_records, fractions, conformance_ok = run_conformance_cells(repeats)
+    fault_records, traces_verified, sweeps_confirmed = run_fault_cells(repeats)
+    deadlock_records, deadlock_found = run_deadlock_cells(repeats)
+    extras = {
+        "protocol_visit_fraction": round(max(fractions.values()), 8),
+        "protocol_visit_fractions": {k: round(v, 8) for k, v in fractions.items()},
+        "protocol_conformance_ok": conformance_ok,
+        "protocol_traces_verified": traces_verified,
+        "protocol_sweeps_confirmed": sweeps_confirmed,
+        "protocol_deadlock_found": deadlock_found,
+    }
+    agree = conformance_ok and traces_verified and sweeps_confirmed and deadlock_found
+    return conformance_records + fault_records + deadlock_records, extras, agree
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (run by benchmarks/run_all.py's suite smoke)
+# ----------------------------------------------------------------------
+def test_quorum_voting_conformance(benchmark):
+    scenario = build_scenario("quorum_voting", n=5, f=2)
+    verdict = benchmark(lambda: check_conformance(scenario.spec, scenario.system))
+    assert verdict.equivalent
+    product = reachable_stats(build_implicit(scenario.system)).states
+    benchmark.extra_info["pairs_visited"] = verdict.stats.details["pairs_visited"]
+    assert verdict.stats.details["pairs_visited"] <= 2.0 * product
+
+
+def test_two_phase_commit_sweep(benchmark):
+    scenario = build_scenario("two_phase_commit", n=5)
+    result = benchmark(lambda: sweep_crashes(scenario))
+    assert result.confirmed and result.breaks_at == 1
+
+
+def test_coordinator_crash_deadlock(benchmark):
+    scenario = build_scenario("two_phase_commit", n=5)
+    crashed = apply_fault(scenario.system, Crash("coordinator", 0))
+    report = benchmark(lambda: find_stuck(crashed))
+    assert report is not None and report.kind == "deadlock"
+    assert "commit" not in report.trace
+
+
+def test_checks_agree():
+    records, extras, agree = run_cells()
+    assert agree, extras
+
+
+if __name__ == "__main__":
+    records, extras, agree = run_cells()
+    for record in records:
+        print(
+            f"{record['solver']:24s} {record['family']:24s} n={record['n']:7d} "
+            f"{record['seconds'] * 1000:9.2f} ms"
+        )
+    print(
+        f"visit fraction (max over scenarios): {extras['protocol_visit_fraction']:.6f}; "
+        f"agree={agree}"
+    )

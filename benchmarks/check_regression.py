@@ -42,7 +42,14 @@ the committed ``benchmarks/baseline_expectations.json``:
   distinguishing trace while visiting at most
   ``explore_visit_fraction_ceiling`` of the product, and the compositional /
   on-the-fly routes must agree with the eager ones
-  (``explore_routes_agree``).
+  (``explore_routes_agree``);
+* the protocol-frontend gate: two-phase commit and quorum voting at
+  ``n = 5`` must conform to their one-leaf specs while the product game
+  visits at most ``protocol_visit_fraction_ceiling`` times the reachable
+  composed states, ``f + 1``-fault mutants must be caught with
+  replay-verified traces, crash sweeps must confirm each scenario's
+  declared tolerance, and the 2PC coordinator-crash deadlock must be
+  reported (``protocol_checks_agree`` and the ``protocol_*`` meta flags).
 
 The hardware normaliser is the median of ``current / expected`` over all
 shared cells: a uniformly slower CI machine shifts every ratio equally and is
@@ -95,6 +102,7 @@ def collect_cells(payload: dict) -> dict[str, float]:
         "vector_records",
         "engine_records",
         "explore_records",
+        "protocol_records",
         "service_records",
     ):
         for record in payload.get(section, []):
@@ -229,6 +237,39 @@ def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[
                 f"on-the-fly visit fraction is {float(fraction):.6f}, above the "
                 f"committed ceiling of {float(fraction_ceiling):.2f} (the checker is "
                 "no longer deciding the inequivalent product family locally)"
+            )
+
+    protocol_ceiling = baseline.get("protocol_visit_fraction_ceiling")
+    if protocol_ceiling is not None:
+        if not meta.get("protocol_checks_agree", False):
+            failures.append(
+                "protocol_checks_agree is not true -- a scenario failed conformance, "
+                "a fault was not caught, a sweep did not confirm, or the deadlock "
+                "went unreported"
+            )
+        if not meta.get("protocol_traces_verified", False):
+            failures.append(
+                "protocol_traces_verified is not true -- an f+1-fault mutant was not "
+                "caught with a replay-verified distinguishing trace"
+            )
+        if not meta.get("protocol_sweeps_confirmed", False):
+            failures.append(
+                "protocol_sweeps_confirmed is not true -- a crash sweep did not "
+                "confirm its scenario's declared fault tolerance"
+            )
+        if not meta.get("protocol_deadlock_found", False):
+            failures.append(
+                "protocol_deadlock_found is not true -- the 2PC coordinator-crash "
+                "deadlock was not reported by the lazy breadth-first search"
+            )
+        protocol_fraction = meta.get("protocol_visit_fraction")
+        if protocol_fraction is None:
+            failures.append("no protocol visit fraction recorded in this run")
+        elif float(protocol_fraction) > float(protocol_ceiling):
+            failures.append(
+                f"protocol conformance visit fraction is {float(protocol_fraction):.6f}, "
+                f"above the committed ceiling of {float(protocol_ceiling):.2f} (the "
+                "product game is re-exploring pairs instead of staying on the fly)"
             )
 
     speedups = weak_speedups(payload)
@@ -444,6 +485,11 @@ def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
         # The acceptance bar is "a small fraction"; 0.10 leaves three orders
         # of magnitude of headroom over the measured ~3e-5.
         "explore_visit_fraction_ceiling": previous.get("explore_visit_fraction_ceiling", 0.10),
+        # On an equivalent conformance check the game must visit every
+        # reachable product pair exactly once (fraction 1.0 against one-leaf
+        # specs); 1.5 allows bookkeeping slack while still failing if the
+        # checker starts re-exploring pairs.
+        "protocol_visit_fraction_ceiling": previous.get("protocol_visit_fraction_ceiling", 1.5),
         # Soak gates are ratios/ceilings against the run's own calibrated
         # capacity, so they transfer across hosts; they only apply to
         # ``run_all.py --soak`` runs (the service-soak lane).

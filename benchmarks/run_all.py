@@ -56,6 +56,7 @@ if str(BENCH_DIR) not in sys.path:
 
 import bench_engine_cache  # noqa: E402
 import bench_on_the_fly  # noqa: E402
+import bench_protocols  # noqa: E402
 import bench_service  # noqa: E402
 import bench_service_load  # noqa: E402
 from seed_baseline import seed_kanellakis_smolka  # noqa: E402
@@ -403,6 +404,32 @@ def run_explore_trajectory(repeats: int) -> tuple[list[dict], dict, bool]:
     return records, extras, agree
 
 
+def run_protocol_trajectory(repeats: int) -> tuple[list[dict], dict, bool]:
+    """The protocol-frontend section: conformance, fault sweeps, deadlock search.
+
+    Delegates to :mod:`bench_protocols`; the records use the shared
+    ``solver|family|n`` schema so the regression gate covers them, and the
+    extras feed the ``protocol_*`` metadata keys (the visit-fraction ceiling,
+    verified fault traces and the coordinator-crash deadlock are gated by
+    ``check_regression.py``).
+    """
+    records, extras, agree = bench_protocols.run_cells(repeats=repeats)
+    for record in records:
+        print(
+            f"  {record['family']:24s} n={record['n']:7d} {record['solver']:24s} "
+            f"{record['seconds'] * 1000:9.2f} ms"
+        )
+    if not agree:
+        print(
+            "ERROR: protocol checks disagree (a scenario failed conformance, an "
+            "f+1-fault mutant was not caught with a verified trace, a crash sweep "
+            "did not confirm its declared tolerance, or the coordinator-crash "
+            "deadlock went unreported)",
+            file=sys.stderr,
+        )
+    return records, extras, agree
+
+
 def run_service_trajectory(repeats: int) -> tuple[list[dict], float, bool, dict]:
     """The service section: the 500-check manifest at 1 vs 4 shards.
 
@@ -549,6 +576,9 @@ def main(argv: list[str] | None = None) -> int:
     print("explore trajectory: on-the-fly early exits + compositional minimisation")
     explore_records, explore_extras, explore_agree = run_explore_trajectory(repeats)
 
+    print("protocol trajectory: conformance at n=5, fault sweeps, deadlock search")
+    protocol_records, protocol_extras, protocol_agree = run_protocol_trajectory(repeats)
+
     print("service trajectory: 500-check manifest, sharded pool vs single shard")
     service_records, service_speedup, service_agree, service_workload = run_service_trajectory(
         repeats
@@ -591,6 +621,8 @@ def main(argv: list[str] | None = None) -> int:
             "speedup_engine_cached_vs_cold": engine_speedup,
             "explore_routes_agree": explore_agree,
             **explore_extras,
+            "protocol_checks_agree": protocol_agree,
+            **protocol_extras,
             "service_routes_agree": service_agree,
             "speedup_service_4shards_vs_1shard": service_speedup,
             "service_workload": service_workload,
@@ -604,6 +636,7 @@ def main(argv: list[str] | None = None) -> int:
         "vector_records": vector_records,
         "engine_records": engine_records,
         "explore_records": explore_records,
+        "protocol_records": protocol_records,
         "service_records": service_records,
         "service_load_records": service_load_records,
     }
@@ -630,6 +663,13 @@ def main(argv: list[str] | None = None) -> int:
         f"(trace verified: {explore_extras['explore_trace_verified']})"
     )
     print(
+        f"protocol conformance: visit fraction "
+        f"{protocol_extras['protocol_visit_fraction']:.6f} at n=5 "
+        f"(traces verified: {protocol_extras['protocol_traces_verified']}, "
+        f"sweeps confirmed: {protocol_extras['protocol_sweeps_confirmed']}, "
+        f"deadlock found: {protocol_extras['protocol_deadlock_found']})"
+    )
+    print(
         f"service speedup (4 shards vs 1 shard, 500-check manifest): {service_speedup:.2f}x "
         f"on {os.cpu_count()} CPU(s)"
     )
@@ -653,6 +693,7 @@ def main(argv: list[str] | None = None) -> int:
         and vector_agree
         and engine_agree
         and explore_agree
+        and protocol_agree
         and service_agree
         and soak_healthy
         and not failed_modules

@@ -19,6 +19,8 @@ the list of supported formats):
 ``explore``       on-the-fly operations on composed systems described by JSON
                   system files (stats/materialize/check/minimize), see
                   :mod:`repro.explore`
+``protocol``      consensus-protocol scenarios (:mod:`repro.protocols`):
+                  instantiate/check/sweep over JSON scenario files
 ``serve``         run the sharded equivalence service (:mod:`repro.service`)
 ``client``        talk to a running service (ping/store/check/stats/...)
 
@@ -311,6 +313,84 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     raise ValueError(f"unhandled explore op {args.explore_op!r}")  # pragma: no cover
 
 
+def _load_scenario_document(token: str):
+    """A CLI scenario argument: a JSON scenario file, or a bare library name."""
+    path = Path(token)
+    if path.exists():
+        return json.loads(path.read_text(encoding="utf-8"))
+    from repro.protocols import SCENARIOS
+
+    if token in SCENARIOS:
+        return {"name": token}
+    raise FileNotFoundError(
+        f"no scenario file {token!r} and no library scenario of that name "
+        f"(library: {', '.join(sorted(SCENARIOS))})"
+    )
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    from repro import protocols
+    from repro.explore import build_implicit, reachable_stats
+    from repro.explore.system import spec_to_document
+
+    document = _load_scenario_document(args.scenario)
+    scenario = protocols.scenario_from_document(document)
+    if args.protocol_op == "instantiate":
+        system = protocols.system_from_document(document)
+        payload = spec_to_document(system)
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        stats = reachable_stats(build_implicit(system), limit=args.limit)
+        shape = "exactly" if stats.complete else "at least"
+        print(f"{scenario.name}: n={scenario.n}, f={scenario.f} -- {scenario.description}")
+        print(f"  reachable: {shape} {stats.states} states, {stats.transitions} transitions")
+        print(f"  system document written to {args.output}")
+        return 0
+    if args.protocol_op == "check":
+        implementation = protocols.system_from_document(document)
+        if args.deadlock:
+            report = protocols.find_stuck(implementation, limit=args.limit)
+            if report is None:
+                print(
+                    f"{scenario.name}: no deadlock or livelock "
+                    f"(searched up to {args.limit} product states)"
+                )
+                return 0
+            rendered = ".".join(report.trace) if report.trace else "ε"
+            shape = "complete" if report.complete else "truncated"
+            print(f"{scenario.name}: {report.kind} at {report.state}")
+            print(f"  trace: {rendered}")
+            print(f"  explored {report.states_explored} states ({shape})")
+            return EXIT_INEQUIVALENT
+        verdict = protocols.check_conformance(
+            scenario.spec, implementation, args.notion, max_pairs=args.max_pairs
+        )
+        answer = "equivalent" if verdict.equivalent else "NOT equivalent"
+        print(
+            f"{scenario.name}: implementation is {answer} to its spec under "
+            f"{args.notion} equivalence (on-the-fly)"
+        )
+        _print_verdict_extras(verdict, args)
+        return 0 if verdict.equivalent else EXIT_INEQUIVALENT
+    if args.protocol_op == "sweep":
+        result = protocols.sweep_crashes(
+            scenario, max_faults=args.max_faults, notion=args.notion
+        )
+        print(f"{scenario.name}: crash-fault sweep, declared tolerance f={result.tolerance}")
+        for point in result.points:
+            status = "equivalent" if point.equivalent else "BROKEN"
+            line = f"  {point.faults} fault(s): {status} ({point.pairs_visited} pairs visited)"
+            if point.trace is not None:
+                verified = "verified " if point.trace_verified else ""
+                line += f"; {verified}trace {'.'.join(point.trace)}"
+            print(line)
+        if result.confirmed:
+            print("  tolerance confirmed: holds through f, breaks at f+1 where swept")
+            return 0
+        print(f"  tolerance NOT confirmed (breaks at {result.breaks_at})")
+        return EXIT_INEQUIVALENT
+    raise ValueError(f"unhandled protocol op {args.protocol_op!r}")  # pragma: no cover
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
@@ -593,6 +673,64 @@ def build_parser() -> argparse.ArgumentParser:
     explore_min.add_argument("output")
 
     explore_cmd.set_defaults(handler=_cmd_explore)
+
+    protocol_cmd = commands.add_parser(
+        "protocol",
+        help=(
+            "consensus-protocol scenarios: instantiate, conformance-check and "
+            "fault-sweep (JSON scenario files or library names)"
+        ),
+    )
+    protocol_ops = protocol_cmd.add_subparsers(dest="protocol_op", required=True)
+
+    protocol_inst = protocol_ops.add_parser(
+        "instantiate", help="compile a scenario to a composed-system JSON document"
+    )
+    protocol_inst.add_argument(
+        "scenario",
+        help=(
+            "scenario file ({'name': ..., 'n': ..., 'f': ..., 'side': ..., "
+            "'faults': [...]}) or a library scenario name"
+        ),
+    )
+    protocol_inst.add_argument("output", help="write the system document here")
+    protocol_inst.add_argument(
+        "--limit", type=int, default=None, help="stop counting reachable states here"
+    )
+
+    protocol_check = protocol_ops.add_parser(
+        "check",
+        help="spec-vs-implementation conformance, or --deadlock reachability",
+    )
+    protocol_check.add_argument("scenario", help="scenario file or library name")
+    protocol_check.add_argument(
+        "--notion", choices=["strong", "observational"], default="observational"
+    )
+    protocol_check.add_argument(
+        "--max-pairs", type=int, default=None, help="bound on explored product pairs"
+    )
+    protocol_check.add_argument(
+        "--deadlock",
+        action="store_true",
+        help="search the lazy product for deadlocks/livelocks instead of equivalence",
+    )
+    protocol_check.add_argument(
+        "--limit", type=int, default=50_000, help="state bound for --deadlock search"
+    )
+    _add_verdict_flags(protocol_check)
+
+    protocol_sweep = protocol_ops.add_parser(
+        "sweep", help="fault-tolerance sweep: equivalent up to f crashes, broken at f+1"
+    )
+    protocol_sweep.add_argument("scenario", help="scenario file or library name")
+    protocol_sweep.add_argument(
+        "--max-faults", type=int, default=None, help="sweep up to this many crashes (default f+1)"
+    )
+    protocol_sweep.add_argument(
+        "--notion", choices=["strong", "observational"], default="observational"
+    )
+
+    protocol_cmd.set_defaults(handler=_cmd_protocol)
 
     # Deliberately the lightweight protocol module: pulling in the full
     # service stack (asyncio server, process pools) at parse time would tax

@@ -64,14 +64,29 @@ def quotient(fsp: FSP, partition: Partition, drop_unreachable: bool = True) -> F
     return quotiented.restrict_to_reachable() if drop_unreachable else quotiented
 
 
-def minimize_strong(fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN) -> FSP:
-    """The quotient of a process by strong equivalence."""
-    return quotient(fsp, strong_bisimulation_partition(fsp, method=method))
+def minimize_strong(
+    fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN, backend: str = "python"
+) -> FSP:
+    """The quotient of a process by strong equivalence.
+
+    ``backend`` selects the partition engine: the sequential Python worklist
+    solvers, or (``"vector"``) the vectorized numpy kernel.
+    """
+    return quotient(
+        fsp, strong_bisimulation_partition(fsp, method=method, backend=backend)
+    )
 
 
-def minimize_observational(fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN) -> FSP:
-    """The quotient of a process by observational equivalence."""
-    return quotient(fsp, observational_partition(fsp, method=method))
+def minimize_observational(
+    fsp: FSP, method: Solver | str = Solver.PAIGE_TARJAN, backend: str = "python"
+) -> FSP:
+    """The quotient of a process by observational equivalence.
+
+    With ``backend="vector"`` both the tau-closure saturation and the
+    refinement run on the numpy kernel (see
+    :func:`repro.equivalence.observational.observational_partition`).
+    """
+    return quotient(fsp, observational_partition(fsp, method=method, backend=backend))
 
 
 def reduction_ratio(original: FSP, minimized: FSP) -> float:

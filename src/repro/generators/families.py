@@ -17,7 +17,36 @@ from __future__ import annotations
 
 import math
 
+from repro.core.errors import InvalidProcessError
 from repro.core.fsp import ACCEPT, FSP, TAU, FSPBuilder, from_transitions
+
+
+def with_snag(fsp: FSP, state: str, action: str = "snag") -> FSP:
+    """Return ``fsp`` with an ``action`` self-loop snagged onto ``state``.
+
+    The *snag* is the local-fault idiom shared by the composed families and
+    by the crash-fault rewriter of :mod:`repro.protocols.faults`: one extra
+    self-loop (observable, or ``tau`` when ``action`` is ``TAU``) planted on
+    an existing state.  It adds behaviour but no states, so snagged and clean
+    systems have identical reachable sizes while being inequivalent under
+    every notion from language up (for observable ``action``).
+    """
+    state = str(state)
+    if state not in fsp.states:
+        raise InvalidProcessError(
+            f"cannot snag unknown state {state!r} (states: {sorted(fsp.states)})"
+        )
+    alphabet = set(fsp.alphabet)
+    if action != TAU:
+        alphabet.add(str(action))
+    return FSP(
+        states=fsp.states,
+        start=fsp.start,
+        alphabet=alphabet,
+        transitions=set(fsp.transitions) | {(state, str(action), state)},
+        variables=fsp.variables,
+        extensions=fsp.extensions,
+    )
 
 
 def chain(length: int, action: str = "a", all_accepting: bool = True) -> FSP:
@@ -358,12 +387,10 @@ def interleaved_cycles_system(lengths, fault_depth: int | None = None):
         raise ValueError("at least one cycle is required")
     components = []
     for index, length in enumerate(lengths):
-        extra = ()
+        component = deterministic_cycle(length, f"c{index}")
         if fault_depth is not None and index == 0:
-            extra = ((fault_depth, "snag", fault_depth),)
-        components.append(
-            LeafSpec(deterministic_cycle(length, f"c{index}", extra), label=f"cycle{index}")
-        )
+            component = with_snag(component, f"k{fault_depth % length}", "snag")
+        components.append(LeafSpec(component, label=f"cycle{index}"))
     tree = components[0]
     for component in components[1:]:
         tree = ProductSpec("interleave", tree, component)
@@ -491,12 +518,11 @@ def token_ring_system(num_stations: int = 4, faulty_station: int | None = None):
         builder.add_transition("wait", f"tok{i}", "holding")
         builder.add_transition("holding", f"serve{i}", "served")
         builder.add_transition("served", f"tok{succ}!", "wait")
-        if faulty_station == i:
-            builder.add_transition("holding", f"fault{i}", "holding")
         builder.mark_all_accepting()
-        components.append(
-            LeafSpec(builder.build(start="holding" if i == 0 else "wait"), label=f"station{i}")
-        )
+        station = builder.build(start="holding" if i == 0 else "wait")
+        if faulty_station == i:
+            station = with_snag(station, "holding", f"fault{i}")
+        components.append(LeafSpec(station, label=f"station{i}"))
     channels = frozenset(f"tok{i}" for i in range(n))
     return RestrictSpec(_fold_ccs(components), channels)
 

@@ -1,0 +1,126 @@
+"""Consensus-protocol frontend: role models compiled to checkable systems.
+
+This package turns message-passing protocol descriptions -- roles as
+parameterised state machines, quorum predicates as explicit counting
+synchronisers, faults as composable tree rewrites -- into the
+:mod:`repro.explore.system` composition trees that the library's
+Kanellakis-Smolka checkers (partition refinement, observational equivalence,
+on-the-fly products) already decide.  The layers:
+
+* :mod:`repro.protocols.model` -- :class:`ProtocolSpec`, roles, typed
+  send/recv/broadcast actions, quorums; ``instantiate(n, f)`` emits a
+  ``SystemSpec``.
+* :mod:`repro.protocols.faults` -- :class:`Crash`, :class:`Omission`,
+  :class:`Byzantine`, :class:`Snag` applied by :func:`apply_fault` as pure
+  spec-tree rewrites.
+* :mod:`repro.protocols.check` -- spec-vs-implementation conformance on the
+  fly, deadlock/livelock search over the lazy product, fault-tolerance
+  sweeps.
+* :mod:`repro.protocols.library` -- ready-made scenarios (two-phase commit,
+  quorum voting, ring election, token passing), each with a known-good spec
+  and a known-faulty mutant.
+
+The canonical walkthrough -- two-phase commit conforms to its spec, the
+mutant is caught with a verified trace, and a coordinator crash produces a
+reachable deadlock:
+
+>>> from repro.protocols import Crash, apply_fault, build_scenario
+>>> from repro.protocols import check_conformance, find_stuck
+>>> scenario = build_scenario("two_phase_commit", n=2)
+>>> check_conformance(scenario.spec, scenario.system).equivalent
+True
+>>> verdict = check_conformance(scenario.spec, scenario.mutant)
+>>> verdict.equivalent, verdict.witness is not None
+(False, True)
+>>> crashed = apply_fault(scenario.system, Crash("coordinator", 0))
+>>> find_stuck(crashed).kind
+'deadlock'
+"""
+
+from repro.protocols.check import (
+    StuckReport,
+    SweepPoint,
+    SweepResult,
+    check_conformance,
+    find_stuck,
+    sweep_crashes,
+)
+from repro.protocols.faults import (
+    Byzantine,
+    Crash,
+    Fault,
+    Omission,
+    Snag,
+    apply_fault,
+    apply_faults,
+    chaos_leaf,
+    crash_leaf,
+    fault_from_document,
+    fault_to_document,
+)
+from repro.protocols.library import (
+    SCENARIOS,
+    Scenario,
+    build_scenario,
+    quorum_voting,
+    ring_election,
+    scenario_from_document,
+    scenario_names,
+    system_from_document,
+    token_passing,
+    two_phase_commit,
+)
+from repro.protocols.model import (
+    Broadcast,
+    Internal,
+    Local,
+    Machine,
+    ProtocolSpec,
+    Quorum,
+    Recv,
+    Role,
+    RoleContext,
+    Send,
+    role_label,
+)
+
+__all__ = [
+    "Broadcast",
+    "Byzantine",
+    "Crash",
+    "Fault",
+    "Internal",
+    "Local",
+    "Machine",
+    "Omission",
+    "ProtocolSpec",
+    "Quorum",
+    "Recv",
+    "Role",
+    "RoleContext",
+    "SCENARIOS",
+    "Scenario",
+    "Send",
+    "Snag",
+    "StuckReport",
+    "SweepPoint",
+    "SweepResult",
+    "apply_fault",
+    "apply_faults",
+    "build_scenario",
+    "chaos_leaf",
+    "check_conformance",
+    "crash_leaf",
+    "fault_from_document",
+    "fault_to_document",
+    "find_stuck",
+    "quorum_voting",
+    "ring_election",
+    "role_label",
+    "scenario_from_document",
+    "scenario_names",
+    "sweep_crashes",
+    "system_from_document",
+    "token_passing",
+    "two_phase_commit",
+]

@@ -1,0 +1,267 @@
+"""The protocol checking harness: conformance, stuck states, tolerance sweeps.
+
+Three verbs, all routed through the existing Section 6 machinery:
+
+* :func:`check_conformance` -- spec-vs-implementation observational (or
+  strong) equivalence via the engine's on-the-fly checker.  On failure the
+  verdict carries a replay-verified distinguishing trace
+  (:class:`~repro.engine.verdict.TraceWitness`) whenever verification
+  succeeds, which for the deterministic crash faults of
+  :mod:`repro.protocols.faults` is always.
+* :func:`find_stuck` -- breadth-first reachability over the *lazy* product
+  for deadlocks (states with no moves at all) and, when the exploration
+  completes, livelocks (states that can never again reach an observable
+  action).  The returned :class:`StuckReport` carries a shortest trace to
+  the offending state, tau steps included.
+* :func:`sweep_crashes` -- the fault-tolerance sweep: apply ``k`` crash
+  faults from a scenario's declared fault slots for ``k = 0 .. f + 1`` and
+  check conformance at each point, asserting equivalence up to ``f`` and
+  inequivalence at ``f + 1`` -- both verdict polarities in one run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.fsp import TAU
+from repro.explore.system import build_implicit
+
+__all__ = [
+    "StuckReport",
+    "SweepPoint",
+    "SweepResult",
+    "check_conformance",
+    "find_stuck",
+    "sweep_crashes",
+]
+
+
+def _engine(engine=None):
+    if engine is not None:
+        return engine
+    from repro.engine import default_engine
+
+    return default_engine()
+
+
+def check_conformance(
+    spec,
+    implementation,
+    notion: str = "observational",
+    *,
+    engine=None,
+    witness: bool = True,
+    max_pairs: Union[int, None] = None,
+):
+    """Check ``implementation`` against ``spec`` on the fly; returns a Verdict.
+
+    Both operands may be ``SystemSpec`` trees (the normal case), FSPs or
+    implicit systems.  The verdict's ``details`` report the route and the
+    number of product pairs visited; on inequivalence ``verdict.witness`` is
+    a replay-verified distinguishing trace when verification succeeds.
+    """
+    return _engine(engine).check_on_the_fly(
+        spec, implementation, notion, witness=witness, max_pairs=max_pairs
+    )
+
+
+# ----------------------------------------------------------------------
+# Deadlock / stuck-state reachability
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StuckReport:
+    """A reachable stuck state of the composed system.
+
+    ``kind`` is ``"deadlock"`` (no moves at all) or ``"livelock"`` (moves
+    exist but no observable action is ever reachable again); ``trace`` is a
+    shortest action sequence from the start (``tau`` steps included) and
+    ``state`` the offending product state's name.
+    """
+
+    kind: str
+    state: str
+    trace: tuple[str, ...]
+    states_explored: int
+    complete: bool
+
+
+def find_stuck(
+    system,
+    *,
+    limit: int = 50_000,
+    livelocks: bool = True,
+) -> Union[StuckReport, None]:
+    """Breadth-first search of the lazy product for deadlocks and livelocks.
+
+    Explores at most ``limit`` states of ``system`` (a ``SystemSpec``, FSP or
+    implicit system) without ever materialising it.  Deadlocks -- states with
+    no outgoing moves -- are reported even from a truncated exploration;
+    livelock detection needs the full reachable set, so it only runs when the
+    exploration completed within ``limit``.  Returns the stuck state closest
+    to the start (deadlocks take precedence), or None.
+
+    Note that for one-shot protocols orderly termination *is* a state with no
+    moves: the interesting question is then whether the reported trace
+    contains the protocol's observable outcome (e.g. ``decide``) or the
+    system wedged before reaching it.
+    """
+    node = build_implicit(system)
+    start = node.initial()
+    parents: dict = {start: None}
+    order = [start]
+    successors: dict = {}
+    complete = True
+    queue = deque([start])
+    while queue:
+        state = queue.popleft()
+        moves = tuple(node.successors(state))
+        successors[state] = moves
+        for action, target in moves:
+            if target in parents:
+                continue
+            if len(parents) >= limit:
+                complete = False
+                continue
+            parents[target] = (state, action)
+            order.append(target)
+            queue.append(target)
+
+    def trace_to(state) -> tuple[str, ...]:
+        actions: list[str] = []
+        while parents[state] is not None:
+            state, action = parents[state][0], parents[state][1]
+            actions.append(action)
+        return tuple(reversed(actions))
+
+    def report(kind: str, state) -> StuckReport:
+        return StuckReport(
+            kind=kind,
+            state=node.state_name(state),
+            trace=trace_to(state),
+            states_explored=len(parents),
+            complete=complete,
+        )
+
+    for state in order:  # BFS order => first hit has a shortest trace
+        if not successors[state]:
+            return report("deadlock", state)
+    if not (livelocks and complete):
+        return None
+    # Backward closure from states with an observable move: anything outside
+    # it can only ever do tau again -- a livelock (the exploration being
+    # complete, "outside" is exact, not an artefact of truncation).
+    reverse: dict = {state: [] for state in order}
+    live = deque()
+    alive = set()
+    for state in order:
+        for action, target in successors[state]:
+            reverse[target].append(state)
+        if any(action != TAU for action, _ in successors[state]):
+            alive.add(state)
+            live.append(state)
+    while live:
+        state = live.popleft()
+        for predecessor in reverse[state]:
+            if predecessor not in alive:
+                alive.add(predecessor)
+                live.append(predecessor)
+    for state in order:
+        if state not in alive:
+            return report("livelock", state)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerance sweeps
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep cell: conformance after ``faults`` crash faults."""
+
+    faults: int
+    equivalent: bool
+    pairs_visited: int
+    trace: Union[tuple[str, ...], None]
+    trace_verified: bool
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A fault-tolerance sweep over ``k = 0 .. max_faults`` crash faults."""
+
+    scenario: str
+    tolerance: int
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def breaks_at(self) -> Union[int, None]:
+        """The smallest fault count at which conformance fails, if any."""
+        for point in self.points:
+            if not point.equivalent:
+                return point.faults
+        return None
+
+    @property
+    def confirmed(self) -> bool:
+        """True iff equivalence holds through ``tolerance`` faults and the
+        sweep either stopped there or broke at exactly ``tolerance + 1``."""
+        for point in self.points:
+            expected = point.faults <= self.tolerance
+            if point.equivalent != expected:
+                return False
+        return True
+
+
+def sweep_crashes(
+    scenario,
+    *,
+    max_faults: Union[int, None] = None,
+    notion: str = "observational",
+    engine=None,
+    max_pairs: Union[int, None] = None,
+) -> SweepResult:
+    """Sweep crash faults over a library scenario's declared fault slots.
+
+    ``scenario`` is a :class:`repro.protocols.library.Scenario`.  For each
+    ``k`` up to ``max_faults`` (default ``scenario.f + 1``) the first ``k``
+    of ``scenario.crash_slots`` are applied to the good implementation and
+    conformance against the spec is checked on the fly.  The result
+    :attr:`~SweepResult.confirmed` iff the protocol tolerates its declared
+    ``f`` faults and no more.
+    """
+    from repro.protocols.faults import apply_faults
+
+    if max_faults is None:
+        max_faults = scenario.f + 1
+    if max_faults > len(scenario.crash_slots):
+        raise ValueError(
+            f"scenario {scenario.name!r} declares {len(scenario.crash_slots)} "
+            f"fault slots but the sweep wants {max_faults}"
+        )
+    points = []
+    for k in range(max_faults + 1):
+        implementation = apply_faults(scenario.system, scenario.crash_slots[:k])
+        verdict = check_conformance(
+            scenario.spec,
+            implementation,
+            notion,
+            engine=engine,
+            witness=True,
+            max_pairs=max_pairs,
+        )
+        details = verdict.stats.details
+        trace = details.get("trace")
+        points.append(
+            SweepPoint(
+                faults=k,
+                equivalent=verdict.equivalent,
+                pairs_visited=details.get("pairs_visited", 0),
+                trace=tuple(trace) if trace is not None else None,
+                trace_verified=bool(details.get("trace_verified", False)),
+            )
+        )
+    return SweepResult(
+        scenario=scenario.name, tolerance=scenario.f, points=tuple(points)
+    )

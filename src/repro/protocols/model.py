@@ -1,0 +1,401 @@
+"""Role-based protocol models compiled to ``SystemSpec`` composition trees.
+
+A :class:`ProtocolSpec` describes a message-passing protocol the way the
+distributed-computing literature does -- as a set of *roles* (validator,
+coordinator, client, ...), each a parameterised state machine over typed
+actions -- and compiles it, via :meth:`ProtocolSpec.instantiate`, into the
+:mod:`repro.explore.system` composition trees the Kanellakis-Smolka checkers
+already understand.  Nothing downstream is protocol-aware: an instantiated
+protocol is an ordinary ``RestrictSpec(ProductSpec("ccs", ...))`` tree of
+:class:`~repro.explore.system.LeafSpec` nodes, so it composes with
+``build_implicit``, ``check_on_the_fly``, ``minimize_compositionally`` and the
+fault rewrites of :mod:`repro.protocols.faults` with no special cases.
+
+The compilation rules:
+
+* :class:`Send`/:class:`Recv` become the CCS co-action pair ``chan!``/``chan``
+  and every channel that has both a sender and a receiver among the compiled
+  leaves is restricted at the root, so handshakes appear as ``tau``.
+* :class:`Broadcast` expands into a fixed ascending chain of sends, one per
+  peer instance, through fresh intermediate states.
+* :class:`Local` stays observable and :class:`Internal` compiles to ``tau``.
+* A :class:`Quorum` becomes an explicit *counting synchroniser* leaf: a
+  threshold ``q`` (e.g. ``n - f``, the classical ``n >= 2f+1`` majority)
+  expands into ``q + 1`` counting states per stage that any sender's message
+  advances, with self-loops absorbing stragglers from completed stages, and
+  an observable ``fire`` action once the final stage fills.  Quorum
+  predicates are thereby turned into synchronisation *structure*, which is
+  what lets restriction + observational equivalence reason about them.
+
+Per-instance machines are produced by a callable receiving a
+:class:`RoleContext` (index, ``n``, ``f``, per-role counts, ring neighbours),
+so one role definition yields ``count`` concrete leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Union
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import FSP, TAU, FSPBuilder
+from repro.explore.system import LeafSpec, ProductSpec, RestrictSpec, SystemSpec
+
+__all__ = [
+    "Broadcast",
+    "Internal",
+    "Local",
+    "Machine",
+    "ProtocolSpec",
+    "Quorum",
+    "Recv",
+    "Role",
+    "RoleContext",
+    "Send",
+    "role_label",
+]
+
+
+# ----------------------------------------------------------------------
+# Typed actions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Send:
+    """Send on ``channel`` (compiles to the CCS output co-action ``channel!``)."""
+
+    channel: str
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Receive on ``channel`` (compiles to the CCS input action ``channel``)."""
+
+    channel: str
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Send to every instance of role ``to``, in ascending index order.
+
+    ``channel`` is a template over ``{peer}`` (e.g. ``"prepare{peer}"``); the
+    broadcast expands to one :class:`Send` per peer instance, chained through
+    fresh intermediate states.  When broadcasting to the sender's own role,
+    ``skip_self`` (default true) omits the sender's own index.
+    """
+
+    channel: str
+    to: str
+    skip_self: bool = True
+
+
+@dataclass(frozen=True)
+class Local:
+    """An observable local action (stays in the composed alphabet)."""
+
+    action: str
+
+
+@dataclass(frozen=True)
+class Internal:
+    """An internal step (compiles to ``tau``)."""
+
+
+Action = Union[Send, Recv, Broadcast, Local, Internal]
+
+
+# ----------------------------------------------------------------------
+# Roles and their per-instance machines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoleContext:
+    """Everything a role's machine factory may depend on for one instance."""
+
+    role: str
+    index: int
+    n: int
+    f: int
+    counts: Mapping[str, int]
+
+    @property
+    def count(self) -> int:
+        """How many instances of this role exist."""
+        return self.counts[self.role]
+
+    @property
+    def succ(self) -> int:
+        """The next index around this role's ring."""
+        return (self.index + 1) % self.count
+
+    @property
+    def pred(self) -> int:
+        """The previous index around this role's ring."""
+        return (self.index - 1) % self.count
+
+    def peers(self, role: str | None = None) -> range:
+        """All instance indices of ``role`` (this role when omitted)."""
+        return range(self.counts[self.role if role is None else role])
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One concrete state machine: a start state plus typed transitions."""
+
+    start: str
+    transitions: tuple[tuple[str, Action, str], ...]
+
+    def __init__(self, start: str, transitions: Iterable[tuple[str, Action, str]]):
+        object.__setattr__(self, "start", str(start))
+        object.__setattr__(self, "transitions", tuple(transitions))
+
+
+Count = Union[int, str, Callable[[int, int], int]]
+
+
+@dataclass(frozen=True)
+class Role:
+    """A parameterised role: ``machine(ctx)`` yields one machine per instance.
+
+    ``count`` is the number of instances: an ``int``, the string ``"n"``
+    (one per validator), or a callable ``(n, f) -> int``.
+    """
+
+    name: str
+    machine: Callable[[RoleContext], Machine]
+    count: Count = "n"
+
+
+@dataclass(frozen=True)
+class Quorum:
+    """A staged quorum counter over messages from one sender role.
+
+    ``stages`` is a sequence of ``(channel_template, threshold)`` pairs; the
+    template ranges over ``{sender}`` and the threshold is an ``int`` or a
+    callable ``(n, f) -> int`` (e.g. ``lambda n, f: n - f``).  The compiled
+    leaf counts stage 0's messages up to its threshold, then stage 1's, and
+    so on; messages from already-completed stages are absorbed by self-loops
+    (stragglers must never block), and once the last stage fills the counter
+    emits the observable ``fire`` action and absorbs everything thereafter.
+    """
+
+    name: str
+    senders: str
+    stages: tuple[tuple[str, Union[int, Callable[[int, int], int]]], ...]
+    fire: str
+
+    def __init__(self, name, senders, stages, fire):
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "senders", str(senders))
+        object.__setattr__(self, "stages", tuple((str(c), t) for c, t in stages))
+        object.__setattr__(self, "fire", str(fire))
+
+
+def role_label(role: str, index: int) -> str:
+    """The leaf label of instance ``index`` of ``role`` (fault-injection key)."""
+    return f"{role}{index}"
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _check_channel(channel: str) -> str:
+    if not channel or channel == TAU or channel.endswith("!"):
+        raise InvalidProcessError(
+            f"invalid channel name {channel!r}: channels are bare names; "
+            "direction comes from Send/Recv"
+        )
+    return channel
+
+
+def _compile_machine(ctx: RoleContext, machine: Machine, channels: set[str]) -> FSP:
+    """Compile one role instance's typed machine into an FSP leaf.
+
+    Every channel a :class:`Send`/:class:`Recv`/:class:`Broadcast` touches is
+    recorded in ``channels`` -- the set restricted at the root, so unmatched
+    receives block (nobody sends) instead of leaking into the observable
+    alphabet.  :class:`Local` actions are deliberately *not* recorded.
+    """
+    builder = FSPBuilder()
+    builder.add_state(machine.start)
+    for t_index, (src, action, dst) in enumerate(machine.transitions):
+        if isinstance(action, Send):
+            channels.add(_check_channel(action.channel))
+            builder.add_transition(src, action.channel + "!", dst)
+        elif isinstance(action, Recv):
+            channels.add(_check_channel(action.channel))
+            builder.add_transition(src, action.channel, dst)
+        elif isinstance(action, Local):
+            builder.add_transition(src, action.action, dst)
+        elif isinstance(action, Internal):
+            builder.add_transition(src, TAU, dst)
+        elif isinstance(action, Broadcast):
+            if action.to not in ctx.counts:
+                raise InvalidProcessError(
+                    f"role {ctx.role!r} broadcasts to unknown role {action.to!r}"
+                )
+            peers = [
+                j
+                for j in ctx.peers(action.to)
+                if not (action.skip_self and action.to == ctx.role and j == ctx.index)
+            ]
+            if not peers:
+                builder.add_transition(src, TAU, dst)
+            else:
+                prev = src
+                for pos, peer in enumerate(peers):
+                    channel = _check_channel(action.channel.format(peer=peer))
+                    channels.add(channel)
+                    nxt = dst if pos == len(peers) - 1 else f"{src}#{t_index}.{pos}"
+                    builder.add_transition(prev, channel + "!", nxt)
+                    prev = nxt
+        else:
+            raise InvalidProcessError(
+                f"unknown action type {type(action).__name__} in role {ctx.role!r}"
+            )
+    builder.mark_all_accepting()
+    return builder.build(start=machine.start)
+
+
+def _resolve_threshold(threshold, n: int, f: int, sender_count: int, name: str) -> int:
+    value = threshold(n, f) if callable(threshold) else int(threshold)
+    if not 0 < value <= sender_count:
+        raise InvalidProcessError(
+            f"quorum {name!r} threshold {value} must lie in 1..{sender_count} "
+            f"(sender count) at n={n}, f={f}"
+        )
+    return value
+
+
+def _compile_quorum(
+    quorum: Quorum, n: int, f: int, counts: Mapping[str, int], channels: set[str]
+) -> FSP:
+    """Expand a quorum predicate into an explicit counting synchroniser."""
+    if quorum.senders not in counts:
+        raise InvalidProcessError(
+            f"quorum {quorum.name!r} counts messages from unknown role {quorum.senders!r}"
+        )
+    sender_count = counts[quorum.senders]
+    stages: list[tuple[tuple[str, ...], int]] = []
+    for template, threshold in quorum.stages:
+        stage_channels = tuple(
+            _check_channel(template.format(sender=j)) for j in range(sender_count)
+        )
+        channels.update(stage_channels)
+        stages.append(
+            (
+                stage_channels,
+                _resolve_threshold(threshold, n, f, sender_count, quorum.name),
+            )
+        )
+    if not stages:
+        raise InvalidProcessError(f"quorum {quorum.name!r} has no stages")
+
+    builder = FSPBuilder()
+    absorbed: list[str] = []  # channels of completed stages, never blocking
+    for stage_index, (stage_channels, threshold) in enumerate(stages):
+        last_stage = stage_index == len(stages) - 1
+        for k in range(threshold):
+            state = f"s{stage_index}_{k}"
+            if k + 1 < threshold:
+                nxt = f"s{stage_index}_{k + 1}"
+            elif last_stage:
+                nxt = "full"
+            else:
+                nxt = f"s{stage_index + 1}_0"
+            for channel in stage_channels:
+                builder.add_transition(state, channel, nxt)
+            for channel in absorbed:
+                builder.add_transition(state, channel, state)
+        absorbed.extend(stage_channels)
+    builder.add_transition("full", quorum.fire, "fired")
+    for state in ("full", "fired"):
+        for channel in absorbed:
+            builder.add_transition(state, channel, state)
+    builder.mark_all_accepting()
+    return builder.build(start="s0_0")
+
+
+def _fold_ccs(specs: list[SystemSpec]) -> SystemSpec:
+    tree = specs[0]
+    for spec in specs[1:]:
+        tree = ProductSpec("ccs", tree, spec)
+    return tree
+
+
+# ----------------------------------------------------------------------
+# The protocol model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A protocol as roles + quorum predicates, instantiable at any ``(n, f)``."""
+
+    name: str
+    roles: tuple[Role, ...]
+    quorums: tuple[Quorum, ...] = ()
+    description: str = ""
+
+    def __init__(self, name, roles, quorums=(), description=""):
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "roles", tuple(roles))
+        object.__setattr__(self, "quorums", tuple(quorums))
+        object.__setattr__(self, "description", str(description))
+
+    def counts(self, n: int, f: int = 0) -> dict[str, int]:
+        """Resolve every role's instance count at ``(n, f)``."""
+        resolved: dict[str, int] = {}
+        for role in self.roles:
+            if role.name in resolved:
+                raise InvalidProcessError(f"duplicate role name {role.name!r}")
+            if callable(role.count):
+                count = role.count(n, f)
+            elif role.count == "n":
+                count = n
+            else:
+                count = int(role.count)
+            if count < 1:
+                raise InvalidProcessError(
+                    f"role {role.name!r} resolves to count {count} at n={n}, f={f}"
+                )
+            resolved[role.name] = count
+        return resolved
+
+    def _compiled(self, n: int, f: int) -> tuple[list[LeafSpec], frozenset[str]]:
+        if n < 1:
+            raise InvalidProcessError(f"need at least one validator, got n={n}")
+        if f < 0:
+            raise InvalidProcessError(f"fault budget must be non-negative, got f={f}")
+        counts = self.counts(n, f)
+        channels: set[str] = set()
+        compiled: list[LeafSpec] = []
+        for role in self.roles:
+            for index in range(counts[role.name]):
+                ctx = RoleContext(role.name, index, n, f, counts)
+                fsp = _compile_machine(ctx, role.machine(ctx), channels)
+                compiled.append(LeafSpec(fsp, label=role_label(role.name, index)))
+        for quorum in self.quorums:
+            compiled.append(
+                LeafSpec(
+                    _compile_quorum(quorum, n, f, counts, channels), label=quorum.name
+                )
+            )
+        return compiled, frozenset(channels)
+
+    def leaves(self, n: int, f: int = 0) -> list[LeafSpec]:
+        """All compiled component leaves: role instances, then quorum counters."""
+        return self._compiled(n, f)[0]
+
+    def channels(self, n: int, f: int = 0) -> frozenset[str]:
+        """Every channel some compiled transition sends or receives on."""
+        return self._compiled(n, f)[1]
+
+    def instantiate(self, n: int, f: int = 0) -> SystemSpec:
+        """Compile to a ``SystemSpec``: CCS-compose all leaves, restrict channels.
+
+        *Every* channel touched by a ``Send``/``Recv``/``Broadcast`` or quorum
+        stage is restricted at the root: matched send/receive pairs
+        synchronise into ``tau``, unmatched ones block (a receive nobody
+        serves cannot happen), and only :class:`Local` actions and quorum
+        ``fire`` actions remain observable.
+        """
+        compiled, channels = self._compiled(n, f)
+        tree = _fold_ccs(list(compiled))
+        return RestrictSpec(tree, channels) if channels else tree

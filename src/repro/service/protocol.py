@@ -231,9 +231,9 @@ def process_ref(source) -> dict[str, Any]:
     string becomes a digest reference; a
     :class:`~repro.explore.system.SystemSpec` becomes a composed-system
     reference (``{"system": {...}}``); a dict that already *is* a reference
-    (has a ``digest``, ``process`` or ``system`` key, the wire shapes of
-    ``docs/service-protocol.md``) passes through unchanged, and any other
-    dict is assumed to be a serialised FSP and is inlined.
+    (has a ``digest``, ``process``, ``system`` or ``scenario`` key, the wire
+    shapes of ``docs/service-protocol.md``) passes through unchanged, and any
+    other dict is assumed to be a serialised FSP and is inlined.
     """
     if isinstance(source, FSP):
         return {"process": to_dict(source)}
@@ -242,7 +242,12 @@ def process_ref(source) -> dict[str, Any]:
             raise ValueError(f"digest references must start with 'sha256:', got {source!r}")
         return {"digest": source}
     if isinstance(source, dict):
-        if "digest" in source or "process" in source or "system" in source:
+        if (
+            "digest" in source
+            or "process" in source
+            or "system" in source
+            or "scenario" in source
+        ):
             return source
         return {"process": source}
     from repro.explore.system import SystemSpec, spec_to_document
@@ -258,8 +263,20 @@ def resolve_operand(ref: Any, store=None):
     ``{"system": {...}}`` references parse into a
     :class:`~repro.explore.system.SystemSpec` whose leaves resolve through
     :func:`resolve_ref` (inline processes and, given a ``store``, digests);
-    everything else behaves exactly like :func:`resolve_ref`.
+    ``{"scenario": {...}}`` references build a protocol-library scenario
+    system (:func:`repro.protocols.system_from_document`); everything else
+    behaves exactly like :func:`resolve_ref`.
     """
+    if isinstance(ref, dict) and "scenario" in ref:
+        from repro.core.errors import ReproError
+        from repro.protocols import system_from_document
+
+        try:
+            return system_from_document(ref["scenario"])
+        except ReproError as error:
+            raise ServiceError(
+                INVALID_PROCESS, f"scenario reference rejected: {error}"
+            ) from None
     if isinstance(ref, dict) and "system" in ref:
         # ReproError covers the whole parse surface: malformed documents
         # (InvalidProcessError) and unparsable {"term": ...} leaves

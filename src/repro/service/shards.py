@@ -360,15 +360,15 @@ class ShardPool:
         The canonical separators match ``utils.serialization.canonical_bytes``,
         so an inline copy of a stored process routes to the same shard as
         its digest reference (the cache-affinity promise); composed-system
-        documents hash the same way, keeping repeated questions about one
-        system on one worker.
+        and scenario documents hash the same way, keeping repeated questions
+        about one system on one worker.
         """
         ref = spec.get("left")
         if isinstance(ref, dict):
             if isinstance(ref.get("digest"), str):
                 return ref["digest"]
-            if "process" in ref or "system" in ref:
-                body = ref.get("process", ref.get("system"))
+            if "process" in ref or "system" in ref or "scenario" in ref:
+                body = ref.get("process", ref.get("system", ref.get("scenario")))
                 canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
                 return "sha256:" + hashlib.sha256(canonical.encode()).hexdigest()
         return None

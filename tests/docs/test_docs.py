@@ -18,7 +18,13 @@ ROOT = Path(__file__).resolve().parents[2]
 
 #: The modules whose docstrings promise runnable examples (gated in CI with
 #: ``pytest --doctest-modules`` over exactly this list).
-DOCTEST_MODULES = ("repro.engine", "repro.core.lts", "repro.core.weak", "repro.explore")
+DOCTEST_MODULES = (
+    "repro.engine",
+    "repro.core.lts",
+    "repro.core.weak",
+    "repro.explore",
+    "repro.protocols",
+)
 
 
 @pytest.mark.parametrize("module_name", DOCTEST_MODULES)
@@ -112,5 +118,10 @@ def test_readme_lists_every_cli_command():
 
 def test_readme_links_docs_suite():
     readme = (ROOT / "README.md").read_text(encoding="utf-8")
-    for target in ("docs/architecture.md", "docs/paper-map.md", "docs/service-protocol.md"):
+    for target in (
+        "docs/architecture.md",
+        "docs/paper-map.md",
+        "docs/service-protocol.md",
+        "docs/protocols.md",
+    ):
         assert target in readme, f"README.md does not cross-link {target}"

@@ -1,0 +1,72 @@
+"""Tests for the vector-backend dispatch in compositional minimisation.
+
+``minimize_compositionally`` defaults to ``backend="auto"``: each
+intermediate quotient runs on the vectorized numpy kernel once its state
+count clears ``VECTOR_STATE_THRESHOLD`` (and numpy is present), and on the
+sequential Python solvers below it.  The tests pin the dispatch decision
+itself and the end-to-end agreement of the two kernels on real systems.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.explore.system
+from repro.engine import default_engine
+from repro.explore import compose_eager, minimize_compositionally
+from repro.explore.system import VECTOR_STATE_THRESHOLD, _partition_backend
+from repro.generators.families import redundant_interleaving_system, token_ring_system
+from repro.protocols import build_scenario
+from repro.utils.matrices import HAVE_NUMPY
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy is not installed")
+
+
+class TestDispatchDecision:
+    def test_explicit_backends_pass_through(self):
+        assert _partition_backend(10, "python") == "python"
+        assert _partition_backend(10**6, "python") == "python"
+        assert _partition_backend(3, "vector") == "vector"
+
+    @needs_numpy
+    def test_auto_picks_vector_above_the_threshold(self):
+        assert _partition_backend(VECTOR_STATE_THRESHOLD - 1, "auto") == "python"
+        assert _partition_backend(VECTOR_STATE_THRESHOLD, "auto") == "vector"
+
+    def test_auto_stays_python_without_numpy(self, monkeypatch):
+        monkeypatch.setattr("repro.utils.matrices.HAVE_NUMPY", False)
+        assert _partition_backend(10**6, "auto") == "python"
+
+
+@needs_numpy
+class TestBackendAgreement:
+    """Force the vector path on small systems and require identical results."""
+
+    @pytest.fixture(autouse=True)
+    def tiny_threshold(self, monkeypatch):
+        monkeypatch.setattr(repro.explore.system, "VECTOR_STATE_THRESHOLD", 1)
+
+    @pytest.mark.parametrize(
+        "spec_factory",
+        [
+            lambda: redundant_interleaving_system(3),
+            lambda: token_ring_system(3),
+            lambda: build_scenario("two_phase_commit", n=2).system,
+            lambda: build_scenario("quorum_voting", n=3).system,
+        ],
+    )
+    def test_auto_and_python_quotients_agree(self, spec_factory):
+        spec = spec_factory()
+        sequential = minimize_compositionally(spec, backend="python")
+        vectorized = minimize_compositionally(spec, backend="auto")
+        assert vectorized.num_states == sequential.num_states
+        assert vectorized.num_transitions == sequential.num_transitions
+        verdict = default_engine().check(sequential, vectorized, "observational")
+        assert verdict.equivalent
+
+    def test_quotient_still_shrinks_the_eager_product(self):
+        spec = redundant_interleaving_system(3)
+        assert (
+            minimize_compositionally(spec, backend="auto").num_states
+            < compose_eager(spec).num_states
+        )

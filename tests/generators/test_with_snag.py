@@ -1,0 +1,90 @@
+"""Tests for the shared ``with_snag`` helper and its refactor regressions.
+
+``interleaved_cycles_system`` and ``token_ring_system`` used to plant their
+fault self-loops inline during construction; they now share
+:func:`repro.generators.families.with_snag` (as does the crash rewriter of
+:mod:`repro.protocols.faults`).  The regression tests rebuild the faulty
+components exactly the way the pre-refactor code did and require the results
+to be byte-identical, serialisation included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import TAU, FSPBuilder
+from repro.generators.families import (
+    deterministic_cycle,
+    interleaved_cycles_system,
+    token_ring_system,
+    with_snag,
+)
+from repro.utils.serialization import to_dict
+
+
+class TestWithSnag:
+    def test_adds_exactly_one_self_loop_and_its_action(self):
+        clean = deterministic_cycle(4, "a")
+        snagged = with_snag(clean, "k2")
+        assert snagged.transitions - clean.transitions == {("k2", "snag", "k2")}
+        assert set(snagged.alphabet) == set(clean.alphabet) | {"snag"}
+        assert snagged.states == clean.states
+        assert snagged.extensions == clean.extensions
+
+    def test_tau_snag_leaves_the_alphabet_alone(self):
+        clean = deterministic_cycle(3, "a")
+        snagged = with_snag(clean, "k0", TAU)
+        assert snagged.alphabet == clean.alphabet
+        assert ("k0", TAU, "k0") in snagged.transitions
+
+    def test_unknown_state_is_rejected(self):
+        with pytest.raises(InvalidProcessError, match="cannot snag"):
+            with_snag(deterministic_cycle(3, "a"), "k9")
+
+    def test_snagging_is_idempotent(self):
+        clean = deterministic_cycle(3, "a")
+        once = with_snag(clean, "k1")
+        assert with_snag(once, "k1") == once
+
+
+class TestRefactorRegressions:
+    def test_interleaved_cycles_match_the_inline_construction(self):
+        lengths, fault_depth = (4, 3, 5), 2
+        system = interleaved_cycles_system(lengths, fault_depth=fault_depth)
+        leaves = [system.left.left, system.left.right, system.right]
+        # the pre-refactor faulty component: the snag laid down during
+        # construction via deterministic_cycle's `extra` hook
+        expected_faulty = deterministic_cycle(
+            lengths[0], "c0", extra=[(fault_depth, "snag", fault_depth)]
+        )
+        assert leaves[0].fsp == expected_faulty
+        assert to_dict(leaves[0].fsp) == to_dict(expected_faulty)
+        for index, leaf in enumerate(leaves[1:], start=1):
+            assert leaf.fsp == deterministic_cycle(lengths[index], f"c{index}")
+
+    def test_token_ring_matches_the_inline_construction(self):
+        n, faulty = 4, 2
+        system = token_ring_system(n, faulty_station=faulty)
+        leaves = {}
+
+        def collect(node):
+            if hasattr(node, "label"):
+                leaves[node.label] = node.fsp
+            for attr in ("of", "left", "right"):
+                if hasattr(node, attr):
+                    collect(getattr(node, attr))
+
+        collect(system)
+        for i in range(n):
+            succ = (i + 1) % n
+            builder = FSPBuilder(alphabet={f"tok{i}", f"tok{succ}!", f"serve{i}"})
+            builder.add_transition("wait", f"tok{i}", "holding")
+            builder.add_transition("holding", f"serve{i}", "served")
+            builder.add_transition("served", f"tok{succ}!", "wait")
+            if i == faulty:
+                builder.add_transition("holding", f"fault{i}", "holding")
+            builder.mark_all_accepting()
+            expected = builder.build(start="holding" if i == 0 else "wait")
+            assert leaves[f"station{i}"] == expected
+            assert to_dict(leaves[f"station{i}"]) == to_dict(expected)

@@ -386,3 +386,69 @@ class TestExplore:
         bad.write_text(json.dumps({"op": "tensor", "of": {}}), encoding="utf-8")
         assert main(["explore", "stats", str(bad)]) == EXIT_ERROR
         assert "error:" in capsys.readouterr().err
+
+
+class TestProtocol:
+    def test_check_library_scenario_by_name(self, capsys):
+        assert main(["protocol", "check", "two_phase_commit", "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "equivalent to its spec" in output
+        assert "product pairs visited" in output
+
+    def test_check_mutant_side_exits_one_with_a_witness(self, tmp_path, capsys):
+        scenario = tmp_path / "mutant.json"
+        scenario.write_text(
+            json.dumps({"name": "two_phase_commit", "n": 2, "side": "mutant"}),
+            encoding="utf-8",
+        )
+        assert (
+            main(["protocol", "check", str(scenario), "--explain"]) == EXIT_INEQUIVALENT
+        )
+        output = capsys.readouterr().out
+        assert "NOT equivalent" in output and "defect0" in output
+
+    def test_deadlock_search_finds_the_coordinator_crash(self, tmp_path, capsys):
+        scenario = tmp_path / "crashed.json"
+        scenario.write_text(
+            json.dumps(
+                {
+                    "name": "two_phase_commit",
+                    "n": 2,
+                    "faults": [{"kind": "crash", "role": "coordinator", "index": 0}],
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert main(["protocol", "check", str(scenario), "--deadlock"]) == EXIT_INEQUIVALENT
+        output = capsys.readouterr().out
+        assert "deadlock at" in output and "trace:" in output
+
+    def test_deadlock_search_on_a_healthy_scenario_exits_zero(self, capsys):
+        assert main(["protocol", "check", "token_passing", "--deadlock"]) == 0
+        assert "no deadlock or livelock" in capsys.readouterr().out
+
+    def test_sweep_confirms_the_declared_tolerance(self, tmp_path, capsys):
+        scenario = tmp_path / "qv.json"
+        scenario.write_text(
+            json.dumps({"name": "quorum_voting", "n": 3}), encoding="utf-8"
+        )
+        assert main(["protocol", "sweep", str(scenario)]) == 0
+        output = capsys.readouterr().out
+        assert "0 fault(s): equivalent" in output
+        assert "2 fault(s): BROKEN" in output
+        assert "tolerance confirmed" in output
+
+    def test_instantiate_writes_an_explorable_system_document(self, tmp_path, capsys):
+        out = tmp_path / "system.json"
+        assert main(["protocol", "instantiate", "ring_election", str(out)]) == 0
+        first = capsys.readouterr().out
+        assert "reachable: exactly" in first
+        reachable = next(
+            line.strip() for line in first.splitlines() if "reachable:" in line
+        )
+        assert main(["explore", "stats", str(out)]) == 0
+        assert reachable in capsys.readouterr().out
+
+    def test_unknown_scenario_is_an_input_error(self, capsys):
+        assert main(["protocol", "check", "three_phase_commit"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err

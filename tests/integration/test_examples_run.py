@@ -64,3 +64,12 @@ def test_dining_philosophers_output():
     assert "reachable deadlocks: 1" in output
     assert "routes agree: True" in output
     assert "equivalent=False" in output
+
+
+@pytest.mark.slow
+def test_two_phase_commit_output():
+    output = run_example("two_phase_commit.py")
+    assert "conforms to spec: True" in output
+    assert "mutant caught: equivalent=False" in output
+    assert "coordinator crash: deadlock" in output
+    assert "declared tolerance f=0 confirmed: True" in output

@@ -1,0 +1,122 @@
+"""Tests for the checking harness: conformance, stuck states, sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fsp import TAU, from_transitions
+from repro.engine import default_engine
+from repro.protocols import (
+    build_scenario,
+    check_conformance,
+    find_stuck,
+    sweep_crashes,
+)
+
+
+class TestConformance:
+    def test_accepts_plain_fsp_operands(self):
+        left = from_transitions([("a", "go", "a")], start="a", all_accepting=True)
+        right = from_transitions(
+            [("x", TAU, "y"), ("y", "go", "x")], start="x", all_accepting=True
+        )
+        verdict = check_conformance(left, right)
+        assert verdict.equivalent
+        assert verdict.stats.details["route"].startswith("on-the-fly")
+
+    def test_strong_notion_and_explicit_engine(self):
+        left = from_transitions([("a", "go", "a")], start="a", all_accepting=True)
+        right = from_transitions(
+            [("x", TAU, "y"), ("y", "go", "x")], start="x", all_accepting=True
+        )
+        verdict = check_conformance(left, right, "strong", engine=default_engine())
+        assert not verdict.equivalent
+
+    def test_inequivalence_carries_a_verified_trace(self):
+        scenario = build_scenario("two_phase_commit", n=2)
+        verdict = check_conformance(scenario.spec, scenario.mutant)
+        assert not verdict.equivalent
+        details = verdict.stats.details
+        assert details["trace_verified"] is True
+        assert "defect0" in details["trace"]
+
+
+class TestFindStuck:
+    def test_deadlock_with_shortest_trace(self):
+        system = from_transitions(
+            [("s0", "a", "s1"), ("s0", "b", "s0"), ("s1", TAU, "s2")],
+            start="s0",
+            all_accepting=True,
+        )
+        stuck = find_stuck(system)
+        assert stuck is not None
+        assert stuck.kind == "deadlock"
+        assert stuck.trace == ("a", TAU)
+        assert stuck.complete and stuck.states_explored == 3
+
+    def test_livelock_needs_every_state_to_keep_moving(self):
+        system = from_transitions(
+            [("s0", "a", "s0"), ("s0", TAU, "s1"), ("s1", TAU, "s1")],
+            start="s0",
+            all_accepting=True,
+        )
+        stuck = find_stuck(system)
+        assert stuck is not None
+        assert stuck.kind == "livelock"
+        assert stuck.trace == (TAU,)
+
+    def test_livelock_scan_can_be_disabled(self):
+        system = from_transitions(
+            [("s0", "a", "s0"), ("s0", TAU, "s1"), ("s1", TAU, "s1")],
+            start="s0",
+            all_accepting=True,
+        )
+        assert find_stuck(system, livelocks=False) is None
+
+    def test_healthy_system_reports_nothing(self):
+        scenario = build_scenario("token_passing", n=3)
+        assert find_stuck(scenario.system) is None
+
+    def test_truncated_exploration_never_invents_livelocks(self):
+        chain = from_transitions(
+            [(f"s{i}", TAU, f"s{i + 1}") for i in range(40)],
+            start="s0",
+            all_accepting=True,
+        )
+        truncated = find_stuck(chain, limit=5)
+        assert truncated is None  # the real deadlock lies beyond the bound
+        full = find_stuck(chain)
+        assert full is not None and full.kind == "deadlock"
+        assert full.states_explored == 41
+
+
+class TestSweep:
+    def test_quorum_voting_tolerates_exactly_f(self):
+        scenario = build_scenario("quorum_voting", n=3)
+        result = sweep_crashes(scenario)
+        assert result.scenario == "quorum_voting"
+        assert result.tolerance == 1
+        assert [point.faults for point in result.points] == [0, 1, 2]
+        assert [point.equivalent for point in result.points] == [True, True, False]
+        assert result.breaks_at == 2
+        assert result.confirmed
+        broken = result.points[-1]
+        assert broken.trace is not None and broken.trace_verified
+
+    def test_zero_tolerance_protocols_break_at_one(self):
+        result = sweep_crashes(build_scenario("two_phase_commit", n=2))
+        assert result.tolerance == 0
+        assert result.breaks_at == 1
+        assert result.confirmed
+
+    def test_max_faults_beyond_declared_slots_is_an_error(self):
+        scenario = build_scenario("quorum_voting", n=3)
+        with pytest.raises(ValueError, match="fault slots"):
+            sweep_crashes(scenario, max_faults=5)
+
+    def test_partial_sweep_stays_confirmed(self):
+        scenario = build_scenario("quorum_voting", n=3)
+        result = sweep_crashes(scenario, max_faults=1)
+        assert [point.equivalent for point in result.points] == [True, True]
+        assert result.breaks_at is None
+        assert result.confirmed

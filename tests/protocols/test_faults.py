@@ -1,0 +1,172 @@
+"""Tests for fault injection: leaf rewrites, tree rewrites, JSON documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import ACCEPT, TAU, from_transitions
+from repro.protocols import (
+    Byzantine,
+    Crash,
+    Omission,
+    Snag,
+    apply_fault,
+    apply_faults,
+    build_scenario,
+    chaos_leaf,
+    check_conformance,
+    crash_leaf,
+    fault_from_document,
+    fault_to_document,
+    find_stuck,
+)
+
+
+def pingpong():
+    return from_transitions(
+        [("a", "go", "b"), ("b", "back", "a")], start="a", all_accepting=True
+    )
+
+
+class TestCrashLeaf:
+    def test_cut_state_loses_its_moves_and_falls_into_crashed(self):
+        felled = crash_leaf(pingpong(), at="b")
+        assert ("b", "back", "a") not in felled.transitions
+        assert ("b", TAU, "crashed") in felled.transitions
+        assert ("a", "go", "b") in felled.transitions
+        # the crashed state is terminal for style="stop"
+        assert not any(src == "crashed" for src, _, _ in felled.transitions)
+
+    def test_default_cut_is_the_start_state(self):
+        felled = crash_leaf(pingpong())
+        assert ("a", TAU, "crashed") in felled.transitions
+        assert ("a", "go", "b") not in felled.transitions
+
+    def test_crashed_state_stays_accepting(self):
+        felled = crash_leaf(pingpong(), at="b")
+        assert ("crashed", ACCEPT) in felled.extensions
+
+    def test_spin_style_diverges_instead_of_stopping(self):
+        felled = crash_leaf(pingpong(), at="b", style="spin")
+        assert ("crashed", TAU, "crashed") in felled.transitions
+
+    def test_fresh_name_avoids_collisions(self):
+        taken = from_transitions(
+            [("crashed", "go", "crashed")], start="crashed", all_accepting=True
+        )
+        felled = crash_leaf(taken)
+        assert "crashed_" in felled.states
+
+    def test_bad_cut_state_and_style_are_rejected(self):
+        with pytest.raises(InvalidProcessError):
+            crash_leaf(pingpong(), at="nowhere")
+        with pytest.raises(InvalidProcessError):
+            crash_leaf(pingpong(), style="smoulder")
+
+
+class TestChaosLeaf:
+    def test_chaos_offers_the_whole_alphabet_forever(self):
+        chaotic = chaos_leaf(pingpong())
+        assert chaotic.states == frozenset({"chaos"})
+        assert chaotic.transitions == frozenset(
+            {("chaos", "go", "chaos"), ("chaos", "back", "chaos")}
+        )
+
+    def test_chaos_is_accepting_even_without_source_extensions(self):
+        bare = from_transitions([("a", "go", "b")], start="a")
+        assert ("chaos", ACCEPT) in chaos_leaf(bare).extensions
+
+
+class TestTreeRewrites:
+    def test_crash_targets_one_named_leaf(self):
+        scenario = build_scenario("token_passing", n=3)
+        crashed = apply_fault(scenario.system, Crash("station", 1, at="wait"))
+        assert crashed != scenario.system
+        assert not check_conformance(scenario.spec, crashed).equivalent
+
+    def test_unknown_leaf_label_is_rejected(self):
+        scenario = build_scenario("two_phase_commit", n=2)
+        with pytest.raises(InvalidProcessError, match="no leaf labelled"):
+            apply_fault(scenario.system, Crash("ghost", 7))
+
+    def test_snag_rewrite_reproduces_the_library_mutant(self):
+        scenario = build_scenario("two_phase_commit", n=2)
+        snagged = apply_fault(
+            scenario.system, Snag("participant", 0, at="ready", action="defect0")
+        )
+        assert snagged == scenario.mutant
+
+    def test_byzantine_fake_can_forge_a_quorum_back(self):
+        # n=3, f=1, threshold 2: two crashes starve the counter, but turning
+        # one of the crashed validators Byzantine restores the quorum -- an
+        # unconstrained sender happily supplies the missing votes.
+        scenario = build_scenario("quorum_voting", n=3)
+        starved = apply_faults(
+            scenario.system, (Crash("validator", 0), Crash("validator", 1))
+        )
+        assert not check_conformance(scenario.spec, starved).equivalent
+        forged = apply_faults(
+            scenario.system, (Crash("validator", 0), Byzantine("validator", 1))
+        )
+        assert check_conformance(scenario.spec, forged).equivalent
+
+    def test_apply_faults_composes_left_to_right(self):
+        scenario = build_scenario("quorum_voting", n=3)
+        both = apply_faults(
+            scenario.system, (Crash("validator", 0), Crash("validator", 1))
+        )
+        one_then_other = apply_fault(
+            apply_fault(scenario.system, Crash("validator", 0)), Crash("validator", 1)
+        )
+        assert both == one_then_other
+
+
+class TestOmission:
+    def test_lossy_vote_channel_can_wedge_two_phase_commit(self):
+        scenario = build_scenario("two_phase_commit", n=2)
+        assert find_stuck(scenario.system) is None
+        lossy = apply_fault(scenario.system, Omission("yes0"))
+        stuck = find_stuck(lossy)
+        assert stuck is not None and stuck.kind == "deadlock"
+        assert not check_conformance(scenario.spec, lossy).equivalent
+
+    def test_omission_needs_a_restricted_channel(self):
+        scenario = build_scenario("two_phase_commit", n=2)
+        with pytest.raises(InvalidProcessError, match="restricted at the root"):
+            apply_fault(scenario.system, Omission("nonexistent"))
+        with pytest.raises(InvalidProcessError):
+            apply_fault(scenario.spec, Omission("yes0"))
+
+
+class TestDocuments:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            Crash("coordinator", 0),
+            Crash("station", 2, at="relay", style="spin"),
+            Crash("tally", None),
+            Omission("yes0"),
+            Byzantine("validator", 3),
+            Byzantine("tally", None),
+            Snag("participant", 0, at="ready", action="defect0"),
+            Snag("tally", None, at="fired"),
+        ],
+    )
+    def test_documents_round_trip(self, fault):
+        assert fault_from_document(fault_to_document(fault)) == fault
+
+    def test_singleton_targets_omit_the_index_key(self):
+        assert "index" not in fault_to_document(Crash("tally", None))
+
+    def test_malformed_documents_are_rejected(self):
+        with pytest.raises(InvalidProcessError):
+            fault_from_document(["crash"])
+        with pytest.raises(InvalidProcessError):
+            fault_from_document({"role": "x"})
+        with pytest.raises(InvalidProcessError):
+            fault_from_document({"kind": "meteor"})
+        with pytest.raises(InvalidProcessError, match="missing field"):
+            fault_from_document({"kind": "crash"})
+        with pytest.raises(InvalidProcessError, match="missing field"):
+            fault_from_document({"kind": "snag", "role": "r"})

@@ -1,0 +1,266 @@
+"""Tests for the protocol model layer: roles, actions, quorums, compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import TAU
+from repro.explore import build_implicit, compose_eager, reachable_stats
+from repro.explore.system import LeafSpec, ProductSpec, RestrictSpec
+from repro.protocols import (
+    Broadcast,
+    Internal,
+    Local,
+    Machine,
+    ProtocolSpec,
+    Quorum,
+    Recv,
+    Role,
+    RoleContext,
+    Send,
+    role_label,
+)
+
+
+def single_role(machine_factory, count=1, name="r", quorums=()):
+    return ProtocolSpec(
+        name="test", roles=(Role(name, machine_factory, count=count),), quorums=quorums
+    )
+
+
+class TestRoleContext:
+    def test_ring_neighbours_wrap(self):
+        ctx = RoleContext(role="r", index=3, n=4, f=0, counts={"r": 4})
+        assert ctx.count == 4
+        assert ctx.succ == 0
+        assert ctx.pred == 2
+
+    def test_peers_covers_all_instances_of_any_role(self):
+        ctx = RoleContext(role="a", index=0, n=3, f=0, counts={"a": 2, "b": 3})
+        assert list(ctx.peers()) == [0, 1]
+        assert list(ctx.peers("b")) == [0, 1, 2]
+
+
+class TestCounts:
+    def test_count_forms(self):
+        def one(ctx):
+            return Machine("s", [])
+
+        spec = ProtocolSpec(
+            name="counts",
+            roles=(
+                Role("fixed", one, count=2),
+                Role("per_validator", one, count="n"),
+                Role("derived", one, count=lambda n, f: f + 1),
+            ),
+        )
+        assert spec.counts(5, 2) == {"fixed": 2, "per_validator": 5, "derived": 3}
+
+    def test_zero_count_is_rejected(self):
+        spec = single_role(lambda ctx: Machine("s", []), count=lambda n, f: 0)
+        with pytest.raises(InvalidProcessError):
+            spec.counts(3)
+
+    def test_duplicate_role_names_are_rejected(self):
+        def one(ctx):
+            return Machine("s", [])
+
+        spec = ProtocolSpec(name="dup", roles=(Role("r", one), Role("r", one)))
+        with pytest.raises(InvalidProcessError):
+            spec.counts(2)
+
+    def test_instantiate_validates_sizes(self):
+        spec = single_role(lambda ctx: Machine("s", []))
+        with pytest.raises(InvalidProcessError):
+            spec.instantiate(0)
+        with pytest.raises(InvalidProcessError):
+            spec.instantiate(2, -1)
+
+
+class TestCompilation:
+    def test_leaves_are_labelled_role_instances(self):
+        spec = single_role(lambda ctx: Machine("s", []), count=3)
+        leaves = spec.leaves(3)
+        assert [leaf.label for leaf in leaves] == ["r0", "r1", "r2"]
+        assert all(isinstance(leaf, LeafSpec) for leaf in leaves)
+        assert role_label("r", 2) == "r2"
+
+    def test_send_recv_compile_to_ccs_co_actions(self):
+        spec = single_role(
+            lambda ctx: Machine("s", [("s", Send("ping"), "t"), ("t", Recv("pong"), "s")])
+        )
+        (leaf,) = spec.leaves(1)
+        assert ("s", "ping!", "t") in leaf.fsp.transitions
+        assert ("t", "pong", "s") in leaf.fsp.transitions
+        assert spec.channels(1) == frozenset({"ping", "pong"})
+
+    def test_local_is_observable_and_internal_is_tau(self):
+        spec = single_role(
+            lambda ctx: Machine("s", [("s", Local("work"), "t"), ("t", Internal(), "s")])
+        )
+        (leaf,) = spec.leaves(1)
+        assert ("s", "work", "t") in leaf.fsp.transitions
+        assert ("t", TAU, "s") in leaf.fsp.transitions
+        assert spec.channels(1) == frozenset()
+
+    def test_instantiate_restricts_every_touched_channel(self):
+        spec = single_role(
+            lambda ctx: Machine("s", [("s", Send("ping"), "t"), ("t", Local("done"), "t")])
+        )
+        system = spec.instantiate(1)
+        assert isinstance(system, RestrictSpec)
+        assert system.channels == frozenset({"ping"})
+
+    def test_channel_free_protocol_has_no_restriction(self):
+        spec = single_role(lambda ctx: Machine("s", [("s", Local("work"), "s")]), count="n")
+        assert isinstance(spec.instantiate(1), LeafSpec)
+        assert isinstance(spec.instantiate(2), ProductSpec)
+
+    def test_invalid_channel_names_are_rejected(self):
+        for bad in ("", TAU, "chan!"):
+            spec = single_role(lambda ctx, c=bad: Machine("s", [("s", Send(c), "t")]))
+            with pytest.raises(InvalidProcessError):
+                spec.instantiate(1)
+
+    def test_unknown_action_type_is_rejected(self):
+        spec = single_role(lambda ctx: Machine("s", [("s", "not an action", "t")]))
+        with pytest.raises(InvalidProcessError):
+            spec.instantiate(1)
+
+
+class TestCcsSemantics:
+    def test_matched_handshake_becomes_tau(self):
+        def left(ctx):
+            return Machine("s", [("s", Send("m"), "t")])
+
+        def right(ctx):
+            return Machine("s", [("s", Recv("m"), "t")])
+
+        spec = ProtocolSpec(
+            name="pair", roles=(Role("l", left, count=1), Role("r", right, count=1))
+        )
+        composed = compose_eager(spec.instantiate(1))
+        actions = {action for _, action, _ in composed.transitions}
+        assert actions == {TAU}
+
+    def test_unmatched_receive_blocks_instead_of_leaking(self):
+        spec = single_role(lambda ctx: Machine("s", [("s", Recv("never"), "t")]))
+        composed = compose_eager(spec.instantiate(1))
+        assert composed.num_transitions == 0
+
+
+class TestBroadcast:
+    def two_role_spec(self, **broadcast_kwargs):
+        def sender(ctx):
+            return Machine(
+                "s", [("s", Broadcast("m{peer}", to="peer", **broadcast_kwargs), "t")]
+            )
+
+        def peer(ctx):
+            return Machine("w", [("w", Recv(f"m{ctx.index}"), "got")])
+
+        return ProtocolSpec(
+            name="bcast",
+            roles=(Role("sender", sender, count=1), Role("peer", peer, count="n")),
+        )
+
+    def test_expands_to_an_ascending_chain_of_sends(self):
+        spec = self.two_role_spec()
+        sender_leaf = spec.leaves(3)[0]
+        actions = [action for _, action, _ in sorted(sender_leaf.fsp.transitions)]
+        assert actions == ["m0!", "m1!", "m2!"]
+        # two fresh intermediate states between s and t
+        assert sender_leaf.fsp.num_states == 4
+
+    def test_all_peers_end_up_synchronised(self):
+        spec = self.two_role_spec()
+        stats = reachable_stats(build_implicit(spec.instantiate(3)))
+        assert stats.complete
+        # chain of 3 handshakes: 4 product states, all reached by tau
+        assert stats.states == 4
+
+    def test_skip_self_omits_the_sender_within_its_own_role(self):
+        def everyone(ctx):
+            return Machine(
+                "s",
+                [
+                    ("s", Broadcast("m{peer}", to="station"), "t"),
+                    ("t", Recv(f"m{ctx.index}"), "u"),
+                ],
+            )
+
+        spec = single_role(everyone, count=3, name="station")
+        middle = spec.leaves(3)[1]
+        sends = {a for _, a, _ in middle.fsp.transitions if a.endswith("!")}
+        assert sends == {"m0!", "m2!"}
+
+    def test_broadcast_to_no_one_is_a_tau_step(self):
+        def loner(ctx):
+            return Machine("s", [("s", Broadcast("m{peer}", to="station"), "t")])
+
+        spec = single_role(loner, count=1, name="station")
+        (leaf,) = spec.leaves(1)
+        assert leaf.fsp.transitions == frozenset({("s", TAU, "t")})
+
+    def test_broadcast_to_unknown_role_is_rejected(self):
+        spec = single_role(
+            lambda ctx: Machine("s", [("s", Broadcast("m{peer}", to="ghost"), "t")])
+        )
+        with pytest.raises(InvalidProcessError):
+            spec.instantiate(2)
+
+
+class TestQuorum:
+    def counting_spec(self, stages, count=3):
+        def sender(ctx):
+            return Machine("s", [("s", Send(f"v{ctx.index}"), "t")])
+
+        return single_role(
+            sender,
+            count=count,
+            name="sender",
+            quorums=(Quorum("tally", senders="sender", stages=stages, fire="go"),),
+        )
+
+    def test_counter_fires_after_threshold_messages(self):
+        spec = self.counting_spec((("v{sender}", 2),))
+        tally = spec.leaves(3)[-1]
+        assert tally.label == "tally"
+        # 2 counting states + full + fired
+        assert tally.fsp.num_states == 4
+        assert ("full", "go", "fired") in tally.fsp.transitions
+
+    def test_straggler_messages_are_absorbed_after_firing(self):
+        spec = self.counting_spec((("v{sender}", 2),))
+        tally = spec.leaves(3)[-1].fsp
+        for channel in ("v0", "v1", "v2"):
+            assert ("fired", channel, "fired") in tally.transitions
+
+    def test_callable_threshold_resolves_against_n_and_f(self):
+        spec = self.counting_spec((("v{sender}", lambda n, f: n - f),))
+        tally = spec.leaves(3, 1)[-1].fsp
+        assert "s0_1" in tally.states and "s0_2" not in tally.states
+
+    def test_threshold_out_of_range_is_rejected(self):
+        for bad in (0, 4):
+            with pytest.raises(InvalidProcessError):
+                self.counting_spec((("v{sender}", bad),)).instantiate(3)
+
+    def test_stageless_quorum_is_rejected(self):
+        with pytest.raises(InvalidProcessError):
+            self.counting_spec(()).instantiate(3)
+
+    def test_unknown_sender_role_is_rejected(self):
+        spec = single_role(
+            lambda ctx: Machine("s", []),
+            quorums=(Quorum("tally", senders="ghost", stages=(("v{sender}", 1),), fire="go"),),
+        )
+        with pytest.raises(InvalidProcessError):
+            spec.instantiate(2)
+
+    def test_quorum_channels_are_restricted(self):
+        spec = self.counting_spec((("v{sender}", 2),))
+        system = spec.instantiate(3)
+        assert isinstance(system, RestrictSpec)
+        assert {"v0", "v1", "v2"} <= set(system.channels)
