@@ -1,0 +1,208 @@
+"""State-space-reduction benchmark: the quorum cell that needs it, plus parity.
+
+Two questions about :mod:`repro.explore.reduce`, answered on the library
+scenarios:
+
+* **Reduction buys infeasible cells** -- quorum voting at ``n = 25``
+  composes to ~4.6 * 10^16 structural product states (the unreduced game is
+  hopeless), yet under ``reduction="full"`` the conformance check and the
+  deadlock search must both finish, with the game visiting a vanishing
+  fraction of the structural estimate (``reduction_visit_fraction``, gated
+  by ``benchmarks/check_regression.py`` against the committed 0.05
+  ceiling).
+* **Reduction changes nothing else** -- at ``n = 5``, where the unreduced
+  route is cheap, every ``reduction=`` mode must reproduce the unreduced
+  conformance verdict, and every mode must report the same stuck kind for
+  a crashed token ring (``reduction_routes_agree``, treated by the gate
+  like a solver disagreement).
+
+``run_cells`` reports records in the ``solver|family|n`` schema of
+``BENCH_partition.json`` so ``benchmarks/run_all.py`` folds them into the
+trajectory (section ``reduction_records``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.explore.reduce import REDUCTIONS, structural_state_estimate
+from repro.protocols import Crash, apply_fault, build_scenario
+from repro.protocols.check import check_conformance, find_stuck
+
+#: the headline cell: far beyond the unreduced horizon, easy when reduced.
+HEADLINE = {"family": "quorum_voting", "n": 25, "f": 12}
+
+#: the parity cells: small enough that reduction="none" is the oracle.
+PARITY_CONFORMANCE = {"family": "quorum_voting", "n": 5, "f": 2}
+PARITY_STUCK = {"family": "token_passing", "n": 5}
+
+
+def _best_of(fn, repeats: int):
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - begin)
+    return best, value
+
+
+def run_headline_cells(repeats: int) -> tuple[list[dict], dict, bool]:
+    """quorum n=25 under reduction="full": conformance + deadlock search."""
+    scenario = build_scenario(
+        HEADLINE["family"], n=HEADLINE["n"], f=HEADLINE["f"]
+    )
+    estimate = structural_state_estimate(scenario.system)
+    records: list[dict] = []
+    healthy = True
+
+    seconds, verdict = _best_of(
+        lambda: check_conformance(scenario.spec, scenario.system, reduction="full"),
+        repeats,
+    )
+    pairs = verdict.stats.details["pairs_visited"]
+    fraction = pairs / estimate
+    if not verdict.equivalent:
+        healthy = False
+    records.append(
+        {
+            "solver": "reduction_full_conformance",
+            "family": HEADLINE["family"],
+            "n": HEADLINE["n"],
+            "transitions": pairs,
+            "blocks": HEADLINE["f"],
+            "seconds": round(seconds, 6),
+        }
+    )
+
+    seconds, report = _best_of(
+        lambda: find_stuck(scenario.system, reduction="full"), repeats
+    )
+    # orderly termination: every run of the protocol ends in a successor-free
+    # state after deciding, so the search must find a post-decide deadlock
+    if report is None or report.kind != "deadlock" or "decide" not in report.trace:
+        healthy = False
+    records.append(
+        {
+            "solver": "reduction_full_stuck",
+            "family": HEADLINE["family"],
+            "n": HEADLINE["n"],
+            "transitions": report.states_explored if report is not None else 0,
+            "blocks": HEADLINE["f"],
+            "seconds": round(seconds, 6),
+        }
+    )
+    extras = {
+        "reduction_structural_states": estimate,
+        "reduction_pairs_visited": pairs,
+        "reduction_visit_fraction": fraction,
+    }
+    return records, extras, healthy
+
+
+def run_parity_cells(repeats: int) -> tuple[list[dict], bool]:
+    """Every mode against the unreduced oracle, where the oracle is cheap."""
+    records: list[dict] = []
+    agree = True
+
+    scenario = build_scenario(
+        PARITY_CONFORMANCE["family"],
+        n=PARITY_CONFORMANCE["n"],
+        f=PARITY_CONFORMANCE["f"],
+    )
+    verdicts: dict[str, bool] = {}
+    for mode in REDUCTIONS:
+        seconds, verdict = _best_of(
+            lambda mode=mode: check_conformance(
+                scenario.spec, scenario.system, reduction=mode
+            ),
+            repeats,
+        )
+        verdicts[mode] = verdict.equivalent
+        records.append(
+            {
+                "solver": f"reduction_{mode}_conformance",
+                "family": PARITY_CONFORMANCE["family"],
+                "n": PARITY_CONFORMANCE["n"],
+                "transitions": verdict.stats.details["pairs_visited"],
+                "blocks": PARITY_CONFORMANCE["f"],
+                "seconds": round(seconds, 6),
+            }
+        )
+    if set(verdicts.values()) != {verdicts["none"]}:
+        agree = False
+
+    stuck_scenario = build_scenario(PARITY_STUCK["family"], n=PARITY_STUCK["n"])
+    crashed = apply_fault(stuck_scenario.system, Crash("station", 2, at="wait"))
+    kinds: dict[str, str | None] = {}
+    for mode in REDUCTIONS:
+        seconds, report = _best_of(
+            lambda mode=mode: find_stuck(crashed, reduction=mode), repeats
+        )
+        kinds[mode] = None if report is None else report.kind
+        records.append(
+            {
+                "solver": f"reduction_{mode}_stuck",
+                "family": PARITY_STUCK["family"] + "_crash",
+                "n": PARITY_STUCK["n"],
+                "transitions": report.states_explored if report is not None else 0,
+                "blocks": 1,
+                "seconds": round(seconds, 6),
+            }
+        )
+    if set(kinds.values()) != {kinds["none"]}:
+        agree = False
+    return records, agree
+
+
+def run_cells(repeats: int = 1) -> tuple[list[dict], dict, bool]:
+    """All reduction cells; returns ``(records, extras, agree)``.
+
+    ``agree`` is False when the headline cell fails (non-conformance, or the
+    post-decide deadlock goes unreported) or any mode disagrees with the
+    unreduced oracle on the parity cells -- correctness properties, which
+    the CI gate treats like solver disagreements.
+    """
+    headline_records, extras, headline_ok = run_headline_cells(repeats)
+    parity_records, parity_ok = run_parity_cells(repeats)
+    extras = {**extras, "reduction_routes_agree": parity_ok}
+    return headline_records + parity_records, extras, headline_ok and parity_ok
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (run by benchmarks/run_all.py's suite smoke)
+# ----------------------------------------------------------------------
+def test_quorum_n25_full_reduction(benchmark):
+    scenario = build_scenario("quorum_voting", n=25, f=12)
+    estimate = structural_state_estimate(scenario.system)
+    verdict = benchmark(
+        lambda: check_conformance(scenario.spec, scenario.system, reduction="full")
+    )
+    assert verdict.equivalent
+    pairs = verdict.stats.details["pairs_visited"]
+    benchmark.extra_info["visit_fraction"] = pairs / estimate
+    assert pairs / estimate <= 0.05
+
+
+def test_quorum_n25_full_deadlock_search(benchmark):
+    scenario = build_scenario("quorum_voting", n=25, f=12)
+    report = benchmark(lambda: find_stuck(scenario.system, reduction="full"))
+    assert report is not None and report.kind == "deadlock"
+    assert "decide" in report.trace
+
+
+def test_reduction_routes_agree():
+    records, extras, agree = run_cells()
+    assert agree, extras
+
+
+if __name__ == "__main__":
+    records, extras, agree = run_cells()
+    for record in records:
+        print(
+            f"{record['solver']:28s} {record['family']:20s} n={record['n']:3d} "
+            f"visited={record['transitions']:7d} {record['seconds'] * 1000:9.2f} ms"
+        )
+    print(
+        f"structural estimate {extras['reduction_structural_states']:.3e} states; "
+        f"visit fraction {extras['reduction_visit_fraction']:.3e}; agree={agree}"
+    )

@@ -49,7 +49,13 @@ the committed ``benchmarks/baseline_expectations.json``:
   composed states, ``f + 1``-fault mutants must be caught with
   replay-verified traces, crash sweeps must confirm each scenario's
   declared tolerance, and the 2PC coordinator-crash deadlock must be
-  reported (``protocol_checks_agree`` and the ``protocol_*`` meta flags).
+  reported (``protocol_checks_agree`` and the ``protocol_*`` meta flags);
+* the state-space-reduction gate: quorum voting at ``n = 25`` (~4.6 * 10^16
+  structural product states) must be decided conformant and its post-decide
+  deadlock found under ``reduction="full"`` while the game visits at most
+  ``reduction_visit_fraction_ceiling`` of the structural estimate, and
+  every reduction mode must agree with the unreduced oracle on the small
+  parity cells (``reduction_checks_agree`` / ``reduction_routes_agree``).
 
 The hardware normaliser is the median of ``current / expected`` over all
 shared cells: a uniformly slower CI machine shifts every ratio equally and is
@@ -103,6 +109,7 @@ def collect_cells(payload: dict) -> dict[str, float]:
         "engine_records",
         "explore_records",
         "protocol_records",
+        "reduction_records",
         "service_records",
     ):
         for record in payload.get(section, []):
@@ -270,6 +277,29 @@ def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[
                 f"protocol conformance visit fraction is {float(protocol_fraction):.6f}, "
                 f"above the committed ceiling of {float(protocol_ceiling):.2f} (the "
                 "product game is re-exploring pairs instead of staying on the fly)"
+            )
+
+    reduction_ceiling = baseline.get("reduction_visit_fraction_ceiling")
+    if reduction_ceiling is not None:
+        if not meta.get("reduction_checks_agree", False):
+            failures.append(
+                "reduction_checks_agree is not true -- the quorum n=25 headline "
+                "cell failed or a reduction mode flipped a verdict against the "
+                "unreduced oracle"
+            )
+        if not meta.get("reduction_routes_agree", False):
+            failures.append(
+                "reduction_routes_agree is not true -- a reduction mode disagrees "
+                "with the unreduced oracle on the parity cells"
+            )
+        reduction_fraction = meta.get("reduction_visit_fraction")
+        if reduction_fraction is None:
+            failures.append("no reduction visit fraction recorded in this run")
+        elif float(reduction_fraction) > float(reduction_ceiling):
+            failures.append(
+                f"reduction visit fraction is {float(reduction_fraction):.3e}, above "
+                f"the committed ceiling of {float(reduction_ceiling):.2f} (the reduced "
+                "game is exploring a non-vanishing share of the structural product)"
             )
 
     speedups = weak_speedups(payload)
@@ -490,6 +520,14 @@ def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
         # specs); 1.5 allows bookkeeping slack while still failing if the
         # checker starts re-exploring pairs.
         "protocol_visit_fraction_ceiling": previous.get("protocol_visit_fraction_ceiling", 1.5),
+        # The acceptance bar for the state-space reductions: the quorum
+        # n=25 headline cell must stay decided while visiting at most this
+        # fraction of the ~4.6e16 structural product states (measured
+        # ~1.6e-15, so the ceiling is astronomically generous on purpose --
+        # it fails only if reduction stops working, not if it gets worse).
+        "reduction_visit_fraction_ceiling": previous.get(
+            "reduction_visit_fraction_ceiling", 0.05
+        ),
         # Soak gates are ratios/ceilings against the run's own calibrated
         # capacity, so they transfer across hosts; they only apply to
         # ``run_all.py --soak`` runs (the service-soak lane).

@@ -57,6 +57,7 @@ if str(BENCH_DIR) not in sys.path:
 import bench_engine_cache  # noqa: E402
 import bench_on_the_fly  # noqa: E402
 import bench_protocols  # noqa: E402
+import bench_reduction  # noqa: E402
 import bench_service  # noqa: E402
 import bench_service_load  # noqa: E402
 from seed_baseline import seed_kanellakis_smolka  # noqa: E402
@@ -430,6 +431,29 @@ def run_protocol_trajectory(repeats: int) -> tuple[list[dict], dict, bool]:
     return records, extras, agree
 
 
+def run_reduction_trajectory(repeats: int) -> tuple[list[dict], dict, bool]:
+    """The state-space-reduction section: quorum n=25 under reduction, parity at n=5.
+
+    Delegates to :mod:`bench_reduction`; the records use the shared
+    ``solver|family|n`` schema so the regression gate covers them, and the
+    extras feed the ``reduction_*`` metadata keys (the visit-fraction
+    ceiling and the mode-parity flag are gated by ``check_regression.py``).
+    """
+    records, extras, agree = bench_reduction.run_cells(repeats=repeats)
+    for record in records:
+        print(
+            f"  {record['family']:24s} n={record['n']:7d} {record['solver']:28s} "
+            f"{record['seconds'] * 1000:9.2f} ms"
+        )
+    if not agree:
+        print(
+            "ERROR: reduction routes disagree (the quorum n=25 headline cell failed "
+            "or a reduction mode flipped a verdict against the unreduced oracle)",
+            file=sys.stderr,
+        )
+    return records, extras, agree
+
+
 def run_service_trajectory(repeats: int) -> tuple[list[dict], float, bool, dict]:
     """The service section: the 500-check manifest at 1 vs 4 shards.
 
@@ -579,6 +603,9 @@ def main(argv: list[str] | None = None) -> int:
     print("protocol trajectory: conformance at n=5, fault sweeps, deadlock search")
     protocol_records, protocol_extras, protocol_agree = run_protocol_trajectory(repeats)
 
+    print("reduction trajectory: quorum n=25 under reduction=full, mode parity at n=5")
+    reduction_records, reduction_extras, reduction_agree = run_reduction_trajectory(repeats)
+
     print("service trajectory: 500-check manifest, sharded pool vs single shard")
     service_records, service_speedup, service_agree, service_workload = run_service_trajectory(
         repeats
@@ -623,6 +650,8 @@ def main(argv: list[str] | None = None) -> int:
             **explore_extras,
             "protocol_checks_agree": protocol_agree,
             **protocol_extras,
+            "reduction_checks_agree": reduction_agree,
+            **reduction_extras,
             "service_routes_agree": service_agree,
             "speedup_service_4shards_vs_1shard": service_speedup,
             "service_workload": service_workload,
@@ -637,6 +666,7 @@ def main(argv: list[str] | None = None) -> int:
         "engine_records": engine_records,
         "explore_records": explore_records,
         "protocol_records": protocol_records,
+        "reduction_records": reduction_records,
         "service_records": service_records,
         "service_load_records": service_load_records,
     }
@@ -670,6 +700,13 @@ def main(argv: list[str] | None = None) -> int:
         f"deadlock found: {protocol_extras['protocol_deadlock_found']})"
     )
     print(
+        f"reduction: quorum n=25 visit fraction "
+        f"{reduction_extras['reduction_visit_fraction']:.3e} of "
+        f"{reduction_extras['reduction_structural_states']:.3e} structural states "
+        f"(modes agree with the unreduced oracle: "
+        f"{reduction_extras['reduction_routes_agree']})"
+    )
+    print(
         f"service speedup (4 shards vs 1 shard, 500-check manifest): {service_speedup:.2f}x "
         f"on {os.cpu_count()} CPU(s)"
     )
@@ -694,6 +731,7 @@ def main(argv: list[str] | None = None) -> int:
         and engine_agree
         and explore_agree
         and protocol_agree
+        and reduction_agree
         and service_agree
         and soak_healthy
         and not failed_modules

@@ -293,6 +293,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             args.notion,
             witness=args.explain,
             max_pairs=args.max_pairs,
+            reduction=args.reduction,
         )
         answer = "equivalent" if verdict.equivalent else "NOT equivalent"
         print(
@@ -348,7 +349,9 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
     if args.protocol_op == "check":
         implementation = protocols.system_from_document(document)
         if args.deadlock:
-            report = protocols.find_stuck(implementation, limit=args.limit)
+            report = protocols.find_stuck(
+                implementation, limit=args.limit, reduction=args.reduction
+            )
             if report is None:
                 print(
                     f"{scenario.name}: no deadlock or livelock "
@@ -362,7 +365,11 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
             print(f"  explored {report.states_explored} states ({shape})")
             return EXIT_INEQUIVALENT
         verdict = protocols.check_conformance(
-            scenario.spec, implementation, args.notion, max_pairs=args.max_pairs
+            scenario.spec,
+            implementation,
+            args.notion,
+            max_pairs=args.max_pairs,
+            reduction=args.reduction,
         )
         answer = "equivalent" if verdict.equivalent else "NOT equivalent"
         print(
@@ -373,7 +380,10 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
         return 0 if verdict.equivalent else EXIT_INEQUIVALENT
     if args.protocol_op == "sweep":
         result = protocols.sweep_crashes(
-            scenario, max_faults=args.max_faults, notion=args.notion
+            scenario,
+            max_faults=args.max_faults,
+            notion=args.notion,
+            reduction=args.reduction,
         )
         print(f"{scenario.name}: crash-fault sweep, declared tolerance f={result.tolerance}")
         for point in result.points:
@@ -471,6 +481,7 @@ def _run_client_op(client, args: argparse.Namespace) -> int:
             _client_source(args.second),
             args.notion,
             witness=args.explain,
+            reduction=args.reduction,
             deadline_ms=args.deadline_ms,
             **_notion_params(args),
         )
@@ -527,6 +538,19 @@ def _add_verdict_flags(command: argparse.ArgumentParser) -> None:
     )
     command.add_argument(
         "--stats", action="store_true", help="print timing and cache provenance per check"
+    )
+
+
+def _add_reduction_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--reduction",
+        choices=["none", "por", "symmetry", "full"],
+        default="none",
+        help=(
+            "state-space reduction: partial-order (tau-confluence), symmetry "
+            "(declared canonical forms), or both; only reductions sound for "
+            "the requested check are applied"
+        ),
     )
 
 
@@ -663,6 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore_check.add_argument(
         "--max-pairs", type=int, default=None, help="bound on explored product pairs"
     )
+    _add_reduction_flag(explore_check)
     _add_verdict_flags(explore_check)
 
     explore_min = explore_ops.add_parser(
@@ -717,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
     protocol_check.add_argument(
         "--limit", type=int, default=50_000, help="state bound for --deadlock search"
     )
+    _add_reduction_flag(protocol_check)
     _add_verdict_flags(protocol_check)
 
     protocol_sweep = protocol_ops.add_parser(
@@ -729,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
     protocol_sweep.add_argument(
         "--notion", choices=["strong", "observational"], default="observational"
     )
+    _add_reduction_flag(protocol_sweep)
 
     protocol_cmd.set_defaults(handler=_cmd_protocol)
 
@@ -835,6 +862,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="abort the check past this many milliseconds (error: deadline_exceeded)",
     )
+    _add_reduction_flag(client_check)
 
     client_minimize = client_ops.add_parser("minimize", help="minimise on the service")
     client_minimize.add_argument("process", help="process file or sha256:... digest")

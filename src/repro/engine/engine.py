@@ -243,6 +243,8 @@ class Engine:
         *,
         witness: bool = True,
         max_pairs: int | None = None,
+        reduction: str = "none",
+        frontier: str = "exact",
     ) -> Verdict:
         """Decide strong or observational equivalence without materialising.
 
@@ -261,18 +263,26 @@ class Engine:
         composed/implicit operands leave ``left``/``right`` as None (there
         is nothing materialised to store).  Implicit systems have no value
         identity, so this route bypasses the verdict cache.
+
+        ``reduction`` selects a sound state-space reduction
+        (:data:`repro.explore.reduce.REDUCTIONS`) and ``frontier`` the
+        visited-set representation (``"exact"`` or ``"compact"``); operands
+        are handed to the checker unmaterialised so spec-level symmetry
+        annotations survive.
         """
         from repro.engine.verdict import TraceWitness
         from repro.explore.onthefly import check_implicit
-        from repro.explore.system import build_implicit
 
         begin = now()
         left = left.fsp if isinstance(left, Process) else left
         right = right.fsp if isinstance(right, Process) else right
-        left_implicit = build_implicit(left)
-        right_implicit = build_implicit(right)
         result = check_implicit(
-            left_implicit, right_implicit, notion, max_pairs=max_pairs
+            left,
+            right,
+            notion,
+            max_pairs=max_pairs,
+            reduction=reduction,
+            frontier=frontier,
         )
         witness_obj = None
         if witness and not result.equivalent and result.trace_verified:
@@ -284,6 +294,7 @@ class Engine:
         details: dict[str, Any] = {
             "route": f"on-the-fly:{result.route}",
             "pairs_visited": result.pairs_visited,
+            "reduction": result.reduction,
         }
         if result.trace is not None:
             details["trace"] = list(result.trace)

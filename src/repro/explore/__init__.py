@@ -16,6 +16,13 @@ one of them before any solver runs.  This layer sits between
 * :func:`check_implicit` -- on-the-fly strong / observational equivalence
   (bounded-game deepening plus assumption-set depth-first search), returning
   early with a verified distinguishing trace on inequivalence;
+* state-space reductions (:mod:`repro.explore.reduce`) -- tau-confluence
+  partial-order reduction (:class:`ConfluenceReducer`), canonical-form
+  symmetry quotients (:class:`SymmetryReducer` over declared
+  :class:`RotationSymmetry` / :class:`FullPermutationSymmetry`), and
+  hash-compacted visited frontiers (:class:`Fingerprinter`), threaded
+  through the checker and the protocol verbs as
+  ``reduction="none"|"por"|"symmetry"|"full"``;
 * :func:`materialize` / :func:`materialize_lts` / :func:`reachable_stats`
   -- bounded bridges back to the eager world;
 * :class:`SystemSpec` composition trees with three routes
@@ -56,6 +63,22 @@ from repro.explore.implicit import (
     reachable_stats,
 )
 from repro.explore.onthefly import ExploreResult, check_implicit, verify_trace
+from repro.explore.reduce import (
+    FRONTIERS,
+    REDUCTIONS,
+    ConfluenceReducer,
+    Fingerprinter,
+    FullPermutationSymmetry,
+    RotationSymmetry,
+    SymmetryReducer,
+    annotate_symmetry,
+    canonical_bytes,
+    declared_symmetry,
+    normalize_frontier,
+    normalize_reduction,
+    prepare_operand,
+    structural_state_estimate,
+)
 from repro.explore.products import (
     LazyCCSProduct,
     LazyHiding,
@@ -81,9 +104,13 @@ from repro.explore.system import (
 
 __all__ = [
     "CCSAdapter",
+    "ConfluenceReducer",
     "ExplorationStats",
     "ExploreResult",
+    "FRONTIERS",
     "FSPAdapter",
+    "Fingerprinter",
+    "FullPermutationSymmetry",
     "HideSpec",
     "ImplicitLTS",
     "LazyCCSProduct",
@@ -94,19 +121,29 @@ __all__ = [
     "LazySynchronousProduct",
     "LeafSpec",
     "ProductSpec",
+    "REDUCTIONS",
     "RelabelSpec",
     "RestrictSpec",
+    "RotationSymmetry",
+    "SymmetryReducer",
     "SystemSpec",
     "TermSpec",
+    "annotate_symmetry",
     "as_implicit",
     "build_implicit",
+    "canonical_bytes",
     "check_implicit",
     "compose_eager",
+    "declared_symmetry",
     "materialize",
     "materialize_lts",
     "minimize_compositionally",
+    "normalize_frontier",
+    "normalize_reduction",
+    "prepare_operand",
     "reachable_stats",
     "spec_from_document",
     "spec_to_document",
+    "structural_state_estimate",
     "verify_trace",
 ]

@@ -42,6 +42,12 @@ from dataclasses import dataclass
 from repro.core.errors import StateSpaceLimitError
 from repro.core.fsp import TAU
 from repro.explore.implicit import ImplicitLTS, State, as_implicit
+from repro.explore.reduce import (
+    Fingerprinter,
+    normalize_frontier,
+    normalize_reduction,
+    prepare_operand,
+)
 
 __all__ = ["ExploreResult", "check_implicit", "verify_trace"]
 
@@ -62,7 +68,9 @@ class ExploreResult:
     ``pairs_visited`` counts distinct product pairs touched --
     the quantity the benchmark gate compares against the reachable product
     size.  ``left_states`` / ``right_states`` count component states
-    explored, and ``route`` names the phase that produced the answer.
+    explored, ``route`` names the phase that produced the answer, and
+    ``reduction`` records the state-space reduction mode the search ran
+    under (see :mod:`repro.explore.reduce`).
     """
 
     equivalent: bool
@@ -74,6 +82,7 @@ class ExploreResult:
     left_states: int
     right_states: int
     route: str
+    reduction: str = "none"
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -162,37 +171,53 @@ class _Budget(Exception):
     """Internal signal: the pair-visit budget was exhausted."""
 
 
+def _identity(pair):
+    return pair
+
+
 class _Search:
     """Shared state of one check: explorers, pair budget, game memos."""
 
-    def __init__(self, left: _Explorer, right: _Explorer, weak: bool, max_pairs: int | None):
+    def __init__(
+        self,
+        left: _Explorer,
+        right: _Explorer,
+        weak: bool,
+        max_pairs: int | None,
+        fingerprint: Fingerprinter | None = None,
+    ):
         self.left = left
         self.right = right
         self.weak = weak
         self.max_pairs = max_pairs
-        self.visited: set[tuple[State, State]] = set()
+        #: pair -> memo key.  With a fingerprinter every pair-keyed structure
+        #: stores ~128-bit ints instead of nested state tuples, which is what
+        #: keeps 10^8-pair frontiers in bounded memory; the identity keeps
+        #: the exact behaviour (``frontier="exact"``).
+        self.key = fingerprint if fingerprint is not None else _identity
+        self.visited: set = set()
         #: definite distinguishing traces per pair (a found distinction never
         #: expires, whatever depth produced it).
-        self.dist: dict[tuple[State, State], tuple[str, ...]] = {}
+        self.dist: dict = {}
         #: pairs where the defender wins the *unbounded* game outright (the
         #: bounded search closed below the cutoff).
-        self.indist_complete: set[tuple[State, State]] = set()
+        self.indist_complete: set = set()
         #: deepest bound a pair survived without a definite answer.
-        self.indist_depth: dict[tuple[State, State], int] = {}
+        self.indist_depth: dict = {}
         #: within-round memo: the depth each pair was already expanded at in
         #: the current deepening round (reset by :meth:`new_round`).  Without
         #: it a pair reached along many paths would be re-expanded once per
         #: path, which is exponential in the depth bound.
-        self.round_depth: dict[tuple[State, State], int] = {}
+        self.round_depth: dict = {}
 
     def new_round(self) -> None:
         self.round_depth.clear()
 
-    def touch(self, pair: tuple[State, State]) -> None:
-        if pair not in self.visited:
+    def touch(self, key) -> None:
+        if key not in self.visited:
             if self.max_pairs is not None and len(self.visited) >= self.max_pairs:
                 raise _Budget()
-            self.visited.add(pair)
+            self.visited.add(key)
 
     def challenger_moves(self, p: State, q: State):
         """Both sides' strong moves: ``(from_left, action, successor)``."""
@@ -215,7 +240,7 @@ class _Search:
         None trace means the defender wins the unbounded game from here (no
         branch reached the cutoff), so the pair is definitely equivalent.
         """
-        pair = (p, q)
+        pair = self.key((p, q))
         known = self.dist.get(pair)
         if known is not None:
             return known, True
@@ -284,15 +309,15 @@ class _Search:
         coinductive hypotheses; the trail rolls them back on failure, so a
         surviving assumption set is closed under matching -- a bisimulation.
         """
-        assumed: dict[tuple[State, State], bool] = {}
-        trail: list[tuple[State, State]] = []
+        assumed: dict = {}
+        trail: list = []
 
         def rollback(mark: int) -> None:
             while len(trail) > mark:
                 assumed.pop(trail.pop(), None)
 
         def visit(p: State, q: State):
-            pair = (p, q)
+            pair = self.key((p, q))
             known = self.dist.get(pair)
             if known is not None:
                 return known
@@ -426,14 +451,18 @@ def check_implicit(
     *,
     max_pairs: int | None = None,
     max_game_depth: int = _DEEPENING[-1],
+    reduction: str = "none",
+    frontier: str = "exact",
 ) -> ExploreResult:
     """Decide strong or observational equivalence of two implicit systems.
 
     Parameters
     ----------
     left, right:
-        :class:`~repro.explore.implicit.ImplicitLTS` instances (or eager
-        FSPs, wrapped automatically).
+        :class:`~repro.explore.implicit.ImplicitLTS` instances, eager FSPs
+        (wrapped automatically), or :class:`~repro.explore.system.SystemSpec`
+        trees -- the only operand form that can carry the symmetry
+        annotations the reductions use.
     notion:
         ``"strong"`` or ``"observational"``.
     max_pairs:
@@ -443,6 +472,17 @@ def check_implicit(
     max_game_depth:
         Cutoff of the bounded-game phase; differences deeper than this are
         still found, by the DFS phase.
+    reduction:
+        One of :data:`repro.explore.reduce.REDUCTIONS`.  Only reductions
+        that provably preserve the requested notion are applied (see
+        :func:`~repro.explore.reduce.prepare_operand`); any distinguishing
+        trace found under a reduction is re-verified against the
+        *unreduced* systems before it is reported.
+    frontier:
+        ``"exact"`` keys the visited sets by full state pairs;
+        ``"compact"`` by ~128-bit fingerprints, trading an astronomically
+        unlikely collision for an order of magnitude less frontier memory
+        (the trace replay above doubles as the collision recheck).
 
     >>> from repro.core.fsp import from_transitions
     >>> spec = from_transitions([("s", "a", "s")], start="s", all_accepting=True)
@@ -456,16 +496,32 @@ def check_implicit(
             f"on-the-fly checking supports 'strong' and 'observational', not {notion!r}"
         )
     weak = notion == "observational"
-    left_explorer = _Explorer(as_implicit(left))
-    right_explorer = _Explorer(as_implicit(right))
-    search = _Search(left_explorer, right_explorer, weak, max_pairs)
+    mode = normalize_reduction(reduction)
+    compact = normalize_frontier(frontier) == "compact"
+    left_explorer = _Explorer(prepare_operand(left, mode, weak=weak))
+    right_explorer = _Explorer(prepare_operand(right, mode, weak=weak))
+    search = _Search(
+        left_explorer,
+        right_explorer,
+        weak,
+        max_pairs,
+        Fingerprinter() if compact else None,
+    )
     p0 = left_explorer.node.initial()
     q0 = right_explorer.node.initial()
 
     def result(equivalent: bool, trace, route: str) -> ExploreResult:
         verified, in_left = (False, None)
         if trace is not None:
-            verified, in_left = _verify_trace(left_explorer, right_explorer, trace, weak)
+            if mode == "none":
+                check_left, check_right = left_explorer, right_explorer
+            else:
+                # The definitive recheck: replay on freshly built, unreduced
+                # systems, so neither a reduction bug nor a fingerprint
+                # collision can certify a bogus trace.
+                check_left = _Explorer(prepare_operand(left, "none"))
+                check_right = _Explorer(prepare_operand(right, "none"))
+            verified, in_left = _verify_trace(check_left, check_right, trace, weak)
         return ExploreResult(
             equivalent=equivalent,
             notion=notion,
@@ -476,6 +532,7 @@ def check_implicit(
             left_states=left_explorer.states_explored,
             right_states=right_explorer.states_explored,
             route=route,
+            reduction=mode,
         )
 
     try:

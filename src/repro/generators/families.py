@@ -468,9 +468,17 @@ def dining_philosophers_system(num_philosophers: int = 3):
             frozenset({f"pick{i}", f"put{i}"}),
         )
     # fork 0 closes the ring: its users are philosophers 0 and n-1.
-    return RestrictSpec(
+    root = RestrictSpec(
         ProductSpec("ccs", tree, fork(0)), frozenset({"pick0", "put0"})
     )
+    from repro.explore.reduce import RotationSymmetry, annotate_symmetry
+
+    # Leaf flatten order is phil0, phil1, fork1, phil2, fork2, ...,
+    # phil<n-1>, fork<n-1>, fork0; rotating the table advances philosophers
+    # and forks together, so both rings rotate simultaneously.
+    phil_ring = (0,) + tuple(2 * i - 1 for i in range(1, n))
+    fork_ring = (2 * n - 1,) + tuple(2 * i for i in range(1, n))
+    return annotate_symmetry(root, RotationSymmetry((phil_ring, fork_ring)))
 
 
 def redundant_interleaving_system(num_components: int = 3, length: int = 4, copies: int = 3):
@@ -524,7 +532,14 @@ def token_ring_system(num_stations: int = 4, faulty_station: int | None = None):
             station = with_snag(station, "holding", f"fault{i}")
         components.append(LeafSpec(station, label=f"station{i}"))
     channels = frozenset(f"tok{i}" for i in range(n))
-    return RestrictSpec(_fold_ccs(components), channels)
+    root = RestrictSpec(_fold_ccs(components), channels)
+    if faulty_station is None:
+        # A fault pins one station, breaking the rotation; only the healthy
+        # ring is symmetric.
+        from repro.explore.reduce import RotationSymmetry, annotate_symmetry
+
+        annotate_symmetry(root, RotationSymmetry((tuple(range(n)),)))
+    return root
 
 
 def token_ring_pair(num_stations: int = 4, faulty_station: int = 1):
@@ -568,4 +583,7 @@ def milner_scheduler_system(num_cyclers: int = 3):
             LeafSpec(builder.build(start="ready" if i == 0 else "idle"), label=f"cycler{i}")
         )
     channels = frozenset(f"tok{i}" for i in range(n))
-    return RestrictSpec(_fold_ccs(components), channels)
+    root = RestrictSpec(_fold_ccs(components), channels)
+    from repro.explore.reduce import RotationSymmetry, annotate_symmetry
+
+    return annotate_symmetry(root, RotationSymmetry((tuple(range(n)),)))

@@ -26,7 +26,12 @@ from dataclasses import dataclass
 from typing import Union
 
 from repro.core.fsp import TAU
-from repro.explore.system import build_implicit
+from repro.explore.reduce import (
+    Fingerprinter,
+    normalize_frontier,
+    normalize_reduction,
+    prepare_operand,
+)
 
 __all__ = [
     "StuckReport",
@@ -54,6 +59,8 @@ def check_conformance(
     engine=None,
     witness: bool = True,
     max_pairs: Union[int, None] = None,
+    reduction: str = "none",
+    frontier: str = "exact",
 ):
     """Check ``implementation`` against ``spec`` on the fly; returns a Verdict.
 
@@ -61,9 +68,17 @@ def check_conformance(
     implicit systems.  The verdict's ``details`` report the route and the
     number of product pairs visited; on inequivalence ``verdict.witness`` is
     a replay-verified distinguishing trace when verification succeeds.
+    ``reduction`` / ``frontier`` select a sound state-space reduction and
+    visited-set representation (see :mod:`repro.explore.reduce`).
     """
     return _engine(engine).check_on_the_fly(
-        spec, implementation, notion, witness=witness, max_pairs=max_pairs
+        spec,
+        implementation,
+        notion,
+        witness=witness,
+        max_pairs=max_pairs,
+        reduction=reduction,
+        frontier=frontier,
     )
 
 
@@ -85,6 +100,7 @@ class StuckReport:
     trace: tuple[str, ...]
     states_explored: int
     complete: bool
+    reduction: str = "none"
 
 
 def find_stuck(
@@ -92,6 +108,8 @@ def find_stuck(
     *,
     limit: int = 50_000,
     livelocks: bool = True,
+    reduction: str = "none",
+    frontier: str = "compact",
 ) -> Union[StuckReport, None]:
     """Breadth-first search of the lazy product for deadlocks and livelocks.
 
@@ -102,74 +120,129 @@ def find_stuck(
     exploration completed within ``limit``.  Returns the stuck state closest
     to the start (deadlocks take precedence), or None.
 
+    ``reduction`` applies the state-space reductions of
+    :mod:`repro.explore.reduce` -- this is a pure reachability search, so
+    both confluence prioritisation and *any* declared symmetry (even
+    index-permuting ones) preserve deadlock and livelock existence; under a
+    non-label-preserving symmetry the reported state and trace are genuine
+    modulo the symmetry (e.g. up to ring rotation of the indexed labels).
+    The visited bookkeeping is hash-compacted by default
+    (``frontier="compact"``): every per-state structure stores ~128-bit
+    fingerprints instead of nested product states, so memory is bounded by
+    ``limit`` small integers rather than ``limit`` deep tuples; the reported
+    state is recovered by replaying the parent chain from the start, which
+    doubles as the fingerprint-collision recheck.  ``frontier="exact"`` is
+    the escape hatch that stores full states.
+
     Note that for one-shot protocols orderly termination *is* a state with no
     moves: the interesting question is then whether the reported trace
     contains the protocol's observable outcome (e.g. ``decide``) or the
     system wedged before reaching it.
     """
-    node = build_implicit(system)
+    mode = normalize_reduction(reduction)
+    node = prepare_operand(system, mode, for_equivalence=False)
+    compact = normalize_frontier(frontier) == "compact"
+    fingerprint = Fingerprinter() if compact else None
+
+    def key_of(state):
+        return fingerprint(state) if compact else state
+
     start = node.initial()
-    parents: dict = {start: None}
-    order = [start]
-    successors: dict = {}
+    start_key = key_of(start)
+    parents: dict = {start_key: None}
+    order = [start_key]
+    out_edges: dict = {}
+    observable: set = set()
+    first_deadlock = None
     complete = True
     queue = deque([start])
     while queue:
         state = queue.popleft()
+        key = key_of(state)
         moves = tuple(node.successors(state))
-        successors[state] = moves
+        if not moves and first_deadlock is None:
+            # Expansion follows discovery order, so the first empty state
+            # seen here is the earliest in BFS order -- shortest trace.
+            first_deadlock = (key, node.state_name(state))
+        targets = []
         for action, target in moves:
-            if target in parents:
+            if action != TAU:
+                observable.add(key)
+            target_key = key_of(target)
+            targets.append(target_key)
+            if target_key in parents:
                 continue
             if len(parents) >= limit:
                 complete = False
                 continue
-            parents[target] = (state, action)
-            order.append(target)
+            parents[target_key] = (key, action)
+            order.append(target_key)
             queue.append(target)
+        out_edges[key] = tuple(targets)
 
-    def trace_to(state) -> tuple[str, ...]:
+    def trace_to(key) -> tuple[str, ...]:
         actions: list[str] = []
-        while parents[state] is not None:
-            state, action = parents[state][0], parents[state][1]
+        while parents[key] is not None:
+            key, action = parents[key]
             actions.append(action)
         return tuple(reversed(actions))
 
-    def report(kind: str, state) -> StuckReport:
+    def state_name_of(key) -> str:
+        # Recover the actual state behind a fingerprint by replaying the
+        # parent chain from the start, matching action and fingerprint at
+        # each step -- the collision recheck for compact frontiers.
+        path: list = []  # (action, child_key) pairs, start -> key
+        cursor = key
+        while parents[cursor] is not None:
+            parent_key, action = parents[cursor]
+            path.append((action, cursor))
+            cursor = parent_key
+        path.reverse()
+        state = start
+        for action, child_key in path:
+            for move_action, target in node.successors(state):
+                if move_action == action and key_of(target) == child_key:
+                    state = target
+                    break
+            else:
+                raise RuntimeError(
+                    "fingerprint replay failed to reconstruct the stuck state "
+                    "(hash collision); re-run with frontier='exact'"
+                )
+        return node.state_name(state)
+
+    def report(kind: str, key, name: Union[str, None] = None) -> StuckReport:
         return StuckReport(
             kind=kind,
-            state=node.state_name(state),
-            trace=trace_to(state),
+            state=state_name_of(key) if name is None else name,
+            trace=trace_to(key),
             states_explored=len(parents),
             complete=complete,
+            reduction=mode,
         )
 
-    for state in order:  # BFS order => first hit has a shortest trace
-        if not successors[state]:
-            return report("deadlock", state)
+    if first_deadlock is not None:
+        return report("deadlock", first_deadlock[0], first_deadlock[1])
     if not (livelocks and complete):
         return None
     # Backward closure from states with an observable move: anything outside
     # it can only ever do tau again -- a livelock (the exploration being
     # complete, "outside" is exact, not an artefact of truncation).
-    reverse: dict = {state: [] for state in order}
-    live = deque()
-    alive = set()
-    for state in order:
-        for action, target in successors[state]:
-            reverse[target].append(state)
-        if any(action != TAU for action, _ in successors[state]):
-            alive.add(state)
-            live.append(state)
+    reverse: dict = {key: [] for key in order}
+    for key in order:
+        for target_key in out_edges[key]:
+            reverse[target_key].append(key)
+    live = deque(observable)
+    alive = set(observable)
     while live:
-        state = live.popleft()
-        for predecessor in reverse[state]:
+        key = live.popleft()
+        for predecessor in reverse[key]:
             if predecessor not in alive:
                 alive.add(predecessor)
                 live.append(predecessor)
-    for state in order:
-        if state not in alive:
-            return report("livelock", state)
+    for key in order:
+        if key not in alive:
+            return report("livelock", key)
     return None
 
 
@@ -221,6 +294,8 @@ def sweep_crashes(
     notion: str = "observational",
     engine=None,
     max_pairs: Union[int, None] = None,
+    reduction: str = "none",
+    frontier: str = "exact",
 ) -> SweepResult:
     """Sweep crash faults over a library scenario's declared fault slots.
 
@@ -250,6 +325,8 @@ def sweep_crashes(
             engine=engine,
             witness=True,
             max_pairs=max_pairs,
+            reduction=reduction,
+            frontier=frontier,
         )
         details = verdict.stats.details
         trace = details.get("trace")

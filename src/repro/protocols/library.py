@@ -188,6 +188,10 @@ def quorum_voting(n: int = 5, f: Union[int, None] = None) -> Scenario:
             ),
         ),
         description=f"n validators, staged quorum counter with threshold n - f = {threshold}",
+        # The counter receives any sender's channel without tracking identity
+        # and every vote/prepare/commit channel is restricted, so validators
+        # are fully interchangeable -- the symmetry the n=25 bench exploits.
+        symmetric_roles=("validator",),
     )
     system = protocol.instantiate(n, f)
     return Scenario(
@@ -289,6 +293,9 @@ def token_passing(n: int = 4, f: Union[int, None] = None) -> Scenario:
         name="token_passing",
         roles=(Role("station", station, count="n"),),
         description="self-stabilising token ring; observable round-robin serves",
+        # Rotating the ring maps serve<i> to serve<i+1>: an automorphism that
+        # permutes observable labels, so sound for stuck-state search only.
+        ring_roles=("station",),
     )
     system = protocol.instantiate(n, f)
     spec_transitions = [

@@ -326,18 +326,50 @@ def _fold_ccs(specs: list[SystemSpec]) -> SystemSpec:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ProtocolSpec:
-    """A protocol as roles + quorum predicates, instantiable at any ``(n, f)``."""
+    """A protocol as roles + quorum predicates, instantiable at any ``(n, f)``.
+
+    ``symmetric_roles`` / ``ring_roles`` declare symmetry the *author* knows
+    the protocol has: instances of a symmetric role are fully
+    interchangeable (their channels are all restricted and every counter
+    treats senders anonymously -- the counting-synchroniser shape), while
+    instances of a ring role are symmetric only under rotation.
+    :meth:`instantiate` turns the declarations into the leaf-position
+    annotations :mod:`repro.explore.reduce` consumes; they are promises,
+    re-checkable with ``SymmetryReducer(..., validate=True)``, not inferred
+    facts.  Note a broadcast *breaks* full-permutation symmetry -- it sends
+    in a fixed ascending peer order, so permuting the peers changes which
+    mid-broadcast states exist (two-phase commit is deliberately *not*
+    declared symmetric).
+    """
 
     name: str
     roles: tuple[Role, ...]
     quorums: tuple[Quorum, ...] = ()
     description: str = ""
+    symmetric_roles: tuple[str, ...] = ()
+    ring_roles: tuple[str, ...] = ()
 
-    def __init__(self, name, roles, quorums=(), description=""):
+    def __init__(
+        self,
+        name,
+        roles,
+        quorums=(),
+        description="",
+        symmetric_roles=(),
+        ring_roles=(),
+    ):
         object.__setattr__(self, "name", str(name))
         object.__setattr__(self, "roles", tuple(roles))
         object.__setattr__(self, "quorums", tuple(quorums))
         object.__setattr__(self, "description", str(description))
+        object.__setattr__(self, "symmetric_roles", tuple(symmetric_roles))
+        object.__setattr__(self, "ring_roles", tuple(ring_roles))
+        known = {role.name for role in self.roles}
+        for declared in (*self.symmetric_roles, *self.ring_roles):
+            if declared not in known:
+                raise InvalidProcessError(
+                    f"symmetry declared for unknown role {declared!r}"
+                )
 
     def counts(self, n: int, f: int = 0) -> dict[str, int]:
         """Resolve every role's instance count at ``(n, f)``."""
@@ -398,4 +430,37 @@ class ProtocolSpec:
         """
         compiled, channels = self._compiled(n, f)
         tree = _fold_ccs(list(compiled))
-        return RestrictSpec(tree, channels) if channels else tree
+        root = RestrictSpec(tree, channels) if channels else tree
+        self._annotate(root, n, f)
+        return root
+
+    def _annotate(self, root: SystemSpec, n: int, f: int) -> None:
+        """Translate declared role symmetries into leaf-position annotations.
+
+        Leaf order mirrors :meth:`_compiled`: role instances in declaration
+        order, then quorum counters -- so each role's instances occupy one
+        contiguous block of flat positions.
+        """
+        from repro.explore.reduce import (
+            FullPermutationSymmetry,
+            RotationSymmetry,
+            annotate_symmetry,
+        )
+
+        counts = self.counts(n, f)
+        offsets: dict[str, int] = {}
+        position = 0
+        for role in self.roles:
+            offsets[role.name] = position
+            position += counts[role.name]
+        symmetries = []
+        for name in self.symmetric_roles:
+            span = tuple(range(offsets[name], offsets[name] + counts[name]))
+            if len(span) > 1:
+                symmetries.append(FullPermutationSymmetry((span,)))
+        for name in self.ring_roles:
+            span = tuple(range(offsets[name], offsets[name] + counts[name]))
+            if len(span) > 1:
+                symmetries.append(RotationSymmetry((span,)))
+        if symmetries:
+            annotate_symmetry(root, *symmetries)

@@ -108,6 +108,7 @@ class ServiceClient:
         align: bool = True,
         witness: bool = False,
         on_the_fly: bool | None = None,
+        reduction: str | None = None,
         deadline_ms: float | None = None,
         **params: Any,
     ) -> dict[str, Any]:
@@ -117,6 +118,9 @@ class ServiceClient:
         (:class:`~repro.explore.system.SystemSpec` values or
         ``{"system": ...}`` documents); those default to the server's
         on-the-fly route, and ``on_the_fly`` overrides the route either way.
+        ``reduction`` requests a state-space reduction on the lazy route
+        (``"none"``/``"por"``/``"symmetry"``/``"full"``; the mode actually
+        applied comes back in the verdict's ``reduction`` field).
         ``deadline_ms`` bounds the check: past it, the worker aborts
         cooperatively and the call raises a ``deadline_exceeded``
         :class:`~repro.service.protocol.ServiceError`.
@@ -131,6 +135,8 @@ class ServiceClient:
         }
         if on_the_fly is not None:
             request["on_the_fly"] = on_the_fly
+        if reduction is not None:
+            request["reduction"] = reduction
         if deadline_ms is not None:
             request["deadline_ms"] = deadline_ms
         return self.request("check", request)
@@ -142,14 +148,17 @@ class ServiceClient:
         notion: str = "observational",
         align: bool = True,
         witness: bool = False,
+        reduction: str | None = None,
         deadline_ms: float | None = None,
     ) -> dict[str, Any]:
         """Run a manifest of checks; returns ``{"results": [...], "summary": {...}}``.
 
         Each entry is ``(left, right)``, ``(left, right, notion)``, or a dict
         with ``left`` / ``right`` / optional ``notion`` / ``params``.
-        ``deadline_ms`` applies one absolute deadline to the whole batch;
-        checks that miss it report ``deadline_exceeded`` inline.
+        ``reduction`` sets the batch-default state-space reduction (each
+        entry may override it).  ``deadline_ms`` applies one absolute
+        deadline to the whole batch; checks that miss it report
+        ``deadline_exceeded`` inline.
         """
         encoded = []
         for index, item in enumerate(checks):
@@ -175,6 +184,8 @@ class ServiceClient:
             "align": align,
             "witness": witness,
         }
+        if reduction is not None:
+            params["reduction"] = reduction
         if deadline_ms is not None:
             params["deadline_ms"] = deadline_ms
         return self.request("check_many", params)

@@ -472,6 +472,17 @@ class EquivalenceServer:
             "on_the_fly": params.get("on_the_fly", defaults.get("on_the_fly")),
             "params": params.get("params", {}),
         }
+        reduction = params.get("reduction", defaults.get("reduction"))
+        if reduction is not None:
+            # Validated here so a typo answers as bad_request instead of
+            # silently running the unreduced route in the worker.
+            from repro.core.errors import InvalidProcessError
+            from repro.explore.reduce import normalize_reduction
+
+            try:
+                spec["reduction"] = normalize_reduction(reduction)
+            except InvalidProcessError as error:
+                raise protocol.ServiceError(protocol.BAD_REQUEST, str(error)) from None
         if spec["left"] is None or spec["right"] is None:
             raise protocol.ServiceError(
                 protocol.BAD_REQUEST, "a check needs 'left' and 'right' process references"
@@ -498,6 +509,7 @@ class EquivalenceServer:
             "align": params.get("align", True),
             "witness": params.get("witness", False),
             "on_the_fly": params.get("on_the_fly"),
+            "reduction": params.get("reduction"),
         }
         # One deadline for the whole batch: every spec gets the same
         # absolute instant, so stragglers abort together.

@@ -180,14 +180,18 @@ def _worker_check(spec: dict[str, Any]) -> dict[str, Any]:
         composed = isinstance(left, SystemSpec) or isinstance(right, SystemSpec)
         on_the_fly = spec.get("on_the_fly")
         lazy = bool(on_the_fly) or (on_the_fly is None and composed)
+        reduction = spec.get("reduction")
         try:
             if lazy:
+                extra = dict(spec.get("params", {}))
+                if reduction is not None:
+                    extra["reduction"] = reduction
                 verdict = engine.check_on_the_fly(
                     left,
                     right,
                     spec.get("notion", "observational"),
                     witness=bool(spec.get("witness", False)),
-                    **spec.get("params", {}),
+                    **extra,
                 )
             else:
                 if isinstance(left, SystemSpec):
@@ -211,6 +215,7 @@ def _worker_check(spec: dict[str, Any]) -> dict[str, Any]:
     if lazy:
         result["route"] = verdict.stats.details.get("route")
         result["pairs_visited"] = verdict.stats.details.get("pairs_visited")
+        result["reduction"] = verdict.stats.details.get("reduction")
     result["shard"] = _WORKER["shard"]
     result["pid"] = os.getpid()
     if queue_wait is not None:

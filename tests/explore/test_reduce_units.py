@@ -1,0 +1,142 @@
+"""Direct unit tests for the validation and estimation edges of ``reduce``.
+
+The differential oracle and metamorphic suites exercise the reductions
+end-to-end; these tests pin the small contracts around them -- mode /
+frontier validation, malformed symmetry declarations, the structural
+state estimator's dispatch over every spec node, and the bounded
+canonical rendering -- where a silently-accepted bad input would
+surface much later as a confusing search result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import FSP, from_transitions
+from repro.explore.products import LazyInterleavingProduct
+from repro.explore.reduce import (
+    ConfluenceReducer,
+    FullPermutationSymmetry,
+    RotationSymmetry,
+    SymmetryReducer,
+    annotate_symmetry,
+    canonical_bytes,
+    declared_symmetry,
+    normalize_frontier,
+    normalize_reduction,
+    structural_state_estimate,
+)
+from repro.explore.system import (
+    HideSpec,
+    LeafSpec,
+    ProductSpec,
+    RelabelSpec,
+    RestrictSpec,
+    build_implicit,
+)
+
+
+def _toggle(a: str = "a") -> FSP:
+    return from_transitions([("p", a, "q"), ("q", a, "p")], "p")
+
+
+# ----------------------------------------------------------------------
+# Mode / frontier validation
+# ----------------------------------------------------------------------
+def test_normalize_reduction_rejects_unknown_mode():
+    with pytest.raises(InvalidProcessError, match="unknown reduction"):
+        normalize_reduction("everything")
+
+
+def test_normalize_frontier_rejects_unknown_choice():
+    with pytest.raises(InvalidProcessError, match="unknown frontier"):
+        normalize_frontier("bloom")
+
+
+def test_normalize_defaults():
+    assert normalize_reduction(None) == "none"
+    assert normalize_frontier(None) == "exact"
+
+
+# ----------------------------------------------------------------------
+# Symmetry declaration validation
+# ----------------------------------------------------------------------
+def test_rotation_rings_must_share_one_length():
+    with pytest.raises(InvalidProcessError, match="share one length"):
+        RotationSymmetry(((0, 1), (2, 3, 4)))
+
+
+def test_symmetry_positions_must_be_disjoint():
+    with pytest.raises(InvalidProcessError, match="appears twice"):
+        FullPermutationSymmetry(((0, 1), (1, 2)))
+
+
+def test_symmetry_rejects_empty_and_negative_groups():
+    with pytest.raises(InvalidProcessError, match="empty"):
+        FullPermutationSymmetry(((),))
+    with pytest.raises(InvalidProcessError, match="negative"):
+        RotationSymmetry(((-1, 0),))
+
+
+def test_annotate_symmetry_needs_a_symmetry():
+    spec = ProductSpec("interleave", LeafSpec(_toggle()), LeafSpec(_toggle()))
+    with pytest.raises(InvalidProcessError, match="at least one"):
+        annotate_symmetry(spec)
+    with pytest.raises(InvalidProcessError, match="not a symmetry"):
+        annotate_symmetry(spec, "rotate please")
+    assert declared_symmetry(spec) is None
+
+
+def test_annotate_symmetry_rejects_frozen_leaf_nodes():
+    with pytest.raises(InvalidProcessError, match="annotate an enclosing"):
+        annotate_symmetry(LeafSpec(_toggle()), FullPermutationSymmetry(((0,),)))
+
+
+def test_symmetry_reducer_rejects_positions_beyond_the_leaves():
+    spec = ProductSpec("interleave", LeafSpec(_toggle()), LeafSpec(_toggle()))
+    with pytest.raises(InvalidProcessError, match="exceed"):
+        SymmetryReducer(build_implicit(spec), FullPermutationSymmetry(((0, 5),)))
+    with pytest.raises(InvalidProcessError, match="at least one symmetry"):
+        SymmetryReducer(build_implicit(spec), ())
+
+
+# ----------------------------------------------------------------------
+# Structural state estimation
+# ----------------------------------------------------------------------
+def test_structural_estimate_multiplies_across_operators():
+    left = LeafSpec(_toggle("a"))
+    right = LeafSpec(_toggle("b"))
+    product = ProductSpec("interleave", left, right)
+    assert structural_state_estimate(left) == 2
+    assert structural_state_estimate(product) == 4
+    assert structural_state_estimate(RestrictSpec(product, frozenset({"a"}))) == 4
+    assert structural_state_estimate(HideSpec(product, frozenset({"a"}))) == 4
+    assert structural_state_estimate(RelabelSpec(product, {"a": "c"})) == 4
+    assert structural_state_estimate(_toggle()) == 2
+
+
+def test_structural_estimate_sees_through_reducers():
+    spec = ProductSpec("interleave", LeafSpec(_toggle("a")), LeafSpec(_toggle("b")))
+    implicit = build_implicit(spec)
+    assert structural_state_estimate(implicit) == 4
+    assert structural_state_estimate(ConfluenceReducer(implicit)) == 4
+    reducer = SymmetryReducer(implicit, FullPermutationSymmetry(((0, 1),)))
+    assert structural_state_estimate(reducer) == 4
+    lazy = LazyInterleavingProduct(_toggle("a"), _toggle("b"))
+    assert structural_state_estimate(lazy) == 4
+
+
+def test_structural_estimate_rejects_opaque_sources():
+    with pytest.raises(InvalidProcessError, match="cannot estimate"):
+        structural_state_estimate(object())
+
+
+# ----------------------------------------------------------------------
+# Canonical rendering bound
+# ----------------------------------------------------------------------
+def test_canonical_bytes_limit_is_enforced():
+    spec = ProductSpec("interleave", LeafSpec(_toggle("a")), LeafSpec(_toggle("b")))
+    with pytest.raises(InvalidProcessError, match="exceeded 2 states"):
+        canonical_bytes(spec, limit=2)
+    assert canonical_bytes(spec, limit=100) == canonical_bytes(spec, limit=100)

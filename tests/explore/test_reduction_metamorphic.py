@@ -1,0 +1,137 @@
+"""Metamorphic tests for the symmetric library scenarios.
+
+Symmetry declarations promise that role indices are interchangeable; the
+metamorphic consequence is that *which* indices a test perturbs must never
+matter.  These tests permute crash-fault index sets in ``quorum_voting``
+and rotate the crashed station in ``token_passing`` and assert that every
+``protocol check`` / stuck-search verdict is invariant -- under the
+unreduced route and under every reduction mode.
+
+The canonical-form regression fixtures pin the byte rendering of each
+symmetric family's canonical quotient (``canonical_bytes`` is hash-seed
+independent by construction): any change to canonicalisation -- new
+symmetry declarations, a different representative rule -- must show up
+here as an explicit fixture diff, not as a silently different search.
+Regenerate with::
+
+    PYTHONPATH=src python tests/explore/test_reduction_metamorphic.py --regen
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+
+import pytest
+
+from repro.explore.reduce import REDUCTIONS, canonical_bytes
+from repro.generators.families import (
+    dining_philosophers_system,
+    milner_scheduler_system,
+    token_ring_system,
+)
+from repro.protocols.check import check_conformance, find_stuck
+from repro.protocols.faults import Crash, apply_faults
+from repro.protocols.library import quorum_voting, token_passing
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+# ----------------------------------------------------------------------
+# Index-permutation invariance
+# ----------------------------------------------------------------------
+def _quorum_verdicts(n, f, indices, reduction):
+    scenario = quorum_voting(n, f)
+    faulty = apply_faults(scenario.system, tuple(Crash("validator", i) for i in indices))
+    verdict = check_conformance(scenario.spec, faulty, reduction=reduction)
+    return verdict.equivalent
+
+
+@pytest.mark.parametrize("reduction", REDUCTIONS)
+def test_quorum_crash_index_permutation_invariance(reduction):
+    n, f = 5, 2
+    for k, expected in ((f, True), (f + 1, False)):
+        verdicts = {
+            _quorum_verdicts(n, f, combo, reduction)
+            for combo in itertools.combinations(range(n), k)
+        }
+        assert verdicts == {expected}, (
+            f"crashing different validator {k}-subsets changed the verdict "
+            f"under reduction={reduction}"
+        )
+
+
+@pytest.mark.parametrize("reduction", REDUCTIONS)
+def test_token_passing_crash_rotation_invariance(reduction):
+    scenario = token_passing(4)
+    verdicts = set()
+    kinds = set()
+    for station in range(scenario.n):
+        faulty = apply_faults(scenario.system, (Crash("station", station, at="wait"),))
+        verdicts.add(
+            check_conformance(scenario.spec, faulty, reduction=reduction).equivalent
+        )
+        report = find_stuck(faulty, reduction=reduction)
+        kinds.add(None if report is None else report.kind)
+    assert len(verdicts) == 1, (
+        f"rotating the crashed station changed the conformance verdict "
+        f"under reduction={reduction}"
+    )
+    assert len(kinds) == 1, (
+        f"rotating the crashed station changed the stuck kind under "
+        f"reduction={reduction}"
+    )
+
+
+@pytest.mark.parametrize("reduction", REDUCTIONS)
+def test_healthy_library_scenarios_conform_every_mode(reduction):
+    for scenario in (quorum_voting(3, 1), token_passing(3)):
+        verdict = check_conformance(scenario.spec, scenario.system, reduction=reduction)
+        assert verdict.equivalent, (
+            f"{scenario.name} healthy system rejected under reduction={reduction}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Canonical-form regression fixtures
+# ----------------------------------------------------------------------
+def _canonical_cases():
+    return {
+        "token_ring_n3": token_ring_system(3),
+        "milner_scheduler_n3": milner_scheduler_system(3),
+        "dining_philosophers_n3": dining_philosophers_system(3),
+        "quorum_voting_n3_f1": quorum_voting(3, 1).system,
+        "token_passing_n3": token_passing(3).system,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_canonical_cases()))
+def test_canonical_form_fixture(name):
+    rendered = canonical_bytes(_canonical_cases()[name])
+    fixture = FIXTURES / f"canonical_{name}.txt"
+    assert fixture.exists(), (
+        f"missing fixture {fixture}; regenerate with "
+        "PYTHONPATH=src python tests/explore/test_reduction_metamorphic.py --regen"
+    )
+    assert rendered == fixture.read_bytes(), (
+        f"canonical quotient of {name} changed; if intentional, regenerate "
+        "the fixtures and review the diff"
+    )
+
+
+def test_canonical_bytes_stable_across_calls():
+    spec = milner_scheduler_system(3)
+    assert canonical_bytes(spec) == canonical_bytes(milner_scheduler_system(3))
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        FIXTURES.mkdir(exist_ok=True)
+        for name, spec in _canonical_cases().items():
+            path = FIXTURES / f"canonical_{name}.txt"
+            path.write_bytes(canonical_bytes(spec))
+            print(f"wrote {path}")
+    else:
+        sys.exit("pass --regen to regenerate the canonical fixtures")

@@ -1,0 +1,235 @@
+"""Differential-testing oracle for the state-space reductions.
+
+The reductions of :mod:`repro.explore.reduce` are only worth having if they
+are *silently* correct: a soundness bug produces a wrong verdict, not an
+exception.  So every property here is differential -- the unreduced checker
+is the oracle and each ``reduction=`` mode (times each frontier) must agree
+with it on hypothesis-generated random ``SystemSpec`` trees:
+
+* verdict parity for strong and observational equivalence;
+* witness validity -- any trace reported verified under a reduction must
+  replay as a genuine distinguishing trace on the *raw* systems;
+* deadlock / livelock parity for ``find_stuck``, including trace realism
+  for the modes whose traces are exact (everything except non-label-
+  preserving symmetry, which reports traces modulo the symmetry);
+* declared-symmetry validation on the trees the generator *constructs* to
+  be symmetric (interleavings of identical components).
+
+``REDUCTION_ORACLE_EXAMPLES`` scales the hypothesis example budget (the CI
+nightly lane raises it via a workflow input).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsp import TAU
+from repro.explore.onthefly import check_implicit, verify_trace
+from repro.explore.reduce import (
+    FRONTIERS,
+    REDUCTIONS,
+    FullPermutationSymmetry,
+    SymmetryReducer,
+    annotate_symmetry,
+    declared_symmetry,
+)
+from repro.explore.system import (
+    HideSpec,
+    LeafSpec,
+    ProductSpec,
+    RestrictSpec,
+    build_implicit,
+)
+from repro.protocols.check import find_stuck
+from tests.property.strategies import fsp_strategy
+
+MAX_EXAMPLES = int(os.environ.get("REDUCTION_ORACLE_EXAMPLES", "25"))
+ORACLE_SETTINGS = settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+REDUCED_MODES = tuple(mode for mode in REDUCTIONS if mode != "none")
+
+
+@st.composite
+def system_spec_strategy(draw, max_leaves: int = 3):
+    """A random small composition tree over random FSP leaves."""
+    num_leaves = draw(st.integers(min_value=1, max_value=max_leaves))
+    tree = None
+    for index in range(num_leaves):
+        leaf = LeafSpec(
+            draw(fsp_strategy(max_states=3, max_transitions=6, all_accepting=True)),
+            label=f"leaf{index}",
+        )
+        if tree is None:
+            tree = leaf
+        else:
+            op = draw(st.sampled_from(["ccs", "interleave"]))
+            tree = ProductSpec(op, tree, leaf)
+    wrapper = draw(st.sampled_from(["none", "restrict", "hide"]))
+    if wrapper == "restrict":
+        tree = RestrictSpec(tree, frozenset({"b"}))
+    elif wrapper == "hide":
+        tree = HideSpec(tree, frozenset({"b"}))
+    return tree
+
+
+@st.composite
+def symmetric_spec_strategy(draw, copies: int = 3):
+    """An interleaving of identical components, annotated with the (true)
+    full-permutation symmetry -- label-preserving by construction."""
+    component = draw(fsp_strategy(max_states=3, max_transitions=6, all_accepting=True))
+    tree = LeafSpec(component, label="copy0")
+    for index in range(1, copies):
+        tree = ProductSpec("interleave", tree, LeafSpec(component, label=f"copy{index}"))
+    return annotate_symmetry(
+        tree, FullPermutationSymmetry((tuple(range(copies)),))
+    )
+
+
+def _all_routes(left, right, notion):
+    baseline = check_implicit(left, right, notion)
+    routes = []
+    for mode in REDUCED_MODES:
+        for frontier in FRONTIERS:
+            routes.append(
+                (mode, frontier, check_implicit(left, right, notion, reduction=mode, frontier=frontier))
+            )
+    # the compact frontier alone must also agree
+    routes.append(("none", "compact", check_implicit(left, right, notion, frontier="compact")))
+    return baseline, routes
+
+
+@given(left=system_spec_strategy(), right=system_spec_strategy())
+@ORACLE_SETTINGS
+def test_verdict_parity_random_trees(left, right):
+    for notion in ("strong", "observational"):
+        baseline, routes = _all_routes(left, right, notion)
+        for mode, frontier, result in routes:
+            assert result.equivalent == baseline.equivalent, (
+                f"{notion}/{mode}/{frontier} disagrees with the unreduced verdict"
+            )
+            assert result.reduction == mode
+
+
+@given(spec=system_spec_strategy())
+@ORACLE_SETTINGS
+def test_self_equivalence_every_mode(spec):
+    for notion in ("strong", "observational"):
+        for mode in REDUCTIONS:
+            assert check_implicit(spec, spec, notion, reduction=mode).equivalent
+
+
+@given(left=system_spec_strategy(), right=system_spec_strategy())
+@ORACLE_SETTINGS
+def test_witness_validity_under_reduction(left, right):
+    for notion in ("strong", "observational"):
+        for mode in REDUCED_MODES:
+            result = check_implicit(left, right, notion, reduction=mode, frontier="compact")
+            if result.trace is not None and result.trace_verified:
+                verified, _ = verify_trace(
+                    build_implicit(left), build_implicit(right), result.trace, notion
+                )
+                assert verified, (
+                    f"{mode} reported a verified trace that does not replay raw"
+                )
+
+
+def _admits_deadlock_after(spec, trace: tuple[str, ...]) -> bool:
+    """Whether some path realising ``trace`` ends in a successor-free state."""
+    node = build_implicit(spec)
+    macro = {node.initial()}
+    for action in trace:
+        macro = {
+            target
+            for state in macro
+            for label, target in node.successors(state)
+            if label == action
+        }
+        if not macro:
+            return False
+    return any(not tuple(node.successors(state)) for state in macro)
+
+
+@given(spec=system_spec_strategy())
+@ORACLE_SETTINGS
+def test_stuck_parity_random_trees(spec):
+    baseline = find_stuck(spec, frontier="exact")
+    for mode in REDUCTIONS:
+        for frontier in FRONTIERS:
+            report = find_stuck(spec, reduction=mode, frontier=frontier)
+            assert (report is None) == (baseline is None), (
+                f"find_stuck {mode}/{frontier} disagrees on stuck existence"
+            )
+            if report is not None:
+                assert report.kind == baseline.kind
+                assert report.reduction == mode
+                if report.kind == "deadlock":
+                    # random trees carry no symmetry annotation, so every
+                    # mode's trace is a genuine trace of the raw system
+                    assert _admits_deadlock_after(spec, report.trace)
+
+
+@given(spec=symmetric_spec_strategy())
+@ORACLE_SETTINGS
+def test_symmetric_trees_validate_and_agree(spec):
+    symmetries = declared_symmetry(spec)
+    assert symmetries is not None
+    # the declaration is *true*: generator-image validation must pass on
+    # every reachable state (validate=True raises on the first violation)
+    reducer = SymmetryReducer(build_implicit(spec), symmetries, validate=True)
+    seen = {reducer.initial()}
+    frontier = [reducer.initial()]
+    while frontier:
+        state = frontier.pop()
+        for _action, target in reducer.successors(state):
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    # and verdicts agree with the oracle in every mode
+    for notion in ("strong", "observational"):
+        baseline = check_implicit(spec, spec, notion)
+        for mode in REDUCED_MODES:
+            assert check_implicit(spec, spec, notion, reduction=mode).equivalent == baseline.equivalent
+    stuck_baseline = find_stuck(spec, frontier="exact")
+    for mode in REDUCED_MODES:
+        report = find_stuck(spec, reduction=mode)
+        assert (report is None) == (stuck_baseline is None)
+        if report is not None:
+            assert report.kind == stuck_baseline.kind
+
+
+@given(
+    spec=symmetric_spec_strategy(),
+    other=fsp_strategy(max_states=3, max_transitions=6, all_accepting=True),
+)
+@ORACLE_SETTINGS
+def test_symmetric_vs_foreign_parity(spec, other):
+    """Symmetry must not mask differences against an unrelated system."""
+    for notion in ("strong", "observational"):
+        baseline = check_implicit(spec, other, notion)
+        for mode in REDUCED_MODES:
+            result = check_implicit(spec, other, notion, reduction=mode)
+            assert result.equivalent == baseline.equivalent
+
+
+def test_livelock_parity_tau_cycle():
+    """A tau cycle beyond the observable prefix: every mode must call it."""
+    from repro.core.fsp import from_transitions
+
+    system = from_transitions(
+        [("s", "go", "l1"), ("l1", TAU, "l2"), ("l2", TAU, "l1")],
+        start="s",
+        all_accepting=True,
+    )
+    for mode in REDUCTIONS:
+        for frontier in FRONTIERS:
+            report = find_stuck(system, reduction=mode, frontier=frontier)
+            assert report is not None and report.kind == "livelock", (
+                f"livelock missed under {mode}/{frontier}"
+            )

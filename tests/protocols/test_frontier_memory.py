@@ -1,0 +1,58 @@
+"""Memory-boundedness of the hash-compacted stuck-search frontier.
+
+The point of ``frontier="compact"`` is that :func:`find_stuck` can sweep a
+product far bigger than memory: the visited set, parent links, and edge
+lists are keyed by 128-bit fingerprints (plain ints) instead of the
+composed state tuples themselves.  This test truncates a 10^7-state
+interleaved-cycles product (the textbook exponential grid) at a fixed
+discovery limit and asserts, via ``tracemalloc``, that the compact sweep
+stays under a configurable ceiling -- and genuinely undercuts the exact
+frontier on the same workload, so the fingerprint path cannot silently
+regress into retaining full states.
+
+``FRONTIER_MEMORY_CEILING_MB`` overrides the ceiling (e.g. for allocators
+or interpreter builds with different fixed overheads).
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+
+from repro.generators.families import (
+    interleaved_cycles_product_size,
+    interleaved_cycles_system,
+)
+from repro.protocols.check import find_stuck
+
+LENGTHS = (10,) * 7  # 10^7 reachable product states
+LIMIT = 25_000  # truncation: discover this many states, then give up
+CEILING_MB = float(os.environ.get("FRONTIER_MEMORY_CEILING_MB", "32"))
+
+
+def _peak_mb(frontier: str) -> float:
+    spec = interleaved_cycles_system(LENGTHS)
+    tracemalloc.start()
+    try:
+        report = find_stuck(spec, limit=LIMIT, frontier=frontier)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    # cycles never deadlock or livelock; a truncated sweep must say "don't know"
+    assert report is None
+    return peak / 1e6
+
+
+def test_compact_frontier_bounds_truncated_sweep_memory():
+    assert interleaved_cycles_product_size(LENGTHS) == 10_000_000
+    compact_peak = _peak_mb("compact")
+    assert compact_peak <= CEILING_MB, (
+        f"compact frontier peaked at {compact_peak:.1f}MB for a {LIMIT}-state "
+        f"truncated sweep (ceiling {CEILING_MB}MB); the fingerprint path is "
+        "retaining full product states"
+    )
+    exact_peak = _peak_mb("exact")
+    assert compact_peak < 0.75 * exact_peak, (
+        f"compact frontier ({compact_peak:.1f}MB) no longer undercuts the "
+        f"exact frontier ({exact_peak:.1f}MB) on the same workload"
+    )

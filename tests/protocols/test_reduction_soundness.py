@@ -1,0 +1,107 @@
+"""Mutation-style soundness probes for the state-space reductions.
+
+A reduction that *masks* a fault is worse than no reduction at all: it
+returns "equivalent" for a genuinely broken implementation.  These probes
+take every library scenario, inject each fault class the library models --
+crash, omission, Byzantine, and the scenario's built-in snag mutant -- and
+assert that every ``reduction=`` mode reaches exactly the verdict of the
+unreduced route.  In particular a mutant the unreduced checker *detects*
+must stay detected under every mode (the one-sided failure that matters),
+but full parity is asserted both ways: a reduction inventing a difference
+would be just as wrong.
+
+Faults rebuild the ``SystemSpec`` tree (see :mod:`repro.protocols.faults`),
+which drops any symmetry annotation -- deliberately, since a faulty
+instance is precisely what breaks the symmetry -- so the symmetry modes
+degrade soundly to the identity on the faulty side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.reduce import FRONTIERS, REDUCTIONS
+from repro.protocols.check import check_conformance, find_stuck
+from repro.protocols.faults import Byzantine, Crash, Omission, apply_fault
+from repro.protocols.library import (
+    quorum_voting,
+    ring_election,
+    token_passing,
+    two_phase_commit,
+)
+
+REDUCED_MODES = tuple(mode for mode in REDUCTIONS if mode != "none")
+
+
+def _scenarios():
+    return {
+        "two_phase_commit": two_phase_commit(3),
+        "quorum_voting": quorum_voting(3, 1),
+        "ring_election": ring_election(3),
+        "token_passing": token_passing(3),
+    }
+
+
+def _first_role(scenario) -> str:
+    return scenario.protocol.roles[0].name
+
+
+def _first_channel(scenario) -> str:
+    return sorted(scenario.protocol.channels(scenario.n, scenario.f))[0]
+
+
+def _faulted_systems(scenario):
+    """One faulty system per fault class, plus the built-in snag mutant."""
+    last_role = scenario.protocol.roles[-1].name
+    return {
+        "crash": apply_fault(scenario.system, Crash(last_role, 0)),
+        "omission": apply_fault(scenario.system, Omission(_first_channel(scenario))),
+        "byzantine": apply_fault(scenario.system, Byzantine(last_role, 0)),
+        "snag-mutant": scenario.mutant,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_scenarios()))
+def test_fault_verdict_parity_every_mode(name):
+    scenario = _scenarios()[name]
+    for fault_name, faulty in _faulted_systems(scenario).items():
+        baseline = check_conformance(scenario.spec, faulty)
+        for mode in REDUCED_MODES:
+            for frontier in FRONTIERS:
+                verdict = check_conformance(
+                    scenario.spec, faulty, reduction=mode, frontier=frontier
+                )
+                assert verdict.equivalent == baseline.equivalent, (
+                    f"{name}/{fault_name}: reduction={mode} frontier={frontier} "
+                    f"flipped the verdict "
+                    f"({verdict.equivalent} vs baseline {baseline.equivalent})"
+                )
+
+
+@pytest.mark.parametrize("name", sorted(_scenarios()))
+def test_builtin_mutant_never_masked(name):
+    scenario = _scenarios()[name]
+    baseline = check_conformance(scenario.spec, scenario.mutant)
+    assert not baseline.equivalent, f"{name} mutant undetected even unreduced"
+    for mode in REDUCED_MODES:
+        verdict = check_conformance(scenario.spec, scenario.mutant, reduction=mode)
+        assert not verdict.equivalent, (
+            f"{name} mutant masked by reduction={mode}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(_scenarios()))
+def test_fault_stuck_parity_every_mode(name):
+    scenario = _scenarios()[name]
+    for fault_name, faulty in _faulted_systems(scenario).items():
+        baseline = find_stuck(faulty, frontier="exact")
+        for mode in REDUCED_MODES:
+            report = find_stuck(faulty, reduction=mode)
+            assert (report is None) == (baseline is None), (
+                f"{name}/{fault_name}: reduction={mode} disagrees on stuck existence"
+            )
+            if report is not None:
+                assert report.kind == baseline.kind, (
+                    f"{name}/{fault_name}: reduction={mode} reports {report.kind}, "
+                    f"baseline {baseline.kind}"
+                )

@@ -99,6 +99,16 @@ class TestWorkerRoute:
         assert result["equivalent"] is False
         assert "defect0" in (result["witness"] or "")
 
+    def test_reduction_request_is_honoured_on_the_lazy_route(self, worker):
+        spec_side = scenario_ref({"name": "quorum_voting", "n": 5, "f": 2, "side": "spec"})
+        impl = scenario_ref({"name": "quorum_voting", "n": 5, "f": 2})
+        plain = _worker_check(check_spec(spec_side, impl))
+        reduced = _worker_check(check_spec(spec_side, impl, reduction="full"))
+        assert plain["equivalent"] is True and reduced["equivalent"] is True
+        assert plain["reduction"] == "none"
+        assert reduced["reduction"] == "full"
+        assert reduced["pairs_visited"] < plain["pairs_visited"]
+
 
 class TestRouting:
     def test_scenario_references_route_shard_sticky(self):
@@ -183,3 +193,17 @@ class TestEndToEnd:
                     scenario_ref("three_phase_commit"),
                 )
             assert info.value.code == protocol.INVALID_PROCESS
+
+    def test_reduction_rides_the_wire_and_bad_modes_are_bad_request(self, service):
+        spec_side = scenario_ref({"name": "quorum_voting", "n": 5, "f": 2, "side": "spec"})
+        impl = scenario_ref({"name": "quorum_voting", "n": 5, "f": 2})
+        with ServiceClient(port=service["port"]) as client:
+            plain = client.check(spec_side, impl)
+            reduced = client.check(spec_side, impl, reduction="full")
+            assert plain["equivalent"] is True and reduced["equivalent"] is True
+            assert plain["reduction"] == "none"
+            assert reduced["reduction"] == "full"
+            assert reduced["pairs_visited"] < plain["pairs_visited"]
+            with pytest.raises(protocol.ServiceError) as info:
+                client.check(spec_side, impl, reduction="bogus")
+            assert info.value.code == protocol.BAD_REQUEST
