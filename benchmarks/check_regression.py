@@ -37,6 +37,12 @@ the committed ``benchmarks/baseline_expectations.json``:
   most ``max_wedged_shards`` shards unresponsive, and record **zero** worker
   revivals -- the slow-poison tail must be shed by deadlines, not by
   crashing and replacing workers;
+* the cluster gates (only on ``run_all.py --cluster`` runs, i.e. the
+  cluster CI lanes): the 3-node open-loop ``cluster_records`` cell must
+  record a node speedup of at least ``node_speedup_floor`` over the
+  single-node calibration at the same fixed per-node cache budget, reach
+  ``throughput_ratio_floor``, leave at most ``max_wedged_nodes`` surviving
+  nodes unresponsive, and verify failover after the mid-run node kill;
 * the on-the-fly exploration gate: the inequivalent composed family
   (>= 10^5 reachable product states) must be decided with a replay-verified
   distinguishing trace while visiting at most
@@ -222,6 +228,42 @@ def check(payload: dict, baseline: dict, factor: float, absolute: bool) -> list[
                     f"soak cell {cell}: {int(record.get('revivals', 0))} worker "
                     "revival(s) -- the poison tail crashed workers instead of being "
                     "shed by deadlines"
+                )
+
+    # Cluster gates.  The cluster section only exists on ``run_all.py
+    # --cluster`` runs (the cluster-smoke/nightly CI lanes); ordinary bench
+    # runs are exempt, mirroring the --soak-only gates above.
+    cluster_gates = baseline.get("cluster_gates")
+    if cluster_gates is not None and bool(meta.get("cluster_bench", False)):
+        cluster_records = payload.get("cluster_records", [])
+        if not cluster_records:
+            failures.append("no cluster_records in this --cluster run")
+        for record in cluster_records:
+            cell = f"{record['solver']}|{record['family']}|{record['n']}"
+            speedup_floor = float(cluster_gates.get("node_speedup_floor", 0.0))
+            if float(record.get("node_speedup", 0.0)) < speedup_floor:
+                failures.append(
+                    f"cluster cell {cell}: node speedup "
+                    f"{float(record.get('node_speedup', 0.0)):.2f}x over one node is "
+                    f"below the committed floor of {speedup_floor:.1f}x"
+                )
+            ratio_floor = float(cluster_gates.get("throughput_ratio_floor", 0.0))
+            if float(record.get("throughput_ratio", 0.0)) < ratio_floor:
+                failures.append(
+                    f"cluster cell {cell}: throughput ratio "
+                    f"{float(record.get('throughput_ratio', 0.0)):.3f} is below the "
+                    f"committed floor of {ratio_floor:.2f}"
+                )
+            max_wedged = int(cluster_gates.get("max_wedged_nodes", 0))
+            if int(record.get("wedged_nodes", 0)) > max_wedged:
+                failures.append(
+                    f"cluster cell {cell}: {int(record.get('wedged_nodes', 0))} wedged "
+                    f"node(s) after the run (allowed {max_wedged})"
+                )
+            if not record.get("failover_verified", False):
+                failures.append(
+                    f"cluster cell {cell}: failover not verified -- killing one node "
+                    "mid-run must leave the replicas answering its share"
                 )
 
     fraction_ceiling = baseline.get("explore_visit_fraction_ceiling")
@@ -473,6 +515,28 @@ def write_step_summary(
                 f"| {record['revivals']} | {record['wedged_shards']} |"
             )
         lines.append("")
+    cluster_records = payload.get("cluster_records") or []
+    if cluster_records:
+        cluster_meta = meta.get("cluster_load") or {}
+        lines += [
+            "### Cluster load: 3 nodes vs 1 behind the coordinator",
+            "",
+            f"Capacity {cluster_meta.get('cluster_capacity_rps')} rps vs "
+            f"{cluster_meta.get('single_node_capacity_rps')} rps single-node.",
+            "",
+            "| cell | node speedup | offered rps | ratio | p99 | failovers | "
+            "repairs | failover verified | wedged |",
+            "| --- | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: |",
+        ]
+        for record in cluster_records:
+            lines.append(
+                f"| `{record['solver']}|{record['family']}|{record['n']}` "
+                f"| {record['node_speedup']:.2f}x | {record['offered_rps']:.0f} "
+                f"| {record['throughput_ratio']:.3f} | {record['p99_ms']:.1f} ms "
+                f"| {record['failovers']} | {record['repairs']} "
+                f"| {record['failover_verified']} | {record['wedged_nodes']} |"
+            )
+        lines.append("")
     with open(summary_path, "a", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
 
@@ -537,6 +601,19 @@ def update_baseline(payload: dict, baseline_path: Path, factor: float) -> None:
                 "throughput_ratio_floor": 0.7,
                 "p99_ms_ceiling": 1000.0,
                 "max_wedged_shards": 0,
+            },
+        ),
+        # Cluster gates are ratios against the run's own single-node
+        # calibration, so they transfer across hosts; they only apply to
+        # ``run_all.py --cluster`` runs (the cluster CI lanes).  The 2x
+        # speedup floor is the acceptance criterion: three nodes at the
+        # same fixed per-node cache budget must beat one node at least 2x.
+        "cluster_gates": previous.get(
+            "cluster_gates",
+            {
+                "node_speedup_floor": 2.0,
+                "throughput_ratio_floor": 0.7,
+                "max_wedged_nodes": 0,
             },
         ),
     }

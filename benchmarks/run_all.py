@@ -30,6 +30,7 @@ Usage::
     python benchmarks/run_all.py                    # full trajectory + benchmarks
     python benchmarks/run_all.py --skip-pytest      # trajectory only
     python benchmarks/run_all.py --soak             # + the open-loop service soak
+    python benchmarks/run_all.py --cluster          # + the 3-node cluster load run
 
 The script exits non-zero if any solver disagrees with the reference result
 or any pytest bench module fails, so CI can gate on it directly.
@@ -54,6 +55,7 @@ if str(ROOT / "src") not in sys.path:
 if str(BENCH_DIR) not in sys.path:
     sys.path.insert(0, str(BENCH_DIR))
 
+import bench_cluster_load  # noqa: E402
 import bench_engine_cache  # noqa: E402
 import bench_on_the_fly  # noqa: E402
 import bench_protocols  # noqa: E402
@@ -507,6 +509,37 @@ def run_service_load_trajectory() -> tuple[list[dict], dict, bool]:
     return records, extras, healthy
 
 
+def run_cluster_trajectory() -> tuple[list[dict], dict, bool]:
+    """The cluster section: 3 nodes vs 1 behind the coordinator (``--cluster``).
+
+    Delegates to :mod:`bench_cluster_load`; the records land in the
+    ``cluster_records`` section (capacity ratios, open-loop quantiles, and
+    the failover verdict) and the meta summary feeds ``meta.cluster_load``.
+    The ``cluster_gates`` in ``check_regression.py`` only apply when
+    ``meta.cluster_bench`` is true, so ordinary bench runs without
+    ``--cluster`` are exempt.
+    """
+    records, extras = bench_cluster_load.run_cells(bench_cluster_load.DEFAULT_NUM_REQUESTS)
+    healthy = True
+    for record in records:
+        print(
+            f"  {record['family']:18s} n={record['n']:5d} {record['solver']:28s} "
+            f"node_speedup {record['node_speedup']:.2f}x, offered {record['offered_rps']:.0f} "
+            f"rps, ratio {record['throughput_ratio']:.3f}, p99 {record['p99_ms']:.1f} ms, "
+            f"failovers={record['failovers']}, repairs={record['repairs']}, "
+            f"wedged={record['wedged_nodes']}"
+        )
+        if record["wedged_nodes"] or not record["failover_verified"]:
+            healthy = False
+            print(
+                f"ERROR: cluster run left {record['wedged_nodes']} wedged node(s) and "
+                f"failover_verified={record['failover_verified']} -- killing one node "
+                "must not take the cluster's answers with it",
+                file=sys.stderr,
+            )
+    return records, extras, healthy
+
+
 def speedup_summary(records: list[dict]) -> dict:
     """Per (family, n): seed seconds / kernel kanellakis_smolka seconds."""
     cells: dict[tuple[str, int], dict[str, float]] = {}
@@ -567,6 +600,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run the open-loop service soak (bench_service_load) and record its section",
     )
     parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="run the 3-node cluster load benchmark (bench_cluster_load) and record its section",
+    )
+    parser.add_argument(
         "--output", type=Path, default=Path("BENCH_partition.json"), help="JSON output path"
     )
     args = parser.parse_args(argv)
@@ -618,6 +656,13 @@ def main(argv: list[str] | None = None) -> int:
         print("service-soak trajectory: open-loop mixed manifest with slow-poison tail")
         service_load_records, service_load_meta, soak_healthy = run_service_load_trajectory()
 
+    cluster_records: list[dict] = []
+    cluster_meta: dict = {}
+    cluster_healthy = True
+    if args.cluster:
+        print("cluster trajectory: 3-node open loop with mid-run node kill, vs 1 node")
+        cluster_records, cluster_meta, cluster_healthy = run_cluster_trajectory()
+
     statuses: dict[str, str] = {}
     if not args.skip_pytest:
         print("pytest benchmark modules:")
@@ -658,6 +703,8 @@ def main(argv: list[str] | None = None) -> int:
             "service_cpu_count": os.cpu_count(),
             "service_soak": args.soak,
             "service_load": service_load_meta,
+            "cluster_bench": args.cluster,
+            "cluster_load": cluster_meta,
             "bench_modules": statuses,
         },
         "records": records,
@@ -669,6 +716,7 @@ def main(argv: list[str] | None = None) -> int:
         "reduction_records": reduction_records,
         "service_records": service_records,
         "service_load_records": service_load_records,
+        "cluster_records": cluster_records,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
@@ -717,6 +765,15 @@ def main(argv: list[str] | None = None) -> int:
             f"p99 {record['p99_ms']:.1f} ms, {record['deadline_exceeded']} deadline-shed, "
             f"{record['wedged_shards']} wedged shard(s)"
         )
+    for record in cluster_records:
+        print(
+            f"cluster load ({record['n']} requests open loop, 3 nodes): node_speedup "
+            f"{record['node_speedup']:.2f}x over 1 node, throughput ratio "
+            f"{record['throughput_ratio']:.3f} at {record['offered_rps']:.0f} rps offered, "
+            f"killed {record['killed_node']} mid-run "
+            f"(failover verified: {record['failover_verified']}), "
+            f"{record['wedged_nodes']} wedged node(s)"
+        )
     skipped_all = skipped + weak_skipped + vector_skipped
     if skipped_all:
         print(f"skipped {len(skipped_all)} trajectory cells: " + "; ".join(skipped_all))
@@ -734,6 +791,7 @@ def main(argv: list[str] | None = None) -> int:
         and reduction_agree
         and service_agree
         and soak_healthy
+        and cluster_healthy
         and not failed_modules
     )
     return 0 if healthy else 1

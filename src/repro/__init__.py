@@ -88,7 +88,7 @@ from repro.expressions.parser import parse as parse_star_expression
 from repro.expressions.semantics import representative_fsp
 from repro.partition.generalized import GeneralizedPartitioningInstance, Solver, solve
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ACCEPT",

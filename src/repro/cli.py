@@ -23,6 +23,8 @@ the list of supported formats):
                   instantiate/check/sweep over JSON scenario files
 ``serve``         run the sharded equivalence service (:mod:`repro.service`)
 ``client``        talk to a running service (ping/store/check/stats/...)
+``cluster``       multi-node fabric (:mod:`repro.cluster`): serve-node /
+                  serve-gateway / client over the HTTP gateway
 
 The ``--notion`` choices are read from the engine's notion registry, so
 notions registered by plugins are immediately available.  Every command
@@ -71,8 +73,9 @@ _BACKEND_NOTIONS = frozenset({"strong", "bisimulation", "observational", "weak"}
 
 def _notion_params(args: argparse.Namespace) -> dict:
     params = {"k": args.k} if args.notion == "k-observational" else {}
-    backend = getattr(args, "backend", "python")
-    if backend != "python":
+    # "auto" is the notion default, so only explicit overrides are passed.
+    backend = getattr(args, "backend", "auto")
+    if backend != "auto":
         if args.notion not in _BACKEND_NOTIONS:
             raise SystemExit(
                 f"--backend {backend} only applies to the strong/observational "
@@ -530,6 +533,154 @@ def _run_client_op(client, args: argparse.Namespace) -> int:
     raise ValueError(f"unhandled client op {args.client_op!r}")  # pragma: no cover
 
 
+def _parse_node_spec(token: str) -> tuple[str, tuple[str, int]]:
+    """One ``--node name=host:port`` argument -> ``(name, (host, port))``."""
+    name, eq, address = token.partition("=")
+    host, colon, port = address.rpartition(":")
+    if not eq or not colon or not name or not host:
+        raise ValueError(f"--node wants name=host:port, got {token!r}")
+    try:
+        return name, (host, int(port))
+    except ValueError:
+        raise ValueError(f"--node wants a numeric port, got {token!r}") from None
+
+
+def _cmd_cluster_serve_node(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    bounds = {
+        name: value
+        for name, value in (
+            ("max_processes", args.max_processes),
+            ("max_verdicts", args.max_verdicts),
+        )
+        if value is not None
+    }
+    serve(
+        args.host,
+        args.port,
+        store_root=args.store,
+        num_shards=args.shards,
+        max_queue=args.max_queue,
+        steal_threshold=args.steal_threshold,
+        node_name=args.name,
+        **bounds,
+    )
+    return 0
+
+
+def _cmd_cluster_serve_gateway(args: argparse.Namespace) -> int:
+    from repro.cluster import serve_gateway
+
+    nodes = dict(_parse_node_spec(token) for token in args.node)
+    if len(nodes) < len(args.node):
+        raise ValueError("--node names must be unique")
+    serve_gateway(
+        nodes,
+        host=args.host,
+        port=args.port,
+        replication_factor=args.replication,
+        steal_threshold=args.steal_threshold,
+        store_root=args.store,
+        probe_interval=args.probe_interval,
+    )
+    return 0
+
+
+def _cmd_cluster_client(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterClient
+    from repro.service import ProtocolError, ServiceError
+
+    try:
+        with ClusterClient(args.host, args.port) as client:
+            return _run_cluster_client_op(client, args)
+    except (ServiceError, ProtocolError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except ConnectionRefusedError:
+        print(
+            f"error: no gateway listening on {args.host}:{args.port} "
+            f"(start one with `repro cluster serve-gateway`)",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    except OSError as error:
+        print(f"error: cannot talk to {args.host}:{args.port}: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+def _run_cluster_client_op(client, args: argparse.Namespace) -> int:
+    if args.cluster_op == "ping":
+        info = client.ping()
+        nodes = info.get("nodes", {})
+        print(
+            f"cluster up: {info['healthy_nodes']}/{len(nodes)} node(s) healthy, "
+            f"replication factor {info['replication_factor']}"
+        )
+        return 0
+    if args.cluster_op == "health":
+        health = client.healthz()
+        for node, up in sorted(health.get("nodes", {}).items()):
+            print(f"  {node}: {'healthy' if up else 'DOWN'}")
+        return 0 if health.get("ok") else EXIT_ERROR
+    if args.cluster_op == "store":
+        result = client.store(load_process(args.process))
+        replicas = ",".join(result.get("replicas", []))
+        print(f"{result['digest']} (replicas: {replicas})")
+        return 0
+    if args.cluster_op == "check":
+        verdict = client.check(
+            _client_source(args.first),
+            _client_source(args.second),
+            args.notion,
+            witness=args.explain,
+            reduction=args.reduction,
+            deadline_ms=args.deadline_ms,
+            **_notion_params(args),
+        )
+        answer = "equivalent" if verdict["equivalent"] else "NOT equivalent"
+        print(
+            f"{args.first} and {args.second} are {answer} under {verdict['notion']} "
+            f"equivalence (node {verdict.get('node', '?')}, shard {verdict['shard']})"
+        )
+        if args.explain and verdict.get("witness"):
+            print(f"  witness: {verdict['witness']}")
+        return 0 if verdict["equivalent"] else EXIT_INEQUIVALENT
+    if args.cluster_op == "minimize":
+        minimal = client.minimize(_client_source(args.process), args.notion)
+        save_process(minimal, args.output)
+        print(f"minimised to {minimal.num_states} states; written to {args.output}")
+        return 0
+    if args.cluster_op == "classify":
+        for name in client.classify(_client_source(args.process)):
+            print(f"  {name}")
+        return 0
+    if args.cluster_op == "stats":
+        stats = client.stats()
+        coord = stats["coordinator"]
+        print(
+            f"cluster: {coord['healthy_nodes']}/{coord['nodes']} node(s) healthy, "
+            f"rf={coord['replication_factor']}, {coord['failovers']} failover(s), "
+            f"{coord['steals']} steal(s), {coord['replications']} replication(s) "
+            f"({coord['replication_failures']} failed), "
+            f"artifacts {coord['artifact_hits']} hit(s) / {coord['artifact_misses']} miss(es)"
+        )
+        for node in stats["nodes"]:
+            if "error" in node:
+                print(f"  node {node['node']}: UNREACHABLE ({node['error']})")
+                continue
+            server = node["server"]
+            print(
+                f"  node {node['node']}: {server['shards']} shard(s), "
+                f"{server['requests']} request(s), {server['revivals']} revival(s)"
+            )
+        return 0
+    raise ValueError(f"unhandled cluster op {args.cluster_op!r}")  # pragma: no cover
+
+
 def _add_verdict_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--explain",
@@ -574,11 +725,12 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd.add_argument("--k", type=int, default=1, help="level for k-observational")
     check_cmd.add_argument(
         "--backend",
-        choices=list(BACKENDS),
-        default="python",
+        choices=[*BACKENDS, "auto"],
+        default="auto",
         help=(
             "partition backend for strong/observational checks: the Python "
-            "worklist solvers or the vectorized numpy kernel"
+            "worklist solvers, the vectorized numpy kernel, or size-based "
+            "auto dispatch (the default)"
         ),
     )
     check_cmd.add_argument(
@@ -620,9 +772,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     minimize_cmd.add_argument(
         "--backend",
-        choices=list(BACKENDS),
-        default="python",
-        help="partition backend used to compute the quotient",
+        choices=[*BACKENDS, "auto"],
+        default="auto",
+        help="partition backend used to compute the quotient (auto: by size)",
     )
     minimize_cmd.set_defaults(handler=_cmd_minimize)
 
@@ -879,6 +1031,116 @@ def build_parser() -> argparse.ArgumentParser:
     client_ops.add_parser("metrics", help="dump the server's metrics snapshot as JSON")
 
     client_cmd.set_defaults(handler=_cmd_client)
+
+    # Same lazy-import discipline as serve/client: the parser only needs the
+    # gateway's default port constant, which the cluster package defines
+    # eagerly precisely so this import stays cheap.
+    from repro.cluster import DEFAULT_GATEWAY_PORT
+
+    cluster_cmd = commands.add_parser(
+        "cluster", help="multi-node checking fabric (nodes + HTTP gateway)"
+    )
+    cluster_ops = cluster_cmd.add_subparsers(dest="cluster_cmd", required=True)
+
+    node_cmd = cluster_ops.add_parser(
+        "serve-node", help="run one cluster node (an equivalence service with a node name)"
+    )
+    node_cmd.add_argument("--name", required=True, help="node id (labels stats and metrics)")
+    node_cmd.add_argument("--host", default="127.0.0.1")
+    node_cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
+    node_cmd.add_argument(
+        "--shards", type=int, default=None, help="worker processes (default: one per CPU)"
+    )
+    node_cmd.add_argument(
+        "--store", default=None, help="node-local process store directory (default: temp dir)"
+    )
+    node_cmd.add_argument("--max-processes", type=int, default=None)
+    node_cmd.add_argument("--max-verdicts", type=int, default=None)
+    node_cmd.add_argument("--max-queue", type=int, default=None)
+    node_cmd.add_argument("--steal-threshold", type=int, default=None)
+    node_cmd.set_defaults(handler=_cmd_cluster_serve_node)
+
+    gateway_cmd = cluster_ops.add_parser(
+        "serve-gateway", help="run the HTTP gateway + coordinator over running nodes"
+    )
+    gateway_cmd.add_argument(
+        "--node",
+        action="append",
+        required=True,
+        metavar="NAME=HOST:PORT",
+        help="cluster member (repeat once per node)",
+    )
+    gateway_cmd.add_argument("--host", default="127.0.0.1")
+    gateway_cmd.add_argument("--port", type=int, default=DEFAULT_GATEWAY_PORT)
+    gateway_cmd.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="ring nodes holding each stored process (default: 2)",
+    )
+    gateway_cmd.add_argument(
+        "--steal-threshold",
+        type=int,
+        default=None,
+        help="in-flight depth at which cache-cold checks leave their primary "
+        "for the least-loaded replica (default: stealing off)",
+    )
+    gateway_cmd.add_argument(
+        "--store",
+        default=None,
+        help="coordinator store directory (processes + minimisation artifacts; "
+        "default: stateless)",
+    )
+    gateway_cmd.add_argument(
+        "--probe-interval", type=float, default=1.0, help="seconds between node health probes"
+    )
+    gateway_cmd.set_defaults(handler=_cmd_cluster_serve_gateway)
+
+    ccli_cmd = cluster_ops.add_parser(
+        "client", help="talk to a running gateway (see `repro cluster serve-gateway`)"
+    )
+    ccli_cmd.add_argument("--host", default="127.0.0.1")
+    ccli_cmd.add_argument("--port", type=int, default=DEFAULT_GATEWAY_PORT)
+    ccli_ops = ccli_cmd.add_subparsers(dest="cluster_op", required=True)
+
+    ccli_ops.add_parser("ping", help="coordinator liveness and membership")
+    ccli_ops.add_parser("health", help="per-node health (exit 2 when no node is healthy)")
+
+    ccli_store = ccli_ops.add_parser(
+        "store", help="upload + replicate a process; prints digest and replicas"
+    )
+    ccli_store.add_argument("process", help="process file (.json or .aut)")
+
+    ccli_check = ccli_ops.add_parser(
+        "check", help="decide an equivalence through the cluster"
+    )
+    ccli_check.add_argument("first", help="process file or sha256:... digest")
+    ccli_check.add_argument("second", help="process file or sha256:... digest")
+    ccli_check.add_argument(
+        "--notion", choices=list(available_notions()), default="observational"
+    )
+    ccli_check.add_argument("--k", type=int, default=1, help="level for k-observational")
+    ccli_check.add_argument(
+        "--explain", action="store_true", help="request and print a witness on inequivalence"
+    )
+    ccli_check.add_argument("--deadline-ms", type=float, default=None)
+    _add_reduction_flag(ccli_check)
+
+    ccli_minimize = ccli_ops.add_parser(
+        "minimize", help="minimise through the cluster (artifact-cache first)"
+    )
+    ccli_minimize.add_argument("process", help="process file or sha256:... digest")
+    ccli_minimize.add_argument("output")
+    ccli_minimize.add_argument(
+        "--notion", choices=["strong", "observational"], default="observational"
+    )
+
+    ccli_classify = ccli_ops.add_parser("classify", help="classify through the cluster")
+    ccli_classify.add_argument("process", help="process file or sha256:... digest")
+
+    ccli_ops.add_parser("stats", help="coordinator counters plus per-node totals")
+
+    ccli_cmd.set_defaults(handler=_cmd_cluster_client)
 
     return parser
 

@@ -1,0 +1,79 @@
+"""The distributed checking fabric: coordinator, gateway, replicated store.
+
+This package scales :mod:`repro.service` from one node to many.  Each node
+is an unmodified :class:`~repro.service.server.EquivalenceServer`; the
+cluster layer adds the pieces that only make sense above a single node:
+
+* :mod:`repro.cluster.ring` -- :class:`HashRing`, consistent-hash placement
+  so digest affinity survives node churn (the cross-node analogue of the
+  shard pool's ``digest mod num_shards``);
+* :mod:`repro.cluster.store` -- :class:`ClusterStore`, the coordinator's
+  persistent process store plus ``(digest, notion)``-keyed minimisation
+  artifacts, which is what lets a quotient computed on a dead node still be
+  served;
+* :mod:`repro.cluster.coordinator` -- :class:`ClusterCoordinator`, routing
+  ``check``/``check_many``/``minimize``/``store`` by content digest with
+  replication, health probes, retry-with-failover and cross-node
+  work-stealing;
+* :mod:`repro.cluster.gateway` -- :class:`ClusterGateway` /
+  :func:`serve_gateway`, the stdlib-asyncio HTTP/JSON front door with
+  ``/healthz`` and a node-labelled Prometheus ``/metrics``;
+* :mod:`repro.cluster.client` -- :class:`ClusterClient`, the synchronous
+  HTTP client mirroring :class:`~repro.service.client.ServiceClient`.
+
+Quick start (three terminals + one)::
+
+    $ python -m repro cluster serve-node --name a --port 8319
+    $ python -m repro cluster serve-node --name b --port 8321
+    $ python -m repro cluster serve-gateway --node a=127.0.0.1:8319 \\
+          --node b=127.0.0.1:8321 --port 8320
+
+    >>> from repro.cluster import ClusterClient            # doctest: +SKIP
+    >>> client = ClusterClient(port=8320)                  # doctest: +SKIP
+    >>> digest = client.store(my_process)["digest"]        # doctest: +SKIP
+    >>> client.check(digest, other_process)["equivalent"]  # doctest: +SKIP
+"""
+
+import importlib
+from typing import Any
+
+#: The gateway's default HTTP port -- one above the node RPC port, mirroring
+#: how the two listeners pair up in a local deployment.  Defined here (not
+#: lazily) so the CLI parser can read it without importing the asyncio
+#: coordinator machinery.
+DEFAULT_GATEWAY_PORT = 8320
+
+__all__ = [
+    "DEFAULT_GATEWAY_PORT",
+    "ClusterClient",
+    "ClusterCoordinator",
+    "ClusterGateway",
+    "ClusterStore",
+    "HashRing",
+    "serve_gateway",
+]
+
+#: Exported name -> defining submodule, resolved lazily (PEP 562) so the CLI
+#: parser can read ``DEFAULT_GATEWAY_PORT`` without importing asyncio server
+#: machinery.
+_EXPORTS = {
+    "HashRing": "repro.cluster.ring",
+    "ClusterStore": "repro.cluster.store",
+    "ClusterCoordinator": "repro.cluster.coordinator",
+    "ClusterGateway": "repro.cluster.gateway",
+    "serve_gateway": "repro.cluster.gateway",
+    "ClusterClient": "repro.cluster.client",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

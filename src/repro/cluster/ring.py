@@ -1,0 +1,136 @@
+"""Consistent-hash ring: digest affinity generalised from shards to nodes.
+
+The in-process :class:`~repro.service.shards.ShardPool` routes a check by
+``digest mod num_shards``; across a cluster that formula would reshuffle
+nearly every key whenever a node joins or leaves.  A :class:`HashRing`
+instead places each node at many pseudo-random points on a 2^64 circle and
+routes a key to the first nodes clockwise from the key's own point -- adding
+or removing one node then only moves the keys in that node's arcs (about
+``1/n`` of the keyspace), so the per-node engine caches the routing exists
+to protect survive membership changes.
+
+Keys are the same routing keys the shard layer uses
+(:func:`repro.service.shards.routing_key_of`): a ``sha256:...`` content
+digest hashes by its own hex (no double hashing), anything else is SHA-256'd
+first.  ``replicas_for(key, count)`` returns the first ``count`` *distinct*
+nodes clockwise -- position 0 is the primary, the rest are the replicas that
+hold copies of the key's store entries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+__all__ = ["DEFAULT_POINTS_PER_NODE", "HashRing"]
+
+#: Virtual points each node contributes to the ring.  More points smooth the
+#: arc-length distribution (load spread) at O(points * nodes) memory; 64 is
+#: plenty for the single-digit node counts a local cluster runs.
+DEFAULT_POINTS_PER_NODE = 64
+
+
+def _key_point(key: str) -> int:
+    """Where a routing key sits on the circle (mirrors ``ShardPool.shard_of``)."""
+    hex_part = ""
+    if key.startswith("sha256:"):
+        hex_part = key[len("sha256:") :]
+    try:
+        return int(hex_part[:16], 16)
+    except ValueError:
+        return int(hashlib.sha256(key.encode("utf-8")).hexdigest()[:16], 16)
+
+
+class HashRing:
+    """Nodes on a 2^64 circle, ``points_per_node`` virtual points each."""
+
+    def __init__(
+        self, nodes: Iterable[str] = (), *, points_per_node: int = DEFAULT_POINTS_PER_NODE
+    ) -> None:
+        if points_per_node < 1:
+            raise ValueError("points_per_node must be positive")
+        self.points_per_node = points_per_node
+        self._nodes: set[str] = set()
+        self._points: list[int] = []  # sorted ring positions
+        self._owners: list[str] = []  # owner of each position (parallel list)
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def _node_points(self, node_id: str) -> list[int]:
+        return [
+            int(hashlib.sha256(f"{node_id}#{i}".encode()).hexdigest()[:16], 16)
+            for i in range(self.points_per_node)
+        ]
+
+    def add(self, node_id: str) -> None:
+        """Place a node on the ring (idempotent)."""
+        if node_id in self._nodes:
+            return
+        self._nodes.add(node_id)
+        for point in self._node_points(node_id):
+            index = bisect.bisect_left(self._points, point)
+            # Ties are astronomically unlikely but must stay deterministic:
+            # order same-point owners lexicographically.
+            while index < len(self._points) and self._points[index] == point and (
+                self._owners[index] < node_id
+            ):
+                index += 1
+            self._points.insert(index, point)
+            self._owners.insert(index, node_id)
+
+    def remove(self, node_id: str) -> None:
+        """Take a node off the ring (idempotent)."""
+        if node_id not in self._nodes:
+            return
+        self._nodes.discard(node_id)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node_id]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def replicas_for(
+        self, key: str, count: int = 1, *, exclude: frozenset[str] | set[str] = frozenset()
+    ) -> list[str]:
+        """The first ``count`` distinct nodes clockwise from ``key``.
+
+        Position 0 is the key's primary.  ``exclude`` skips nodes (the
+        coordinator passes its unhealthy set); fewer than ``count`` nodes
+        may come back when the ring is small or heavily excluded.
+        """
+        if count < 1:
+            raise ValueError("count must be positive")
+        if not self._points:
+            return []
+        start = bisect.bisect_right(self._points, _key_point(key)) % len(self._points)
+        chosen: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner in seen or owner in exclude:
+                continue
+            seen.add(owner)
+            chosen.append(owner)
+            if len(chosen) == count:
+                break
+        return chosen
+
+    def primary_for(self, key: str) -> str | None:
+        """The key's primary node (``None`` on an empty ring)."""
+        owners = self.replicas_for(key, 1)
+        return owners[0] if owners else None
+
+    def __repr__(self) -> str:
+        return (
+            f"HashRing(nodes={sorted(self._nodes)!r}, "
+            f"points_per_node={self.points_per_node})"
+        )

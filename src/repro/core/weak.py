@@ -293,17 +293,26 @@ def saturate_lts(lts: LTS, epsilon_action: str = EPSILON, backend: str = "python
     ``backend="python"`` runs the Python-int bitset propagation below;
     ``backend="vector"`` computes the identical result with packed-``uint64``
     numpy bitset matrices (one row per tau-SCC) and whole-array emission --
-    see :func:`_saturate_lts_vector`.
+    see :func:`_saturate_lts_vector`.  ``backend="auto"`` dispatches by
+    state count: vector at or above
+    :data:`repro.partition.generalized.VECTOR_STATE_THRESHOLD` states when
+    numpy is available, python otherwise.
 
     Raises
     ------
     InvalidProcessError
         If ``epsilon_action`` collides with an existing action or tau.
     """
+    if backend == "auto":
+        # Saturation and partition refinement share one crossover point:
+        # the vector kernels win on the same large instances.
+        from repro.partition.generalized import resolve_backend
+
+        backend = resolve_backend(backend, lts.n)
     if backend not in SATURATION_BACKENDS:
         raise InvalidProcessError(
             f"unknown saturation backend {backend!r}; "
-            f"choose from {', '.join(SATURATION_BACKENDS)}"
+            f"choose from {', '.join(SATURATION_BACKENDS)} or 'auto'"
         )
     if backend == "vector":
         return _saturate_lts_vector(lts, epsilon_action)

@@ -399,9 +399,15 @@ class Engine:
         source: FSP | Process,
         notion: str = "observational",
         method: Solver | str = Solver.PAIGE_TARJAN,
-        backend: str = "python",
+        backend: str = "auto",
     ) -> FSP:
-        """The cached quotient of a process under strong or observational equivalence."""
+        """The cached quotient of a process under strong or observational equivalence.
+
+        ``backend="auto"`` (the default) dispatches by process size: the
+        vector kernel above
+        :data:`~repro.partition.generalized.VECTOR_STATE_THRESHOLD` states
+        when numpy is available, the python solvers otherwise.
+        """
         handle = self.process(source)
         if notion == "strong":
             return handle.minimized_strong(method, backend)
@@ -423,7 +429,7 @@ class Engine:
             "misses": self._misses,
         }
 
-    def export_stats(self) -> dict[str, Any]:
+    def export_stats(self, node: str | None = None) -> dict[str, Any]:
         """A JSON-compatible snapshot of this engine's caches.
 
         Extends :meth:`cache_info` with the configured bounds and one row per
@@ -431,8 +437,14 @@ class Engine:
         materialised).  This is what a service worker ships back for the
         ``stats`` RPC, so operators can see whether a shard's cache actually
         stays hot for its routed processes.
+
+        ``node`` stamps the snapshot with the cluster-node identity that
+        produced it.  Prometheus renderers must emit these counters with a
+        ``node=`` label -- without it, several nodes scraped into one
+        dashboard collide on identical series names and the aggregation
+        silently sums unrelated caches.
         """
-        return {
+        stats = {
             **self.cache_info(),
             "max_processes": self.max_processes,
             "max_verdicts": self.max_verdicts,
@@ -445,6 +457,9 @@ class Engine:
                 for handle in self._processes.values()
             ],
         }
+        if node is not None:
+            stats["node"] = node
+        return stats
 
     def clear(self) -> None:
         """Drop all cached handles and verdicts (counters included)."""

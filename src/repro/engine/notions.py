@@ -140,7 +140,7 @@ class StrongNotion(Notion):
     param_defaults = {
         "method": Solver.PAIGE_TARJAN,
         "require_observable": False,
-        "backend": "python",
+        "backend": "auto",
     }
 
     def normalize_params(self, params: dict[str, Any]) -> dict[str, Any]:
@@ -153,7 +153,7 @@ class StrongNotion(Notion):
         want_witness: bool,
         method: Solver | str = Solver.PAIGE_TARJAN,
         require_observable: bool = False,
-        backend: str = "python",
+        backend: str = "auto",
     ) -> NotionResult:
         if require_observable:
             require(left.fsp, ModelClass.OBSERVABLE, context="strong equivalence")
@@ -188,7 +188,7 @@ class ObservationalNotion(Notion):
     name = "observational"
     aliases = ("weak",)
     description = "observational (weak bisimulation) equivalence"
-    param_defaults = {"method": Solver.PAIGE_TARJAN, "backend": "python"}
+    param_defaults = {"method": Solver.PAIGE_TARJAN, "backend": "auto"}
 
     def normalize_params(self, params: dict[str, Any]) -> dict[str, Any]:
         return _normalize_method(params)
@@ -199,7 +199,7 @@ class ObservationalNotion(Notion):
         right: Process,
         want_witness: bool,
         method: Solver | str = Solver.PAIGE_TARJAN,
-        backend: str = "python",
+        backend: str = "auto",
     ) -> NotionResult:
         left_min = left.minimized_observational(method, backend)
         right_min = right.minimized_observational(method, backend)

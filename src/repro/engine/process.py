@@ -36,10 +36,9 @@ from repro.core.lts import LTS
 from repro.core.weak import WeakKernel, saturate_lts
 from repro.equivalence.minimize import quotient
 from repro.partition.generalized import (
-    BACKENDS,
-    GeneralizedPartitioningError,
     GeneralizedPartitioningInstance,
     Solver,
+    resolve_backend,
     solve,
 )
 from repro.partition.partition import Partition
@@ -52,12 +51,15 @@ def _solver(method: Solver | str) -> Solver:
     return method if isinstance(method, Solver) else Solver(method)
 
 
-def _backend(backend: str) -> str:
-    if backend not in BACKENDS:
-        raise GeneralizedPartitioningError(
-            f"unknown partition backend {backend!r}; choose from {', '.join(BACKENDS)}"
-        )
-    return backend
+def _backend(backend: str, num_states: int) -> str:
+    """Resolve (and validate) a backend name against this process's size.
+
+    Resolving ``"auto"`` *before* the cache lookup means an auto-dispatched
+    call and an explicit call to the backend it picked share one cache slot
+    -- the artifacts are identical, caching them twice would halve the
+    effective bound.
+    """
+    return resolve_backend(backend, num_states)
 
 
 class Process:
@@ -146,7 +148,7 @@ class Process:
         artifact the Python oracle produced (and vice versa) when the two are
         being cross-checked against each other.
         """
-        backend = _backend(backend)
+        backend = _backend(backend, self.fsp.num_states)
         saturated = self._saturated_lts.get(backend)
         if saturated is None:
             saturated = saturate_lts(self.lts(), backend=backend)
@@ -158,7 +160,8 @@ class Process:
     ) -> Partition:
         """The strong-equivalence partition (cached per solver and backend)."""
         method = _solver(method)
-        key = (method, _backend(backend))
+        backend = _backend(backend, self.fsp.num_states)
+        key = (method, backend)
         partition = self._strong_partitions.get(key)
         if partition is None:
             instance = GeneralizedPartitioningInstance.from_lts(self.lts())
@@ -171,7 +174,8 @@ class Process:
     ) -> Partition:
         """The observational-equivalence partition (cached per solver and backend)."""
         method = _solver(method)
-        key = (method, _backend(backend))
+        backend = _backend(backend, self.fsp.num_states)
+        key = (method, backend)
         partition = self._observational_partitions.get(key)
         if partition is None:
             instance = GeneralizedPartitioningInstance.from_lts(self.saturated_lts(backend))
@@ -184,7 +188,8 @@ class Process:
     ) -> FSP:
         """The quotient by strong equivalence (cached per solver and backend)."""
         method = _solver(method)
-        key = (method, _backend(backend))
+        backend = _backend(backend, self.fsp.num_states)
+        key = (method, backend)
         minimal = self._minimized_strong.get(key)
         if minimal is None:
             minimal = quotient(self.fsp, self.strong_partition(method, backend))
@@ -196,7 +201,8 @@ class Process:
     ) -> FSP:
         """The quotient by observational equivalence (cached per solver and backend)."""
         method = _solver(method)
-        key = (method, _backend(backend))
+        backend = _backend(backend, self.fsp.num_states)
+        key = (method, backend)
         minimal = self._minimized_observational.get(key)
         if minimal is None:
             minimal = quotient(self.fsp, self.observational_partition(method, backend))

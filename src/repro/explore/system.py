@@ -47,6 +47,7 @@ from repro.explore.products import (
     LazyRestriction,
     LazySynchronousProduct,
 )
+from repro.partition import generalized as _generalized
 from repro.partition.generalized import Solver
 from repro.utils.serialization import from_dict, to_dict
 
@@ -217,8 +218,10 @@ def compose_eager(spec: SystemSpec | FSP) -> FSP:
 #: quotient to the vectorized numpy kernel.  Below it the Python worklist
 #: solvers win on constant factors; above it the kernel's saturation and
 #: refinement amortise their array setup (the crossover sits near a few
-#: hundred states on the benchmark families).
-VECTOR_STATE_THRESHOLD = 512
+#: hundred states on the benchmark families).  The canonical value lives in
+#: :mod:`repro.partition.generalized` (the engine-wide ``"auto"`` dispatch
+#: uses it too); this module-level rebinding stays patchable independently.
+VECTOR_STATE_THRESHOLD = _generalized.VECTOR_STATE_THRESHOLD
 
 
 def _partition_backend(num_states: int, backend: str) -> str:

@@ -327,6 +327,40 @@ def is_valid_solution(
 #: notion registry, the CLI's ``--backend`` flag).
 BACKENDS = ("python", "vector")
 
+#: The size-dispatching pseudo-backend accepted everywhere a concrete
+#: backend is: resolved per call site by :func:`resolve_backend`.
+AUTO_BACKEND = "auto"
+
+#: Above this many states, ``backend="auto"`` picks the vector kernel (when
+#: numpy is importable).  The crossover matches the explore layer's
+#: compositional-minimisation dispatch; ``repro.explore.system`` re-exports
+#: this value as its own module global so existing monkeypatches keep
+#: working.
+VECTOR_STATE_THRESHOLD = 512
+
+
+def resolve_backend(backend: str, num_states: int) -> str:
+    """Resolve a backend name (possibly ``"auto"``) to a concrete backend.
+
+    ``"auto"`` picks ``"vector"`` when numpy is importable and the problem
+    has at least :data:`VECTOR_STATE_THRESHOLD` states, else ``"python"`` --
+    the whole-array kernel's setup cost only amortises on large instances,
+    and small ones dominate interactive traffic.  Concrete names pass
+    through validated, so every caller funnels its error message here.
+    """
+    if backend == AUTO_BACKEND:
+        from repro.utils.matrices import HAVE_NUMPY
+
+        if HAVE_NUMPY and num_states >= VECTOR_STATE_THRESHOLD:
+            return "vector"
+        return "python"
+    if backend not in BACKENDS:
+        raise GeneralizedPartitioningError(
+            f"unknown partition backend {backend!r}; "
+            f"choose from {', '.join(BACKENDS)} or {AUTO_BACKEND!r}"
+        )
+    return backend
+
 
 def solve(
     instance: GeneralizedPartitioningInstance,
@@ -351,12 +385,12 @@ def solve(
     numpy whole-array kernel (:mod:`repro.partition.vectorized`), which
     computes the same unique partition -- ``method`` is then irrelevant to
     the result and ignored.  The Python solvers double as the vector
-    kernel's cross-check oracles.
+    kernel's cross-check oracles.  ``"auto"`` dispatches by instance size
+    (:func:`resolve_backend`): vector above
+    :data:`VECTOR_STATE_THRESHOLD` states when numpy is available, python
+    otherwise.
     """
-    if backend not in BACKENDS:
-        raise GeneralizedPartitioningError(
-            f"unknown partition backend {backend!r}; choose from {', '.join(BACKENDS)}"
-        )
+    backend = resolve_backend(backend, len(instance.elements))
     if backend == "vector":
         from repro.partition.vectorized import vector_refine
 

@@ -19,7 +19,9 @@ long-lived network service:
 * :mod:`repro.service.server` -- :class:`EquivalenceServer` /
   :func:`serve`, the asyncio front end (``repro serve`` on the CLI);
 * :mod:`repro.service.client` -- :class:`ServiceClient`, the synchronous
-  client (``repro client`` on the CLI).
+  client (``repro client`` on the CLI);
+* :mod:`repro.service.retry` -- :class:`RetryPolicy`, the shared jittered
+  backoff schedule clients apply to ``overloaded`` responses.
 
 Quick start (two terminals)::
 
@@ -40,6 +42,7 @@ __all__ = [
     "MetricsRegistry",
     "ProcessStore",
     "ProtocolError",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ShardPool",
@@ -62,6 +65,7 @@ _EXPORTS = {
     "EquivalenceServer": "repro.service.server",
     "serve": "repro.service.server",
     "ServiceClient": "repro.service.client",
+    "RetryPolicy": "repro.service.retry",
 }
 
 

@@ -18,6 +18,13 @@ The idiomatic heavy-traffic shape is *store once, check by digest*::
 Digest references keep the per-check payload tiny and -- because the server
 routes checks by the left process's digest -- every one of these checks
 lands on the shard whose engine already holds ``big_process`` hot.
+
+``overloaded`` responses (a full shard queue, a drained quota bucket) are
+retried transparently: the client honours the server's ``retry_after_ms``
+hint with jittered exponential backoff under a bounded budget
+(:class:`~repro.service.retry.RetryPolicy`), and only surfaces the error
+once the budget is spent.  Pass ``overload_retries=0`` to see every
+rejection immediately (load generators and backpressure tests want this).
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from typing import Any
 from repro.core.fsp import FSP
 from repro.service import protocol
 from repro.service.protocol import DEFAULT_PORT
+from repro.service.retry import DEFAULT_RETRIES, RetryPolicy
 from repro.utils.serialization import from_dict
 
 #: Reference shapes accepted everywhere a process goes: an FSP (inlined), a
@@ -35,17 +43,40 @@ from repro.utils.serialization import from_dict
 ProcessLike = FSP | str | dict
 
 
+def _overload_hint(error: Exception) -> Any:
+    """RetryPolicy predicate: retryable iff the error is ``overloaded``."""
+    if isinstance(error, protocol.ServiceError) and error.code == protocol.OVERLOADED:
+        hint = (error.data or {}).get("retry_after_ms")
+        return hint if isinstance(hint, (int, float)) else None
+    return False
+
+
 class ServiceClient:
-    """One connection to a running equivalence service."""
+    """One connection to a running equivalence service.
+
+    ``overload_retries`` bounds how many times an ``overloaded`` response is
+    retried (with jittered backoff honouring the server's ``retry_after_ms``)
+    before the error surfaces; ``retry_policy`` swaps in a fully custom
+    :class:`~repro.service.retry.RetryPolicy` and overrides it.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float | None = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float | None = 60.0,
+        *,
+        overload_retries: int = DEFAULT_RETRIES,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self._socket = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._socket.makefile("rb")
         self._next_id = 0
+        self._retry = (
+            retry_policy if retry_policy is not None else RetryPolicy(overload_retries)
+        )
 
     # ------------------------------------------------------------------
     # transport
@@ -53,13 +84,21 @@ class ServiceClient:
     def request(self, op: str, params: dict[str, Any] | None = None) -> dict[str, Any]:
         """Send one request and block for its response.
 
+        ``overloaded`` responses are retried under the client's
+        :class:`~repro.service.retry.RetryPolicy` before surfacing.
+
         Raises
         ------
         ServiceError
-            If the server answered ``ok: false``.
+            If the server answered ``ok: false`` (after any retries).
         ProtocolError
             If the response could not be parsed, or the connection died.
         """
+        return self._retry.run(
+            lambda: self._request_once(op, params), is_overloaded=_overload_hint
+        )
+
+    def _request_once(self, op: str, params: dict[str, Any] | None = None) -> dict[str, Any]:
         self._next_id += 1
         request_id = self._next_id
         self._socket.sendall(protocol.request_frame(request_id, op, params))

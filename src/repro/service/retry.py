@@ -1,0 +1,131 @@
+"""Client-side retry policy for ``overloaded`` responses.
+
+The service answers backpressure with a structured ``overloaded`` error
+carrying a ``retry_after_ms`` hint (a full shard queue, a drained quota
+bucket).  Surfacing that error straight to the caller makes every script
+reinvent the same sleep-and-retry loop -- usually without jitter, so a
+thousand throttled clients retry in lockstep and re-create the very spike
+that throttled them.
+
+:class:`RetryPolicy` is the one shared implementation: it honours the
+server's hint as a *floor*, grows the delay exponentially per attempt, adds
+decorrelating jitter, and gives up after a bounded number of attempts or a
+bounded total sleep -- whichever comes first -- at which point the last
+``overloaded`` error is raised to the caller unchanged.
+
+The schedule for attempt *n* (0-based) is::
+
+    base = max(retry_after_ms, base_delay_ms) * multiplier ** n
+    delay = min(base, max_delay_ms) * uniform(1 - jitter, 1 + jitter)
+
+Both the random source and the sleep function are injectable, so the unit
+tests assert the exact schedule without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable
+
+__all__ = ["DEFAULT_RETRIES", "RetryPolicy"]
+
+#: Default bounded retry budget for clients (attempts after the first try).
+DEFAULT_RETRIES = 3
+
+
+class RetryPolicy:
+    """A jittered exponential-backoff schedule for ``overloaded`` replies.
+
+    Parameters
+    ----------
+    retries:
+        How many times to retry after the first attempt (0 disables
+        retrying entirely).
+    base_delay_ms:
+        Floor of the first delay when the server sent no usable
+        ``retry_after_ms`` hint.
+    max_delay_ms:
+        Cap on any single delay (pre-jitter).
+    max_total_ms:
+        Budget on the *sum* of delays; a retry whose delay would exceed the
+        remaining budget is not taken.
+    multiplier:
+        Exponential growth factor per attempt.
+    jitter:
+        Relative jitter width: each delay is scaled by a uniform factor in
+        ``[1 - jitter, 1 + jitter]``.
+    rng:
+        Random source (seedable for tests).
+    sleep:
+        The sleep function (injectable for tests); defaults to
+        :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        retries: int = DEFAULT_RETRIES,
+        *,
+        base_delay_ms: float = 50.0,
+        max_delay_ms: float = 5_000.0,
+        max_total_ms: float = 30_000.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.25,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if base_delay_ms <= 0 or max_delay_ms <= 0 or max_total_ms <= 0:
+            raise ValueError("delay bounds must be positive")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.retries = retries
+        self.base_delay_ms = base_delay_ms
+        self.max_delay_ms = max_delay_ms
+        self.max_total_ms = max_total_ms
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    def delay_ms(self, attempt: int, retry_after_ms: float | None) -> float:
+        """The delay before retry ``attempt`` (0-based), jitter applied.
+
+        The server's ``retry_after_ms`` hint is a floor, never a ceiling:
+        backing off *less* than the hint just earns another rejection.
+        """
+        hint = float(retry_after_ms) if retry_after_ms and retry_after_ms > 0 else 0.0
+        base = max(hint, self.base_delay_ms) * (self.multiplier**attempt)
+        capped = min(base, self.max_delay_ms)
+        if self.jitter:
+            capped *= self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return capped
+
+    def run(self, fn: Callable[[], Any], *, is_overloaded: Callable[[Exception], Any]) -> Any:
+        """Call ``fn`` under this policy.
+
+        ``is_overloaded(error)`` inspects an exception and returns the
+        server's ``retry_after_ms`` hint (or ``None``) when the error is a
+        retryable ``overloaded`` reply, or ``False`` when it is not.  Any
+        non-retryable error propagates immediately; a retryable one is
+        retried until the attempt or total-sleep budget runs out, then the
+        last error is re-raised.
+        """
+        spent_ms = 0.0
+        for attempt in range(self.retries + 1):
+            try:
+                return fn()
+            except Exception as error:
+                verdict = is_overloaded(error)
+                if verdict is False or attempt >= self.retries:
+                    raise
+                hint = verdict if isinstance(verdict, (int, float)) else None
+                delay = self.delay_ms(attempt, hint)
+                if spent_ms + delay > self.max_total_ms:
+                    raise
+                spent_ms += delay
+                self._sleep(delay / 1000.0)
+        raise AssertionError("unreachable")  # pragma: no cover

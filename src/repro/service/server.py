@@ -98,6 +98,11 @@ class EquivalenceServer:
     trace_stream:
         A text stream for per-request JSON trace records (``--trace`` passes
         stderr); None disables tracing.
+    node_name:
+        Cluster-node identity of this server (``repro cluster serve-node
+        --name``).  Reported by ``ping``/``stats`` and stamped into each
+        worker's exported engine stats so a gateway scraping several nodes
+        renders their counters as distinct ``node=``-labelled series.
     """
 
     def __init__(
@@ -115,10 +120,12 @@ class EquivalenceServer:
         quota_burst: float | None = None,
         metrics_port: int | None = None,
         trace_stream: IO[str] | None = None,
+        node_name: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.metrics_port = metrics_port
+        self.node_name = node_name
         self._tempdir: tempfile.TemporaryDirectory | None = None
         if store_root is None:
             self._tempdir = tempfile.TemporaryDirectory(prefix="repro-service-")
@@ -134,6 +141,7 @@ class EquivalenceServer:
             max_verdicts=max_verdicts,
             max_queue=max_queue,
             steal_threshold=steal_threshold,
+            node_name=node_name,
         )
         if quota_rps is not None and quota_rps <= 0:
             raise ValueError("quota_rps must be positive (or None to disable quotas)")
@@ -420,7 +428,10 @@ class EquivalenceServer:
     # ------------------------------------------------------------------
     async def _dispatch(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
         if op == "ping":
-            return {"pong": True, "version": __version__, "shards": self.pool.num_shards}
+            pong = {"pong": True, "version": __version__, "shards": self.pool.num_shards}
+            if self.node_name is not None:
+                pong["node"] = self.node_name
+            return pong
         if op == "store":
             return await self._op_store(params)
         if op == "check":
@@ -595,6 +606,7 @@ class EquivalenceServer:
         return {
             "server": {
                 "version": __version__,
+                "node": self.node_name,
                 "shards": self.pool.num_shards,
                 "connections": self._connections,
                 "requests": self._requests,
@@ -659,6 +671,7 @@ def serve(
     quota_burst: float | None = None,
     metrics_port: int | None = None,
     trace_stream: IO[str] | None = None,
+    node_name: str | None = None,
 ) -> None:
     """Blocking entry point used by ``repro serve`` (Ctrl-C to stop)."""
 
@@ -676,13 +689,15 @@ def serve(
             quota_burst=quota_burst,
             metrics_port=metrics_port,
             trace_stream=trace_stream,
+            node_name=node_name,
         )
         await server.start()
         extras = ""
         if server.metrics_port is not None:
             extras = f", metrics on :{server.metrics_port}"
+        name = f" [{server.node_name}]" if server.node_name else ""
         print(
-            f"repro service on {server.host}:{server.port} "
+            f"repro service{name} on {server.host}:{server.port} "
             f"({server.pool.num_shards} shard(s), store at {server.store.root}{extras})",
             flush=True,
         )

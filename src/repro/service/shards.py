@@ -96,6 +96,29 @@ RECENT_KEYS_PER_SHARD = 128
 DEADLINE_GRACE_SECONDS = 0.5
 
 
+def routing_key_of(spec: dict[str, Any]) -> str | None:
+    """The affinity key of one check spec (``None`` = unroutable).
+
+    A digest reference is its own key; an inline process or composed system
+    is keyed by the digest of its canonically-serialised JSON.  The canonical
+    separators match ``utils.serialization.canonical_bytes``, so an inline
+    copy of a stored process routes to the same shard as its digest
+    reference (the cache-affinity promise); composed-system and scenario
+    documents hash the same way, keeping repeated questions about one system
+    on one worker.  The cluster coordinator keys its node ring walk with the
+    same function, so shard affinity and node affinity agree.
+    """
+    ref = spec.get("left")
+    if isinstance(ref, dict):
+        if isinstance(ref.get("digest"), str):
+            return ref["digest"]
+        if "process" in ref or "system" in ref or "scenario" in ref:
+            body = ref.get("process", ref.get("system", ref.get("scenario")))
+            canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+            return "sha256:" + hashlib.sha256(canonical.encode()).hexdigest()
+    return None
+
+
 # ----------------------------------------------------------------------
 # worker-side state and job functions (top level: they must pickle)
 # ----------------------------------------------------------------------
@@ -107,6 +130,7 @@ def _init_worker(
     store_root: str | None,
     max_processes: int,
     max_verdicts: int,
+    node_name: str | None = None,
 ) -> None:
     """Executor initializer: one engine (and store view) per worker process."""
     from repro.engine import Engine
@@ -115,6 +139,7 @@ def _init_worker(
     _WORKER["engine"] = Engine(max_processes=max_processes, max_verdicts=max_verdicts)
     _WORKER["store"] = ProcessStore(store_root) if store_root is not None else None
     _WORKER["checks"] = 0
+    _WORKER["node"] = node_name
 
 
 def _worker_resolve(ref: Any):
@@ -262,7 +287,7 @@ def _worker_stats() -> dict[str, Any]:
         "shard": _WORKER["shard"],
         "pid": os.getpid(),
         "checks": _WORKER["checks"],
-        "engine": _WORKER["engine"].export_stats(),
+        "engine": _WORKER["engine"].export_stats(node=_WORKER.get("node")),
         "store": store.cache_info() if store is not None else None,
     }
 
@@ -282,6 +307,7 @@ class ShardPool:
         max_verdicts: int = DEFAULT_MAX_VERDICTS,
         max_queue: int | None = None,
         steal_threshold: int | None = None,
+        node_name: str | None = None,
     ) -> None:
         if num_shards is None:
             num_shards = max(1, os.cpu_count() or 1)
@@ -301,6 +327,9 @@ class ShardPool:
         #: Work-stealing trigger: a stealable check leaves a home shard whose
         #: depth reached this bound for the least loaded shard.
         self.steal_threshold = steal_threshold
+        #: Cluster-node identity stamped into each worker's exported engine
+        #: stats (``None`` for the single-node service).
+        self.node_name = node_name
         self._lock = threading.Lock()
         self._generations = [0] * num_shards
         self._depths = [0] * num_shards
@@ -315,7 +344,13 @@ class ShardPool:
             max_workers=1,
             mp_context=_MP_CONTEXT,
             initializer=_init_worker,
-            initargs=(index, self.store_root, self.max_processes, self.max_verdicts),
+            initargs=(
+                index,
+                self.store_root,
+                self.max_processes,
+                self.max_verdicts,
+                self.node_name,
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -360,23 +395,10 @@ class ShardPool:
     def routing_key(self, spec: dict[str, Any]) -> str | None:
         """The affinity key of one check spec (``None`` = unroutable, shard 0).
 
-        A digest reference is its own key; an inline process or composed
-        system is keyed by the digest of its canonically-serialised JSON.
-        The canonical separators match ``utils.serialization.canonical_bytes``,
-        so an inline copy of a stored process routes to the same shard as
-        its digest reference (the cache-affinity promise); composed-system
-        and scenario documents hash the same way, keeping repeated questions
-        about one system on one worker.
+        Delegates to the module-level :func:`routing_key_of`, which the
+        cluster coordinator shares so node affinity and shard affinity agree.
         """
-        ref = spec.get("left")
-        if isinstance(ref, dict):
-            if isinstance(ref.get("digest"), str):
-                return ref["digest"]
-            if "process" in ref or "system" in ref or "scenario" in ref:
-                body = ref.get("process", ref.get("system", ref.get("scenario")))
-                canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
-                return "sha256:" + hashlib.sha256(canonical.encode()).hexdigest()
-        return None
+        return routing_key_of(spec)
 
     # ------------------------------------------------------------------
     # submission with crash recovery

@@ -17,6 +17,17 @@ without invalidation, which is what makes the per-worker in-memory LRU
 Writes are atomic (temp file + ``os.replace``), so a crashed writer can
 leave a stale ``*.tmp*`` file behind but never a truncated entry; readers
 re-verify the digest of whatever they load and reject corrupted files.
+
+The store keeps a **startup index**: one directory scan at construction
+builds the in-memory set of on-disk digests, after which membership tests
+and ``cache_info()["on_disk"]`` are O(1) instead of re-globbing the tree on
+every call.  The index is advisory, not authoritative -- ``get`` always
+reads the file itself, and a membership miss falls back to one ``stat`` so
+entries published by *another* process into the same root are still found
+(shard workers share their root with the server front end).  Files whose
+names are not well-formed ``<64 hex>.json`` under the right fan-out
+directory are skipped by the scan, so one corrupt or foreign file cannot
+poison the index.
 """
 
 from __future__ import annotations
@@ -71,6 +82,32 @@ class ProcessStore:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._index: set[str] = self._scan_index()
+
+    def _scan_index(self) -> set[str]:
+        """One startup scan of the tree: every well-formed entry's digest.
+
+        Only names shaped ``<fan>/<64 hex>.json`` with ``<fan>`` equal to the
+        first two hex characters are indexed; stale ``*.tmp*`` files from
+        crashed writers and any foreign files are ignored.
+        """
+        index: set[str] = set()
+        for path in self.root.glob("??/*.json"):
+            stem = path.stem
+            if (
+                len(stem) == 64
+                and all(c in "0123456789abcdef" for c in stem)
+                and path.parent.name == stem[:2]
+            ):
+                index.add("sha256:" + stem)
+        return index
+
+    def reindex(self) -> int:
+        """Rebuild the startup index from disk; returns the entry count."""
+        fresh = self._scan_index()
+        with self._lock:
+            self._index = fresh
+            return len(fresh)
 
     # ------------------------------------------------------------------
     # addressing
@@ -81,15 +118,26 @@ class ProcessStore:
         return self.root / hex_part[:2] / f"{hex_part}.json"
 
     def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            if digest in self._cache or digest in self._index:
+                return True
+        # Index miss: probe the disk once so entries published by another
+        # process (same root, different ProcessStore) are still visible, and
+        # fold a hit back into the index.
         try:
-            return digest in self._cache or self.path_for(digest).exists()
+            found = self.path_for(digest).exists()
         except KeyError:
             return False
+        if found:
+            with self._lock:
+                self._index.add(digest)
+        return found
 
     def digests(self) -> Iterator[str]:
-        """All digests currently on disk (sorted for determinism)."""
-        for path in sorted(self.root.glob("??/*.json")):
-            yield "sha256:" + path.stem
+        """All indexed digests (sorted for determinism)."""
+        with self._lock:
+            snapshot = sorted(self._index)
+        yield from snapshot
 
     # ------------------------------------------------------------------
     # put / get
@@ -113,6 +161,8 @@ class ProcessStore:
                     pass
                 raise
         self._remember(digest, fsp)
+        with self._lock:
+            self._index.add(digest)
         return digest
 
     def get(self, digest: str) -> FSP:
@@ -139,13 +189,22 @@ class ProcessStore:
             raise KeyError(f"no stored process with digest {digest!r}") from None
         with self._lock:
             self._misses += 1
-        fsp = loads(text)
+        try:
+            fsp = loads(text)
+        except InvalidProcessError:
+            raise
+        except Exception as error:
+            # Unparsable bytes are corruption too -- same contract as a
+            # hash mismatch, so callers handle one exception, not json's.
+            raise InvalidProcessError(f"store entry {path} is corrupt: {error}") from None
         actual = content_digest(fsp)
         if actual != digest:
             raise InvalidProcessError(
                 f"store entry {path} is corrupt: content hashes to {actual}, not its address"
             )
         self._remember(digest, fsp)
+        with self._lock:
+            self._index.add(digest)
         return fsp
 
     def _remember(self, digest: str, fsp: FSP) -> None:
@@ -162,12 +221,13 @@ class ProcessStore:
         """Occupancy and hit counters of the in-memory layer."""
         with self._lock:
             cached, hits, misses = len(self._cache), self._hits, self._misses
+            on_disk = len(self._index)
         return {
             "cached": cached,
             "max_cached": self.max_cached,
             "hits": hits,
             "misses": misses,
-            "on_disk": sum(1 for _ in self.digests()),
+            "on_disk": on_disk,
         }
 
     def __repr__(self) -> str:

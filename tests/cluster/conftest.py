@@ -1,0 +1,143 @@
+"""Shared fixtures: real nodes in threads, a gateway, and kill switches."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.gateway import ClusterGateway
+from repro.cluster.store import ClusterStore
+from repro.generators.random_fsp import perturb, random_equivalent_copy, random_fsp
+from repro.service.server import EquivalenceServer
+
+
+class NodeHandle:
+    """One EquivalenceServer running in its own thread + event loop."""
+
+    def __init__(self, name: str, store_root: str) -> None:
+        self.name = name
+        self.port: int = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        started = threading.Event()
+
+        def run() -> None:
+            async def main() -> None:
+                server = EquivalenceServer(
+                    port=0,
+                    store_root=store_root,
+                    num_shards=1,
+                    max_processes=16,
+                    max_verdicts=64,
+                    node_name=name,
+                )
+                await server.start()
+                self.port = server.port
+                self._loop = asyncio.get_running_loop()
+                started.set()
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+                finally:
+                    await server.stop()
+
+            asyncio.run(main())
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        assert started.wait(timeout=30), f"node {name} failed to start"
+        self.alive = True
+
+    def kill(self) -> None:
+        """Hard-stop the node (the cluster sees a connection loss)."""
+        if not self.alive:
+            return
+        self.alive = False
+        loop = self._loop
+        assert loop is not None
+        loop.call_soon_threadsafe(lambda: [t.cancel() for t in asyncio.all_tasks(loop)])
+        assert self._thread is not None
+        self._thread.join(timeout=30)
+
+
+class GatewayHandle:
+    """A coordinator + gateway pair running in its own thread + event loop."""
+
+    def __init__(
+        self,
+        nodes: dict[str, NodeHandle],
+        *,
+        store_root: str | None = None,
+        replication_factor: int = 2,
+        steal_threshold: int | None = None,
+        probe_interval: float = 0.2,
+    ) -> None:
+        self.port: int = 0
+        self.coordinator: ClusterCoordinator | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        started = threading.Event()
+
+        def run() -> None:
+            async def main() -> None:
+                coordinator = ClusterCoordinator(
+                    {name: ("127.0.0.1", handle.port) for name, handle in nodes.items()},
+                    replication_factor=replication_factor,
+                    steal_threshold=steal_threshold,
+                    store=ClusterStore(store_root) if store_root else None,
+                    probe_interval=probe_interval,
+                )
+                gateway = ClusterGateway(coordinator, port=0)
+                await gateway.start()
+                self.port = gateway.port
+                self.coordinator = coordinator
+                self._loop = asyncio.get_running_loop()
+                started.set()
+                try:
+                    await gateway.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+                finally:
+                    await gateway.stop()
+
+            asyncio.run(main())
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        assert started.wait(timeout=30), "gateway failed to start"
+
+    def stop(self) -> None:
+        loop = self._loop
+        assert loop is not None
+        loop.call_soon_threadsafe(lambda: [t.cancel() for t in asyncio.all_tasks(loop)])
+        self._thread.join(timeout=30)
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    """Two live nodes behind a gateway with a persistent coordinator store."""
+    root = tmp_path_factory.mktemp("cluster")
+    nodes = {
+        name: NodeHandle(name, str(root / name)) for name in ("alpha", "beta")
+    }
+    gateway = GatewayHandle(nodes, store_root=str(root / "coordinator"))
+    yield {"nodes": nodes, "gateway": gateway, "root": root}
+    gateway.stop()
+    for handle in nodes.values():
+        handle.kill()
+
+
+@pytest.fixture(scope="module")
+def processes():
+    bases = [random_fsp(8, tau_probability=0.2, all_accepting=True, seed=s) for s in (31, 32)]
+    return {
+        "bases": bases,
+        "copies": [
+            random_equivalent_copy(b, duplicates=2, seed=s + 40)
+            for s, b in zip((31, 32), bases)
+        ],
+        "nears": [perturb(b, seed=s + 70) for s, b in zip((31, 32), bases)],
+    }

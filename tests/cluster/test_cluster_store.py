@@ -1,0 +1,144 @@
+"""ClusterStore tests: artifact keying, atomicity, corruption tolerance."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster.store import ClusterStore
+from repro.generators.random_fsp import random_fsp
+from repro.utils.serialization import content_digest
+
+
+def digest_of(seed: int) -> str:
+    return content_digest(random_fsp(6, seed=seed))
+
+
+def test_artifact_round_trip(tmp_path):
+    store = ClusterStore(tmp_path)
+    digest = digest_of(1)
+    document = {"process": {"states": 3}, "notion": "observational"}
+    store.put_artifact(digest, "observational", document)
+    assert store.get_artifact(digest, "observational") == document
+    assert store.artifact_keys() == [(digest, "observational")]
+
+
+def test_notions_key_independently(tmp_path):
+    store = ClusterStore(tmp_path)
+    digest = digest_of(2)
+    store.put_artifact(digest, "strong", {"kind": "strong"})
+    store.put_artifact(digest, "observational", {"kind": "obs"})
+    assert store.get_artifact(digest, "strong") == {"kind": "strong"}
+    assert store.get_artifact(digest, "observational") == {"kind": "obs"}
+    assert len(store.artifact_keys()) == 2
+
+
+def test_missing_artifact_is_a_miss_not_an_error(tmp_path):
+    store = ClusterStore(tmp_path)
+    assert store.get_artifact(digest_of(3), "strong") is None
+    info = store.cache_info()
+    assert info["artifacts"] == 0
+
+
+def test_malformed_keys_are_rejected(tmp_path):
+    store = ClusterStore(tmp_path)
+    with pytest.raises(KeyError):
+        store.put_artifact("sha256:nothex", "strong", {})
+    with pytest.raises(KeyError):
+        store.put_artifact(digest_of(4), "Not A Notion!", {})
+    # get_artifact on a malformed digest degrades to a miss.
+    assert store.get_artifact("garbage", "strong") is None
+
+
+def test_index_rebuilds_after_restart(tmp_path):
+    writer = ClusterStore(tmp_path)
+    keys = []
+    for seed in range(5):
+        digest = digest_of(10 + seed)
+        writer.put_artifact(digest, "strong", {"seed": seed})
+        keys.append((digest, "strong"))
+    restarted = ClusterStore(tmp_path)
+    assert restarted.artifact_keys() == sorted(keys)
+    for digest, notion in keys:
+        assert restarted.get_artifact(digest, notion) is not None
+
+
+def test_corrupt_artifact_reads_as_miss_and_leaves_the_rest(tmp_path):
+    store = ClusterStore(tmp_path)
+    victim, survivor = digest_of(20), digest_of(21)
+    store.put_artifact(victim, "strong", {"v": 1})
+    store.put_artifact(survivor, "strong", {"v": 2})
+    store.artifact_path(victim, "strong").write_text("{not json")
+
+    fresh = ClusterStore(tmp_path)
+    assert fresh.get_artifact(victim, "strong") is None  # miss, not an error
+    assert fresh.get_artifact(survivor, "strong") == {"v": 2}
+    # The damaged key is dropped from the index so repeat lookups stay cheap.
+    assert (victim, "strong") not in fresh.artifact_keys()
+
+
+def test_rewrite_heals_a_corrupt_artifact(tmp_path):
+    store = ClusterStore(tmp_path)
+    digest = digest_of(22)
+    store.put_artifact(digest, "strong", {"v": 1})
+    store.artifact_path(digest, "strong").write_text("junk")
+    assert store.get_artifact(digest, "strong") is None
+    store.artifact_path(digest, "strong").unlink()
+    store.put_artifact(digest, "strong", {"v": 2})
+    assert store.get_artifact(digest, "strong") == {"v": 2}
+
+
+def test_scan_skips_foreign_files(tmp_path):
+    store = ClusterStore(tmp_path)
+    digest = digest_of(23)
+    store.put_artifact(digest, "strong", {})
+    artifact_dir = store.artifact_path(digest, "strong").parent
+    (artifact_dir / "README.json").write_text("{}")
+    (artifact_dir / ("f" * 64 + ".json")).write_text("{}")  # digest, no notion
+    fresh = ClusterStore(tmp_path)
+    assert fresh.artifact_keys() == [(digest, "strong")]
+
+
+def test_put_is_idempotent_and_leaves_no_temp_files(tmp_path):
+    store = ClusterStore(tmp_path)
+    digest = digest_of(24)
+    store.put_artifact(digest, "strong", {"first": True})
+    store.put_artifact(digest, "strong", {"second": True})  # write-once wins
+    assert store.get_artifact(digest, "strong") == {"first": True}
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_concurrent_artifact_writers_same_key(tmp_path):
+    digest = digest_of(25)
+    barrier = threading.Barrier(6)
+    errors: list[Exception] = []
+
+    def writer(value: int) -> None:
+        try:
+            store = ClusterStore(tmp_path)
+            barrier.wait(timeout=30)
+            store.put_artifact(digest, "strong", {"writer": value})
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors
+    reader = ClusterStore(tmp_path)
+    document = reader.get_artifact(digest, "strong")
+    assert isinstance(document, dict) and "writer" in document  # one intact winner
+    raw = json.loads(reader.artifact_path(digest, "strong").read_text())
+    assert raw == document
+
+
+def test_process_layer_is_a_real_process_store(tmp_path):
+    store = ClusterStore(tmp_path)
+    fsp = random_fsp(6, seed=30)
+    digest = store.processes.put(fsp)
+    assert store.processes.get(digest) == fsp
+    info = store.cache_info()
+    assert info["processes"]["on_disk"] == 1
+    assert info["artifacts"] == 0

@@ -1,0 +1,111 @@
+"""HashRing tests: placement, stability under churn, replica selection."""
+
+import hashlib
+from collections import Counter
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_POINTS_PER_NODE, HashRing, _key_point
+
+
+def digest_keys(count: int) -> list[str]:
+    return ["sha256:" + hashlib.sha256(str(i).encode()).hexdigest() for i in range(count)]
+
+
+def test_empty_ring_routes_nothing():
+    ring = HashRing()
+    assert ring.replicas_for("sha256:" + "a" * 64, 2) == []
+    assert ring.primary_for("anything") is None
+    assert len(ring) == 0
+
+
+def test_add_and_remove_are_idempotent():
+    ring = HashRing(["a"])
+    ring.add("a")
+    assert len(ring) == 1
+    ring.remove("a")
+    ring.remove("a")
+    assert len(ring) == 0 and "a" not in ring
+
+
+def test_every_key_routes_to_a_live_node():
+    ring = HashRing(["a", "b", "c"])
+    for key in digest_keys(100):
+        assert ring.primary_for(key) in {"a", "b", "c"}
+
+
+def test_placement_is_deterministic_across_instances():
+    keys = digest_keys(50)
+    one = HashRing(["n1", "n2", "n3"])
+    two = HashRing(["n3", "n1", "n2"])  # insertion order must not matter
+    assert [one.primary_for(k) for k in keys] == [two.primary_for(k) for k in keys]
+
+
+def test_load_spreads_across_nodes():
+    ring = HashRing(["a", "b", "c", "d"])
+    spread = Counter(ring.primary_for(k) for k in digest_keys(2000))
+    assert set(spread) == {"a", "b", "c", "d"}
+    # With 64 points per node the arcs are uneven but no node may be
+    # starved or dominant.
+    assert min(spread.values()) > 2000 * 0.05
+    assert max(spread.values()) < 2000 * 0.60
+
+
+def test_removing_a_node_only_moves_its_own_keys():
+    keys = digest_keys(500)
+    ring = HashRing(["a", "b", "c"])
+    before = {k: ring.primary_for(k) for k in keys}
+    ring.remove("b")
+    after = {k: ring.primary_for(k) for k in keys}
+    for key in keys:
+        if before[key] != "b":
+            assert after[key] == before[key]  # unaffected arcs stay put
+        else:
+            assert after[key] in {"a", "c"}
+
+
+def test_replicas_are_distinct_and_primary_first():
+    ring = HashRing(["a", "b", "c"])
+    for key in digest_keys(50):
+        replicas = ring.replicas_for(key, 2)
+        assert len(replicas) == 2 and len(set(replicas)) == 2
+        assert replicas[0] == ring.primary_for(key)
+
+
+def test_exclude_promotes_the_next_replica():
+    ring = HashRing(["a", "b", "c"])
+    for key in digest_keys(50):
+        primary, backup = ring.replicas_for(key, 2)
+        assert ring.replicas_for(key, 1, exclude={primary}) == [backup]
+
+
+def test_replica_count_is_bounded_by_live_nodes():
+    ring = HashRing(["a", "b"])
+    key = digest_keys(1)[0]
+    assert len(ring.replicas_for(key, 5)) == 2
+    assert ring.replicas_for(key, 2, exclude={"a", "b"}) == []
+
+
+def test_count_must_be_positive():
+    with pytest.raises(ValueError):
+        HashRing(["a"]).replicas_for("x", 0)
+    with pytest.raises(ValueError):
+        HashRing(points_per_node=0)
+
+
+def test_key_point_mirrors_shard_of():
+    """Digest keys take the same hex-prefix path as ``ShardPool.shard_of``:
+    the first 16 hex characters *are* the hash, with no double hashing."""
+    for key in digest_keys(20):
+        assert _key_point(key) == int(key[len("sha256:") :][:16], 16)
+
+
+def test_non_digest_keys_hash_rather_than_crash():
+    ring = HashRing(["a", "b"])
+    assert ring.primary_for("scenario:leader-election") in {"a", "b"}
+    assert _key_point("plain") == _key_point("plain")
+
+
+def test_default_points_per_node_is_applied():
+    ring = HashRing(["solo"])
+    assert len(ring._points) == DEFAULT_POINTS_PER_NODE

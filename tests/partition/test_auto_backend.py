@@ -1,0 +1,111 @@
+"""The ``auto`` backend: threshold dispatch and python/vector agreement.
+
+``resolve_backend("auto", n)`` is the one choke point every caller funnels
+through (solve, saturation, the engine's process handles, the notion
+defaults), so these tests pin its dispatch rule -- vector iff numpy is
+available and the state count reaches ``VECTOR_STATE_THRESHOLD`` -- and then
+check end-to-end that an ``auto`` answer equals the ``python`` answer on
+instances both above and below the threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lts import LTS
+from repro.core.weak import saturate_lts
+from repro.engine import Engine
+from repro.generators.families import duplicated_chain, tau_ladder
+from repro.generators.random_fsp import random_fsp
+from repro.partition import generalized
+from repro.partition.generalized import (
+    GeneralizedPartitioningError,
+    GeneralizedPartitioningInstance,
+    resolve_backend,
+    solve,
+)
+from repro.utils.matrices import HAVE_NUMPY
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy is not installed")
+
+
+# ----------------------------------------------------------------------
+# the dispatch rule
+# ----------------------------------------------------------------------
+def test_concrete_backends_pass_through_unchanged():
+    assert resolve_backend("python", 10**9) == "python"
+    if HAVE_NUMPY:
+        assert resolve_backend("vector", 1) == "vector"
+
+
+def test_unknown_backend_is_rejected():
+    with pytest.raises(GeneralizedPartitioningError, match="backend"):
+        resolve_backend("fortran", 100)
+
+
+def test_auto_stays_python_below_the_threshold():
+    assert resolve_backend("auto", generalized.VECTOR_STATE_THRESHOLD - 1) == "python"
+
+
+@needs_numpy
+def test_auto_switches_to_vector_at_the_threshold():
+    assert resolve_backend("auto", generalized.VECTOR_STATE_THRESHOLD) == "vector"
+
+
+def test_auto_without_numpy_always_resolves_python(monkeypatch):
+    monkeypatch.setattr("repro.utils.matrices.HAVE_NUMPY", False)
+    assert resolve_backend("auto", generalized.VECTOR_STATE_THRESHOLD * 2) == "python"
+
+
+# ----------------------------------------------------------------------
+# end-to-end agreement (threshold lowered so the vector path really runs)
+# ----------------------------------------------------------------------
+@needs_numpy
+@pytest.mark.parametrize("seed", range(4))
+def test_auto_solve_agrees_with_python_above_the_threshold(monkeypatch, seed):
+    monkeypatch.setattr(generalized, "VECTOR_STATE_THRESHOLD", 4)
+    process = random_fsp(16, tau_probability=0.25, seed=seed)
+    instance = GeneralizedPartitioningInstance.from_fsp(process, include_tau=True)
+    assert resolve_backend("auto", len(instance.elements)) == "vector"
+    auto = solve(instance, backend="auto")
+    python = solve(instance, backend="python")
+    assert auto.as_frozen() == python.as_frozen()
+
+
+@needs_numpy
+def test_auto_saturation_agrees_with_python(monkeypatch):
+    monkeypatch.setattr(generalized, "VECTOR_STATE_THRESHOLD", 4)
+    process = tau_ladder(12)
+    lts = LTS.from_fsp(process, include_tau=True)
+    auto = saturate_lts(lts, backend="auto")
+    python = saturate_lts(lts, backend="python")
+    assert auto.fwd_offsets == python.fwd_offsets
+    assert auto.fwd_actions == python.fwd_actions
+    assert auto.fwd_targets == python.fwd_targets
+
+
+@needs_numpy
+def test_engine_auto_default_matches_explicit_python(monkeypatch):
+    monkeypatch.setattr(generalized, "VECTOR_STATE_THRESHOLD", 4)
+    process = duplicated_chain(15, 2)
+    auto_engine, python_engine = Engine(), Engine()
+    auto = auto_engine.minimize(process, "strong")  # backend defaults to auto
+    python = python_engine.minimize(process, "strong", backend="python")
+    assert auto.num_states == python.num_states
+    assert auto_engine.check(process, auto, notion="strong").equivalent
+    assert python_engine.check(auto, python, notion="strong").equivalent
+
+
+def test_auto_and_python_share_one_verdict_cache_slot():
+    # Below the threshold auto *is* python, so the engine must not compute
+    # or cache the same quotient twice under two backend names.
+    engine = Engine()
+    process = duplicated_chain(10, 2)
+    engine.minimize(process, "strong")  # auto -> python
+    engine.minimize(process, "strong", backend="python")
+
+    def minimized_slots() -> int:
+        [artifact] = engine.export_stats()["process_artifacts"]
+        return artifact["artifacts"]["minimized_strong"]
+
+    assert minimized_slots() == 1  # both calls share one (method, backend) slot

@@ -463,7 +463,9 @@ def test_quota_rejection_carries_the_overloaded_shape(tmp_path):
     assert started.wait(timeout=30), "server failed to start"
     try:
         left = random_fsp(4, all_accepting=True, seed=71)
-        with ServiceClient(port=holder["port"]) as client:
+        # Retries off: this test pins the raw rejection shape, and a
+        # retrying client would absorb the fourth check after backoff.
+        with ServiceClient(port=holder["port"], overload_retries=0) as client:
             # Exempt ops never charge the bucket.
             for _ in range(5):
                 client.ping()

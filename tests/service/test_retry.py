@@ -1,0 +1,161 @@
+"""RetryPolicy tests: the exact backoff schedule, budgets, predicate gating."""
+
+import random
+
+import pytest
+
+from repro.service.protocol import OVERLOADED, ServiceError
+from repro.service.retry import RetryPolicy
+from repro.service.client import _overload_hint
+
+
+def no_jitter_policy(**kwargs) -> tuple[RetryPolicy, list[float]]:
+    slept: list[float] = []
+    policy = RetryPolicy(jitter=0.0, sleep=slept.append, **kwargs)
+    return policy, slept
+
+
+def overloaded(hint=None) -> ServiceError:
+    data = {"retry_after_ms": hint} if hint is not None else {}
+    return ServiceError(OVERLOADED, "busy", data)
+
+
+# ----------------------------------------------------------------------
+# the schedule itself
+# ----------------------------------------------------------------------
+def test_exponential_schedule_without_hint():
+    policy, _ = no_jitter_policy(base_delay_ms=50.0, multiplier=2.0)
+    assert [policy.delay_ms(n, None) for n in range(4)] == [50.0, 100.0, 200.0, 400.0]
+
+
+def test_server_hint_is_a_floor_not_a_ceiling():
+    policy, _ = no_jitter_policy(base_delay_ms=50.0, multiplier=2.0)
+    # Hint above base: schedule grows from the hint.
+    assert policy.delay_ms(0, 300.0) == 300.0
+    assert policy.delay_ms(1, 300.0) == 600.0
+    # Hint below base: the base wins (retrying sooner than base is pointless).
+    assert policy.delay_ms(0, 10.0) == 50.0
+
+
+def test_single_delay_cap_applies_pre_jitter():
+    policy, _ = no_jitter_policy(base_delay_ms=50.0, max_delay_ms=150.0)
+    assert policy.delay_ms(5, None) == 150.0
+    assert policy.delay_ms(0, 10_000.0) == 150.0
+
+
+def test_jitter_stays_within_the_documented_band():
+    policy = RetryPolicy(jitter=0.25, rng=random.Random(7), sleep=lambda s: None)
+    for attempt in range(6):
+        delay = policy.delay_ms(attempt, None)
+        nominal = min(50.0 * 2.0**attempt, policy.max_delay_ms)
+        assert 0.75 * nominal <= delay <= 1.25 * nominal
+
+
+def test_seeded_rng_makes_the_schedule_reproducible():
+    a = RetryPolicy(jitter=0.25, rng=random.Random(11))
+    b = RetryPolicy(jitter=0.25, rng=random.Random(11))
+    assert [a.delay_ms(n, None) for n in range(5)] == [b.delay_ms(n, None) for n in range(5)]
+
+
+# ----------------------------------------------------------------------
+# run(): retrying, budgets, predicate
+# ----------------------------------------------------------------------
+def test_run_retries_until_success_and_sleeps_the_schedule():
+    policy, slept = no_jitter_policy(retries=3)
+    attempts = {"n": 0}
+
+    def flaky():
+        attempts["n"] += 1
+        if attempts["n"] <= 2:
+            raise overloaded(100.0)
+        return "done"
+
+    assert policy.run(flaky, is_overloaded=_overload_hint) == "done"
+    assert attempts["n"] == 3
+    assert slept == [0.1, 0.2]  # seconds: hint 100ms, then doubled
+
+
+def test_run_reraises_after_the_attempt_budget():
+    policy, slept = no_jitter_policy(retries=2)
+    calls = {"n": 0}
+
+    def always_busy():
+        calls["n"] += 1
+        raise overloaded()
+
+    with pytest.raises(ServiceError) as excinfo:
+        policy.run(always_busy, is_overloaded=_overload_hint)
+    assert excinfo.value.code == OVERLOADED
+    assert calls["n"] == 3  # first try + 2 retries
+    assert len(slept) == 2
+
+
+def test_run_respects_the_total_sleep_budget():
+    # Budget admits the first retry (1000ms) but not the second (2000ms).
+    policy, slept = no_jitter_policy(retries=5, base_delay_ms=1_000.0, max_total_ms=1_500.0)
+    with pytest.raises(ServiceError):
+        policy.run(lambda: (_ for _ in ()).throw(overloaded()), is_overloaded=_overload_hint)
+    assert slept == [1.0]
+
+
+def test_zero_retries_means_one_attempt_and_no_sleep():
+    policy, slept = no_jitter_policy(retries=0)
+    calls = {"n": 0}
+
+    def busy():
+        calls["n"] += 1
+        raise overloaded()
+
+    with pytest.raises(ServiceError):
+        policy.run(busy, is_overloaded=_overload_hint)
+    assert calls["n"] == 1 and slept == []
+
+
+def test_non_overloaded_errors_propagate_immediately():
+    policy, slept = no_jitter_policy(retries=5)
+    calls = {"n": 0}
+
+    def broken():
+        calls["n"] += 1
+        raise ServiceError("bad_request", "no")
+
+    with pytest.raises(ServiceError, match="no"):
+        policy.run(broken, is_overloaded=_overload_hint)
+    assert calls["n"] == 1 and slept == []
+
+
+def test_plain_exceptions_are_never_retried():
+    policy, slept = no_jitter_policy(retries=5)
+    with pytest.raises(RuntimeError):
+        policy.run(lambda: (_ for _ in ()).throw(RuntimeError("boom")), is_overloaded=_overload_hint)
+    assert slept == []
+
+
+# ----------------------------------------------------------------------
+# the client-side predicate
+# ----------------------------------------------------------------------
+def test_overload_hint_extracts_retry_after_ms():
+    assert _overload_hint(overloaded(250.0)) == 250.0
+    assert _overload_hint(overloaded()) is None
+    assert _overload_hint(ServiceError("internal", "x")) is False
+    assert _overload_hint(RuntimeError("x")) is False
+
+
+# ----------------------------------------------------------------------
+# constructor validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"retries": -1},
+        {"base_delay_ms": 0},
+        {"max_delay_ms": 0},
+        {"max_total_ms": 0},
+        {"multiplier": 0.5},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ],
+)
+def test_invalid_parameters_are_rejected(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)

@@ -1,0 +1,151 @@
+"""ProcessStore scale behaviour: startup index, corruption isolation, writers.
+
+The store's startup index (built by scanning the root once) is what keeps
+``__contains__`` and ``digests()`` off the disk on the hot path; these tests
+pin the properties the cluster layer leans on: the index rebuilds faithfully
+after a restart, one damaged entry never poisons the rest, and concurrent
+writers racing on the same digest all land on one correct entry.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.errors import InvalidProcessError
+from repro.core.fsp import FSP
+from repro.generators.random_fsp import random_fsp
+from repro.service.store import ProcessStore
+
+
+def build(seed: int) -> FSP:
+    return random_fsp(8, tau_probability=0.2, all_accepting=True, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# startup index rebuild
+# ----------------------------------------------------------------------
+def test_index_rebuilds_after_restart(tmp_path):
+    writer = ProcessStore(tmp_path)
+    digests = sorted(writer.put(build(seed)) for seed in range(20))
+
+    restarted = ProcessStore(tmp_path)  # fresh instance, cold cache
+    assert sorted(restarted.digests()) == digests
+    assert restarted.cache_info()["on_disk"] == 20
+    assert restarted.cache_info()["cached"] == 0  # index != loaded
+    for digest in digests:
+        assert digest in restarted
+
+
+def test_reindex_picks_up_entries_written_behind_the_stores_back(tmp_path):
+    ours = ProcessStore(tmp_path)
+    ours.put(build(1))
+    theirs = ProcessStore(tmp_path)  # another process writing the same root
+    foreign = theirs.put(build(2))
+    assert ours.reindex() == 2
+    assert foreign in ours
+
+
+def test_contains_falls_back_to_disk_for_unindexed_entries(tmp_path):
+    ours = ProcessStore(tmp_path)
+    foreign = ProcessStore(tmp_path).put(build(3))
+    # Not in our index (written after our scan), but on disk: one probe
+    # answers yes and folds the entry into the index for next time.
+    assert foreign in ours
+    assert foreign in set(ours.digests())
+
+
+def test_index_ignores_junk_files_in_the_tree(tmp_path):
+    store = ProcessStore(tmp_path)
+    good = store.put(build(4))
+    (tmp_path / "ab").mkdir(exist_ok=True)
+    (tmp_path / "ab" / "not-a-digest.json").write_text("{}")
+    (tmp_path / "ab" / ("c" * 64 + ".json")).write_text("{}")  # wrong fan-out dir
+    (tmp_path / "README.txt").write_text("ignore me")
+    fresh = ProcessStore(tmp_path)
+    assert list(fresh.digests()) == [good]
+
+
+# ----------------------------------------------------------------------
+# corruption isolation
+# ----------------------------------------------------------------------
+def test_one_corrupt_entry_does_not_poison_the_index(tmp_path):
+    store = ProcessStore(tmp_path)
+    victim = store.put(build(5))
+    healthy = [store.put(build(seed)) for seed in range(6, 16)]
+    store.path_for(victim).write_text("this is not json")
+
+    fresh = ProcessStore(tmp_path)
+    # The index still lists every entry (it scans names, not contents)...
+    assert fresh.cache_info()["on_disk"] == 11
+    # ...the damaged one fails loudly on read...
+    with pytest.raises(InvalidProcessError):
+        fresh.get(victim)
+    # ...and every other entry still round-trips.
+    for digest in healthy:
+        assert fresh.get(digest) is not None
+
+
+def test_rewriting_a_corrupt_entry_heals_it(tmp_path):
+    store = ProcessStore(tmp_path)
+    fsp = build(17)
+    digest = store.put(fsp)
+    store.path_for(digest).write_text("garbage")
+    fresh = ProcessStore(tmp_path)
+    with pytest.raises(InvalidProcessError):
+        fresh.get(digest)
+    assert fresh.put(fsp) == digest  # put overwrites the damage
+    assert fresh.get(digest) == fsp
+
+
+# ----------------------------------------------------------------------
+# concurrent writers
+# ----------------------------------------------------------------------
+def test_concurrent_writers_on_the_same_digest(tmp_path):
+    fsp = build(18)
+    results: list[str] = []
+    errors: list[Exception] = []
+    barrier = threading.Barrier(8)
+
+    def writer() -> None:
+        try:
+            store = ProcessStore(tmp_path)  # each writer opens its own handle
+            barrier.wait(timeout=30)
+            results.append(store.put(fsp))
+        except Exception as error:  # pragma: no cover - surfaced via assert
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors
+    assert len(set(results)) == 1  # everyone computed the same address
+
+    reader = ProcessStore(tmp_path)
+    assert reader.get(results[0]) == fsp  # and the entry is intact
+    assert list(reader.digests()) == [results[0]]
+    assert not list(tmp_path.rglob("*.tmp"))  # no temp residue from the race
+
+
+def test_concurrent_distinct_writers_all_land(tmp_path):
+    processes = [build(seed) for seed in range(30, 42)]
+    barrier = threading.Barrier(len(processes))
+    digests: list[str] = []
+    lock = threading.Lock()
+
+    def writer(fsp: FSP) -> None:
+        store = ProcessStore(tmp_path)
+        barrier.wait(timeout=30)
+        digest = store.put(fsp)
+        with lock:
+            digests.append(digest)
+
+    threads = [threading.Thread(target=writer, args=(fsp,)) for fsp in processes]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    reader = ProcessStore(tmp_path)
+    assert sorted(reader.digests()) == sorted(digests)
+    assert len(set(digests)) == len(processes)
